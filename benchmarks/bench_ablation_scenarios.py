@@ -1,0 +1,74 @@
+"""Ablation abl3 — the three constrained-selection scenarios differ.
+
+The paper (Section 5): "In general, these three optimization goals are
+incompatible. ... Typically, the pareto points in the cost/performance
+space have a poor power behavior, while the pareto points in the
+performance/power space will incur a large cost." This ablation runs
+the three scenario selections on the vocoder exploration and reports
+what each picks.
+
+Expected shape: the scenario selections are *different* design sets,
+and each optimizes its own pair of axes at the expense of the third.
+"""
+
+import common
+from repro.conex.scenarios import (
+    cost_constrained_selection,
+    performance_constrained_selection,
+    power_constrained_selection,
+)
+from repro.util.tables import format_table
+
+
+def regenerate() -> str:
+    conex = common.conex_result("vocoder")
+    points = conex.simulated
+    energies = sorted(p.simulation.avg_energy_nj for p in points)
+    costs = sorted(p.simulation.cost_gates for p in points)
+    latencies = sorted(p.simulation.avg_latency for p in points)
+    scenarios = {
+        "power-constrained (cost/perf pareto)": power_constrained_selection(
+            points, energies[len(energies) * 3 // 4]
+        ),
+        "cost-constrained (perf/power pareto)": cost_constrained_selection(
+            points, costs[len(costs) * 3 // 4]
+        ),
+        "perf-constrained (cost/power pareto)": (
+            performance_constrained_selection(
+                points, latencies[len(latencies) * 3 // 4]
+            )
+        ),
+    }
+    rows = []
+    for name, picks in scenarios.items():
+        first = True
+        for point in sorted(picks, key=lambda p: p.simulation.cost_gates):
+            simulation = point.simulation
+            rows.append(
+                (
+                    name if first else "",
+                    point.label(),
+                    f"{simulation.cost_gates:,.0f}",
+                    f"{simulation.avg_latency:.2f}",
+                    f"{simulation.avg_energy_nj:.2f}",
+                )
+            )
+            first = False
+    table = format_table(
+        ["scenario", "design", "cost [gates]", "lat [cyc]", "energy [nJ]"],
+        rows,
+        title="Ablation abl3 — constrained-selection scenarios (vocoder)",
+    )
+    regenerate.scenarios = {
+        name: {p.label() for p in picks} for name, picks in scenarios.items()
+    }
+    return table
+
+
+def test_ablation_scenarios(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    common.write_output("ablation_scenarios", text)
+    picks = list(regenerate.scenarios.values())
+    assert all(p for p in picks)
+    # The three goals are incompatible: selections differ.
+    assert len({frozenset(p) for p in picks}) >= 2

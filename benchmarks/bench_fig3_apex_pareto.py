@@ -1,0 +1,67 @@
+"""Figure 3 — APEX memory-modules pareto for compress.
+
+Regenerates the paper's Figure 3: the memory-modules design space for
+the compress benchmark, cost (basic gates) on X, overall miss ratio on
+Y ("accesses to on-chip memory such as the cache or SRAM are hits, and
+accesses to off-chip memory are misses"), with the selected pareto
+designs labeled 1..5.
+
+Expected shape (paper): a pareto-like sweep from cheap/high-miss to
+expensive/low-miss, with the non-interesting interior designs pruned
+and five selected points carried into ConEx.
+"""
+
+import common
+from repro.core.reporting import ascii_scatter
+from repro.util.tables import format_table
+
+
+def regenerate() -> str:
+    apex = common.apex_result("compress")
+    points = [(e.cost_gates, e.miss_ratio) for e in apex.evaluated]
+    marks = ["."] * len(points)
+    selected_rows = []
+    for label, evaluated in enumerate(apex.selected, start=1):
+        index = list(apex.evaluated).index(evaluated)
+        marks[index] = str(label)
+        modules = ", ".join(evaluated.architecture.modules) or "(uncached)"
+        selected_rows.append(
+            (
+                str(label),
+                f"{evaluated.cost_gates:,.0f}",
+                f"{evaluated.miss_ratio:.4f}",
+                f"{evaluated.avg_latency:.2f}",
+                modules,
+            )
+        )
+    plot = ascii_scatter(
+        points,
+        x_label="memory modules cost [gates]",
+        y_label="miss ratio",
+        marks=marks,
+    )
+    table = format_table(
+        ["#", "cost [gates]", "miss ratio", "ideal lat [cyc]", "modules"],
+        selected_rows,
+        title="Selected memory modules architectures (Figure 3, points 1-5)",
+    )
+    header = (
+        f"Figure 3 — APEX exploration for compress: "
+        f"{len(apex.evaluated)} candidates, {len(apex.selected)} selected"
+    )
+    return "\n\n".join([header, plot, table])
+
+
+def test_fig3_apex_pareto(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    common.write_output("fig3_apex_pareto", text)
+    apex = common.apex_result("compress")
+    # Shape assertions: the pareto sweeps from cheap/high-miss to
+    # expensive/low-miss.
+    selected = apex.selected
+    assert len(selected) >= 3
+    costs = [e.cost_gates for e in selected]
+    misses = [e.miss_ratio for e in selected]
+    assert costs == sorted(costs)
+    assert misses == sorted(misses, reverse=True)
+    assert misses[0] > 10 * misses[-1]

@@ -1,0 +1,112 @@
+"""Figure 6 — analysis of the cost/performance pareto for compress.
+
+Regenerates the paper's Figure 6: the selected cost/performance
+memory-connectivity architectures a, b, c, ... with their contents.
+Designs a and b are "two instances of a traditional cache-only memory
+configuration" (here: the best cache-only architectures under an AHB
+and a dedicated connection); the letters after them are the novel
+memory+connectivity architectures (SRAMs, DMA-like modules, stream
+buffers, MUX/AMBA connections).
+
+Expected shape (paper): the first novel architecture (c) improves
+performance ≈10% over the best traditional cache design (b) at a small
+cost increase; richer architectures reach ≈26-30% improvement for
+≈30% or more cost increase.
+"""
+
+import common
+from repro.core.design_point import summarize
+from repro.core.reporting import ascii_scatter
+from repro.util.pareto import pareto_front
+from repro.util.tables import format_table
+
+
+def _cost_performance_front(points):
+    simulated = [p for p in points if p.simulation is not None]
+    return sorted(
+        pareto_front(
+            simulated,
+            key=lambda p: (p.simulation.cost_gates, p.simulation.avg_latency),
+        ),
+        key=lambda p: p.simulation.cost_gates,
+    )
+
+
+def regenerate() -> str:
+    traditional = common.conex_result("compress", traditional=True)
+    novel = common.conex_result("compress")
+
+    # a, b: the two best traditional cache-only designs.
+    trad_front = _cost_performance_front(traditional.simulated)
+    baseline = sorted(
+        trad_front, key=lambda p: p.simulation.avg_latency
+    )[:2]
+    baseline = sorted(baseline, key=lambda p: p.simulation.cost_gates)
+    # c..: the novel architectures' cost/perf pareto.
+    novel_front = [
+        p
+        for p in _cost_performance_front(novel.simulated)
+        if p.memory_eval.architecture.modules
+    ]
+    labeled = baseline + novel_front
+    letters = [chr(ord("a") + i) for i in range(len(labeled))]
+    best_traditional = min(p.simulation.avg_latency for p in baseline)
+
+    rows = []
+    descriptions = []
+    for letter, point in zip(letters, labeled):
+        summary = summarize(point)
+        gain = 100.0 * (1.0 - summary.avg_latency / best_traditional)
+        rows.append(
+            (
+                letter,
+                f"{summary.cost_gates:,.0f}",
+                f"{summary.avg_latency:.2f}",
+                f"{gain:+.0f}%",
+                f"{summary.avg_energy_nj:.2f}",
+            )
+        )
+        modules = "; ".join(summary.memory_modules) or "uncached"
+        connections = "; ".join(summary.connections)
+        descriptions.append(f"  ({letter}) {modules}\n      conn: {connections}")
+
+    plot = ascii_scatter(
+        [(p.simulation.cost_gates, p.simulation.avg_latency) for p in labeled],
+        x_label="cost [gates]",
+        y_label="avg memory latency [cycles]",
+        marks=letters,
+    )
+    table = format_table(
+        ["pt", "cost [gates]", "avg lat [cyc]", "vs best cache", "energy [nJ]"],
+        rows,
+        title="Cost/performance pareto architectures (Figure 6)",
+    )
+    header = (
+        "Figure 6 — cost/perf pareto analysis for compress.\n"
+        "(a),(b): traditional cache-only designs; (c)...: novel "
+        "memory+connectivity architectures."
+    )
+    return "\n\n".join(
+        [header, plot, table, "Architecture contents:\n" + "\n".join(descriptions)]
+    )
+
+
+def test_fig6_pareto_analysis(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    common.write_output("fig6_pareto_analysis", text)
+
+    traditional = common.conex_result("compress", traditional=True)
+    novel = common.conex_result("compress")
+    best_traditional = min(
+        p.simulation.avg_latency for p in traditional.simulated
+    )
+    cache_based = [
+        p
+        for p in novel.simulated
+        if p.memory_eval.architecture.modules
+    ]
+    best_novel = min(p.simulation.avg_latency for p in cache_based)
+    improvement = 100.0 * (1.0 - best_novel / best_traditional)
+    # Paper: up to ~30% improvement over the best traditional cache
+    # architecture. Accept a generous band around that shape.
+    assert improvement > 10.0, f"novel designs only {improvement:.0f}% better"

@@ -1,0 +1,86 @@
+"""Table 1 — selected cost/performance designs for all benchmarks.
+
+Regenerates the paper's Table 1: for compress, li, and vocoder, the
+selected cost/performance designs with their cost (basic gates),
+average memory latency (cycles), and average energy per access (nJ).
+
+Expected shapes (paper):
+* performance varies by an order of magnitude across the selected
+  designs for compress and li (uncached/starved configs vs rich ones);
+* energy consumption varies much less, "due to the fact that the
+  connectivity consumes a small amount of power compared to the
+  memory modules";
+* vocoder's designs are several times cheaper than compress's.
+"""
+
+import common
+from repro.util.pareto import pareto_front
+from repro.util.tables import format_table
+
+WORKLOADS = ("compress", "li", "vocoder")
+
+
+def _selected_rows(name):
+    conex = common.conex_result(name)
+    front = pareto_front(
+        conex.simulated,
+        key=lambda p: (p.simulation.cost_gates, p.simulation.avg_latency),
+    )
+    return sorted(front, key=lambda p: p.simulation.cost_gates)
+
+
+def regenerate() -> str:
+    rows = []
+    for name in WORKLOADS:
+        first = True
+        for point in _selected_rows(name):
+            rows.append(
+                (
+                    name if first else "",
+                    f"{point.simulation.cost_gates:,.0f}",
+                    f"{point.simulation.avg_latency:.2f}",
+                    f"{point.simulation.avg_energy_nj:.2f}",
+                )
+            )
+            first = False
+    return format_table(
+        ["benchmark", "cost [gates]", "avg mem latency [cyc]", "avg energy [nJ]"],
+        rows,
+        title=(
+            "Table 1 — selected cost/performance designs for the "
+            "connectivity exploration"
+        ),
+    )
+
+
+def test_table1_selected_designs(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    common.write_output("table1_selected_designs", text)
+
+    for name in ("compress", "li"):
+        points = _selected_rows(name)
+        latencies = [p.simulation.avg_latency for p in points]
+        # Order-of-magnitude performance spread (paper: 69.7 -> 6.0 for
+        # compress, 57.6 -> 6.8 for li).
+        assert max(latencies) > 3 * min(latencies), name
+        # Energy varies less than performance among the designs with
+        # on-chip memory (the paper's selected designs all have one;
+        # connectivity power is small next to the memory modules).
+        on_chip = [
+            p for p in points if p.memory_eval.architecture.modules
+        ]
+        energies = [p.simulation.avg_energy_nj for p in on_chip]
+        lat_on_chip = [p.simulation.avg_latency for p in on_chip]
+        energy_spread = max(energies) / min(energies)
+        latency_spread = max(lat_on_chip) / min(lat_on_chip)
+        assert energy_spread < latency_spread, name
+
+    compress_costs = [
+        p.simulation.cost_gates for p in _selected_rows("compress")
+    ]
+    vocoder_costs = [
+        p.simulation.cost_gates for p in _selected_rows("vocoder")
+    ]
+    # Vocoder architectures are much cheaper (paper: 157-176k vs
+    # 481-896k gates).
+    assert max(vocoder_costs) < max(compress_costs)

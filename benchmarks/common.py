@@ -1,0 +1,101 @@
+"""Shared setup for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper. Several
+share the same expensive pipeline stages (the compress APEX run feeds
+Figures 3, 4, 6 and Table 1), so stages are cached per pytest session,
+keyed by workload and configuration.
+
+Benchmark scales are reduced relative to the paper's full SPEC runs —
+the trace lengths are chosen so the whole harness completes in minutes
+on a laptop while preserving every qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import functools
+import pathlib
+
+from repro.apex.explorer import ApexConfig, ApexResult, explore_memory_architectures
+from repro.conex.explorer import ConExConfig, ConExResult, explore_connectivity
+from repro.connectivity.library import default_connectivity_library
+from repro.memory.library import default_memory_library
+from repro.trace.events import Trace
+from repro.workloads import get_workload
+
+#: Directory where each benchmark writes its rendered table/figure.
+OUTPUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: Trace scales per workload (fractions of the default input sizes).
+SCALES = {
+    "compress": 0.4,
+    "li": 0.12,
+    "vocoder": 1.0,
+    "dct": 2.0,
+    "matmul": 1.5,
+}
+
+MEMORY_LIBRARY = default_memory_library()
+CONNECTIVITY_LIBRARY = default_connectivity_library()
+
+#: The full APEX configuration used by the figure/table benchmarks.
+FULL_APEX = ApexConfig()
+
+#: The ConEx configuration used by the figure/table benchmarks.
+FULL_CONEX = ConExConfig(
+    max_logical_connections=5,
+    max_assignments_per_level=1024,
+    phase1_keep=8,
+)
+
+#: A cache-only APEX configuration: the paper's "traditional cache"
+#: baselines (architectures a and b of Figure 6).
+TRADITIONAL_APEX = ApexConfig(
+    cache_options=(
+        "cache_4k_16b_1w",
+        "cache_8k_32b_2w",
+        "cache_16k_32b_2w",
+        "cache_32k_32b_2w",
+    ),
+    stream_buffer_options=(None,),
+    dma_options=(None,),
+    map_indexed_to_sram=(False,),
+    select_count=4,
+)
+
+
+@functools.lru_cache(maxsize=None)
+def workload(name: str):
+    return get_workload(name, scale=SCALES[name], seed=1)
+
+
+@functools.lru_cache(maxsize=None)
+def trace(name: str) -> Trace:
+    return workload(name).trace()
+
+
+@functools.lru_cache(maxsize=None)
+def apex_result(name: str, traditional: bool = False) -> ApexResult:
+    config = TRADITIONAL_APEX if traditional else FULL_APEX
+    return explore_memory_architectures(
+        trace(name),
+        MEMORY_LIBRARY,
+        config,
+        hints=workload(name).pattern_hints,
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def conex_result(name: str, traditional: bool = False) -> ConExResult:
+    apex = apex_result(name, traditional)
+    return explore_connectivity(
+        trace(name), apex.selected, CONNECTIVITY_LIBRARY, FULL_CONEX
+    )
+
+
+def write_output(stem: str, text: str) -> None:
+    """Persist a rendered table/figure and echo it to stdout."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / f"{stem}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)

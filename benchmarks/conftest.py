@@ -1,0 +1,12 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs its pipeline exactly once (rounds=1) — these are
+table/figure regenerations, not micro-benchmarks — and prints the
+rendered artifact, which is also written under ``benchmarks/out/``.
+"""
+
+import sys
+import pathlib
+
+# Allow `from common import ...` / `import common` in benchmark modules.
+sys.path.insert(0, str(pathlib.Path(__file__).parent))

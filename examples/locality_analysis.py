@@ -1,0 +1,64 @@
+"""Locality analysis: why APEX picks the modules it picks.
+
+Uses the reuse-distance / working-set tooling to show, for the
+compress workload, the measurable locality properties behind each
+pattern classification — and checks them against the fully-associative
+LRU hit-ratio bound that any cache of a given capacity cannot beat.
+
+Run:
+    python examples/locality_analysis.py
+"""
+
+from repro.trace.patterns import profile_patterns
+from repro.trace.reuse import (
+    hit_ratio_curve,
+    reuse_distances,
+    stride_histogram,
+    working_set_profile,
+)
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("compress", scale=0.2, seed=1)
+    trace = workload.trace()
+    profiles = profile_patterns(trace, workload.pattern_hints)
+
+    print(f"compress trace: {len(trace)} accesses\n")
+    print(f"{'structure':14s} {'pattern':14s} {'footprint':>9s} "
+          f"{'ws(1k)':>7s} {'top stride':>12s}")
+    for profile in profiles.values():
+        working_set = working_set_profile(
+            trace, window=1000, block_bytes=32, struct=profile.struct
+        )
+        strides = stride_histogram(trace, profile.struct, top=1)
+        if strides:
+            stride, fraction = next(iter(strides.items()))
+            stride_text = f"{stride}B@{100 * fraction:.0f}%"
+        else:
+            stride_text = "-"
+        print(
+            f"{profile.struct:14s} {profile.pattern.value:14s} "
+            f"{profile.footprint:>8d}B {working_set.peak:>6d}b "
+            f"{stride_text:>12s}"
+        )
+
+    print("\nWhole-trace LRU hit-ratio bound (32 B blocks):")
+    distances = reuse_distances(trace, block_bytes=32)
+    capacities = [64, 128, 256, 512, 1024]  # blocks
+    curve = hit_ratio_curve(distances, capacities)
+    for capacity in capacities:
+        kib = capacity * 32 // 1024
+        bar = "#" * int(40 * curve[capacity])
+        print(f"  {kib:3d} KiB  {100 * curve[capacity]:5.1f}%  {bar}")
+
+    print(
+        "\nReading: the hash/code tables' reuse spreads past small-cache"
+        "\ncapacities (why APEX offers a self-indirect DMA), the streams"
+        "\nhave unit strides (why stream buffers), and misc's working set"
+        "\nneeds a real cache."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+"""Quickstart: explore memory + connectivity architectures for compress.
+
+Walks the paper's Figure 1 flow end to end with the default IP
+libraries on a reduced-size compress workload, then prints the selected
+combined designs — cost in gates, average memory latency in cycles, and
+energy per access in nJ.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from repro import MemorExConfig, run_memorex
+from repro.apex.explorer import ApexConfig
+from repro.conex.explorer import ConExConfig
+from repro.core.design_point import summarize
+from repro.core.reporting import format_design_points
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    # A reduced-scale compress keeps this demo under a minute; raise
+    # `scale` for longer, more faithful traces.
+    workload = get_workload("compress", scale=0.2, seed=1)
+
+    config = MemorExConfig(
+        apex=ApexConfig(select_count=4),
+        conex=ConExConfig(phase1_keep=6),
+    )
+    result = run_memorex(workload, config=config)
+
+    print(f"workload: {result.workload_name}, trace of {len(result.trace)} accesses")
+    print(
+        f"APEX evaluated {len(result.apex.evaluated)} memory architectures, "
+        f"selected {len(result.apex.selected)}"
+    )
+    print(
+        f"ConEx estimated {len(result.conex.estimated)} connectivity designs, "
+        f"simulated {len(result.conex.simulated)}, "
+        f"{len(result.selected_points)} on the final pareto"
+    )
+    print()
+    summaries = [summarize(p) for p in result.selected_points]
+    print(format_design_points(summaries, title="Selected combined designs"))
+
+    best = min(summaries, key=lambda s: s.avg_latency)
+    print()
+    print(f"fastest design: {best.label}")
+    for module in best.memory_modules:
+        print(f"  memory: {module}")
+    for connection in best.connections:
+        print(f"  connectivity: {connection}")
+
+
+if __name__ == "__main__":
+    main()

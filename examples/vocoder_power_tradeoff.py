@@ -1,0 +1,73 @@
+"""Energy-aware design selection for the vocoder (paper Section 5 a-c).
+
+Explores the vocoder workload, then applies the paper's three
+constrained-selection scenarios:
+
+* power-constrained  -> cost/performance pareto under an energy budget;
+* cost-constrained   -> performance/power pareto under a gate budget;
+* performance-constrained -> cost/power pareto under a latency budget.
+
+Run:
+    python examples/vocoder_power_tradeoff.py
+"""
+
+from repro import MemorExConfig, run_memorex
+from repro.apex.explorer import ApexConfig
+from repro.conex.explorer import ConExConfig
+from repro.conex.scenarios import (
+    cost_constrained_selection,
+    performance_constrained_selection,
+    power_constrained_selection,
+)
+from repro.workloads import get_workload
+
+
+def show(title: str, picks) -> None:
+    print(f"\n{title}")
+    for point in sorted(picks, key=lambda p: p.simulation.cost_gates):
+        simulation = point.simulation
+        print(
+            f"  {point.label():24s} {simulation.cost_gates:>9,.0f} gates  "
+            f"{simulation.avg_latency:6.2f} cyc  "
+            f"{simulation.avg_energy_nj:5.2f} nJ"
+        )
+
+
+def main() -> None:
+    workload = get_workload("vocoder", scale=1.0, seed=1)
+    result = run_memorex(
+        workload,
+        config=MemorExConfig(
+            apex=ApexConfig(select_count=4),
+            conex=ConExConfig(phase1_keep=8),
+        ),
+    )
+    points = result.conex.simulated
+    energies = sorted(p.simulation.avg_energy_nj for p in points)
+    costs = sorted(p.simulation.cost_gates for p in points)
+    latencies = sorted(p.simulation.avg_latency for p in points)
+
+    energy_budget = energies[len(energies) // 2]
+    cost_budget = costs[len(costs) // 2]
+    latency_budget = latencies[len(latencies) // 2]
+
+    print(f"vocoder exploration: {len(points)} simulated designs")
+    show(
+        f"(a) power-constrained (energy <= {energy_budget:.2f} nJ): "
+        f"cost/performance pareto",
+        power_constrained_selection(points, energy_budget),
+    )
+    show(
+        f"(b) cost-constrained (cost <= {cost_budget:,.0f} gates): "
+        f"performance/power pareto",
+        cost_constrained_selection(points, cost_budget),
+    )
+    show(
+        f"(c) performance-constrained (latency <= {latency_budget:.2f} cyc): "
+        f"cost/power pareto",
+        performance_constrained_selection(points, latency_budget),
+    )
+
+
+if __name__ == "__main__":
+    main()

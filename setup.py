@@ -1,0 +1,7 @@
+"""Setup shim: lets `pip install -e .` work on environments without the
+`wheel` package (pip falls back to the legacy setup.py develop path).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,25 @@
+"""APEX: Access Pattern-based memory-modules EXploration.
+
+Reimplementation of the paper's prior-work substrate (Grun/Dutt/Nicolau,
+ISSS 2001): classify each data structure's access pattern, enumerate
+memory-module architectures matching those patterns from the memory IP
+library, evaluate their cost and miss ratio, and keep the pareto-like
+most promising configurations — the starting points for ConEx.
+"""
+
+from repro.apex.architectures import Channel, MemoryArchitecture
+from repro.apex.explorer import (
+    ApexConfig,
+    ApexResult,
+    EvaluatedMemoryArchitecture,
+    explore_memory_architectures,
+)
+
+__all__ = [
+    "ApexConfig",
+    "ApexResult",
+    "Channel",
+    "EvaluatedMemoryArchitecture",
+    "MemoryArchitecture",
+    "explore_memory_architectures",
+]

@@ -1,0 +1,246 @@
+"""APEX: memory-modules exploration (the paper's starting substrate).
+
+Reimplements the flow of Grun/Dutt/Nicolau's APEX (ISSS 2001) at the
+level this paper consumes it: classify the application's access
+patterns, enumerate memory-module architectures matching those patterns
+from the memory IP library, evaluate each candidate's cost and miss
+ratio under an *ideal connectivity* (the "simple connectivity model"
+the paper says APEX assumes), and select the most promising
+configurations along the cost/miss-ratio pareto curve (Figure 3).
+
+Candidate generation follows APEX's pattern→module matching:
+
+* a cache choice serves the RANDOM / unmapped structures (or no cache —
+  the uncached baseline that anchors the high-latency end of Table 1);
+* STREAM structures optionally get stream buffers;
+* SELF_INDIRECT structures optionally share a DMA-like module;
+* INDEXED / SCALAR structures optionally move into the smallest SRAM
+  that fits their combined footprint.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.apex.architectures import DRAM, MemoryArchitecture
+from repro.errors import ExplorationError
+from repro.memory.dram import Dram
+from repro.memory.library import MemoryLibrary
+from repro.memory.module import MemoryModule
+from repro.sim.metrics import SimulationResult
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import simulate
+from repro.trace.events import Trace
+from repro.trace.patterns import AccessPattern, PatternProfile, profile_patterns
+from repro.util.pareto import pareto_front
+
+
+@dataclass(frozen=True)
+class ApexConfig:
+    """Knobs of the APEX candidate enumeration.
+
+    Empty option lists mean "only the None option" for that feature.
+    ``select_count`` bounds how many pareto designs continue to ConEx
+    (the paper's Figure 3 carries five forward).
+    """
+
+    cache_options: tuple[str | None, ...] = (
+        None,
+        "cache_4k_16b_1w",
+        "cache_8k_32b_1w",
+        "cache_8k_32b_2w",
+        "cache_16k_32b_2w",
+        "cache_32k_32b_2w",
+    )
+    stream_buffer_options: tuple[str | None, ...] = (
+        None,
+        "stream_buffer_2",
+        "stream_buffer_4",
+        "stream_buffer_8",
+    )
+    dma_options: tuple[str | None, ...] = (
+        None,
+        "si_dma_16",
+        "si_dma_32",
+        "si_dma_64",
+        "ll_dma_32",
+    )
+    map_indexed_to_sram: tuple[bool, ...] = (False, True)
+    #: Off-chip DRAM preset used by every candidate (DRAM banking is a
+    #: board-level choice, not a per-candidate exploration axis).
+    dram_preset: str = "dram"
+    select_count: int = 5
+    sampling: SamplingConfig | None = None
+
+
+@dataclass(frozen=True)
+class EvaluatedMemoryArchitecture:
+    """One APEX candidate with its ideal-connectivity evaluation."""
+
+    architecture: MemoryArchitecture
+    cost_gates: float
+    miss_ratio: float
+    avg_latency: float
+    result: SimulationResult = field(repr=False)
+
+    @property
+    def objectives(self) -> tuple[float, float]:
+        """(cost, miss ratio) — the Figure 3 axes, both minimized."""
+        return (self.cost_gates, self.miss_ratio)
+
+
+@dataclass(frozen=True)
+class ApexResult:
+    """All evaluated candidates plus the pareto selection."""
+
+    trace_name: str
+    evaluated: tuple[EvaluatedMemoryArchitecture, ...]
+    selected: tuple[EvaluatedMemoryArchitecture, ...]
+
+    def architecture_names(self) -> tuple[str, ...]:
+        return tuple(e.architecture.name for e in self.selected)
+
+
+def _sram_preset_for(
+    library: MemoryLibrary, footprint: int
+) -> str | None:
+    """Smallest SRAM preset holding ``footprint`` bytes, if any."""
+    best_name: str | None = None
+    best_capacity: int | None = None
+    for preset in library.of_kind("sram"):
+        sram = preset.build()
+        capacity = getattr(sram, "capacity", 0)
+        if capacity >= footprint and (
+            best_capacity is None or capacity < best_capacity
+        ):
+            best_name = preset.name
+            best_capacity = capacity
+    return best_name
+
+
+def enumerate_architectures(
+    trace: Trace,
+    library: MemoryLibrary,
+    profiles: Mapping[str, PatternProfile],
+    config: ApexConfig,
+) -> list[MemoryArchitecture]:
+    """Build the APEX candidate architectures for ``trace``."""
+    stream_structs = [
+        p.struct for p in profiles.values() if p.pattern is AccessPattern.STREAM
+    ]
+    si_structs = [
+        p.struct
+        for p in profiles.values()
+        if p.pattern is AccessPattern.SELF_INDIRECT
+    ]
+    local_structs = [
+        p.struct
+        for p in profiles.values()
+        if p.pattern in (AccessPattern.INDEXED, AccessPattern.SCALAR)
+    ]
+    local_footprint = sum(profiles[s].footprint for s in local_structs)
+    sram_preset = (
+        _sram_preset_for(library, local_footprint) if local_structs else None
+    )
+
+    stream_options = config.stream_buffer_options if stream_structs else (None,)
+    dma_options = config.dma_options if si_structs else (None,)
+    sram_options = (
+        config.map_indexed_to_sram if sram_preset is not None else (False,)
+    )
+
+    architectures: list[MemoryArchitecture] = []
+    index = 0
+    for cache_name, stream_name, dma_name, use_sram in itertools.product(
+        config.cache_options, stream_options, dma_options, sram_options
+    ):
+        modules: list[MemoryModule] = []
+        mapping: dict[str, str] = {}
+        if cache_name is not None:
+            modules.append(library.get(cache_name).instantiate("cache"))
+        if stream_name is not None:
+            for position, struct in enumerate(stream_structs):
+                buffer_name = f"sb{position}"
+                modules.append(
+                    library.get(stream_name).instantiate(buffer_name)
+                )
+                mapping[struct] = buffer_name
+        if dma_name is not None:
+            modules.append(library.get(dma_name).instantiate("si_dma"))
+            for struct in si_structs:
+                mapping[struct] = "si_dma"
+        if use_sram and sram_preset is not None:
+            modules.append(library.get(sram_preset).instantiate("sram"))
+            for struct in local_structs:
+                mapping[struct] = "sram"
+        dram = library.get(config.dram_preset).instantiate()
+        assert isinstance(dram, Dram)
+        default = "cache" if cache_name is not None else DRAM
+        architecture = MemoryArchitecture(
+            name=f"mem{index}",
+            modules=modules,
+            dram=dram,
+            mapping=mapping,
+            default_module=default,
+        )
+        architectures.append(architecture)
+        index += 1
+    return architectures
+
+
+def _thin_selection(
+    front: Sequence[EvaluatedMemoryArchitecture], count: int
+) -> list[EvaluatedMemoryArchitecture]:
+    """Spread ``count`` picks along the cost axis of the front."""
+    ordered = sorted(front, key=lambda e: e.cost_gates)
+    if len(ordered) <= count:
+        return list(ordered)
+    picks = {0, len(ordered) - 1}
+    step = (len(ordered) - 1) / (count - 1)
+    for i in range(1, count - 1):
+        picks.add(round(i * step))
+    return [ordered[i] for i in sorted(picks)]
+
+
+def explore_memory_architectures(
+    trace: Trace,
+    library: MemoryLibrary,
+    config: ApexConfig | None = None,
+    hints: Mapping[str, AccessPattern] | None = None,
+) -> ApexResult:
+    """Run the APEX exploration on ``trace``.
+
+    Evaluates every candidate under ideal connectivity and selects the
+    cost/miss-ratio pareto front, thinned to ``config.select_count``
+    points spread along the cost axis.
+    """
+    config = config or ApexConfig()
+    if config.select_count < 1:
+        raise ExplorationError(
+            f"select_count must be >= 1: {config.select_count}"
+        )
+    profiles = profile_patterns(trace, hints)
+    candidates = enumerate_architectures(trace, library, profiles, config)
+    evaluated: list[EvaluatedMemoryArchitecture] = []
+    for architecture in candidates:
+        result = simulate(
+            trace, architecture, connectivity=None, sampling=config.sampling
+        )
+        evaluated.append(
+            EvaluatedMemoryArchitecture(
+                architecture=architecture,
+                cost_gates=result.memory_cost_gates,
+                miss_ratio=result.miss_ratio,
+                avg_latency=result.avg_latency,
+                result=result,
+            )
+        )
+    front = pareto_front(evaluated, key=lambda e: e.objectives)
+    selected = _thin_selection(front, config.select_count)
+    return ApexResult(
+        trace_name=trace.name,
+        evaluated=tuple(evaluated),
+        selected=tuple(selected),
+    )

@@ -1,0 +1,42 @@
+"""Communication channels: the arcs of the Bandwidth Requirement Graph.
+
+Shared by the memory-architecture description (which derives channels
+from its structure mapping), the connectivity architecture (which
+implements them), and the simulator (which routes traffic over them).
+Lives at the package root to keep those subsystems import-cycle free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pseudo-module name for the CPU endpoint of a channel.
+CPU = "cpu"
+
+#: Module name of the off-chip DRAM endpoint.
+DRAM = "dram"
+
+
+@dataclass(frozen=True, slots=True)
+class Channel:
+    """One communication channel between two architecture endpoints.
+
+    ``source``/``destination`` are module names, with ``cpu`` and
+    ``dram`` as the two special endpoints. ``crosses_chip`` marks
+    channels that must be implemented by an off-chip-capable
+    connectivity component.
+    """
+
+    source: str
+    destination: str
+
+    @property
+    def crosses_chip(self) -> bool:
+        return self.destination == DRAM or self.source == DRAM
+
+    @property
+    def name(self) -> str:
+        return f"{self.source}->{self.destination}"
+
+    def endpoints(self) -> tuple[str, str]:
+        return (self.source, self.destination)

@@ -1,0 +1,260 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``workloads`` — list the registered workloads.
+* ``libraries`` — list the memory and connectivity IP libraries.
+* ``trace`` — generate a workload trace; print its profile, optionally
+  save it to ``.npz``.
+* ``apex`` — run the APEX memory-modules exploration and print the
+  selected architectures.
+* ``explore`` — run the full MemorEx pipeline and print the complete
+  report; optionally export the pareto set to CSV/JSON.
+* ``coverage`` — compare the Pruned / Neighborhood / Full strategies
+  on a reduced design space (the Table 2 experiment).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.apex.explorer import ApexConfig, explore_memory_architectures
+from repro.conex.explorer import ConExConfig
+from repro.connectivity.library import default_connectivity_library
+from repro.core.memorex import MemorExConfig, run_memorex
+from repro.core.report import render_full_report
+from repro.core.strategies import (
+    coverage_rows,
+    run_full,
+    run_neighborhood,
+    run_pruned,
+)
+from repro.errors import ReproError
+from repro.io import (
+    export_design_points_csv,
+    export_design_points_json,
+    save_trace,
+)
+from repro.memory.library import default_memory_library
+from repro.trace.profiler import profile_trace
+from repro.workloads import get_workload, workload_names
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("workload", choices=workload_names())
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.25,
+        help="workload size multiplier (default 0.25)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ConEx memory-system connectivity exploration (DATE 2002)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("workloads", help="list registered workloads")
+    commands.add_parser("libraries", help="list the IP libraries")
+
+    trace_cmd = commands.add_parser("trace", help="generate and profile a trace")
+    _add_workload_arguments(trace_cmd)
+    trace_cmd.add_argument("--save", metavar="FILE.npz", default=None)
+
+    apex_cmd = commands.add_parser(
+        "apex", help="run the APEX memory-modules exploration"
+    )
+    _add_workload_arguments(apex_cmd)
+    apex_cmd.add_argument("--select", type=int, default=5)
+
+    explore_cmd = commands.add_parser(
+        "explore", help="run the full MemorEx pipeline"
+    )
+    _add_workload_arguments(explore_cmd)
+    explore_cmd.add_argument("--select", type=int, default=5)
+    explore_cmd.add_argument("--keep", type=int, default=8, help="Phase-I keep")
+    explore_cmd.add_argument("--csv", metavar="FILE.csv", default=None)
+    explore_cmd.add_argument("--json", metavar="FILE.json", default=None)
+    explore_cmd.add_argument(
+        "--report", metavar="FILE.txt", default=None,
+        help="also write the full report to a file",
+    )
+
+    coverage_cmd = commands.add_parser(
+        "coverage",
+        help="compare Pruned / Neighborhood / Full strategies (Table 2)",
+    )
+    _add_workload_arguments(coverage_cmd)
+    return parser
+
+
+def _cmd_workloads(_: argparse.Namespace) -> None:
+    for name in workload_names():
+        workload = get_workload(name)
+        patterns = ", ".join(
+            f"{struct}:{pattern.value}"
+            for struct, pattern in workload.pattern_hints.items()
+        )
+        print(f"{name:10s} {patterns}")
+
+
+def _cmd_libraries(_: argparse.Namespace) -> None:
+    memory = default_memory_library()
+    print(f"memory IP library ({len(memory)} presets):")
+    for name in memory.names():
+        module = memory.get(name).instantiate()
+        print(
+            f"  {name:22s} {module.kind:18s} {module.area_gates:>10,.0f} gates"
+        )
+    connectivity = default_connectivity_library()
+    print(f"\nconnectivity IP library ({len(connectivity)} presets):")
+    for name in connectivity.names():
+        component = connectivity.get(name).instantiate()
+        print(f"  {name:22s} {component.describe()}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> None:
+    workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
+    trace = workload.trace()
+    profile = profile_trace(trace)
+    print(
+        f"{trace.name}: {len(trace)} accesses, {trace.duration} cycles, "
+        f"{trace.total_bytes} bytes"
+    )
+    for stats in sorted(
+        profile.by_struct.values(), key=lambda s: s.bandwidth, reverse=True
+    ):
+        print(
+            f"  {stats.struct:16s} {stats.bandwidth:8.4f} B/cyc  "
+            f"{stats.accesses:8d} accesses"
+        )
+    if args.save:
+        save_trace(trace, args.save)
+        print(f"saved to {args.save}")
+
+
+def _cmd_apex(args: argparse.Namespace) -> None:
+    workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
+    trace = workload.trace()
+    result = explore_memory_architectures(
+        trace,
+        default_memory_library(),
+        ApexConfig(select_count=args.select),
+        hints=workload.pattern_hints,
+    )
+    print(
+        f"evaluated {len(result.evaluated)} architectures, "
+        f"selected {len(result.selected)}:"
+    )
+    for i, evaluated in enumerate(result.selected, 1):
+        modules = ", ".join(evaluated.architecture.modules) or "(uncached)"
+        print(
+            f"  [{i}] {evaluated.cost_gates:>10,.0f} gates  "
+            f"miss {evaluated.miss_ratio:6.3f}  "
+            f"lat {evaluated.avg_latency:5.2f}  {modules}"
+        )
+
+
+def _cmd_explore(args: argparse.Namespace) -> None:
+    workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
+    config = MemorExConfig(
+        apex=ApexConfig(select_count=args.select),
+        conex=ConExConfig(phase1_keep=args.keep),
+    )
+    result = run_memorex(workload, config=config)
+    report = render_full_report(result)
+    print(report)
+    if args.report:
+        import pathlib
+
+        pathlib.Path(args.report).write_text(report + "\n")
+        print(f"\nreport written to {args.report}")
+    if args.csv:
+        export_design_points_csv(result.selected_points, args.csv)
+        print(f"\npareto set exported to {args.csv}")
+    if args.json:
+        export_design_points_json(result.selected_points, args.json)
+        print(f"pareto set exported to {args.json}")
+
+
+def _cmd_coverage(args: argparse.Namespace) -> None:
+    from repro.util.tables import format_table
+
+    workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
+    trace = workload.trace()
+    hints = dict(workload.pattern_hints)
+    # A reduced space keeps the Full reference tractable from the CLI.
+    apex_config = ApexConfig(
+        cache_options=(None, "cache_4k_16b_1w", "cache_16k_32b_2w"),
+        stream_buffer_options=(None, "stream_buffer_4"),
+        dma_options=(None, "si_dma_32"),
+        map_indexed_to_sram=(False,),
+        select_count=5,
+    )
+    conex_config = ConExConfig(
+        max_logical_connections=3,
+        max_assignments_per_level=48,
+        phase1_keep=12,
+    )
+    common = (
+        trace,
+        default_memory_library(),
+        default_connectivity_library(),
+        apex_config,
+        conex_config,
+    )
+    pruned = run_pruned(*common, hints=hints)
+    neighborhood = run_neighborhood(*common, hints=hints)
+    full = run_full(*common, hints=hints)
+    rows = []
+    for row in coverage_rows(full, [pruned, neighborhood]):
+        cost_d, perf_d, energy_d = row.distances
+        rows.append(
+            (
+                row.strategy,
+                f"{row.seconds:.1f}s",
+                f"{row.coverage_percent:.0f}%",
+                f"{cost_d:.2f}%",
+                f"{perf_d:.2f}%",
+                f"{energy_d:.2f}%",
+            )
+        )
+    print(
+        format_table(
+            ["strategy", "time", "coverage", "cost dist", "perf dist", "energy dist"],
+            rows,
+            title=f"Pareto coverage — {args.workload} (reduced space)",
+        )
+    )
+
+
+_COMMANDS = {
+    "workloads": _cmd_workloads,
+    "libraries": _cmd_libraries,
+    "trace": _cmd_trace,
+    "apex": _cmd_apex,
+    "explore": _cmd_explore,
+    "coverage": _cmd_coverage,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

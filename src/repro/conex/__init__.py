@@ -1,0 +1,52 @@
+"""ConEx: Connectivity EXploration — the paper's contribution.
+
+For each memory architecture selected by APEX, ConEx:
+
+1. profiles per-channel bandwidth and builds the Bandwidth Requirement
+   Graph (:mod:`repro.conex.brg`);
+2. hierarchically clusters the BRG arcs into logical connections,
+   lowest bandwidth first (:mod:`repro.conex.clustering`);
+3. enumerates feasible assignments of clusters to components of the
+   connectivity IP library (:mod:`repro.conex.allocation`);
+4. estimates each assignment's cost / performance / energy with
+   reservation-table timing plus a queueing contention correction
+   (:mod:`repro.conex.estimator`) — Phase I;
+5. fully simulates the locally most promising designs and selects the
+   global pareto set (:mod:`repro.conex.explorer`) — Phase II;
+6. offers the paper's three constrained-selection scenarios
+   (:mod:`repro.conex.scenarios`).
+"""
+
+from repro.conex.brg import BandwidthRequirementGraph, build_brg
+from repro.conex.clustering import ClusteringLevel, clustering_levels
+from repro.conex.allocation import assignment_neighbors, enumerate_assignments
+from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.conex.explorer import (
+    ConExConfig,
+    ConExResult,
+    ConnectivityDesignPoint,
+    explore_connectivity,
+)
+from repro.conex.scenarios import (
+    cost_constrained_selection,
+    performance_constrained_selection,
+    power_constrained_selection,
+)
+
+__all__ = [
+    "BandwidthRequirementGraph",
+    "ClusteringLevel",
+    "ConExConfig",
+    "ConExResult",
+    "ConnectivityDesignPoint",
+    "ConnectivityEstimate",
+    "assignment_neighbors",
+    "build_brg",
+    "clustering_levels",
+    "cost_constrained_selection",
+    "enumerate_assignments",
+    "estimate_design",
+    "explore_connectivity",
+    "performance_constrained_selection",
+    "power_constrained_selection",
+]

@@ -1,0 +1,156 @@
+"""Allocation: logical connections → physical connectivity components.
+
+"Allocate the logical connections to physical connections from the
+Connectivity Library" — for one clustering level, enumerate every
+feasible assignment of clusters to library presets:
+
+* clusters carrying chip-boundary channels may only use
+  off-chip-capable presets;
+* a preset must support at least as many ports as the cluster has
+  endpoints (a dedicated link cannot implement a three-endpoint
+  cluster);
+* each cluster gets its *own instance* of the chosen preset (two
+  clusters assigned "ahb" are two separate AHB buses).
+
+The full cross product can be large at fine clustering levels; the
+``max_assignments`` guard thins it deterministically (evenly strided)
+so exploration cost stays bounded — mirroring the paper's "max cost
+constraint" guard on the number of logical connections.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence
+
+from repro.conex.clustering import ClusteringLevel, LogicalConnection
+from repro.connectivity.architecture import (
+    ClusterAssignment,
+    ConnectivityArchitecture,
+)
+from repro.connectivity.library import ConnectivityLibrary, ConnectivityPreset
+from repro.errors import ExplorationError
+
+
+def compatible_presets(
+    cluster: LogicalConnection, library: ConnectivityLibrary
+) -> list[ConnectivityPreset]:
+    """Library presets able to implement ``cluster``."""
+    if cluster.crosses_chip:
+        pool = library.off_chip_choices()
+    else:
+        pool = library.on_chip_choices()
+    ports = len(cluster.endpoints)
+    result = []
+    for preset in pool:
+        component = preset.build()
+        if component.max_ports >= ports:
+            result.append(preset)
+    return result
+
+
+def _strided_product(
+    choices: Sequence[Sequence[ConnectivityPreset]], limit: int
+) -> Iterator[tuple[ConnectivityPreset, ...]]:
+    """The cross product of ``choices``, evenly thinned to ``limit``."""
+    total = 1
+    for options in choices:
+        total *= len(options)
+    if total <= limit:
+        yield from itertools.product(*choices)
+        return
+    stride = total / limit
+    position = 0.0
+    for index in range(limit):
+        flat = int(position)
+        position += stride
+        picks = []
+        remainder = flat
+        for options in reversed(choices):
+            remainder, digit = divmod(remainder, len(options))
+            picks.append(options[digit])
+        yield tuple(reversed(picks))
+
+
+def assignment_neighbors(
+    connectivity: ConnectivityArchitecture,
+    library: ConnectivityLibrary,
+) -> list[ConnectivityArchitecture]:
+    """One-swap neighbors: each cluster re-mapped to each alternative.
+
+    The Neighborhood strategy (paper Table 2) explores "the points in
+    the neighborhood of the points selected by the Pruned approach";
+    in the connectivity dimension a design's neighbors are the
+    assignments differing in exactly one cluster's component.
+    """
+    neighbors: list[ConnectivityArchitecture] = []
+    for index, cluster in enumerate(connectivity.clusters):
+        logical = LogicalConnection(
+            channels=cluster.channels,
+            bandwidth=0.0,
+            crosses_chip=cluster.crosses_chip,
+        )
+        for preset in compatible_presets(logical, library):
+            if preset.name == cluster.preset_name:
+                continue
+            clusters = list(connectivity.clusters)
+            clusters[index] = ClusterAssignment(
+                channels=cluster.channels,
+                preset_name=preset.name,
+                component=preset.instantiate(f"{preset.name}#{index}"),
+            )
+            neighbors.append(
+                ConnectivityArchitecture(
+                    name=f"{connectivity.name}~{index}:{preset.name}",
+                    clusters=clusters,
+                )
+            )
+    return neighbors
+
+
+def enumerate_assignments(
+    level: ClusteringLevel,
+    library: ConnectivityLibrary,
+    name_prefix: str = "conn",
+    max_assignments: int = 4096,
+) -> list[ConnectivityArchitecture]:
+    """All feasible connectivity architectures for one clustering level.
+
+    Raises :class:`ExplorationError` when some cluster has no
+    compatible preset (the level is infeasible with this library).
+    """
+    if max_assignments < 1:
+        raise ExplorationError(
+            f"max_assignments must be >= 1: {max_assignments}"
+        )
+    per_cluster: list[list[ConnectivityPreset]] = []
+    for cluster in level.clusters:
+        presets = compatible_presets(cluster, library)
+        if not presets:
+            raise ExplorationError(
+                f"no library preset can implement cluster with endpoints "
+                f"{cluster.endpoints}"
+            )
+        per_cluster.append(presets)
+
+    architectures: list[ConnectivityArchitecture] = []
+    for index, combo in enumerate(
+        _strided_product(per_cluster, max_assignments)
+    ):
+        clusters = []
+        for position, (cluster, preset) in enumerate(zip(level.clusters, combo)):
+            component = preset.instantiate(f"{preset.name}#{position}")
+            clusters.append(
+                ClusterAssignment(
+                    channels=cluster.channels,
+                    preset_name=preset.name,
+                    component=component,
+                )
+            )
+        architectures.append(
+            ConnectivityArchitecture(
+                name=f"{name_prefix}_L{level.size}_{index}",
+                clusters=clusters,
+            )
+        )
+    return architectures

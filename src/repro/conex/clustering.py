@@ -1,0 +1,115 @@
+"""Hierarchical clustering of BRG arcs into logical connections.
+
+"In order to allow different communication channels to share the same
+connectivity module, we hierarchically cluster the BRG arcs into
+logical connections, based on the bandwidth requirement of each
+channel. We first group the channels with the lowest bandwidth
+requirements into logical connections. We label each such cluster with
+the cumulative bandwidth of the individual channels, and continue the
+hierarchical clustering."
+
+Two physical constraints refine the merge order:
+
+* channels crossing the chip boundary never merge with on-chip channels
+  (a physical component is either on-chip or through the pads — see
+  Figure 2(b), where the off-chip bus is separate); and
+* the top clustering level therefore has one on-chip and one crossing
+  cluster rather than a single cluster.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.channels import Channel
+from repro.conex.brg import BandwidthRequirementGraph
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class LogicalConnection:
+    """A cluster of channels with its cumulative bandwidth label."""
+
+    channels: tuple[Channel, ...]
+    bandwidth: float
+    crosses_chip: bool
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        names: set[str] = set()
+        for channel in self.channels:
+            names.update(channel.endpoints())
+        return tuple(sorted(names))
+
+
+@dataclass(frozen=True)
+class ClusteringLevel:
+    """One level of the hierarchy: a partition of all channels."""
+
+    clusters: tuple[LogicalConnection, ...]
+
+    @property
+    def size(self) -> int:
+        """Number of logical connections at this level."""
+        return len(self.clusters)
+
+
+def _merge(a: LogicalConnection, b: LogicalConnection) -> LogicalConnection:
+    return LogicalConnection(
+        channels=tuple(
+            sorted(a.channels + b.channels, key=lambda c: c.name)
+        ),
+        bandwidth=a.bandwidth + b.bandwidth,
+        crosses_chip=a.crosses_chip,
+    )
+
+
+def clustering_levels(brg: BandwidthRequirementGraph) -> list[ClusteringLevel]:
+    """All levels of the hierarchical clustering, finest first.
+
+    Level 0 assigns every channel its own logical connection (the
+    paper's "naive implementation"); each subsequent level merges the
+    two lowest-cumulative-bandwidth clusters of the same chip domain;
+    the last level has at most one cluster per domain.
+    """
+    clusters: list[LogicalConnection] = [
+        LogicalConnection(
+            channels=(channel,),
+            bandwidth=brg.bandwidth(channel),
+            crosses_chip=channel.crosses_chip,
+        )
+        for channel in brg.channels
+    ]
+    if not clusters:
+        raise ExplorationError("cannot cluster an empty BRG")
+
+    levels = [ClusteringLevel(clusters=tuple(clusters))]
+    while True:
+        # Candidate pair: the two lowest-bandwidth clusters sharing a
+        # domain, preferring the overall lowest combined bandwidth.
+        best_pair: tuple[int, int] | None = None
+        best_bandwidth = float("inf")
+        for domain in (False, True):
+            members = [
+                i for i, c in enumerate(clusters) if c.crosses_chip is domain
+            ]
+            if len(members) < 2:
+                continue
+            ordered = sorted(members, key=lambda i: clusters[i].bandwidth)
+            first, second = ordered[0], ordered[1]
+            combined = clusters[first].bandwidth + clusters[second].bandwidth
+            if combined < best_bandwidth:
+                best_bandwidth = combined
+                best_pair = (min(first, second), max(first, second))
+        if best_pair is None:
+            break
+        low, high = best_pair
+        merged = _merge(clusters[low], clusters[high])
+        clusters = (
+            clusters[:low]
+            + clusters[low + 1 : high]
+            + clusters[high + 1 :]
+            + [merged]
+        )
+        levels.append(ClusteringLevel(clusters=tuple(clusters)))
+    return levels

@@ -1,0 +1,149 @@
+"""Phase-I fast estimation of cost / performance / energy.
+
+"We estimate the cost, performance and power of each such connectivity
+architecture" without simulating it: the memory architecture was
+profiled once under ideal connectivity (module latencies, miss traffic,
+per-channel transfer counts), and the estimator prices what each
+candidate connectivity adds on top:
+
+* **cost** — memory-module area plus the candidate's controllers and
+  wires;
+* **performance** — per-transfer component latency plus an M/D/1-style
+  contention wait derived from the component's reservation-table
+  initiation interval and the channel cluster's offered load
+  (non-split components additionally hold the bus during the DRAM
+  wait, which is the AHB-vs-ASB effect). Contention is closed-loop:
+  the CPU is a single blocking master, so critical transfers never
+  queue against themselves — the expected wait comes from the
+  *background* traffic (prefetches, writebacks) occupying the shared
+  component, and is capped at a few service times (a saturated channel
+  throttles the closed-loop request rate instead of growing an
+  unbounded backlog);
+* **energy** — per-byte wire/pad switching energy over the profiled
+  traffic.
+
+Absolute accuracy is secondary; like the paper's time-sampling, the
+estimator only has to *rank* candidates well enough to prune
+(benchmark ``abl1`` measures exactly that fidelity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.channels import Channel
+from repro.connectivity.architecture import ConnectivityArchitecture
+from repro.errors import ExplorationError
+from repro.sim.metrics import SimulationResult
+
+#: Closed-loop cap on the expected wait, in service-time units: a
+#: blocking master cannot queue more deeply than a few in-flight
+#: services' worth of backlog (background prefetch/writeback traffic).
+CLOSED_LOOP_WAIT_CAP = 3.0
+
+
+@dataclass(frozen=True)
+class ConnectivityEstimate:
+    """Estimated objectives of one (memory, connectivity) design."""
+
+    memory_name: str
+    connectivity_name: str
+    cost_gates: float
+    avg_latency: float
+    avg_energy_nj: float
+    channel_waits: Mapping[str, float]
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        """(cost, performance, power), all minimized."""
+        return (self.cost_gates, self.avg_latency, self.avg_energy_nj)
+
+
+def _mean_dram_latency(memory: MemoryArchitecture) -> float:
+    """Expected DRAM core latency (even page-hit/miss mix assumed)."""
+    dram = memory.dram
+    return 0.5 * (dram.core_latency + dram.page_hit_latency)
+
+
+def estimate_design(
+    memory: MemoryArchitecture,
+    connectivity: ConnectivityArchitecture,
+    profile: SimulationResult,
+) -> ConnectivityEstimate:
+    """Estimate one design from its ideal-connectivity profile."""
+    if profile.memory_name != memory.name:
+        raise ExplorationError(
+            f"profile is for '{profile.memory_name}', not '{memory.name}'"
+        )
+    duration = profile.total_cycles
+    accesses = profile.accesses
+    dram_mean = _mean_dram_latency(memory)
+
+    added_latency = 0.0
+    added_energy = 0.0
+    channel_waits: dict[str, float] = {}
+
+    for cluster in connectivity.clusters:
+        component = cluster.component
+        # Aggregate the offered load of every channel sharing the
+        # component instance.
+        total_transfers = 0
+        background_transfers = 0
+        total_bytes = 0
+        critical: list[tuple[Channel, int, float]] = []
+        for channel in cluster.channels:
+            traffic = profile.channels.get(channel.name)
+            if traffic is None:
+                continue
+            total_transfers += traffic.all_transactions
+            background_transfers += traffic.background_transactions
+            total_bytes += traffic.bytes_moved
+            if traffic.transactions:
+                mean_size = max(
+                    1.0, traffic.bytes_moved / traffic.all_transactions
+                )
+                critical.append((channel, traffic.transactions, mean_size))
+            added_energy += (
+                traffic.bytes_moved
+                * connectivity.energy_nj_per_byte(channel, memory)
+            )
+        if total_transfers == 0:
+            continue
+        mean_bytes = max(1, round(total_bytes / total_transfers))
+
+        # Service interval from the reservation table; non-split
+        # components carrying chip-boundary traffic also hold the bus
+        # during the DRAM wait.
+        table = component.reservation_table(mean_bytes)
+        service = float(table.min_initiation_interval())
+        if cluster.crosses_chip and not component.split_transactions:
+            service += dram_mean
+        # Only background traffic contends with the blocking master's
+        # own transfers; its occupancy fraction times half a service is
+        # the expected residual wait, amplified as the channel nears
+        # saturation and capped by the closed loop.
+        rho_background = service * background_transfers / duration
+        rho_total = min(0.95, service * total_transfers / duration)
+        wait = min(
+            service * rho_background / (2.0 * (1.0 - rho_total)),
+            service * CLOSED_LOOP_WAIT_CAP,
+        )
+
+        # Each critical transfer pays the component's transfer latency
+        # plus the cluster's expected wait.
+        for channel, transfers, mean_size in critical:
+            latency = component.timing(max(1, round(mean_size))).latency
+            added_latency += (latency + wait) * transfers / accesses
+            channel_waits[channel.name] = wait
+
+    cost = profile.memory_cost_gates + connectivity.cost_gates(memory)
+    return ConnectivityEstimate(
+        memory_name=memory.name,
+        connectivity_name=connectivity.name,
+        cost_gates=cost,
+        avg_latency=profile.avg_latency + added_latency,
+        avg_energy_nj=profile.avg_energy_nj + added_energy / accesses,
+        channel_waits=channel_waits,
+    )

@@ -1,0 +1,227 @@
+"""The ConEx algorithm: Phase I (estimate + prune), Phase II (simulate).
+
+Follows the paper's Figure 5 pseudo-code:
+
+``ConnectivityExploration(mem_arch)`` — profile the architecture, build
+the BRG, walk the hierarchical clustering levels, and for every level
+whose logical-connection count passes the max-cost guard, enumerate all
+feasible allocations and estimate each one's cost/performance/power.
+
+``ConEx`` — Phase I runs ``ConnectivityExploration`` for every selected
+memory architecture and keeps the locally most promising (pareto-like)
+design points; Phase II fully simulates the combined candidate set and
+selects the global cost/performance/power pareto designs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.apex.explorer import EvaluatedMemoryArchitecture
+from repro.conex.allocation import enumerate_assignments
+from repro.conex.brg import BandwidthRequirementGraph, build_brg
+from repro.conex.clustering import clustering_levels
+from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.connectivity.architecture import ConnectivityArchitecture
+from repro.connectivity.library import ConnectivityLibrary
+from repro.errors import ExplorationError
+from repro.sim.metrics import SimulationResult
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import simulate
+from repro.trace.events import Trace
+from repro.util.pareto import pareto_front
+
+
+@dataclass(frozen=True)
+class ConExConfig:
+    """Knobs of the ConEx exploration.
+
+    Attributes:
+        max_logical_connections: the paper's "max cost constraint" — a
+            clustering level is only allocated when its cluster count
+            is at or below this bound (finer levels mean more parallel
+            components, i.e. more cost).
+        min_logical_connections: skip levels coarser than this (0 keeps
+            every level down to fully-merged).
+        max_assignments_per_level: deterministic thinning bound on the
+            allocation cross product.
+        phase1_keep: locally most promising designs carried per memory
+            architecture into Phase II.
+        phase2_sampling: optional time-sampling for Phase II simulation
+            (None = full simulation, the paper's default for the final
+            numbers).
+    """
+
+    max_logical_connections: int = 5
+    min_logical_connections: int = 1
+    max_assignments_per_level: int = 1024
+    phase1_keep: int = 10
+    phase2_sampling: SamplingConfig | None = None
+
+
+@dataclass(frozen=True)
+class ConnectivityDesignPoint:
+    """One combined memory + connectivity design point."""
+
+    memory_eval: EvaluatedMemoryArchitecture
+    connectivity: ConnectivityArchitecture
+    estimate: ConnectivityEstimate
+    simulation: SimulationResult | None = None
+
+    @property
+    def memory_name(self) -> str:
+        return self.memory_eval.architecture.name
+
+    @property
+    def estimated_objectives(self) -> tuple[float, float, float]:
+        return self.estimate.objectives
+
+    @property
+    def simulated_objectives(self) -> tuple[float, float, float]:
+        if self.simulation is None:
+            raise ExplorationError(
+                f"design {self.estimate.connectivity_name} was not simulated"
+            )
+        return self.simulation.objectives
+
+    def label(self) -> str:
+        return f"{self.memory_name}/{self.connectivity.name}"
+
+
+@dataclass(frozen=True)
+class ConExResult:
+    """Everything the exploration produced.
+
+    ``estimated`` holds every Phase-I estimate; ``simulated`` the
+    Phase-II simulations of the locally selected designs; ``selected``
+    the global cost/performance/power pareto set.
+    """
+
+    trace_name: str
+    estimated: tuple[ConnectivityDesignPoint, ...]
+    simulated: tuple[ConnectivityDesignPoint, ...]
+    selected: tuple[ConnectivityDesignPoint, ...]
+    brgs: dict[str, BandwidthRequirementGraph] = field(repr=False)
+    phase1_seconds: float = 0.0
+    phase2_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.phase1_seconds + self.phase2_seconds
+
+
+def connectivity_exploration(
+    trace: Trace,
+    memory_eval: EvaluatedMemoryArchitecture,
+    library: ConnectivityLibrary,
+    config: ConExConfig,
+) -> tuple[BandwidthRequirementGraph, list[ConnectivityDesignPoint]]:
+    """The paper's ``Procedure ConnectivityExploration`` for one arch.
+
+    Returns the BRG and every estimated design point (all clustering
+    levels passing the max-cost guard, all feasible allocations).
+    """
+    memory = memory_eval.architecture
+    profile = memory_eval.result
+    brg = build_brg(memory, profile)
+    points: list[ConnectivityDesignPoint] = []
+    seen: set = set()
+    for level in clustering_levels(brg):
+        if level.size > config.max_logical_connections:
+            continue
+        if level.size < config.min_logical_connections:
+            continue
+        assignments = enumerate_assignments(
+            level,
+            library,
+            name_prefix=f"{memory.name}",
+            max_assignments=config.max_assignments_per_level,
+        )
+        for connectivity in assignments:
+            signature = connectivity.preset_signature()
+            if signature in seen:
+                continue
+            seen.add(signature)
+            estimate = estimate_design(memory, connectivity, profile)
+            points.append(
+                ConnectivityDesignPoint(
+                    memory_eval=memory_eval,
+                    connectivity=connectivity,
+                    estimate=estimate,
+                )
+            )
+    return brg, points
+
+
+def _thin_by_latency(
+    front: Sequence[ConnectivityDesignPoint], count: int
+) -> list[ConnectivityDesignPoint]:
+    """Spread ``count`` picks along the latency axis of a pareto front."""
+    ordered = sorted(front, key=lambda p: p.estimate.avg_latency)
+    if len(ordered) <= count:
+        return list(ordered)
+    picks = {0, len(ordered) - 1}
+    step = (len(ordered) - 1) / (count - 1)
+    for i in range(1, count - 1):
+        picks.add(round(i * step))
+    return [ordered[i] for i in sorted(picks)]
+
+
+def explore_connectivity(
+    trace: Trace,
+    selected_memories: Sequence[EvaluatedMemoryArchitecture],
+    library: ConnectivityLibrary,
+    config: ConExConfig | None = None,
+) -> ConExResult:
+    """Run the full ConEx algorithm (Phases I and II)."""
+    config = config or ConExConfig()
+    if not selected_memories:
+        raise ExplorationError("ConEx needs at least one memory architecture")
+
+    phase1_start = time.perf_counter()
+    estimated: list[ConnectivityDesignPoint] = []
+    carried: list[ConnectivityDesignPoint] = []
+    brgs: dict[str, BandwidthRequirementGraph] = {}
+    for memory_eval in selected_memories:
+        brg, points = connectivity_exploration(
+            trace, memory_eval, library, config
+        )
+        brgs[memory_eval.architecture.name] = brg
+        estimated.extend(points)
+        local_front = pareto_front(
+            points, key=lambda p: p.estimated_objectives
+        )
+        carried.extend(_thin_by_latency(local_front, config.phase1_keep))
+    phase1_seconds = time.perf_counter() - phase1_start
+
+    phase2_start = time.perf_counter()
+    simulated: list[ConnectivityDesignPoint] = []
+    for point in carried:
+        result = simulate(
+            trace,
+            point.memory_eval.architecture,
+            point.connectivity,
+            sampling=config.phase2_sampling,
+        )
+        simulated.append(
+            ConnectivityDesignPoint(
+                memory_eval=point.memory_eval,
+                connectivity=point.connectivity,
+                estimate=point.estimate,
+                simulation=result,
+            )
+        )
+    phase2_seconds = time.perf_counter() - phase2_start
+
+    selected = pareto_front(simulated, key=lambda p: p.simulated_objectives)
+    return ConExResult(
+        trace_name=trace.name,
+        estimated=tuple(estimated),
+        simulated=tuple(simulated),
+        selected=tuple(selected),
+        brgs=brgs,
+        phase1_seconds=phase1_seconds,
+        phase2_seconds=phase2_seconds,
+    )

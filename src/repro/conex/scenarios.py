@@ -1,0 +1,72 @@
+"""Constrained selection scenarios (Section 5 of the paper).
+
+"We select the most promising architectures using three scenarios:
+(a) in a power-constrained scenario ... we determine the
+cost/performance pareto points, while keeping the power less than the
+constraint, (b) in a cost-constrained scenario, we compute the
+performance/power pareto points, and (c) in a performance-constrained
+scenario, we compute the pareto points in the cost-power space."
+
+Each function filters the simulated design points by the constraint,
+then extracts the two-dimensional pareto front over the remaining
+axes.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.conex.explorer import ConnectivityDesignPoint
+from repro.errors import ExplorationError
+from repro.util.pareto import pareto_front
+
+
+def _simulated(points: Sequence[ConnectivityDesignPoint]) -> None:
+    if not points:
+        raise ExplorationError("scenario selection needs design points")
+    for point in points:
+        if point.simulation is None:
+            raise ExplorationError(
+                f"design {point.label()} lacks a Phase-II simulation"
+            )
+
+
+def power_constrained_selection(
+    points: Sequence[ConnectivityDesignPoint],
+    max_energy_nj: float,
+) -> list[ConnectivityDesignPoint]:
+    """Cost/performance pareto among designs meeting the energy budget."""
+    _simulated(points)
+    feasible = [
+        p for p in points if p.simulation.avg_energy_nj <= max_energy_nj
+    ]
+    return pareto_front(
+        feasible,
+        key=lambda p: (p.simulation.cost_gates, p.simulation.avg_latency),
+    )
+
+
+def cost_constrained_selection(
+    points: Sequence[ConnectivityDesignPoint],
+    max_cost_gates: float,
+) -> list[ConnectivityDesignPoint]:
+    """Performance/power pareto among designs meeting the cost budget."""
+    _simulated(points)
+    feasible = [p for p in points if p.simulation.cost_gates <= max_cost_gates]
+    return pareto_front(
+        feasible,
+        key=lambda p: (p.simulation.avg_latency, p.simulation.avg_energy_nj),
+    )
+
+
+def performance_constrained_selection(
+    points: Sequence[ConnectivityDesignPoint],
+    max_latency: float,
+) -> list[ConnectivityDesignPoint]:
+    """Cost/power pareto among designs meeting the latency requirement."""
+    _simulated(points)
+    feasible = [p for p in points if p.simulation.avg_latency <= max_latency]
+    return pareto_front(
+        feasible,
+        key=lambda p: (p.simulation.cost_gates, p.simulation.avg_energy_nj),
+    )

@@ -1,0 +1,44 @@
+"""Connectivity IP library: buses, muxes, dedicated links, wire models.
+
+Mirrors the paper's connectivity library: "standard on-chip busses
+(e.g., AMBA busses), MUX-based connections, and off-chip busses". Each
+component carries the architectural parameters the exploration consumes
+— "resource usage, latency, pipelining, parallelism, split transaction
+model, and bitwidth" — plus analytic cost (controller gates + wire
+area) and energy-per-byte models driven by the wire-length estimates of
+Chen et al. (floorplan-aware) and Deng/Maly (2.5-D) that the paper
+cites.
+"""
+
+from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
+from repro.connectivity.component import ConnectivityComponent, TransferTiming
+from repro.connectivity.dedicated import DedicatedConnection
+from repro.connectivity.library import (
+    ConnectivityLibrary,
+    ConnectivityPreset,
+    default_connectivity_library,
+)
+from repro.connectivity.mux import MuxConnection
+from repro.connectivity.offchip import OffChipBus
+from repro.connectivity.wire import (
+    WireModel,
+    wire_energy_nj_per_byte,
+    wire_length_mm,
+)
+
+__all__ = [
+    "AhbBus",
+    "ApbBus",
+    "AsbBus",
+    "ConnectivityComponent",
+    "ConnectivityLibrary",
+    "ConnectivityPreset",
+    "DedicatedConnection",
+    "MuxConnection",
+    "OffChipBus",
+    "TransferTiming",
+    "WireModel",
+    "default_connectivity_library",
+    "wire_energy_nj_per_byte",
+    "wire_length_mm",
+]

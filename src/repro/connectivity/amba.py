@@ -1,0 +1,81 @@
+"""AMBA bus models: AHB, ASB, APB.
+
+Architectural parameters follow the public AMBA specification the
+paper's library is built from:
+
+* **AHB** (Advanced High-performance Bus) — pipelined address/data
+  phases, burst transfers, split transactions; the highest-performance
+  and highest-cost option ("the wiring and bus controller area
+  increases further").
+* **ASB** (Advanced System Bus) — the earlier system bus: arbitrated,
+  not pipelined, no split transactions.
+* **APB** (Advanced Peripheral Bus) — the low-power peripheral bus:
+  two-cycle unpipelined accesses, minimal controller, lowest energy.
+"""
+
+from __future__ import annotations
+
+from repro.connectivity.component import ConnectivityComponent
+
+
+class AhbBus(ConnectivityComponent):
+    """AMBA AHB: pipelined, split-transaction, optionally wide."""
+
+    kind = "ahb"
+
+    def __init__(self, name: str = "ahb", width_bytes: int = 4) -> None:
+        super().__init__(
+            name=name,
+            width_bytes=width_bytes,
+            base_latency=2,  # arbitration + address phase
+            cycles_per_beat=1,
+            pipelined=True,
+            split_transactions=True,
+            max_ports=16,
+            protocol_complexity=1.8 * (width_bytes / 4),
+            on_chip=True,
+            point_to_point=False,
+            energy_scale=1.0,
+        )
+
+
+class AsbBus(ConnectivityComponent):
+    """AMBA ASB: arbitrated system bus, unpipelined, no split."""
+
+    kind = "asb"
+
+    def __init__(self, name: str = "asb") -> None:
+        super().__init__(
+            name=name,
+            width_bytes=4,
+            base_latency=2,
+            cycles_per_beat=1,
+            pipelined=False,
+            split_transactions=False,
+            max_ports=16,
+            protocol_complexity=1.0,
+            on_chip=True,
+            point_to_point=False,
+            energy_scale=1.0,
+        )
+
+
+class ApbBus(ConnectivityComponent):
+    """AMBA APB: two-cycle peripheral bus, minimal cost and energy."""
+
+    kind = "apb"
+
+    def __init__(self, name: str = "apb") -> None:
+        super().__init__(
+            name=name,
+            width_bytes=4,
+            base_latency=1,  # setup phase
+            cycles_per_beat=2,  # setup+enable per beat, unpipelined
+            pipelined=False,
+            split_transactions=False,
+            max_ports=16,
+            protocol_complexity=0.5,
+            on_chip=True,
+            point_to_point=False,
+            energy_scale=0.75,  # low-activity peripheral signalling
+        )

@@ -1,0 +1,195 @@
+"""Connectivity-architecture description: channel clusters on components.
+
+A :class:`ConnectivityArchitecture` implements the channels of a memory
+architecture by grouping them into clusters and instantiating one
+connectivity component per cluster (Figure 2(b) of the paper: two
+on-chip buses, a dedicated connection, and an off-chip bus implementing
+six channels). The ConEx allocation step builds these; the simulator
+and estimators consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from typing import TYPE_CHECKING
+
+from repro.channels import CPU, DRAM, Channel
+from repro.connectivity.component import ConnectivityComponent
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.apex.architectures import MemoryArchitecture
+
+#: CPU block area used for wire-length estimation only (the CPU is not
+#: part of the memory-system cost the paper reports).
+CPU_BLOCK_GATES = 120_000.0
+
+#: Pad-ring / I/O block stand-in area for the DRAM endpoint of
+#: off-chip runs, again only for wire length.
+DRAM_IO_BLOCK_GATES = 30_000.0
+
+
+@dataclass(frozen=True)
+class ClusterAssignment:
+    """One cluster of channels implemented by one component instance."""
+
+    channels: tuple[Channel, ...]
+    preset_name: str
+    component: ConnectivityComponent
+
+    @property
+    def endpoints(self) -> tuple[str, ...]:
+        """Distinct endpoints attached to the component, sorted."""
+        names: set[str] = set()
+        for channel in self.channels:
+            names.update(channel.endpoints())
+        return tuple(sorted(names))
+
+    @property
+    def crosses_chip(self) -> bool:
+        """True when the cluster carries chip-boundary channels."""
+        return any(c.crosses_chip for c in self.channels)
+
+
+class ConnectivityArchitecture:
+    """An assignment of every channel to a connectivity component."""
+
+    def __init__(self, name: str, clusters: Iterable[ClusterAssignment]) -> None:
+        self.name = name
+        self.clusters = tuple(clusters)
+        if not self.clusters:
+            raise ConfigurationError(f"connectivity '{name}' has no clusters")
+        self._by_channel: dict[Channel, ClusterAssignment] = {}
+        for cluster in self.clusters:
+            if not cluster.channels:
+                raise ConfigurationError(
+                    f"empty cluster in connectivity '{name}'"
+                )
+            crossing = [c.crosses_chip for c in cluster.channels]
+            if any(crossing) and not all(crossing):
+                raise ConfigurationError(
+                    f"cluster {cluster.preset_name} mixes on-chip and "
+                    f"chip-boundary channels"
+                )
+            if any(crossing) and cluster.component.on_chip:
+                raise ConfigurationError(
+                    f"on-chip component '{cluster.component.name}' cannot "
+                    f"implement chip-boundary channels"
+                )
+            if not any(crossing) and not cluster.component.on_chip:
+                raise ConfigurationError(
+                    f"off-chip component '{cluster.component.name}' wasted "
+                    f"on on-chip channels"
+                )
+            ports = len(cluster.endpoints)
+            if ports > cluster.component.max_ports:
+                raise ConfigurationError(
+                    f"component '{cluster.component.name}' supports "
+                    f"{cluster.component.max_ports} ports, cluster needs {ports}"
+                )
+            for channel in cluster.channels:
+                if channel in self._by_channel:
+                    raise ConfigurationError(
+                        f"channel {channel.name} assigned twice in '{name}'"
+                    )
+                self._by_channel[channel] = cluster
+
+    # -- queries -----------------------------------------------------
+
+    def channels(self) -> tuple[Channel, ...]:
+        """All implemented channels."""
+        return tuple(self._by_channel)
+
+    def cluster_for(self, channel: Channel) -> ClusterAssignment:
+        """The cluster implementing ``channel``."""
+        try:
+            return self._by_channel[channel]
+        except KeyError:
+            raise ConfigurationError(
+                f"connectivity '{self.name}' does not implement {channel.name}"
+            ) from None
+
+    def component_for(self, channel: Channel) -> ConnectivityComponent:
+        """The component instance carrying ``channel``."""
+        return self.cluster_for(channel).component
+
+    def _attached_area(
+        self, cluster: ClusterAssignment, memory: MemoryArchitecture
+    ) -> float:
+        area = 0.0
+        for endpoint in cluster.endpoints:
+            if endpoint == CPU:
+                area += CPU_BLOCK_GATES
+            elif endpoint == DRAM:
+                area += DRAM_IO_BLOCK_GATES
+            else:
+                area += memory.module(endpoint).area_gates
+        return area
+
+    def cost_gates(self, memory: MemoryArchitecture) -> float:
+        """Total connectivity cost: controllers plus wire area."""
+        total = 0.0
+        for cluster in self.clusters:
+            total += cluster.component.cost_gates(
+                ports=len(cluster.endpoints),
+                attached_area_gates=self._attached_area(cluster, memory),
+            )
+        return total
+
+    def energy_nj_per_byte(
+        self, channel: Channel, memory: MemoryArchitecture
+    ) -> float:
+        """Per-byte transfer energy on ``channel``'s component."""
+        cluster = self.cluster_for(channel)
+        return cluster.component.energy_nj_per_byte(
+            ports=len(cluster.endpoints),
+            attached_area_gates=self._attached_area(cluster, memory),
+        )
+
+    def describe(self) -> str:
+        """Multi-line human description used in reports."""
+        lines = [f"{self.name}: {len(self.clusters)} connections"]
+        for cluster in self.clusters:
+            channel_names = ", ".join(c.name for c in cluster.channels)
+            lines.append(f"  {cluster.component.describe()} <- {channel_names}")
+        return "\n".join(lines)
+
+    def preset_signature(self) -> tuple[tuple[tuple[str, ...], str], ...]:
+        """Hashable summary used to deduplicate equivalent assignments."""
+        return tuple(
+            sorted(
+                (tuple(sorted(c.name for c in cluster.channels)), cluster.preset_name)
+                for cluster in self.clusters
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"<ConnectivityArchitecture {self.name} ({len(self.clusters)} clusters)>"
+
+
+def dram_backing_latency(
+    connectivity: "ConnectivityArchitecture",
+    memory: MemoryArchitecture,
+    channel: Channel,
+    burst_bytes: int,
+) -> int:
+    """Round-trip latency hint of a backing fetch over ``channel``.
+
+    Used to parameterize prefetch-timeliness in DMA-like modules: the
+    off-chip transfer latency plus the DRAM core latency.
+    """
+    component = connectivity.component_for(channel)
+    return component.timing(burst_bytes).latency + memory.dram.core_latency
+
+
+def build_cluster(
+    channels: Iterable[Channel],
+    preset_name: str,
+    component: ConnectivityComponent,
+) -> ClusterAssignment:
+    """Convenience constructor keeping tuple conversion in one place."""
+    return ClusterAssignment(
+        channels=tuple(channels), preset_name=preset_name, component=component
+    )

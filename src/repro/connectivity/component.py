@@ -1,0 +1,160 @@
+"""Connectivity-component base class and transfer timing."""
+
+from __future__ import annotations
+
+import math
+from abc import ABC
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.area import controller_area_gates
+from repro.connectivity.wire import WireModel
+from repro.timing.reservation import ReservationTable
+
+
+@dataclass(frozen=True, slots=True)
+class TransferTiming:
+    """Timing of one transaction over a connectivity component.
+
+    Attributes:
+        latency: cycles from request to last byte delivered (what the
+            requester waits).
+        occupancy: cycles the component is unavailable to other
+            transactions. Pipelined components overlap the setup of the
+            next transfer with the data of this one, so occupancy can
+            be below latency; split-transaction buses release the bus
+            while the slave is busy, which the simulator exploits on
+            the DRAM path.
+    """
+
+    latency: int
+    occupancy: int
+
+
+class ConnectivityComponent(ABC):
+    """One entry of the connectivity IP library.
+
+    The constructor parameters are exactly the properties the paper
+    lists for its library: bitwidth, latency, pipelining, split
+    transaction support, and resource usage (ports, protocol
+    complexity feeding the controller-area model).
+    """
+
+    kind: str = "connection"
+
+    def __init__(
+        self,
+        name: str,
+        width_bytes: int,
+        base_latency: int,
+        cycles_per_beat: int,
+        pipelined: bool,
+        split_transactions: bool,
+        max_ports: int,
+        protocol_complexity: float,
+        on_chip: bool = True,
+        point_to_point: bool = False,
+        energy_scale: float = 1.0,
+    ) -> None:
+        if width_bytes <= 0:
+            raise ConfigurationError(f"width must be positive: {width_bytes}")
+        if base_latency < 0 or cycles_per_beat < 1:
+            raise ConfigurationError(
+                f"bad timing: base={base_latency} beat={cycles_per_beat}"
+            )
+        if max_ports < 1:
+            raise ConfigurationError(f"max_ports must be >= 1: {max_ports}")
+        self.name = name
+        self.width_bytes = width_bytes
+        self.base_latency = base_latency
+        self.cycles_per_beat = cycles_per_beat
+        self.pipelined = pipelined
+        self.split_transactions = split_transactions
+        self.max_ports = max_ports
+        self.protocol_complexity = protocol_complexity
+        self.on_chip = on_chip
+        self.point_to_point = point_to_point
+        self.energy_scale = energy_scale
+
+    # -- timing --------------------------------------------------------
+
+    def beats(self, size_bytes: int) -> int:
+        """Data beats needed to move ``size_bytes``."""
+        if size_bytes <= 0:
+            raise ConfigurationError(f"transfer size must be positive: {size_bytes}")
+        return math.ceil(size_bytes / self.width_bytes)
+
+    def timing(self, size_bytes: int) -> TransferTiming:
+        """Latency and occupancy of one ``size_bytes`` transaction."""
+        beats = self.beats(size_bytes)
+        data_cycles = beats * self.cycles_per_beat
+        latency = self.base_latency + data_cycles
+        if self.pipelined:
+            # Setup of the next transaction overlaps this one's data.
+            occupancy = data_cycles
+        else:
+            occupancy = latency
+        return TransferTiming(latency=latency, occupancy=occupancy)
+
+    def reservation_table(self, size_bytes: int) -> ReservationTable:
+        """RTGEN-style reservation table of one transaction.
+
+        A non-pipelined component holds its single ``bus`` resource for
+        the whole transaction; a pipelined one splits into an ``arb``
+        stage and a ``data`` stage so back-to-back transactions overlap.
+        """
+        beats = self.beats(size_bytes)
+        data_cycles = beats * self.cycles_per_beat
+        if not self.pipelined:
+            cycles = self.base_latency + data_cycles
+            return ReservationTable({f"{self.name}.bus": range(cycles)})
+        usage = {}
+        if self.base_latency:
+            usage[f"{self.name}.arb"] = range(self.base_latency)
+        usage[f"{self.name}.data"] = range(
+            self.base_latency, self.base_latency + data_cycles
+        )
+        return ReservationTable(usage)
+
+    # -- cost / energy ---------------------------------------------------
+
+    def wire_model(self, ports: int, attached_area_gates: float) -> WireModel:
+        """Wire figures for an instance with ``ports`` attachments."""
+        if ports < 1:
+            raise ConfigurationError(f"ports must be >= 1: {ports}")
+        if ports > self.max_ports:
+            raise ConfigurationError(
+                f"{self.name} supports {self.max_ports} ports, asked for {ports}"
+            )
+        return WireModel.for_connection(
+            attached_area_gates=attached_area_gates,
+            fanout=ports,
+            data_lanes=self.width_bytes * 8,
+            point_to_point=self.point_to_point,
+            off_chip=not self.on_chip,
+        )
+
+    def cost_gates(self, ports: int, attached_area_gates: float) -> float:
+        """Instance cost: protocol controller plus wire area."""
+        controller = controller_area_gates(ports, self.protocol_complexity)
+        return controller + self.wire_model(ports, attached_area_gates).area_gates
+
+    def energy_nj_per_byte(self, ports: int, attached_area_gates: float) -> float:
+        """Transfer energy per byte for an instance."""
+        wire = self.wire_model(ports, attached_area_gates)
+        return wire.energy_nj_per_byte * self.energy_scale
+
+    def describe(self) -> str:
+        """One-line description used in reports."""
+        feature = []
+        if self.pipelined:
+            feature.append("pipelined")
+        if self.split_transactions:
+            feature.append("split")
+        if not self.on_chip:
+            feature.append("off-chip")
+        extras = f" ({', '.join(feature)})" if feature else ""
+        return f"{self.name}: {self.width_bytes * 8}-bit {self.kind}{extras}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

@@ -1,0 +1,33 @@
+"""Dedicated point-to-point connection model.
+
+A private link between exactly two endpoints: zero protocol latency
+and full bandwidth, but the wires are exclusive to one channel — the
+most expensive way to implement a channel per byte moved, and the
+paper's example of the "naive implementation [whose] cost is
+prohibitive" when used for everything.
+"""
+
+from __future__ import annotations
+
+from repro.connectivity.component import ConnectivityComponent
+
+
+class DedicatedConnection(ConnectivityComponent):
+    """Dedicated link: no arbitration, exclusive wiring."""
+
+    kind = "dedicated"
+
+    def __init__(self, name: str = "dedicated", width_bytes: int = 4) -> None:
+        super().__init__(
+            name=name,
+            width_bytes=width_bytes,
+            base_latency=0,
+            cycles_per_beat=1,
+            pipelined=True,
+            split_transactions=False,
+            max_ports=2,
+            protocol_complexity=0.2,
+            on_chip=True,
+            point_to_point=True,
+            energy_scale=1.0,
+        )

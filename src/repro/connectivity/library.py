@@ -1,0 +1,103 @@
+"""The connectivity IP library: named presets of connection components."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
+from repro.connectivity.component import ConnectivityComponent
+from repro.connectivity.dedicated import DedicatedConnection
+from repro.connectivity.mux import MuxConnection
+from repro.connectivity.offchip import OffChipBus
+from repro.errors import LibraryError
+
+
+@dataclass(frozen=True)
+class ConnectivityPreset:
+    """A named factory for one connectivity-library entry.
+
+    ``off_chip_capable`` marks the presets allowed to implement
+    channels that cross the chip boundary.
+    """
+
+    name: str
+    kind: str
+    off_chip_capable: bool
+    build: Callable[[], ConnectivityComponent] = field(compare=False)
+
+    def instantiate(self, instance_name: str | None = None) -> ConnectivityComponent:
+        """Create a fresh component, optionally renaming the instance."""
+        component = self.build()
+        if instance_name is not None:
+            component.name = instance_name
+        return component
+
+
+class ConnectivityLibrary:
+    """A collection of connectivity presets, queryable by capability."""
+
+    def __init__(self, presets: Iterable[ConnectivityPreset] = ()) -> None:
+        self._presets: dict[str, ConnectivityPreset] = {}
+        for preset in presets:
+            self.add(preset)
+
+    def add(self, preset: ConnectivityPreset) -> None:
+        """Register a preset; names must be unique."""
+        if preset.name in self._presets:
+            raise LibraryError(f"duplicate connectivity preset '{preset.name}'")
+        self._presets[preset.name] = preset
+
+    def get(self, name: str) -> ConnectivityPreset:
+        """Look up a preset by name."""
+        try:
+            return self._presets[name]
+        except KeyError:
+            raise LibraryError(
+                f"no connectivity preset '{name}'; "
+                f"known: {', '.join(sorted(self._presets))}"
+            ) from None
+
+    def on_chip_choices(self) -> list[ConnectivityPreset]:
+        """Presets usable for channels between on-chip endpoints."""
+        return [p for p in self._presets.values() if not p.off_chip_capable]
+
+    def off_chip_choices(self) -> list[ConnectivityPreset]:
+        """Presets usable for channels crossing the chip boundary."""
+        return [p for p in self._presets.values() if p.off_chip_capable]
+
+    def names(self) -> tuple[str, ...]:
+        """All preset names, in registration order."""
+        return tuple(self._presets)
+
+    def __len__(self) -> int:
+        return len(self._presets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._presets
+
+
+def default_connectivity_library() -> ConnectivityLibrary:
+    """The connectivity library of the paper's experiments.
+
+    On-chip: dedicated links, MUX-based connections, AMBA APB / ASB /
+    AHB (narrow and wide). Off-chip: 16- and 32-bit pad buses.
+    """
+    library = ConnectivityLibrary()
+    entries: list[tuple[str, str, bool, Callable[[], ConnectivityComponent]]] = [
+        ("dedicated", "dedicated", False, lambda: DedicatedConnection("dedicated")),
+        ("mux", "mux", False, lambda: MuxConnection("mux")),
+        ("apb", "apb", False, lambda: ApbBus("apb")),
+        ("asb", "asb", False, lambda: AsbBus("asb")),
+        ("ahb", "ahb", False, lambda: AhbBus("ahb", width_bytes=4)),
+        ("ahb_wide", "ahb", False, lambda: AhbBus("ahb_wide", width_bytes=8)),
+        ("offchip_16", "offchip", True, lambda: OffChipBus("offchip_16", 2)),
+        ("offchip_32", "offchip", True, lambda: OffChipBus("offchip_32", 4)),
+    ]
+    for name, kind, off_chip, build in entries:
+        library.add(
+            ConnectivityPreset(
+                name=name, kind=kind, off_chip_capable=off_chip, build=build
+            )
+        )
+    return library

@@ -1,0 +1,33 @@
+"""MUX-based connection model.
+
+A multiplexer tree steering the CPU port across a few memory modules:
+single-cycle select, no arbitration protocol, but point-to-point spokes
+from every module to the mux — so the wire cost grows quickly with
+fanout ("the latency of the accesses is small, at the expense of
+longer connection wires").
+"""
+
+from __future__ import annotations
+
+from repro.connectivity.component import ConnectivityComponent
+
+
+class MuxConnection(ConnectivityComponent):
+    """MUX-based connection: fast, cheap control, expensive wires."""
+
+    kind = "mux"
+
+    def __init__(self, name: str = "mux", max_ports: int = 4) -> None:
+        super().__init__(
+            name=name,
+            width_bytes=4,
+            base_latency=1,  # select settling
+            cycles_per_beat=1,
+            pipelined=True,  # pure datapath, no protocol turnaround
+            split_transactions=False,
+            max_ports=max_ports,
+            protocol_complexity=0.35,
+            on_chip=True,
+            point_to_point=True,
+            energy_scale=1.0,
+        )

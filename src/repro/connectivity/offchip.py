@@ -1,0 +1,31 @@
+"""Off-chip bus model.
+
+Channels that cross the chip boundary (anything reaching the off-chip
+DRAM) must be mapped to an off-chip bus: pad-limited width, slow
+multi-cycle beats, and pad capacitance dominating the transfer energy.
+"""
+
+from __future__ import annotations
+
+from repro.connectivity.component import ConnectivityComponent
+
+
+class OffChipBus(ConnectivityComponent):
+    """Off-chip bus through the I/O pads to the DRAM."""
+
+    kind = "offchip"
+
+    def __init__(self, name: str = "offchip", width_bytes: int = 2) -> None:
+        super().__init__(
+            name=name,
+            width_bytes=width_bytes,
+            base_latency=3,  # pad turnaround + DRAM command
+            cycles_per_beat=2,  # I/O timing is slower than core clock
+            pipelined=False,
+            split_transactions=False,
+            max_ports=8,
+            protocol_complexity=0.8 * (width_bytes / 2),
+            on_chip=False,
+            point_to_point=False,
+            energy_scale=1.0,
+        )

@@ -1,0 +1,123 @@
+"""High-level wire length, area, and energy models.
+
+The paper drives its connectivity exploration with the interconnect
+models of Chen et al. (integrated floorplanning + interconnect
+planning, ICCAD'99) and Deng/Maly (2.5-D integration, ISPD'01). At the
+abstraction level of this exploration those reduce to:
+
+* wire *length* grows with the linear dimension of the attached blocks
+  (bigger memories → longer runs) and with fanout (more taps → longer
+  trunks);
+* wire *area* (hence gate-equivalent cost) is length × lane count ×
+  pitch;
+* wire *energy* is the CV² switching cost of the run, with a large
+  additive pad term for off-chip crossings — which is why "the
+  connectivity consumes a small amount of power compared to the memory
+  modules" yet dedicated wires still show up in the cost axis.
+
+Process constants approximate a 0.25 µm embedded process (the paper's
+era); only relative ordering matters to the exploration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Silicon area of one basic gate, in mm^2 (0.25 µm standard cell).
+GATE_AREA_MM2 = 1.0e-5
+
+#: Routed wire pitch (one lane), in mm.
+WIRE_PITCH_MM = 1.0e-3
+
+#: Wire capacitance per mm, in pF.
+WIRE_CAP_PF_PER_MM = 0.21
+
+#: Package pad + trace capacitance for one off-chip lane, in pF.
+PAD_CAP_PF = 9.0
+
+#: Supply voltage, volts.
+VDD = 2.5
+
+#: Control lanes routed alongside the data lanes (addr/req/grant...).
+CONTROL_LANES = 12
+
+
+def wire_length_mm(
+    attached_area_gates: float,
+    fanout: int,
+    point_to_point: bool = False,
+) -> float:
+    """Estimated routed length of one connection's wire run.
+
+    ``attached_area_gates`` is the summed area of the blocks the wire
+    must visit; its square root is the floorplan's linear dimension.
+    Shared trunks grow with fanout; point-to-point (dedicated/mux spoke)
+    runs pay the full block-to-block distance per channel, which is the
+    paper's "longer connection wires" cost of dedicated connections.
+    """
+    if attached_area_gates < 0:
+        raise ConfigurationError(
+            f"negative attached area: {attached_area_gates}"
+        )
+    if fanout < 1:
+        raise ConfigurationError(f"fanout must be >= 1: {fanout}")
+    span_mm = math.sqrt(max(attached_area_gates, 1.0) * GATE_AREA_MM2)
+    if point_to_point:
+        # Each endpoint pair routed individually across the floorplan.
+        return span_mm * (0.8 + 0.45 * fanout)
+    # A shared trunk with short taps.
+    return span_mm * (1.0 + 0.18 * (fanout - 1))
+
+
+def wire_area_gates(length_mm: float, data_lanes: int) -> float:
+    """Gate-equivalent cost of a wire run (routing area displaced)."""
+    if length_mm < 0 or data_lanes <= 0:
+        raise ConfigurationError(
+            f"bad wire geometry: {length_mm} mm x {data_lanes} lanes"
+        )
+    lanes = data_lanes + CONTROL_LANES
+    return length_mm * lanes * WIRE_PITCH_MM / GATE_AREA_MM2
+
+
+def wire_energy_nj_per_byte(length_mm: float, off_chip: bool = False) -> float:
+    """Switching energy of moving one byte over the run, in nJ.
+
+    E = 8 lanes × ½ C V² with C the per-lane capacitance (wire, plus
+    pads when the run crosses the chip boundary). An activity factor of
+    one transition per bit is assumed — pessimistic but uniform.
+    """
+    if length_mm < 0:
+        raise ConfigurationError(f"negative length: {length_mm}")
+    cap_pf = WIRE_CAP_PF_PER_MM * length_mm
+    if off_chip:
+        cap_pf += PAD_CAP_PF
+    joules_per_bit = 0.5 * cap_pf * 1e-12 * VDD * VDD
+    return joules_per_bit * 8 * 1e9
+
+
+@dataclass(frozen=True)
+class WireModel:
+    """Resolved wire figures for one instantiated connection."""
+
+    length_mm: float
+    area_gates: float
+    energy_nj_per_byte: float
+
+    @staticmethod
+    def for_connection(
+        attached_area_gates: float,
+        fanout: int,
+        data_lanes: int,
+        point_to_point: bool = False,
+        off_chip: bool = False,
+    ) -> "WireModel":
+        """Build the wire model of a connection instance."""
+        length = wire_length_mm(attached_area_gates, fanout, point_to_point)
+        return WireModel(
+            length_mm=length,
+            area_gates=wire_area_gates(length, data_lanes),
+            energy_nj_per_byte=wire_energy_nj_per_byte(length, off_chip),
+        )

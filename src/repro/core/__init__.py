@@ -1,0 +1,64 @@
+"""MemorEx: the combined memory + connectivity exploration pipeline.
+
+The paper's Figure 1 flow: application → APEX memory-modules
+exploration → selected memory configurations → ConEx connectivity
+exploration → selected combined configurations. This package wires the
+two explorers together, provides the Pruned / Neighborhood / Full
+exploration strategies compared in Table 2, and renders the paper's
+tables and figures as text reports.
+"""
+
+from repro.core.design_point import DesignPointSummary, summarize
+from repro.core.memorex import MemorExConfig, MemorExResult, run_memorex
+from repro.core.multi import (
+    WorkloadComparison,
+    compare_workloads,
+    format_comparison,
+)
+from repro.core.report import render_full_report
+from repro.core.reporting import (
+    ascii_scatter,
+    format_design_points,
+    format_pareto_table,
+)
+from repro.core.strategies import (
+    CoverageRow,
+    StrategyOutcome,
+    coverage_rows,
+    run_full,
+    run_neighborhood,
+    run_pruned,
+)
+from repro.core.sweep import (
+    SweepPoint,
+    series,
+    sweep_cache_size,
+    sweep_cpu_bus,
+    sweep_offchip_bus,
+)
+
+__all__ = [
+    "CoverageRow",
+    "DesignPointSummary",
+    "MemorExConfig",
+    "MemorExResult",
+    "StrategyOutcome",
+    "SweepPoint",
+    "WorkloadComparison",
+    "ascii_scatter",
+    "compare_workloads",
+    "coverage_rows",
+    "format_comparison",
+    "format_design_points",
+    "format_pareto_table",
+    "render_full_report",
+    "run_full",
+    "run_memorex",
+    "run_neighborhood",
+    "run_pruned",
+    "series",
+    "summarize",
+    "sweep_cache_size",
+    "sweep_cpu_bus",
+    "sweep_offchip_bus",
+]

@@ -1,0 +1,53 @@
+"""Slim design-point summaries for reports and tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.conex.explorer import ConnectivityDesignPoint
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class DesignPointSummary:
+    """One row of a results table (Table 1's columns).
+
+    ``memory_modules`` and ``connections`` are human-readable
+    inventories used in the Figure-6-style per-design analysis.
+    """
+
+    label: str
+    cost_gates: float
+    avg_latency: float
+    avg_energy_nj: float
+    miss_ratio: float
+    memory_modules: tuple[str, ...]
+    connections: tuple[str, ...]
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        return (self.cost_gates, self.avg_latency, self.avg_energy_nj)
+
+
+def summarize(point: ConnectivityDesignPoint) -> DesignPointSummary:
+    """Summarize a simulated design point for reporting."""
+    if point.simulation is None:
+        raise ExplorationError(
+            f"design {point.label()} lacks a Phase-II simulation"
+        )
+    memory = point.memory_eval.architecture
+    modules = tuple(m.describe() for m in memory.modules.values())
+    connections = tuple(
+        f"{cluster.component.describe()} "
+        f"[{', '.join(c.name for c in cluster.channels)}]"
+        for cluster in point.connectivity.clusters
+    )
+    return DesignPointSummary(
+        label=point.label(),
+        cost_gates=point.simulation.cost_gates,
+        avg_latency=point.simulation.avg_latency,
+        avg_energy_nj=point.simulation.avg_energy_nj,
+        miss_ratio=point.simulation.miss_ratio,
+        memory_modules=modules,
+        connections=connections,
+    )

@@ -1,0 +1,69 @@
+"""The MemorEx pipeline: APEX then ConEx (Figure 1 of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.apex.explorer import ApexConfig, ApexResult, explore_memory_architectures
+from repro.conex.explorer import ConExConfig, ConExResult, explore_connectivity
+from repro.connectivity.library import (
+    ConnectivityLibrary,
+    default_connectivity_library,
+)
+from repro.memory.library import MemoryLibrary, default_memory_library
+from repro.trace.events import Trace
+from repro.workloads.base import Workload
+
+
+@dataclass(frozen=True)
+class MemorExConfig:
+    """Configuration of the two exploration stages."""
+
+    apex: ApexConfig = field(default_factory=ApexConfig)
+    conex: ConExConfig = field(default_factory=ConExConfig)
+
+
+@dataclass(frozen=True)
+class MemorExResult:
+    """Everything the pipeline produced for one workload."""
+
+    workload_name: str
+    trace: Trace = field(repr=False)
+    apex: ApexResult
+    conex: ConExResult
+
+    @property
+    def selected_points(self):
+        """The final combined memory+connectivity pareto designs."""
+        return self.conex.selected
+
+
+def run_memorex(
+    workload: Workload,
+    memory_library: MemoryLibrary | None = None,
+    connectivity_library: ConnectivityLibrary | None = None,
+    config: MemorExConfig | None = None,
+) -> MemorExResult:
+    """Run the full exploration on one workload.
+
+    Generates the trace, runs APEX over the memory library, then ConEx
+    over the connectivity library starting from APEX's selections, and
+    returns all intermediate and final results.
+    """
+    config = config or MemorExConfig()
+    memory_library = memory_library or default_memory_library()
+    connectivity_library = connectivity_library or default_connectivity_library()
+
+    trace = workload.trace()
+    apex = explore_memory_architectures(
+        trace, memory_library, config.apex, hints=workload.pattern_hints
+    )
+    conex = explore_connectivity(
+        trace, apex.selected, connectivity_library, config.conex
+    )
+    return MemorExResult(
+        workload_name=workload.name,
+        trace=trace,
+        apex=apex,
+        conex=conex,
+    )

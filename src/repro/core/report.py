@@ -1,0 +1,126 @@
+"""Full exploration report rendering.
+
+Turns a :class:`~repro.core.memorex.MemorExResult` into one complete
+text report — the artifact a designer reads after an exploration run:
+workload summary, pattern classification, APEX selection, per-channel
+bandwidth, the final pareto table with architecture contents, and the
+knee-point recommendation. Used by the CLI's ``explore`` command.
+"""
+
+from __future__ import annotations
+
+from repro.core.design_point import summarize
+from repro.core.memorex import MemorExResult
+from repro.core.reporting import ascii_scatter, format_design_points
+from repro.trace.profiler import profile_trace
+from repro.util.selection import knee_point
+
+
+def render_full_report(result: MemorExResult) -> str:
+    """Render the complete exploration report as plain text."""
+    sections: list[str] = []
+    trace = result.trace
+
+    sections.append(
+        f"ConEx exploration report — workload '{result.workload_name}'\n"
+        f"{'=' * 60}"
+    )
+
+    profile = profile_trace(trace)
+    lines = [
+        f"trace: {len(trace)} accesses over {trace.duration} cycles, "
+        f"{trace.total_bytes} bytes"
+    ]
+    for stats in sorted(
+        profile.by_struct.values(), key=lambda s: s.bandwidth, reverse=True
+    ):
+        lines.append(
+            f"  {stats.struct:16s} {stats.bandwidth:8.4f} B/cyc  "
+            f"{stats.accesses:7d} accesses  "
+            f"{100 * stats.write_fraction:3.0f}% writes"
+        )
+    sections.append("\n".join(lines))
+
+    lines = [
+        f"APEX: {len(result.apex.evaluated)} memory architectures evaluated, "
+        f"{len(result.apex.selected)} selected:"
+    ]
+    for i, evaluated in enumerate(result.apex.selected, 1):
+        modules = ", ".join(evaluated.architecture.modules) or "(uncached)"
+        lines.append(
+            f"  [{i}] {evaluated.cost_gates:>10,.0f} gates  "
+            f"miss {evaluated.miss_ratio:6.3f}  {modules}"
+        )
+    sections.append("\n".join(lines))
+
+    conex = result.conex
+    sections.append(
+        f"ConEx: {len(conex.estimated)} connectivity configurations "
+        f"estimated ({conex.phase1_seconds:.1f}s), "
+        f"{len(conex.simulated)} simulated ({conex.phase2_seconds:.1f}s), "
+        f"{len(conex.selected)} on the final pareto"
+    )
+
+    points = [
+        (p.simulation.cost_gates, p.simulation.avg_latency)
+        for p in conex.simulated
+    ]
+    if len(points) >= 2:
+        sections.append(
+            ascii_scatter(
+                points,
+                width=64,
+                height=14,
+                x_label="cost [gates]",
+                y_label="avg memory latency [cycles]",
+            )
+        )
+
+    summaries = [summarize(p) for p in conex.selected]
+    sections.append(
+        format_design_points(summaries, title="Final pareto designs")
+    )
+
+    knee = knee_point(
+        summaries, key=lambda s: (s.cost_gates, s.avg_latency)
+    )
+    lines = [
+        f"knee-point recommendation: {knee.label} "
+        f"({knee.cost_gates:,.0f} gates, {knee.avg_latency:.2f} cyc, "
+        f"{knee.avg_energy_nj:.2f} nJ)"
+    ]
+    for module in knee.memory_modules:
+        lines.append(f"  memory: {module}")
+    for connection in knee.connections:
+        lines.append(f"  connectivity: {connection}")
+    sections.append("\n".join(lines))
+
+    knee_point_obj = next(
+        p for p in conex.selected if p.label() == knee.label
+    )
+    simulation = knee_point_obj.simulation
+    lines = ["knee design channel traffic and contention:"]
+    for traffic in sorted(
+        simulation.channels.values(),
+        key=lambda t: t.bytes_moved,
+        reverse=True,
+    ):
+        lines.append(
+            f"  {traffic.channel_name:20s} {traffic.bytes_moved:>9d} B  "
+            f"{traffic.all_transactions:>7d} xfers  "
+            f"mean wait {traffic.mean_wait:5.2f} cyc"
+        )
+    breakdown = simulation.energy_breakdown
+    if breakdown:
+        lines.append(
+            "energy split: "
+            + ", ".join(
+                f"{category} {value:.2f} nJ"
+                for category, value in breakdown.items()
+            )
+            + f" (connectivity share "
+            f"{100 * simulation.connectivity_energy_fraction:.1f}%)"
+        )
+    sections.append("\n".join(lines))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,93 @@
+"""Text rendering of the paper's tables and figures.
+
+The benchmark harness prints every reproduced artifact as aligned text
+tables plus ASCII scatter plots (for the figure-shaped results), so
+``pytest benchmarks/ --benchmark-only`` output can be compared directly
+against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.design_point import DesignPointSummary
+from repro.errors import ExplorationError
+from repro.util.tables import format_table
+
+
+def format_design_points(
+    points: Sequence[DesignPointSummary],
+    title: str | None = None,
+) -> str:
+    """A Table-1-style listing: cost, latency, energy per design."""
+    rows = [
+        (
+            p.label,
+            f"{p.cost_gates:,.0f}",
+            f"{p.avg_latency:.2f}",
+            f"{p.avg_energy_nj:.2f}",
+            f"{100 * p.miss_ratio:.1f}%",
+        )
+        for p in sorted(points, key=lambda p: p.cost_gates)
+    ]
+    return format_table(
+        ["design", "cost [gates]", "avg lat [cyc]", "energy [nJ]", "miss"],
+        rows,
+        title=title,
+    )
+
+
+def format_pareto_table(
+    rows: Sequence[tuple[str, float, float, float]],
+    title: str | None = None,
+) -> str:
+    """Format (label, cost, latency, energy) tuples as a table."""
+    formatted = [
+        (label, f"{cost:,.0f}", f"{latency:.2f}", f"{energy:.2f}")
+        for label, cost, latency, energy in rows
+    ]
+    return format_table(
+        ["design", "cost [gates]", "avg lat [cyc]", "energy [nJ]"],
+        formatted,
+        title=title,
+    )
+
+
+def ascii_scatter(
+    points: Sequence[tuple[float, float]],
+    width: int = 68,
+    height: int = 20,
+    x_label: str = "x",
+    y_label: str = "y",
+    marks: Sequence[str] | None = None,
+) -> str:
+    """Render (x, y) points as an ASCII scatter plot.
+
+    Used by the figure benchmarks (Figures 3, 4, 6) to show the pareto
+    shapes the paper plots. ``marks`` optionally labels each point with
+    its own character (defaults to ``*``).
+    """
+    if not points:
+        raise ExplorationError("cannot plot an empty point set")
+    if width < 8 or height < 4:
+        raise ExplorationError(f"plot too small: {width}x{height}")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = x_max - x_min or 1.0
+    y_span = y_max - y_min or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (x, y) in enumerate(points):
+        col = int((x - x_min) / x_span * (width - 1))
+        row = int((y - y_min) / y_span * (height - 1))
+        mark = marks[index] if marks else "*"
+        grid[height - 1 - row][col] = mark
+    lines = [
+        f"{y_label}: {y_min:.2f} .. {y_max:.2f} (bottom to top)",
+        "+" + "-" * width + "+",
+    ]
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append("+" + "-" * width + "+")
+    lines.append(f"{x_label}: {x_min:,.0f} .. {x_max:,.0f} (left to right)")
+    return "\n".join(lines)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the ConEx reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so downstream
+users can catch a single base class. Subclasses mark the subsystem the
+failure originated in.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component, library, or architecture was configured inconsistently.
+
+    Examples: a cache whose line size is not a power of two, a bus with
+    zero width, a memory architecture that maps no data structures.
+    """
+
+
+class LibraryError(ReproError):
+    """A component lookup failed or a library was built incorrectly."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""
+
+
+class ExplorationError(ReproError):
+    """An exploration algorithm received unusable inputs.
+
+    For instance, ConEx invoked with an empty set of memory
+    architectures, or a pareto query over mismatched objective axes.
+    """
+
+
+class TraceError(ReproError):
+    """A trace or profile is malformed (negative sizes, unknown kinds...)."""

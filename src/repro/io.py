@@ -1,0 +1,128 @@
+"""Persistence: save/load traces and export exploration results.
+
+Traces serialize to compressed ``.npz`` (columnar, exact round-trip);
+design-point sets export to CSV or JSON for downstream analysis. These
+are the interchange points a downstream user needs: generate a trace
+once and explore many times, or feed the pareto set into an external
+plotting/optimization flow.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.conex.explorer import ConnectivityDesignPoint
+from repro.core.design_point import DesignPointSummary, summarize
+from repro.errors import TraceError
+from repro.trace.events import Trace
+
+_TRACE_FORMAT_VERSION = 1
+
+
+def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
+    """Write ``trace`` to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        pathlib.Path(path),
+        version=np.int64(_TRACE_FORMAT_VERSION),
+        name=np.str_(trace.name),
+        addresses=trace.addresses,
+        sizes=trace.sizes,
+        kinds=trace.kinds,
+        struct_ids=trace.struct_ids,
+        ticks=trace.ticks,
+        structs=np.array(trace.structs, dtype=np.str_),
+    )
+
+
+def load_trace(path: str | pathlib.Path) -> Trace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            version = int(data["version"])
+            if version != _TRACE_FORMAT_VERSION:
+                raise TraceError(
+                    f"unsupported trace format version {version} in {path}"
+                )
+            return Trace(
+                name=str(data["name"]),
+                addresses=data["addresses"].astype(np.int64),
+                sizes=data["sizes"].astype(np.int32),
+                kinds=data["kinds"].astype(np.int8),
+                struct_ids=data["struct_ids"].astype(np.int32),
+                ticks=data["ticks"].astype(np.int64),
+                structs=tuple(str(s) for s in data["structs"]),
+            )
+        except KeyError as missing:
+            raise TraceError(
+                f"{path} is not a trace file (missing column {missing})"
+            ) from None
+
+
+def _rows(summaries: Iterable[DesignPointSummary]) -> list[dict]:
+    return [
+        {
+            "label": s.label,
+            "cost_gates": s.cost_gates,
+            "avg_latency_cycles": s.avg_latency,
+            "avg_energy_nj": s.avg_energy_nj,
+            "miss_ratio": s.miss_ratio,
+            "memory_modules": list(s.memory_modules),
+            "connections": list(s.connections),
+        }
+        for s in summaries
+    ]
+
+
+def export_design_points_json(
+    points: Sequence[ConnectivityDesignPoint],
+    path: str | pathlib.Path,
+) -> None:
+    """Export simulated design points to a JSON file."""
+    summaries = [summarize(p) for p in points]
+    payload = {"design_points": _rows(summaries)}
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def export_design_points_csv(
+    points: Sequence[ConnectivityDesignPoint],
+    path: str | pathlib.Path,
+) -> None:
+    """Export simulated design points to a CSV file.
+
+    List-valued fields (module/connection inventories) are joined with
+    ``" | "`` so each design stays one row.
+    """
+    summaries = [summarize(p) for p in points]
+    with open(pathlib.Path(path), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            [
+                "label",
+                "cost_gates",
+                "avg_latency_cycles",
+                "avg_energy_nj",
+                "miss_ratio",
+                "memory_modules",
+                "connections",
+            ]
+        )
+        for row in _rows(summaries):
+            writer.writerow(
+                [
+                    row["label"],
+                    f"{row['cost_gates']:.1f}",
+                    f"{row['avg_latency_cycles']:.4f}",
+                    f"{row['avg_energy_nj']:.4f}",
+                    f"{row['miss_ratio']:.5f}",
+                    " | ".join(row["memory_modules"]),
+                    " | ".join(row["connections"]),
+                ]
+            )

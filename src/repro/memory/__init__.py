@@ -1,0 +1,48 @@
+"""Memory-module IP library: behavioural, area, and energy models.
+
+The modules mirror the paper's memory IP library: caches, on-chip
+SRAMs, stream buffers, DMA-like custom modules for linked-list /
+self-indirect structures, and off-chip DRAM. Each module exposes
+
+* a *behavioural* model (`access`) consumed by the trace-driven
+  simulator — hit/miss outcome, internal latency, and the traffic it
+  induces on its backing channel, and
+* *analytic* area (basic gates) and energy (nJ/access) models used by
+  the exploration's fast estimator.
+"""
+
+from repro.memory.area import (
+    cache_area_gates,
+    controller_area_gates,
+    sram_area_gates,
+)
+from repro.memory.cache import Cache, WritePolicy
+from repro.memory.dma import SelfIndirectDma
+from repro.memory.linked_list_dma import LinkedListDma
+from repro.memory.dram import Dram
+from repro.memory.energy import (
+    dram_access_energy_nj,
+    sram_access_energy_nj,
+)
+from repro.memory.library import MemoryLibrary, default_memory_library
+from repro.memory.module import MemoryModule, ModuleResponse
+from repro.memory.sram import Sram
+from repro.memory.stream_buffer import StreamBuffer
+
+__all__ = [
+    "Cache",
+    "Dram",
+    "LinkedListDma",
+    "MemoryLibrary",
+    "MemoryModule",
+    "ModuleResponse",
+    "SelfIndirectDma",
+    "Sram",
+    "StreamBuffer",
+    "WritePolicy",
+    "cache_area_gates",
+    "controller_area_gates",
+    "default_memory_library",
+    "dram_access_energy_nj",
+    "sram_access_energy_nj",
+]

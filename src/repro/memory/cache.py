@@ -1,0 +1,132 @@
+"""Set-associative cache model with LRU replacement."""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.memory.area import cache_area_gates
+from repro.memory.energy import cache_access_energy_nj
+from repro.memory.module import MemoryModule, ModuleResponse
+from repro.trace.events import AccessKind
+
+
+class WritePolicy(Enum):
+    """Cache write handling."""
+
+    WRITE_BACK = "write_back"
+    WRITE_THROUGH = "write_through"
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+class Cache(MemoryModule):
+    """A set-associative, LRU, allocate-on-miss cache.
+
+    Args:
+        name: instance name.
+        capacity: total data capacity in bytes (power of two).
+        line_size: line size in bytes (power of two).
+        associativity: ways per set (power of two, ≤ lines).
+        write_policy: write-back (dirty evictions produce writebacks)
+            or write-through (every write also crosses to the backing
+            store, off the critical path — posted).
+        hit_latency: cycles for a hit, grows with capacity in the
+            library presets.
+    """
+
+    kind = "cache"
+
+    def __init__(
+        self,
+        name: str,
+        capacity: int,
+        line_size: int = 32,
+        associativity: int = 2,
+        write_policy: WritePolicy = WritePolicy.WRITE_BACK,
+        hit_latency: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if not _is_power_of_two(capacity):
+            raise ConfigurationError(f"cache capacity not a power of two: {capacity}")
+        if not _is_power_of_two(line_size):
+            raise ConfigurationError(f"line size not a power of two: {line_size}")
+        if not _is_power_of_two(associativity):
+            raise ConfigurationError(
+                f"associativity not a power of two: {associativity}"
+            )
+        lines = capacity // line_size
+        if lines < associativity:
+            raise ConfigurationError(
+                f"{capacity} B / {line_size} B lines gives {lines} lines, "
+                f"fewer than {associativity} ways"
+            )
+        if hit_latency < 1:
+            raise ConfigurationError(f"hit latency must be >= 1: {hit_latency}")
+        self.capacity = capacity
+        self.line_size = line_size
+        self.associativity = associativity
+        self.write_policy = write_policy
+        self.hit_latency = hit_latency
+        self.sets = lines // associativity
+        # Per-set list of [tag, dirty], most-recently-used last.
+        self._sets: list[list[list[int]]] = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def area_gates(self) -> float:
+        return cache_area_gates(self.capacity, self.line_size, self.associativity)
+
+    @property
+    def access_energy_nj(self) -> float:
+        return cache_access_energy_nj(self.capacity, self.associativity)
+
+    def reset(self) -> None:
+        self._sets = [[] for _ in range(self.sets)]
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Observed miss ratio since the last reset."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def access(
+        self, address: int, size: int, kind: AccessKind, tick: int
+    ) -> ModuleResponse:
+        line_address = address // self.line_size
+        set_index = line_address % self.sets
+        tag = line_address // self.sets
+        ways = self._sets[set_index]
+        write = kind == AccessKind.WRITE
+        through = self.write_policy == WritePolicy.WRITE_THROUGH
+
+        for position, entry in enumerate(ways):
+            if entry[0] == tag:
+                self.hits += 1
+                ways.append(ways.pop(position))
+                if write and not through:
+                    entry[1] = 1
+                return ModuleResponse(
+                    hit=True,
+                    latency=self.hit_latency,
+                    writeback_bytes=size if write and through else 0,
+                )
+
+        self.misses += 1
+        writeback = 0
+        if len(ways) >= self.associativity:
+            victim = ways.pop(0)
+            if victim[1]:
+                writeback = self.line_size
+        ways.append([tag, 1 if write and not through else 0])
+        return ModuleResponse(
+            hit=False,
+            latency=self.hit_latency,
+            refill_bytes=self.line_size,
+            writeback_bytes=writeback + (size if write and through else 0),
+        )

@@ -1,0 +1,90 @@
+"""Off-chip DRAM model."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.memory.energy import dram_access_energy_nj
+from repro.memory.module import MemoryModule, ModuleResponse
+from repro.trace.events import AccessKind
+
+
+class Dram(MemoryModule):
+    """The off-chip DRAM backing store.
+
+    Every architecture has exactly one. Accesses that reach it always
+    "hit" (it is the backing store) but pay the core latency; page-mode
+    locality is modelled per bank — each of ``banks`` independently
+    keeps one row open, and consecutive rows interleave across banks
+    (so streams and scattered structures disturb each other's open
+    rows less on multi-bank parts).
+
+    The DRAM contributes no on-chip gates; its cost to the system is
+    the I/O + off-chip bus cost, which the connectivity model carries.
+    """
+
+    kind = "dram"
+    on_chip = False
+
+    def __init__(
+        self,
+        name: str = "dram",
+        core_latency: int = 20,
+        page_hit_latency: int = 8,
+        row_bytes: int = 1024,
+        banks: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if core_latency <= 0 or page_hit_latency <= 0:
+            raise ConfigurationError(
+                f"latencies must be positive: {core_latency}/{page_hit_latency}"
+            )
+        if page_hit_latency > core_latency:
+            raise ConfigurationError("page-hit latency cannot exceed core latency")
+        if row_bytes <= 0 or row_bytes & (row_bytes - 1):
+            raise ConfigurationError(f"row size must be a power of two: {row_bytes}")
+        if banks <= 0 or banks & (banks - 1):
+            raise ConfigurationError(f"banks must be a power of two: {banks}")
+        self.core_latency = core_latency
+        self.page_hit_latency = page_hit_latency
+        self.row_bytes = row_bytes
+        self.banks = banks
+        self._open_rows: list[int | None] = [None] * banks
+        self.accesses = 0
+        self.page_hits = 0
+
+    @property
+    def area_gates(self) -> float:
+        return 0.0
+
+    @property
+    def access_energy_nj(self) -> float:
+        return dram_access_energy_nj(self.row_bytes // 32)
+
+    def reset(self) -> None:
+        self._open_rows = [None] * self.banks
+        self.accesses = 0
+        self.page_hits = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        row = address // self.row_bytes
+        return row % self.banks, row
+
+    def access(
+        self, address: int, size: int, kind: AccessKind, tick: int
+    ) -> ModuleResponse:
+        self.accesses += 1
+        bank, row = self._locate(address)
+        if row == self._open_rows[bank]:
+            self.page_hits += 1
+            latency = self.page_hit_latency
+        else:
+            latency = self.core_latency
+            self._open_rows[bank] = row
+        return ModuleResponse(hit=True, latency=latency)
+
+    def latency_for(self, address: int) -> int:
+        """Peek at the latency of an access without updating row state."""
+        bank, row = self._locate(address)
+        if row == self._open_rows[bank]:
+            return self.page_hit_latency
+        return self.core_latency

@@ -1,0 +1,69 @@
+"""Analytic per-access energy models in nanojoules.
+
+Follows the shape of the Catthoor et al. memory power models the paper
+cites: on-chip array energy grows roughly with the square root of
+capacity (bitline/wordline lengths), off-chip accesses pay pad-driver
+and DRAM-core energy that dwarfs on-chip costs. Constants are
+calibrated to land in the paper's Table 1 range (≈ 5–15 nJ average per
+access); the exploration consumes only relative ordering.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigurationError
+
+#: Energy of sensing/driving one on-chip SRAM access at minimum size.
+SRAM_BASE_NJ = 0.18
+
+#: Capacity scaling coefficient for on-chip arrays.
+SRAM_CAPACITY_COEFF = 0.011
+
+#: Tag-array lookup energy per way.
+TAG_WAY_NJ = 0.04
+
+#: Row-activation (precharge + activate) energy of a DRAM page miss.
+DRAM_ACTIVATE_NJ = 28.0
+
+#: Column-access energy of any DRAM transaction (open-row read/write).
+DRAM_PAGE_ACCESS_NJ = 5.0
+
+#: Per-byte energy of moving data on/off the DRAM pins.
+DRAM_PER_BYTE_NJ = 0.45
+
+
+def sram_access_energy_nj(capacity_bytes: int) -> float:
+    """Energy of one access to an on-chip SRAM array."""
+    if capacity_bytes <= 0:
+        raise ConfigurationError(f"capacity must be positive: {capacity_bytes}")
+    return SRAM_BASE_NJ + SRAM_CAPACITY_COEFF * math.sqrt(capacity_bytes)
+
+
+def cache_access_energy_nj(
+    capacity_bytes: int, associativity: int
+) -> float:
+    """Energy of one cache access: data array plus parallel tag ways."""
+    if associativity <= 0:
+        raise ConfigurationError(f"associativity must be positive: {associativity}")
+    return sram_access_energy_nj(capacity_bytes) + associativity * TAG_WAY_NJ
+
+
+def dram_transaction_energy_nj(burst_bytes: int, page_hit: bool) -> float:
+    """Energy of one DRAM transaction moving ``burst_bytes``.
+
+    Open-row (page hit) transactions — the common case for streamed
+    prefetch traffic — avoid the activation cost; scattered accesses
+    pay it, which is what makes uncached scatter traffic expensive.
+    """
+    if burst_bytes <= 0:
+        raise ConfigurationError(f"burst must be positive: {burst_bytes}")
+    energy = DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * burst_bytes
+    if not page_hit:
+        energy += DRAM_ACTIVATE_NJ
+    return energy
+
+
+def dram_access_energy_nj(burst_bytes: int) -> float:
+    """Energy of a worst-case (row-miss) DRAM access of ``burst_bytes``."""
+    return dram_transaction_energy_nj(burst_bytes, page_hit=False)

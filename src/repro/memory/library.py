@@ -1,0 +1,196 @@
+"""The memory IP library: named, parameterized module presets.
+
+APEX explores "different combinations of memory modules from an IP
+library, such as caches, SRAMs, DMAs". This module provides that
+library as a collection of presets — each a factory producing a fresh
+module instance — with the default population spanning the geometry
+ranges an early-2000s embedded SoC would consider.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.errors import LibraryError
+from repro.memory.cache import Cache, WritePolicy
+from repro.memory.dma import SelfIndirectDma
+from repro.memory.linked_list_dma import LinkedListDma
+from repro.memory.dram import Dram
+from repro.memory.module import MemoryModule
+from repro.memory.sram import Sram
+from repro.memory.stream_buffer import StreamBuffer
+
+
+@dataclass(frozen=True)
+class ModulePreset:
+    """A named factory for one library entry."""
+
+    name: str
+    kind: str
+    build: Callable[[], MemoryModule] = field(compare=False)
+
+    def instantiate(self, instance_name: str | None = None) -> MemoryModule:
+        """Create a fresh module, optionally renaming the instance."""
+        module = self.build()
+        if instance_name is not None:
+            module.name = instance_name
+        return module
+
+
+class MemoryLibrary:
+    """A collection of memory-module presets, queryable by kind."""
+
+    def __init__(self, presets: Iterable[ModulePreset] = ()) -> None:
+        self._presets: dict[str, ModulePreset] = {}
+        for preset in presets:
+            self.add(preset)
+
+    def add(self, preset: ModulePreset) -> None:
+        """Register a preset; names must be unique."""
+        if preset.name in self._presets:
+            raise LibraryError(f"duplicate memory preset '{preset.name}'")
+        self._presets[preset.name] = preset
+
+    def get(self, name: str) -> ModulePreset:
+        """Look up a preset by name."""
+        try:
+            return self._presets[name]
+        except KeyError:
+            raise LibraryError(
+                f"no memory preset '{name}'; known: {', '.join(sorted(self._presets))}"
+            ) from None
+
+    def of_kind(self, kind: str) -> list[ModulePreset]:
+        """All presets of one module kind, in registration order."""
+        return [p for p in self._presets.values() if p.kind == kind]
+
+    def names(self) -> tuple[str, ...]:
+        """All preset names, in registration order."""
+        return tuple(self._presets)
+
+    def __len__(self) -> int:
+        return len(self._presets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._presets
+
+
+def default_memory_library() -> MemoryLibrary:
+    """The library used by the paper-reproduction experiments.
+
+    Cache geometries span 4–32 KiB at associativity 1–4; SRAMs span the
+    footprints of the benchmark structures; stream buffers and
+    self-indirect DMAs come in two depths each, mirroring the richness
+    (not the exact contents, which are proprietary) of the paper's IP
+    library.
+    """
+    library = MemoryLibrary()
+
+    cache_geometries = [
+        (4096, 16, 1),
+        (4096, 32, 2),
+        (8192, 32, 1),
+        (8192, 32, 2),
+        (16384, 32, 2),
+        (16384, 32, 4),
+        (32768, 32, 2),
+        (32768, 64, 4),
+    ]
+    for capacity, line, ways in cache_geometries:
+        kib = capacity // 1024
+        latency = 1 if capacity <= 8192 else 2
+        library.add(
+            ModulePreset(
+                name=f"cache_{kib}k_{line}b_{ways}w",
+                kind="cache",
+                build=lambda c=capacity, l=line, w=ways, hl=latency: Cache(
+                    name=f"cache_{c // 1024}k",
+                    capacity=c,
+                    line_size=l,
+                    associativity=w,
+                    write_policy=WritePolicy.WRITE_BACK,
+                    hit_latency=hl,
+                ),
+            )
+        )
+
+    for capacity, line, ways in ((8192, 32, 2), (16384, 32, 2)):
+        kib = capacity // 1024
+        library.add(
+            ModulePreset(
+                name=f"cache_{kib}k_{line}b_{ways}w_wt",
+                kind="cache",
+                build=lambda c=capacity, l=line, w=ways: Cache(
+                    name=f"cache_{c // 1024}k_wt",
+                    capacity=c,
+                    line_size=l,
+                    associativity=w,
+                    write_policy=WritePolicy.WRITE_THROUGH,
+                    hit_latency=1 if c <= 8192 else 2,
+                ),
+            )
+        )
+
+    for capacity in (1024, 2048, 4096, 8192, 16384):
+        kib = capacity // 1024
+        library.add(
+            ModulePreset(
+                name=f"sram_{kib}k",
+                kind="sram",
+                build=lambda c=capacity: Sram(name=f"sram_{c // 1024}k", capacity=c),
+            )
+        )
+
+    for depth in (2, 4, 8):
+        library.add(
+            ModulePreset(
+                name=f"stream_buffer_{depth}",
+                kind="stream_buffer",
+                build=lambda d=depth: StreamBuffer(
+                    name=f"stream_buffer_{d}", depth=d, line_size=32
+                ),
+            )
+        )
+
+    for entries in (16, 32, 64):
+        library.add(
+            ModulePreset(
+                name=f"si_dma_{entries}",
+                kind="self_indirect_dma",
+                build=lambda e=entries: SelfIndirectDma(
+                    name=f"si_dma_{e}", entries=e, node_size=16, lookahead=4
+                ),
+            )
+        )
+
+    for entries in (32, 64):
+        library.add(
+            ModulePreset(
+                name=f"ll_dma_{entries}",
+                kind="linked_list_dma",
+                build=lambda e=entries: LinkedListDma(
+                    name=f"ll_dma_{e}",
+                    entries=e,
+                    node_size=16,
+                    lookahead=4,
+                    max_chain=64,
+                ),
+            )
+        )
+
+    library.add(
+        ModulePreset(
+            name="dram",
+            kind="dram",
+            build=lambda: Dram(name="dram"),
+        )
+    )
+    library.add(
+        ModulePreset(
+            name="dram_4bank",
+            kind="dram",
+            build=lambda: Dram(name="dram", banks=4),
+        )
+    )
+    return library

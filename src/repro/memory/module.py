@@ -1,0 +1,83 @@
+"""Memory-module base class and the behavioural response record."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.trace.events import AccessKind
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleResponse:
+    """Outcome of one access presented to a memory module.
+
+    Attributes:
+        hit: whether the module served the access from on-chip state.
+        latency: cycles spent inside the module on the critical path
+            (hit time, or miss-handling control overhead *excluding*
+            the backing transfer, which the simulator prices using the
+            module↔DRAM channel and the DRAM model).
+        refill_bytes: bytes that must arrive from the backing store
+            before the access completes (critical path).
+        writeback_bytes: bytes sent to the backing store off the
+            critical path (dirty evictions, posted writes).
+        prefetch_bytes: bytes fetched from the backing store off the
+            critical path (stream-buffer / DMA prefetches). These
+            consume channel bandwidth and DRAM energy but do not stall
+            this access.
+    """
+
+    hit: bool
+    latency: int
+    refill_bytes: int = 0
+    writeback_bytes: int = 0
+    prefetch_bytes: int = 0
+
+
+class MemoryModule(ABC):
+    """A component of the memory architecture.
+
+    Concrete modules implement the behavioural :meth:`access` model and
+    the analytic :attr:`area_gates` / :attr:`access_energy_nj` models.
+    A module instance carries state (tags, buffers); :meth:`reset`
+    restores the power-on state so one architecture object can be
+    simulated repeatedly.
+    """
+
+    #: Short kind tag used in architecture descriptions ("cache"...).
+    kind: str = "module"
+
+    #: Whether the module sits on-chip (drives wire models and the
+    #: paper's hit/miss accounting: on-chip accesses are hits).
+    on_chip: bool = True
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    @property
+    @abstractmethod
+    def area_gates(self) -> float:
+        """Module area in basic gates."""
+
+    @property
+    @abstractmethod
+    def access_energy_nj(self) -> float:
+        """Energy of one access to the module's own arrays, in nJ."""
+
+    @abstractmethod
+    def access(
+        self, address: int, size: int, kind: AccessKind, tick: int
+    ) -> ModuleResponse:
+        """Present one CPU access; update state; return the outcome."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore power-on state (empty tags/buffers)."""
+
+    def describe(self) -> str:
+        """One-line human description used in reports."""
+        return f"{self.kind} {self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.name}>"

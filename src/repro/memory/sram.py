@@ -1,0 +1,49 @@
+"""On-chip scratchpad SRAM model."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.memory.area import sram_area_gates
+from repro.memory.energy import sram_access_energy_nj
+from repro.memory.module import MemoryModule, ModuleResponse
+from repro.trace.events import AccessKind
+
+
+class Sram(MemoryModule):
+    """A software-managed on-chip SRAM (scratchpad).
+
+    Structures mapped here always hit — APEX only maps a structure to
+    an SRAM when its footprint fits, and the simulator checks that at
+    architecture-validation time. Accesses never touch the backing
+    store, which is exactly why SRAM mapping relieves off-chip
+    bandwidth in the paper's architectures.
+    """
+
+    kind = "sram"
+
+    def __init__(self, name: str, capacity: int, access_latency: int = 1) -> None:
+        super().__init__(name)
+        if capacity <= 0:
+            raise ConfigurationError(f"SRAM capacity must be positive: {capacity}")
+        if access_latency < 1:
+            raise ConfigurationError(f"latency must be >= 1: {access_latency}")
+        self.capacity = capacity
+        self.access_latency = access_latency
+        self.accesses = 0
+
+    @property
+    def area_gates(self) -> float:
+        return sram_area_gates(self.capacity)
+
+    @property
+    def access_energy_nj(self) -> float:
+        return sram_access_energy_nj(self.capacity)
+
+    def reset(self) -> None:
+        self.accesses = 0
+
+    def access(
+        self, address: int, size: int, kind: AccessKind, tick: int
+    ) -> ModuleResponse:
+        self.accesses += 1
+        return ModuleResponse(hit=True, latency=self.access_latency)

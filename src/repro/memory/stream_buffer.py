@@ -1,0 +1,112 @@
+"""Stream-buffer model: prefetching FIFO for sequential accesses."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.memory.area import prefetch_buffer_area_gates
+from repro.memory.energy import sram_access_energy_nj
+from repro.memory.module import MemoryModule, ModuleResponse
+from repro.trace.events import AccessKind
+
+
+class StreamBuffer(MemoryModule):
+    """A FIFO of prefetched lines serving a sequential stream.
+
+    Behaviour: the buffer tracks a window of ``depth`` lines starting
+    at the stream head. An access inside the window hits (the prefetch
+    engine ran ahead); consuming a new line triggers a background
+    prefetch of the line falling into the window (bandwidth, not
+    latency). A jump outside the window (stream restart, output wrap)
+    is a miss that refills the window head.
+
+    Writes stream *out* through the same FIFO: they hit and post
+    ``line_size`` writebacks each time a line boundary is crossed.
+    """
+
+    kind = "stream_buffer"
+
+    def __init__(
+        self,
+        name: str,
+        depth: int = 4,
+        line_size: int = 32,
+        hit_latency: int = 1,
+    ) -> None:
+        super().__init__(name)
+        if depth <= 0:
+            raise ConfigurationError(f"depth must be positive: {depth}")
+        if line_size <= 0 or line_size & (line_size - 1):
+            raise ConfigurationError(
+                f"line size must be a power of two: {line_size}"
+            )
+        self.depth = depth
+        self.line_size = line_size
+        self.hit_latency = hit_latency
+        self._window_start: int | None = None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def area_gates(self) -> float:
+        return prefetch_buffer_area_gates(self.depth, self.line_size)
+
+    @property
+    def access_energy_nj(self) -> float:
+        return sram_access_energy_nj(self.depth * self.line_size)
+
+    def reset(self) -> None:
+        self._window_start = None
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def miss_ratio(self) -> float:
+        """Observed miss ratio since the last reset."""
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+    def access(
+        self, address: int, size: int, kind: AccessKind, tick: int
+    ) -> ModuleResponse:
+        line = address // self.line_size
+        write = kind == AccessKind.WRITE
+        if self._window_start is None:
+            # Cold start: fetch the window head.
+            self._window_start = line
+            self.misses += 1
+            return ModuleResponse(
+                hit=False,
+                latency=self.hit_latency,
+                refill_bytes=0 if write else self.line_size,
+                prefetch_bytes=0 if write else (self.depth - 1) * self.line_size,
+                writeback_bytes=size if write else 0,
+            )
+        offset = line - self._window_start
+        if 0 <= offset < self.depth:
+            self.hits += 1
+            advanced = 0
+            if offset > 0:
+                # Consuming a later line slides the window forward.
+                advanced = offset
+                self._window_start = line
+            if write:
+                return ModuleResponse(
+                    hit=True,
+                    latency=self.hit_latency,
+                    writeback_bytes=advanced * self.line_size,
+                )
+            return ModuleResponse(
+                hit=True,
+                latency=self.hit_latency,
+                prefetch_bytes=advanced * self.line_size,
+            )
+        # Non-sequential jump: restart the window at the new head.
+        self._window_start = line
+        self.misses += 1
+        return ModuleResponse(
+            hit=False,
+            latency=self.hit_latency,
+            refill_bytes=0 if write else self.line_size,
+            prefetch_bytes=0 if write else (self.depth - 1) * self.line_size,
+            writeback_bytes=size if write else 0,
+        )

@@ -1,0 +1,23 @@
+"""Trace-driven, cycle-approximate memory-system simulator.
+
+Plays the role of the paper's SIMPRESS-based cycle-accurate memory
+model: it runs a tagged trace through a memory architecture and a
+connectivity architecture, modelling module hit/miss behaviour, bus
+arbitration and occupancy, split transactions, pipelining, DRAM paging,
+and per-access energy. It supports full simulation (the paper's Phase
+II) and Kessler-style time-sampled estimation (used to guide the
+search, on/off ratio 1/9).
+"""
+
+from repro.sim.metrics import ChannelTraffic, ModuleStats, SimulationResult
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import Simulator, simulate
+
+__all__ = [
+    "ChannelTraffic",
+    "ModuleStats",
+    "SamplingConfig",
+    "SimulationResult",
+    "Simulator",
+    "simulate",
+]

@@ -1,0 +1,135 @@
+"""Simulation result records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class ModuleStats:
+    """Per-module outcome counters."""
+
+    name: str
+    accesses: int
+    hits: int
+    misses: int
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.misses / total if total else 0.0
+
+
+@dataclass(frozen=True)
+class StructLatency:
+    """Per-data-structure latency contribution.
+
+    ``mean_latency`` is over this structure's *measured* accesses;
+    ``share`` is its fraction of all measured stall cycles — the
+    "which structure hurts" diagnostic APEX module-matching acts on.
+    """
+
+    struct: str
+    accesses: int
+    mean_latency: float
+    share: float
+
+
+@dataclass(frozen=True)
+class ChannelTraffic:
+    """Bytes and transactions observed on one channel.
+
+    ``transactions`` counts critical-path transfers (CPU accesses,
+    refills); ``background_transactions`` counts off-critical-path
+    traffic (writebacks, prefetches), which occupies bandwidth but does
+    not stall the CPU directly.
+    """
+
+    channel_name: str
+    transactions: int
+    bytes_moved: int
+    total_wait_cycles: int
+    background_transactions: int = 0
+    busy_cycles: int = 0
+
+    @property
+    def all_transactions(self) -> int:
+        """Critical plus background transfers."""
+        return self.transactions + self.background_transactions
+
+    @property
+    def mean_wait(self) -> float:
+        """Average arbitration wait per transaction (contention signal)."""
+        if not self.transactions:
+            return 0.0
+        return self.total_wait_cycles / self.transactions
+
+    def utilization(self, total_cycles: int) -> float:
+        """Fraction of the run this channel's component was busy.
+
+        Shared components report the same busy time on every channel
+        they carry (the bus is one resource); near-1.0 utilization
+        flags the saturated designs the estimator penalizes.
+        """
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one (trace, memory, connectivity) simulation.
+
+    The three paper axes are :attr:`cost_gates` (memory modules +
+    connectivity), :attr:`avg_latency` (average memory latency in
+    cycles, "including the latency due to the memory modules, as well
+    as the latency due to the connectivity"), and
+    :attr:`avg_energy_nj` (average energy per access).
+    """
+
+    trace_name: str
+    memory_name: str
+    connectivity_name: str
+    accesses: int
+    sampled_accesses: int
+    avg_latency: float
+    total_cycles: int
+    avg_energy_nj: float
+    total_energy_nj: float
+    miss_ratio: float
+    cost_gates: float
+    memory_cost_gates: float
+    connectivity_cost_gates: float
+    modules: Mapping[str, ModuleStats] = field(default_factory=dict)
+    channels: Mapping[str, ChannelTraffic] = field(default_factory=dict)
+    #: Average nJ/access by category: "modules", "dram", "connectivity".
+    energy_breakdown: Mapping[str, float] = field(default_factory=dict)
+    #: Per-data-structure latency contributions (measured accesses).
+    structs: Mapping[str, StructLatency] = field(default_factory=dict)
+
+    @property
+    def objectives(self) -> tuple[float, float, float]:
+        """(cost, performance, power) vector — all minimized."""
+        return (self.cost_gates, self.avg_latency, self.avg_energy_nj)
+
+    @property
+    def connectivity_energy_fraction(self) -> float:
+        """Share of per-access energy spent in the connectivity.
+
+        The paper observes this is small ("the connectivity consumes a
+        small amount of power compared to the memory modules").
+        """
+        if not self.avg_energy_nj:
+            return 0.0
+        return self.energy_breakdown.get("connectivity", 0.0) / self.avg_energy_nj
+
+    def summary(self) -> str:
+        """One-line report string."""
+        return (
+            f"{self.memory_name}/{self.connectivity_name}: "
+            f"{self.cost_gates:,.0f} gates, "
+            f"{self.avg_latency:.2f} cyc/access, "
+            f"{self.avg_energy_nj:.2f} nJ/access, "
+            f"miss {100 * self.miss_ratio:.1f}%"
+        )

@@ -1,0 +1,44 @@
+"""Reservation-table timing machinery (RTGEN-style).
+
+The paper estimates performance with Reservation Tables "taking into
+account the latency, pipelining, and resource conflicts in the
+connectivity and memory architecture" (citing the authors' RTGEN,
+ISSS'99). This subpackage provides the table algebra: construction,
+conflict detection, forbidden latencies, minimum initiation intervals,
+and composition of module + bus tables into end-to-end transaction
+tables.
+"""
+
+from repro.timing.diagrams import (
+    SignalWaveform,
+    TimingDiagram,
+    ahb_read_diagram,
+    apb_read_diagram,
+    diagram_to_table,
+)
+from repro.timing.pipeline import TransactionPipeline
+from repro.timing.reservation import ReservationTable
+from repro.timing.rtgen import (
+    OperationDescription,
+    Stage,
+    bus_transfer_description,
+    compose_operation_tables,
+    generate_table,
+    memory_access_description,
+)
+
+__all__ = [
+    "OperationDescription",
+    "ReservationTable",
+    "SignalWaveform",
+    "Stage",
+    "TimingDiagram",
+    "TransactionPipeline",
+    "ahb_read_diagram",
+    "apb_read_diagram",
+    "bus_transfer_description",
+    "compose_operation_tables",
+    "diagram_to_table",
+    "generate_table",
+    "memory_access_description",
+]

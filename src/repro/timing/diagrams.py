@@ -1,0 +1,172 @@
+"""Interface timing diagrams → reservation tables.
+
+The paper's Related Work (III) notes that interface co-synthesis
+techniques (Chou/Ortega/Borriello; Chung/Gupta/Liu) "can be used to
+provide an abstraction of the connectivity and memory module timings in
+the form of Reservation Tables". This module implements that
+abstraction step: a bus protocol is written down as a *timing diagram*
+— per-signal waveforms of asserted intervals — and lowered to the
+reservation table the estimator consumes.
+
+Signals are grouped into *resource classes* (several wires arbitrated
+as one resource); a resource is held in every cycle where any of its
+signals is asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.timing.reservation import ReservationTable
+
+
+@dataclass(frozen=True)
+class SignalWaveform:
+    """One signal's asserted intervals, as (start, end) half-open pairs."""
+
+    name: str
+    asserted: tuple[tuple[int, int], ...]
+
+    def __post_init__(self) -> None:
+        previous_end = -1
+        for start, end in self.asserted:
+            if start < 0 or end <= start:
+                raise ConfigurationError(
+                    f"signal '{self.name}': bad interval [{start}, {end})"
+                )
+            if start < previous_end:
+                raise ConfigurationError(
+                    f"signal '{self.name}': intervals overlap or unsorted"
+                )
+            previous_end = end
+
+    def cycles(self) -> set[int]:
+        """All cycles in which the signal is asserted."""
+        result: set[int] = set()
+        for start, end in self.asserted:
+            result.update(range(start, end))
+        return result
+
+    @property
+    def last_cycle(self) -> int:
+        """The final asserted cycle (-1 if never asserted)."""
+        return max((end - 1 for _, end in self.asserted), default=-1)
+
+
+@dataclass(frozen=True)
+class TimingDiagram:
+    """A named protocol transaction as a set of signal waveforms."""
+
+    name: str
+    signals: tuple[SignalWaveform, ...]
+    #: Maps resource name -> signal names arbitrated as that resource.
+    resource_classes: Mapping[str, tuple[str, ...]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.signals:
+            raise ConfigurationError(f"diagram '{self.name}' has no signals")
+        names = [s.name for s in self.signals]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"diagram '{self.name}' repeats a signal name"
+            )
+        known = set(names)
+        for resource, members in self.resource_classes.items():
+            unknown = set(members) - known
+            if unknown:
+                raise ConfigurationError(
+                    f"resource class '{resource}' references unknown "
+                    f"signals: {sorted(unknown)}"
+                )
+
+    def signal(self, name: str) -> SignalWaveform:
+        """Look a waveform up by signal name."""
+        for waveform in self.signals:
+            if waveform.name == name:
+                return waveform
+        raise ConfigurationError(
+            f"diagram '{self.name}' has no signal '{name}'"
+        )
+
+    @property
+    def length(self) -> int:
+        """Transaction length: one past the last asserted cycle."""
+        return 1 + max(s.last_cycle for s in self.signals)
+
+
+def diagram_to_table(diagram: TimingDiagram) -> ReservationTable:
+    """Lower a timing diagram to a reservation table.
+
+    Signals named in a resource class merge into that resource (held
+    whenever any member is asserted); signals in no class become their
+    own resource named ``<diagram>.<signal>``.
+    """
+    usage: dict[str, set[int]] = {}
+    classified: set[str] = set()
+    for resource, members in diagram.resource_classes.items():
+        cycles: set[int] = set()
+        for member in members:
+            cycles |= diagram.signal(member).cycles()
+            classified.add(member)
+        if cycles:
+            usage[resource] = cycles
+    for waveform in diagram.signals:
+        if waveform.name in classified:
+            continue
+        cycles = waveform.cycles()
+        if cycles:
+            usage[f"{diagram.name}.{waveform.name}"] = cycles
+    if not usage:
+        raise ConfigurationError(
+            f"diagram '{diagram.name}' asserts nothing"
+        )
+    return ReservationTable(usage)
+
+
+def ahb_read_diagram(beats: int, name: str = "ahb") -> TimingDiagram:
+    """The AMBA AHB pipelined read transaction as a timing diagram.
+
+    Cycle 0: bus request/grant; cycle 1: address phase; cycles 2..:
+    one data beat per cycle. Address and data phases are separate
+    resources, which is exactly what lets back-to-back AHB transfers
+    overlap.
+    """
+    if beats <= 0:
+        raise ConfigurationError(f"beats must be positive: {beats}")
+    return TimingDiagram(
+        name=name,
+        signals=(
+            SignalWaveform("hbusreq", ((0, 1),)),
+            SignalWaveform("hgrant", ((0, 1),)),
+            SignalWaveform("haddr", ((1, 2),)),
+            SignalWaveform("htrans", ((1, 2),)),
+            SignalWaveform("hrdata", ((2, 2 + beats),)),
+            SignalWaveform("hready", ((2, 2 + beats),)),
+        ),
+        resource_classes={
+            f"{name}.arb": ("hbusreq", "hgrant", "haddr", "htrans"),
+            f"{name}.data": ("hrdata", "hready"),
+        },
+    )
+
+
+def apb_read_diagram(beats: int, name: str = "apb") -> TimingDiagram:
+    """The AMBA APB two-cycle (setup + enable) read as a diagram.
+
+    APB has no pipelining: the single bus resource is held for the
+    setup cycle plus two cycles per beat.
+    """
+    if beats <= 0:
+        raise ConfigurationError(f"beats must be positive: {beats}")
+    signals = [
+        SignalWaveform("psel", ((0, 1 + 2 * beats),)),
+        SignalWaveform("penable", tuple((2 + 2 * i, 3 + 2 * i) for i in range(beats))),
+        SignalWaveform("prdata", tuple((2 + 2 * i, 3 + 2 * i) for i in range(beats))),
+    ]
+    return TimingDiagram(
+        name=name,
+        signals=tuple(signals),
+        resource_classes={f"{name}.bus": ("psel", "penable", "prdata")},
+    )

@@ -1,0 +1,130 @@
+"""Reservation tables: resource-usage patterns over time.
+
+A reservation table maps each hardware resource (a bus data path, an
+arbiter, a memory port) to the set of cycles, relative to transaction
+start, during which the resource is held. Two transactions conflict at
+a given start-time offset when some resource is held by both in the
+same absolute cycle. From this the classic pipeline-theory quantities
+follow: forbidden latencies, the minimum initiation interval (MII), and
+safe issue offsets — which is how the ConEx estimator prices bus
+sharing without simulating.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+
+
+class ReservationTable:
+    """Immutable mapping of resource name → cycles held."""
+
+    def __init__(self, usage: Mapping[str, Iterable[int]]) -> None:
+        cleaned: dict[str, frozenset[int]] = {}
+        for resource, cycles in usage.items():
+            cycle_set = frozenset(int(c) for c in cycles)
+            if not cycle_set:
+                continue
+            if min(cycle_set) < 0:
+                raise ConfigurationError(
+                    f"resource '{resource}' used at negative cycle"
+                )
+            cleaned[resource] = cycle_set
+        if not cleaned:
+            raise ConfigurationError("reservation table holds no resources")
+        self._usage = cleaned
+
+    @property
+    def resources(self) -> tuple[str, ...]:
+        """Resource names, sorted for determinism."""
+        return tuple(sorted(self._usage))
+
+    def cycles(self, resource: str) -> frozenset[int]:
+        """Cycles during which ``resource`` is held (empty if unused)."""
+        return self._usage.get(resource, frozenset())
+
+    @property
+    def length(self) -> int:
+        """Total table length in cycles (last held cycle + 1)."""
+        return 1 + max(max(c) for c in self._usage.values())
+
+    def conflicts_with(self, other: "ReservationTable", offset: int) -> bool:
+        """Does ``other`` started ``offset`` cycles later collide?
+
+        ``offset`` may be negative (other starts earlier).
+        """
+        for resource, mine in self._usage.items():
+            theirs = other.cycles(resource)
+            if not theirs:
+                continue
+            if any((c + offset) in mine for c in theirs):
+                return True
+        return False
+
+    def forbidden_latencies(self) -> frozenset[int]:
+        """Positive self-offsets at which a second issue would collide."""
+        return frozenset(
+            offset
+            for offset in range(1, self.length)
+            if self.conflicts_with(self, offset)
+        )
+
+    def min_initiation_interval(self) -> int:
+        """Smallest positive issue distance free of self-conflicts."""
+        forbidden = self.forbidden_latencies()
+        for offset in range(1, self.length + 1):
+            if offset not in forbidden:
+                return offset
+        return self.length
+
+    def shifted(self, offset: int) -> "ReservationTable":
+        """The same usage pattern delayed by ``offset`` cycles."""
+        if offset < 0:
+            raise ConfigurationError(f"negative shift: {offset}")
+        return ReservationTable(
+            {r: {c + offset for c in cs} for r, cs in self._usage.items()}
+        )
+
+    def compose(self, other: "ReservationTable", offset: int) -> "ReservationTable":
+        """Union of this table with ``other`` delayed by ``offset``.
+
+        Used to chain the stages of one transaction — e.g. the CPU-side
+        bus transfer, then the cache lookup, then the off-chip refill —
+        into a single end-to-end table. Overlapping use of the *same*
+        resource is rejected: a transaction cannot hold one resource
+        twice in the same cycle.
+        """
+        shifted = other.shifted(offset)
+        merged: dict[str, set[int]] = {
+            r: set(cs) for r, cs in self._usage.items()
+        }
+        for resource in shifted.resources:
+            cycles = shifted.cycles(resource)
+            if resource in merged and merged[resource] & cycles:
+                raise ConfigurationError(
+                    f"composition reuses resource '{resource}' in the same cycle"
+                )
+            merged.setdefault(resource, set()).update(cycles)
+        return ReservationTable(merged)
+
+    def utilization(self, resource: str) -> float:
+        """Fraction of the table length during which ``resource`` is held."""
+        held = self.cycles(resource)
+        if not held:
+            return 0.0
+        return len(held) / self.length
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReservationTable):
+            return NotImplemented
+        return self._usage == other._usage
+
+    def __hash__(self) -> int:
+        return hash(tuple(sorted((r, tuple(sorted(c))) for r, c in self._usage.items())))
+
+    def __repr__(self) -> str:
+        rows = ", ".join(
+            f"{r}:{sorted(self._usage[r])}" for r in self.resources
+        )
+        return f"ReservationTable({rows})"

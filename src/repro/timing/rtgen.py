@@ -1,0 +1,203 @@
+"""RTGEN-style reservation-table generation from operation descriptions.
+
+The paper's performance estimation rests on reservation tables
+"generated automatically from architectural descriptions" (RTGEN,
+Grun/Halambi/Dutt/Nicolau, ISSS'99). This module provides that
+generator: an operation is described as a chain of *stages*, each
+naming the hardware resources it holds and for how long, with explicit
+inter-stage overlap; :func:`generate_table` lowers the description to
+a :class:`~repro.timing.reservation.ReservationTable`.
+
+The connectivity components' built-in ``reservation_table`` methods are
+hand-specialized instances of this lowering; the generator exists so
+users can model *new* components (or memory-module pipelines) without
+writing tables by hand, and is cross-checked against the built-ins in
+the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.errors import ConfigurationError
+from repro.timing.reservation import ReservationTable
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One pipeline stage of an operation description.
+
+    Attributes:
+        name: stage label (diagnostics only).
+        resources: resource names held during the stage.
+        duration: cycles the stage holds its resources.
+        overlap: cycles this stage's start overlaps the *previous*
+            stage's tail (0 = strictly sequential; a fully pipelined
+            hand-off overlaps all but one cycle).
+    """
+
+    name: str
+    resources: tuple[str, ...]
+    duration: int
+    overlap: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.resources:
+            raise ConfigurationError(f"stage '{self.name}' holds no resources")
+        if self.duration <= 0:
+            raise ConfigurationError(
+                f"stage '{self.name}' duration must be positive: {self.duration}"
+            )
+        if self.overlap < 0:
+            raise ConfigurationError(
+                f"stage '{self.name}' overlap must be >= 0: {self.overlap}"
+            )
+
+
+@dataclass(frozen=True)
+class OperationDescription:
+    """A named operation as an ordered chain of stages."""
+
+    name: str
+    stages: tuple[Stage, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ConfigurationError(f"operation '{self.name}' has no stages")
+        if self.stages[0].overlap != 0:
+            raise ConfigurationError(
+                f"operation '{self.name}': first stage cannot overlap"
+            )
+
+
+def generate_table(operation: OperationDescription) -> ReservationTable:
+    """Lower an operation description to a reservation table.
+
+    Stage *k* starts when stage *k-1* ends, minus the declared overlap;
+    a stage may not start before cycle 0 or before the previous stage
+    starts (overlap larger than the previous duration is rejected).
+    """
+    usage: dict[str, set[int]] = {}
+    cursor = 0
+    previous_start = 0
+    for index, stage in enumerate(operation.stages):
+        if index == 0:
+            start = 0
+        else:
+            start = cursor - stage.overlap
+            if start < previous_start:
+                raise ConfigurationError(
+                    f"operation '{operation.name}': stage '{stage.name}' "
+                    f"overlap {stage.overlap} reaches before the previous "
+                    f"stage's start"
+                )
+        for resource in stage.resources:
+            cycles = usage.setdefault(resource, set())
+            span = set(range(start, start + stage.duration))
+            if cycles & span:
+                raise ConfigurationError(
+                    f"operation '{operation.name}': resource '{resource}' "
+                    f"held twice in the same cycle by stage '{stage.name}'"
+                )
+            cycles.update(span)
+        previous_start = start
+        cursor = start + stage.duration
+    return ReservationTable(usage)
+
+
+def bus_transfer_description(
+    name: str,
+    beats: int,
+    base_latency: int,
+    cycles_per_beat: int,
+    pipelined: bool,
+) -> OperationDescription:
+    """The generic bus-transfer operation the components specialize.
+
+    A pipelined bus splits arbitration (``<name>.arb``) from the data
+    phase (``<name>.data``) so back-to-back transfers overlap; an
+    unpipelined bus holds a single ``<name>.bus`` resource end to end.
+    """
+    if beats <= 0:
+        raise ConfigurationError(f"beats must be positive: {beats}")
+    data_cycles = beats * cycles_per_beat
+    if not pipelined:
+        return OperationDescription(
+            name=name,
+            stages=(
+                Stage(
+                    name="transfer",
+                    resources=(f"{name}.bus",),
+                    duration=base_latency + data_cycles,
+                ),
+            ),
+        )
+    stages: list[Stage] = []
+    if base_latency:
+        stages.append(
+            Stage(name="arb", resources=(f"{name}.arb",), duration=base_latency)
+        )
+    stages.append(
+        Stage(name="data", resources=(f"{name}.data",), duration=data_cycles)
+    )
+    return OperationDescription(name=name, stages=tuple(stages))
+
+
+def memory_access_description(
+    name: str,
+    port_cycles: int,
+    array_cycles: int,
+    ports: Iterable[str] = ("port",),
+) -> OperationDescription:
+    """A memory-module access: port hand-off, then array cycles.
+
+    The port is released while the array works (banked arrays accept a
+    new port transaction per cycle), which is how multi-cycle memories
+    still reach an initiation interval equal to ``port_cycles``.
+    """
+    return OperationDescription(
+        name=name,
+        stages=(
+            Stage(
+                name="port",
+                resources=tuple(f"{name}.{p}" for p in ports),
+                duration=port_cycles,
+            ),
+            Stage(
+                name="array",
+                resources=(f"{name}.array",),
+                duration=array_cycles,
+            ),
+        ),
+    )
+
+
+def compose_operation_tables(
+    tables: Mapping[str, ReservationTable],
+    order: Iterable[str],
+    gaps: Mapping[str, int] | None = None,
+) -> ReservationTable:
+    """Chain named per-component tables into one end-to-end table.
+
+    ``order`` lists the table keys in traversal order (e.g. CPU bus,
+    cache port, off-chip bus, DRAM); ``gaps`` optionally inserts dead
+    cycles before a named stage (controller turnaround).
+    """
+    gaps = dict(gaps or {})
+    composed: ReservationTable | None = None
+    offset = 0
+    for key in order:
+        try:
+            table = tables[key]
+        except KeyError:
+            raise ConfigurationError(f"no table named '{key}'") from None
+        offset += gaps.get(key, 0)
+        if composed is None:
+            composed = table.shifted(offset)
+        else:
+            composed = composed.compose(table, offset)
+        offset += table.length
+    if composed is None:
+        raise ConfigurationError("no tables to compose")
+    return composed

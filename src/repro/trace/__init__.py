@@ -1,0 +1,50 @@
+"""Memory-access traces: records, pattern classification, profiling.
+
+This subpackage plays the role of SHADE in the paper's toolchain: it
+turns a running (instrumented) application into a sequence of tagged
+memory accesses, classifies the per-data-structure access patterns the
+way APEX consumes them, and profiles per-channel bandwidth the way ConEx
+consumes it.
+"""
+
+from repro.trace.events import (
+    Access,
+    AccessKind,
+    Trace,
+    TraceBuilder,
+    concatenate_traces,
+)
+from repro.trace.patterns import (
+    AccessPattern,
+    PatternProfile,
+    classify_structure,
+    profile_patterns,
+)
+from repro.trace.profiler import BandwidthProfile, StructureStats, profile_trace
+from repro.trace.reuse import (
+    WorkingSetProfile,
+    hit_ratio_curve,
+    reuse_distances,
+    stride_histogram,
+    working_set_profile,
+)
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "AccessPattern",
+    "BandwidthProfile",
+    "PatternProfile",
+    "StructureStats",
+    "Trace",
+    "TraceBuilder",
+    "WorkingSetProfile",
+    "classify_structure",
+    "concatenate_traces",
+    "hit_ratio_curve",
+    "profile_patterns",
+    "profile_trace",
+    "reuse_distances",
+    "stride_histogram",
+    "working_set_profile",
+]

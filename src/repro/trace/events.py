@@ -1,0 +1,256 @@
+"""Access records and the columnar :class:`Trace` container.
+
+A trace is the interchange format between the instrumented workloads
+(:mod:`repro.workloads`), the profilers (:mod:`repro.trace.profiler`),
+and the simulator (:mod:`repro.sim`). Internally a trace is stored as
+parallel :mod:`numpy` arrays so that pattern classification and
+bandwidth profiling stay vectorized even for million-access traces;
+iteration yields lightweight :class:`Access` records for the
+event-driven simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.errors import TraceError
+
+
+class AccessKind(IntEnum):
+    """Direction of a memory access as seen from the CPU."""
+
+    READ = 0
+    WRITE = 1
+
+
+@dataclass(frozen=True, slots=True)
+class Access:
+    """One CPU memory access.
+
+    Attributes:
+        address: byte address within the flat trace address space.
+        size: access width in bytes (1, 2, 4, or 8 in practice).
+        kind: read or write.
+        struct: name of the application data structure touched; this is
+            the tag APEX uses to map structures onto memory modules.
+        tick: CPU issue time in (ideal) cycles — program order spaced by
+            the compute work between accesses.
+    """
+
+    address: int
+    size: int
+    kind: AccessKind
+    struct: str
+    tick: int
+
+
+class TraceBuilder:
+    """Incrementally records accesses while a workload executes.
+
+    The builder advances a virtual CPU clock: each recorded access
+    occupies one issue slot, and :meth:`compute` models instruction work
+    between accesses so traces carry realistic inter-access gaps.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._addresses: list[int] = []
+        self._sizes: list[int] = []
+        self._kinds: list[int] = []
+        self._struct_ids: list[int] = []
+        self._ticks: list[int] = []
+        self._structs: dict[str, int] = {}
+        self._tick = 0
+
+    def compute(self, cycles: int) -> None:
+        """Advance the virtual clock by ``cycles`` of non-memory work."""
+        if cycles < 0:
+            raise TraceError(f"negative compute time: {cycles}")
+        self._tick += cycles
+
+    def record(
+        self,
+        address: int,
+        size: int,
+        kind: AccessKind,
+        struct: str,
+    ) -> None:
+        """Append one access at the current clock and advance one cycle."""
+        if size <= 0:
+            raise TraceError(f"access size must be positive, got {size}")
+        if address < 0:
+            raise TraceError(f"negative address: {address:#x}")
+        struct_id = self._structs.setdefault(struct, len(self._structs))
+        self._addresses.append(address)
+        self._sizes.append(size)
+        self._kinds.append(int(kind))
+        self._struct_ids.append(struct_id)
+        self._ticks.append(self._tick)
+        self._tick += 1
+
+    def read(self, address: int, size: int, struct: str) -> None:
+        """Shorthand for recording a read access."""
+        self.record(address, size, AccessKind.READ, struct)
+
+    def write(self, address: int, size: int, struct: str) -> None:
+        """Shorthand for recording a write access."""
+        self.record(address, size, AccessKind.WRITE, struct)
+
+    def build(self) -> "Trace":
+        """Freeze the recorded accesses into an immutable :class:`Trace`."""
+        if not self._addresses:
+            raise TraceError(f"trace '{self.name}' recorded no accesses")
+        return Trace(
+            name=self.name,
+            addresses=np.asarray(self._addresses, dtype=np.int64),
+            sizes=np.asarray(self._sizes, dtype=np.int32),
+            kinds=np.asarray(self._kinds, dtype=np.int8),
+            struct_ids=np.asarray(self._struct_ids, dtype=np.int32),
+            ticks=np.asarray(self._ticks, dtype=np.int64),
+            structs=tuple(self._structs),
+        )
+
+
+class Trace:
+    """Immutable columnar trace of tagged memory accesses."""
+
+    def __init__(
+        self,
+        name: str,
+        addresses: np.ndarray,
+        sizes: np.ndarray,
+        kinds: np.ndarray,
+        struct_ids: np.ndarray,
+        ticks: np.ndarray,
+        structs: Sequence[str],
+    ) -> None:
+        n = len(addresses)
+        for label, arr in (
+            ("sizes", sizes),
+            ("kinds", kinds),
+            ("struct_ids", struct_ids),
+            ("ticks", ticks),
+        ):
+            if len(arr) != n:
+                raise TraceError(
+                    f"column '{label}' has {len(arr)} entries, expected {n}"
+                )
+        if n == 0:
+            raise TraceError(f"trace '{name}' is empty")
+        if struct_ids.max(initial=-1) >= len(structs):
+            raise TraceError("struct_ids reference unknown structure names")
+        self.name = name
+        self.addresses = addresses
+        self.sizes = sizes
+        self.kinds = kinds
+        self.struct_ids = struct_ids
+        self.ticks = ticks
+        self.structs: tuple[str, ...] = tuple(structs)
+        for arrays in (addresses, sizes, kinds, struct_ids, ticks):
+            arrays.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.addresses)
+
+    def __iter__(self) -> Iterator[Access]:
+        structs = self.structs
+        for i in range(len(self)):
+            yield Access(
+                address=int(self.addresses[i]),
+                size=int(self.sizes[i]),
+                kind=AccessKind(int(self.kinds[i])),
+                struct=structs[self.struct_ids[i]],
+                tick=int(self.ticks[i]),
+            )
+
+    @property
+    def duration(self) -> int:
+        """Ideal-CPU duration: last issue tick plus one."""
+        return int(self.ticks[-1]) + 1
+
+    @property
+    def total_bytes(self) -> int:
+        """Total bytes moved by all accesses."""
+        return int(self.sizes.sum())
+
+    def structure_names(self) -> tuple[str, ...]:
+        """Names of all data structures appearing in the trace."""
+        return self.structs
+
+    def struct_mask(self, struct: str) -> np.ndarray:
+        """Boolean mask selecting the accesses of one data structure."""
+        if struct not in self.structs:
+            raise TraceError(
+                f"unknown structure '{struct}' in trace '{self.name}'"
+            )
+        return self.struct_ids == self.structs.index(struct)
+
+    def counts_by_struct(self) -> Mapping[str, int]:
+        """Access counts keyed by data-structure name."""
+        counts = np.bincount(self.struct_ids, minlength=len(self.structs))
+        return {name: int(c) for name, c in zip(self.structs, counts)}
+
+    def slice(self, start: int, stop: int) -> "Trace":
+        """A sub-trace of accesses ``[start, stop)``, sharing storage."""
+        if not 0 <= start < stop <= len(self):
+            raise TraceError(
+                f"bad slice [{start}, {stop}) for trace of length {len(self)}"
+            )
+        return Trace(
+            name=f"{self.name}[{start}:{stop}]",
+            addresses=self.addresses[start:stop],
+            sizes=self.sizes[start:stop],
+            kinds=self.kinds[start:stop],
+            struct_ids=self.struct_ids[start:stop],
+            ticks=self.ticks[start:stop],
+            structs=self.structs,
+        )
+
+
+def concatenate_traces(traces: "list[Trace] | tuple[Trace, ...]", name: str | None = None) -> Trace:
+    """Concatenate traces end to end (multi-phase applications).
+
+    Later traces' ticks are re-based to start one cycle after the
+    previous trace ends; structure tables are merged by name (same
+    name = same structure, so phases can share state).
+    """
+    if not traces:
+        raise TraceError("nothing to concatenate")
+    if len(traces) == 1:
+        only = traces[0]
+        return Trace(
+            name=name or only.name,
+            addresses=only.addresses,
+            sizes=only.sizes,
+            kinds=only.kinds,
+            struct_ids=only.struct_ids,
+            ticks=only.ticks,
+            structs=only.structs,
+        )
+    structs: dict[str, int] = {}
+    addresses, sizes, kinds, struct_ids, ticks = [], [], [], [], []
+    offset = 0
+    for trace in traces:
+        remap = np.array(
+            [structs.setdefault(s, len(structs)) for s in trace.structs],
+            dtype=np.int32,
+        )
+        addresses.append(trace.addresses)
+        sizes.append(trace.sizes)
+        kinds.append(trace.kinds)
+        struct_ids.append(remap[trace.struct_ids])
+        ticks.append(trace.ticks + offset)
+        offset += trace.duration
+    return Trace(
+        name=name or "+".join(t.name for t in traces),
+        addresses=np.concatenate(addresses),
+        sizes=np.concatenate(sizes),
+        kinds=np.concatenate(kinds),
+        struct_ids=np.concatenate(struct_ids),
+        ticks=np.concatenate(ticks),
+        structs=tuple(structs),
+    )

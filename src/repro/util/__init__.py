@@ -1,0 +1,35 @@
+"""Shared utilities: pareto mathematics, statistics, formatting, RNG.
+
+These helpers are deliberately dependency-light; everything operates on
+plain sequences of floats so the exploration layers can stay decoupled
+from the simulator's richer record types.
+"""
+
+from repro.util.pareto import (
+    ParetoCoverage,
+    average_axis_distance,
+    dominates,
+    is_pareto_point,
+    pareto_coverage,
+    pareto_front,
+    pareto_indices,
+)
+from repro.util.rng import make_rng
+from repro.util.selection import knee_point, weighted_best
+from repro.util.stats import RunningStats
+from repro.util.tables import format_table
+
+__all__ = [
+    "ParetoCoverage",
+    "RunningStats",
+    "average_axis_distance",
+    "dominates",
+    "format_table",
+    "is_pareto_point",
+    "knee_point",
+    "make_rng",
+    "pareto_coverage",
+    "pareto_front",
+    "pareto_indices",
+    "weighted_best",
+]

@@ -1,0 +1,81 @@
+"""Streaming statistics accumulator.
+
+The simulator accumulates per-access latency and energy over traces that
+can be millions of events long; :class:`RunningStats` keeps count, mean,
+and variance in O(1) memory using Welford's algorithm.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RunningStats:
+    """Single-pass mean/variance/min/max accumulator."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = field(default=0.0, repr=False)
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        """Fold one observation into the accumulator."""
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def extend(self, values: list[float]) -> None:
+        """Fold a batch of observations."""
+        for value in values:
+            self.add(value)
+
+    @property
+    def variance(self) -> float:
+        """Population variance (0.0 until two observations exist)."""
+        if self.count < 2:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation."""
+        return math.sqrt(self.variance)
+
+    @property
+    def total(self) -> float:
+        """Sum of all observations (mean * count)."""
+        return self.mean * self.count
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Return a new accumulator equal to folding both inputs.
+
+        Used to combine per-sample-window statistics from time-sampled
+        simulation into a whole-run estimate.
+        """
+        if other.count == 0:
+            return RunningStats(
+                self.count, self.mean, self._m2, self.minimum, self.maximum
+            )
+        if self.count == 0:
+            return RunningStats(
+                other.count, other.mean, other._m2, other.minimum, other.maximum
+            )
+        count = self.count + other.count
+        delta = other.mean - self.mean
+        mean = self.mean + delta * other.count / count
+        m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / count
+        return RunningStats(
+            count,
+            mean,
+            m2,
+            min(self.minimum, other.minimum),
+            max(self.maximum, other.maximum),
+        )

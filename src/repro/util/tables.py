@@ -1,0 +1,40 @@
+"""Plain-text table rendering for benchmark and report output.
+
+The benchmark harness prints the paper's Tables 1 and 2 as aligned text;
+this formatter keeps that presentation in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Every cell is stringified with ``str``; numeric alignment is left to
+    the caller (pre-format floats before passing them in).
+    """
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in cells:
+        lines.append(
+            "  ".join(cell.ljust(w) for cell, w in zip(row, widths)).rstrip()
+        )
+    return "\n".join(lines)

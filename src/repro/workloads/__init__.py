@@ -1,0 +1,33 @@
+"""Instrumented applications that generate tagged memory traces.
+
+These stand in for the paper's benchmark programs: SPEC95 *compress*
+and *li*, and the GSM *vocoder* — each reimplemented as a small but real
+algorithmic kernel whose data structures are instrumented, so the trace
+carries the same access-pattern mix the paper's exploration exploits
+(see DESIGN.md section 2 for the substitution rationale). Two extra
+workloads extend the evaluation beyond the paper's set: *dct*
+(multimedia, blockwise 2-D DCT) and *matmul* (scientific, blocked
+matrix multiply), plus a parametric *synthetic* mix for controlled
+experiments.
+"""
+
+from repro.workloads.base import AddressMap, Workload, get_workload, workload_names
+from repro.workloads.compress import CompressWorkload
+from repro.workloads.dct import DctWorkload
+from repro.workloads.li import LiWorkload
+from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.synthetic import SyntheticWorkload
+from repro.workloads.vocoder import VocoderWorkload
+
+__all__ = [
+    "AddressMap",
+    "CompressWorkload",
+    "DctWorkload",
+    "LiWorkload",
+    "MatmulWorkload",
+    "SyntheticWorkload",
+    "VocoderWorkload",
+    "Workload",
+    "get_workload",
+    "workload_names",
+]

@@ -1,0 +1,199 @@
+"""Instrumented LZW compressor (stand-in for SPEC95 *compress*).
+
+SPEC95 compress is an LZW coder whose dominant traffic is open-address
+hash probing over ``htab``/``codetab`` — the canonical *self-indirect*
+pattern APEX targets — plus sequential input/output streams. This
+module implements the same algorithm (xor hashing with secondary-probe
+displacement, exactly as in compress 4.0) over a synthetic zipfian text
+and records every data-structure access.
+
+Data structures and their patterns:
+
+* ``input_stream`` — sequential byte reads (STREAM).
+* ``output_stream`` — sequential 2-byte code writes (STREAM).
+* ``hash_table`` — 8-byte ``fcode`` entries, probed self-indirectly
+  (SELF_INDIRECT).
+* ``code_table`` — 2-byte code entries parallel to the hash table
+  (SELF_INDIRECT; probed at the same indices).
+* ``globals`` — the coder's scalar state (SCALAR).
+* ``misc`` — the rest of the process's traffic (stack spills, I/O
+  bookkeeping, libc state) that a whole-program tracer like SHADE
+  sees: zipf-distributed accesses over a footprint too large for any
+  scratchpad, servable only by a cache (RANDOM).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.trace.events import TraceBuilder
+from repro.trace.patterns import AccessPattern
+from repro.util.rng import make_rng
+from repro.workloads.base import (
+    AddressMap,
+    MiscTraffic,
+    Workload,
+    register_workload,
+)
+
+#: Hash table size: compress 4.0's 12-bit hsize (a prime, so the
+#: secondary-probe displacement cycles through every slot).
+TABLE_SIZE = 5003
+
+#: Largest LZW code for 12-bit operation; reaching it triggers a
+#: dictionary clear, as in compress.
+MAX_CODE = 4096
+
+#: Entry widths in bytes, as in compress (long fcode, short code).
+HTAB_ENTRY = 8
+CODETAB_ENTRY = 2
+
+#: First available LZW code (256 byte literals + clear code).
+FIRST_CODE = 257
+
+_VOCABULARY_SIZE = 420
+_MEAN_WORD_LEN = 6
+
+
+def _zipf_text(rng: np.random.Generator, length: int) -> bytes:
+    """Synthetic text with a zipfian word distribution.
+
+    Natural text makes LZW's dictionary both hit (common words) and grow
+    (novel juxtapositions), which is what drives the probe-chain lengths
+    the exploration cares about.
+    """
+    word_lengths = rng.integers(2, 2 * _MEAN_WORD_LEN, size=_VOCABULARY_SIZE)
+    vocabulary = [
+        bytes(rng.integers(97, 123, size=int(n)).astype(np.uint8))
+        for n in word_lengths
+    ]
+    ranks = np.arange(1, _VOCABULARY_SIZE + 1, dtype=np.float64)
+    weights = 1.0 / ranks
+    weights /= weights.sum()
+    pieces: list[bytes] = []
+    total = 0
+    while total < length:
+        word = vocabulary[int(rng.choice(_VOCABULARY_SIZE, p=weights))]
+        pieces.append(word)
+        pieces.append(b" ")
+        total += len(word) + 1
+    return b"".join(pieces)[:length]
+
+
+@register_workload
+class CompressWorkload(Workload):
+    """LZW compression over synthetic zipfian text.
+
+    ``scale`` multiplies the input length (default 8 KiB of text, about
+    40k recorded accesses at scale 1.0).
+    """
+
+    name = "compress"
+
+    #: Base input length in bytes at scale 1.0.
+    base_input_length = 8192
+
+    #: Footprint of the background (stack/runtime) traffic.
+    misc_footprint = 49_152
+
+    @property
+    def pattern_hints(self) -> Mapping[str, AccessPattern]:
+        return {
+            "input_stream": AccessPattern.STREAM,
+            "output_stream": AccessPattern.STREAM,
+            "hash_table": AccessPattern.SELF_INDIRECT,
+            "code_table": AccessPattern.SELF_INDIRECT,
+            "globals": AccessPattern.SCALAR,
+            "misc": AccessPattern.RANDOM,
+        }
+
+    def run(self, builder: TraceBuilder) -> None:
+        rng = make_rng(f"compress-{self.seed}")
+        text = _zipf_text(rng, int(self.base_input_length * self.scale))
+
+        layout = AddressMap()
+        input_base = layout.allocate("input_stream", len(text))
+        output_base = layout.allocate("output_stream", len(text))
+        htab_base = layout.allocate("hash_table", TABLE_SIZE * HTAB_ENTRY)
+        codetab_base = layout.allocate("code_table", TABLE_SIZE * CODETAB_ENTRY)
+        globals_base = layout.allocate("globals", 64)
+        misc_base = layout.allocate("misc", self.misc_footprint)
+        misc = MiscTraffic(builder, rng, misc_base, self.misc_footprint)
+
+        htab = np.full(TABLE_SIZE, -1, dtype=np.int64)
+        codetab = np.zeros(TABLE_SIZE, dtype=np.int32)
+        next_code = FIRST_CODE
+        out_cursor = 0
+
+        def emit(code: int) -> None:
+            nonlocal out_cursor
+            builder.write(output_base + out_cursor, 2, "output_stream")
+            out_cursor = (out_cursor + 2) % len(text)
+
+        def clear_table() -> None:
+            """Dictionary clear (compress's CLEAR code path).
+
+            compress memsets htab; we record a strided sweep (every 8th
+            entry) so the clear contributes realistic but bounded
+            write traffic.
+            """
+            nonlocal next_code
+            htab.fill(-1)
+            for slot in range(0, TABLE_SIZE, 8):
+                builder.write(htab_base + slot * HTAB_ENTRY, HTAB_ENTRY, "hash_table")
+            next_code = FIRST_CODE
+
+        builder.read(input_base, 1, "input_stream")
+        prefix = text[0]
+        for position in range(1, len(text)):
+            builder.compute(2)
+            builder.read(input_base + position, 1, "input_stream")
+            if position % 2 == 0:
+                misc.access()
+            char = text[position]
+            fcode = (char << 16) + prefix
+            # compress 4.0 xor hashing with secondary-probe displacement.
+            index = ((char << 4) ^ prefix) % TABLE_SIZE
+            displacement = TABLE_SIZE - index if index else 1
+            matched = False
+            while True:
+                builder.compute(1)
+                builder.read(htab_base + index * HTAB_ENTRY, HTAB_ENTRY, "hash_table")
+                entry = int(htab[index])
+                if entry == fcode:
+                    builder.read(
+                        codetab_base + index * CODETAB_ENTRY,
+                        CODETAB_ENTRY,
+                        "code_table",
+                    )
+                    prefix = int(codetab[index])
+                    matched = True
+                    break
+                if entry < 0:
+                    break
+                index -= displacement
+                if index < 0:
+                    index += TABLE_SIZE
+            if matched:
+                continue
+            emit(prefix)
+            if next_code < MAX_CODE:
+                builder.write(
+                    codetab_base + index * CODETAB_ENTRY, CODETAB_ENTRY, "code_table"
+                )
+                builder.write(
+                    htab_base + index * HTAB_ENTRY, HTAB_ENTRY, "hash_table"
+                )
+                codetab[index] = next_code
+                htab[index] = fcode
+                next_code += 1
+            if next_code >= MAX_CODE:
+                builder.read(globals_base, 4, "globals")
+                builder.write(globals_base + 4, 4, "globals")
+                clear_table()
+            prefix = char
+            if position % 64 == 0:
+                builder.read(globals_base + 8, 4, "globals")
+        emit(prefix)

@@ -1,0 +1,173 @@
+"""Instrumented 2-D DCT image kernel (an extra multimedia workload).
+
+The paper's experiments target "large multimedia and scientific
+applications"; this workload adds a classic image-compression front
+end — blockwise 8×8 two-dimensional DCT with zig-zag quantization, the
+core of JPEG/MPEG — to exercise the exploration on a tiled-array
+traffic mix the three paper benchmarks lack:
+
+* ``image_in`` — raster-order pixel reads, but *blocked*: within each
+  8×8 tile the row stride is the image width, so plain stream buffers
+  only help partially and tile-sized SRAM blocks shine (STREAM at the
+  tile level).
+* ``block_buf`` — the working 8×8 tile, read repeatedly by the row and
+  column DCT passes (INDEXED: tiny, very hot).
+* ``coeff_table`` — the 8×8 cosine basis, read in both passes
+  (SCALAR-sized constant table).
+* ``quant_table`` — quantization divisors read per coefficient
+  (SCALAR).
+* ``coded_out`` — zig-zag run-length output stream (STREAM).
+* ``misc`` — whole-process background traffic (RANDOM).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.trace.events import TraceBuilder
+from repro.trace.patterns import AccessPattern
+from repro.util.rng import make_rng
+from repro.workloads.base import (
+    AddressMap,
+    MiscTraffic,
+    Workload,
+    register_workload,
+)
+
+BLOCK = 8
+PIXEL_BYTES = 1
+COEFF_BYTES = 4
+
+#: Zig-zag scan order of an 8x8 block (JPEG's).
+ZIGZAG = [
+    (i, j)
+    for s in range(2 * BLOCK - 1)
+    for (i, j) in (
+        [(s - j, j) for j in range(max(0, s - BLOCK + 1), min(s, BLOCK - 1) + 1)]
+        if s % 2
+        else [(j, s - j) for j in range(max(0, s - BLOCK + 1), min(s, BLOCK - 1) + 1)]
+    )
+]
+
+
+def _dct_basis() -> np.ndarray:
+    """The 8-point DCT-II basis matrix."""
+    k = np.arange(BLOCK)
+    basis = np.cos((2 * k[None, :] + 1) * k[:, None] * np.pi / (2 * BLOCK))
+    basis[0, :] *= 1 / np.sqrt(2)
+    return basis * np.sqrt(2 / BLOCK)
+
+
+@register_workload
+class DctWorkload(Workload):
+    """Blockwise 8×8 2-D DCT over a synthetic image.
+
+    ``scale`` multiplies the image area (default 48×48 pixels at scale
+    1.0, about 30k recorded accesses).
+    """
+
+    name = "dct"
+
+    base_side = 48
+
+    @property
+    def pattern_hints(self) -> Mapping[str, AccessPattern]:
+        return {
+            "image_in": AccessPattern.STREAM,
+            "block_buf": AccessPattern.INDEXED,
+            "coeff_table": AccessPattern.SCALAR,
+            "quant_table": AccessPattern.SCALAR,
+            "coded_out": AccessPattern.STREAM,
+            "misc": AccessPattern.RANDOM,
+        }
+
+    def run(self, builder: TraceBuilder) -> None:
+        rng = make_rng(f"dct-{self.seed}")
+        side = max(BLOCK, int(self.base_side * np.sqrt(self.scale)) // BLOCK * BLOCK)
+
+        layout = AddressMap()
+        image_base = layout.allocate("image_in", side * side * PIXEL_BYTES)
+        block_base = layout.allocate("block_buf", BLOCK * BLOCK * COEFF_BYTES)
+        coeff_base = layout.allocate("coeff_table", BLOCK * BLOCK * COEFF_BYTES)
+        quant_base = layout.allocate("quant_table", BLOCK * BLOCK)
+        out_base = layout.allocate("coded_out", side * side * 2)
+        misc_footprint = 16_384
+        misc_base = layout.allocate("misc", misc_footprint)
+        misc = MiscTraffic(builder, rng, misc_base, misc_footprint)
+
+        # Synthetic image: smooth gradients plus texture, so DCT blocks
+        # have realistic energy compaction.
+        x = np.arange(side)
+        image = (
+            128
+            + 60 * np.sin(2 * np.pi * x[None, :] / 37)
+            + 40 * np.cos(2 * np.pi * x[:, None] / 23)
+            + 12 * rng.standard_normal((side, side))
+        ).astype(np.int32)
+
+        basis = _dct_basis()
+        quant = (1 + (np.arange(BLOCK)[:, None] + np.arange(BLOCK)[None, :])).astype(
+            np.float64
+        )
+        out_cursor = 0
+
+        for block_row in range(0, side, BLOCK):
+            for block_col in range(0, side, BLOCK):
+                # Load the tile: row-major pixel reads with image-width
+                # stride between tile rows.
+                tile = np.empty((BLOCK, BLOCK))
+                for i in range(BLOCK):
+                    for j in range(BLOCK):
+                        address = (
+                            image_base
+                            + ((block_row + i) * side + block_col + j) * PIXEL_BYTES
+                        )
+                        builder.read(address, PIXEL_BYTES, "image_in")
+                        tile[i, j] = image[block_row + i, block_col + j]
+                    builder.write(
+                        block_base + i * BLOCK * COEFF_BYTES,
+                        BLOCK * COEFF_BYTES,
+                        "block_buf",
+                    )
+                    builder.compute(2)
+                misc.access()
+
+                # Row pass then column pass; each re-reads the tile and
+                # the cosine basis.
+                transformed = basis @ (tile - 128.0) @ basis.T
+                for passes in range(2):
+                    for i in range(BLOCK):
+                        builder.read(
+                            block_base + i * BLOCK * COEFF_BYTES,
+                            BLOCK * COEFF_BYTES,
+                            "block_buf",
+                        )
+                        builder.read(
+                            coeff_base + i * BLOCK * COEFF_BYTES,
+                            BLOCK * COEFF_BYTES,
+                            "coeff_table",
+                        )
+                        builder.compute(3)
+                        builder.write(
+                            block_base + i * BLOCK * COEFF_BYTES,
+                            BLOCK * COEFF_BYTES,
+                            "block_buf",
+                        )
+                misc.access()
+
+                # Quantize and emit the non-zero coefficients in
+                # zig-zag order (run-length style).
+                emitted = 0
+                for i, j in ZIGZAG:
+                    builder.read(quant_base + (i * BLOCK + j), 1, "quant_table")
+                    value = int(round(transformed[i, j] / quant[i, j]))
+                    builder.compute(1)
+                    if value:
+                        builder.write(out_base + out_cursor, 2, "coded_out")
+                        out_cursor = (out_cursor + 2) % (side * side * 2)
+                        emitted += 1
+                if emitted == 0:
+                    builder.write(out_base + out_cursor, 2, "coded_out")
+                    out_cursor = (out_cursor + 2) % (side * side * 2)

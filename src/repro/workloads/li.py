@@ -1,0 +1,471 @@
+"""Instrumented mini-Lisp interpreter (stand-in for SPEC95 *li*).
+
+SPEC95 li (xlisp) exercises a cons-cell heap: programs, environments,
+and data all live in cells linked by car/cdr pointers, so the dominant
+pattern is pointer chasing (the paper's *self-indirect* class), plus
+hash probing of the symbol table and stack traffic from the recursive
+evaluator. This module is a genuine, small Lisp: an s-expression parser
+that builds programs *in the instrumented heap*, and a recursive
+evaluator with association-list environments — so variable lookup and
+program traversal both chase pointers through recorded cells.
+
+Data structures and their patterns:
+
+* ``cons_heap`` — 16-byte cells (car, cdr); pointer-chased
+  (SELF_INDIRECT).
+* ``symbol_table`` — open-address interning table (INDEXED).
+* ``eval_stack`` — evaluator activation frames (INDEXED: small, hot).
+* ``globals`` — interpreter scalar state (SCALAR).
+* ``misc`` — the interpreter's remaining whole-process traffic (string
+  storage, runtime bookkeeping): zipf-placed accesses over a footprint
+  only a cache can serve (RANDOM).
+
+xlisp's GC is modelled at the *traffic* level: when the heap region
+fills, a strided sweep read is recorded (the mark/sweep traffic) and
+subsequent allocations reuse the region's addresses (as a compacting
+collector would), while the interpreter's own cell storage is never
+recycled — live data stays live, only the recorded addresses wrap.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.errors import TraceError
+from repro.trace.events import TraceBuilder
+from repro.util.rng import make_rng
+from repro.trace.patterns import AccessPattern
+from repro.workloads.base import (
+    AddressMap,
+    MiscTraffic,
+    Workload,
+    register_workload,
+)
+
+CELL_BYTES = 16
+HALF_CELL = 8
+HEAP_CELLS = 8192
+SYMBOL_SLOTS = 512
+SYMBOL_ENTRY = 16
+STACK_BYTES = 4096
+FRAME_BYTES = 16
+
+
+class Nil:
+    """The empty list; a singleton."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "nil"
+
+
+NIL = Nil()
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol:
+    """An interned symbol."""
+
+    text: str
+
+
+@dataclass(frozen=True, slots=True)
+class CellRef:
+    """Reference to a cons cell (index into the heap)."""
+
+    index: int
+
+
+@dataclass(frozen=True, slots=True)
+class Closure:
+    """A lambda value: parameter list and body are heap lists."""
+
+    params: object
+    body: object
+    env: object
+
+
+Value = object
+
+
+MISC_FOOTPRINT = 40_960
+
+
+class Machine:
+    """The instrumented Lisp runtime: heap, symbols, stack."""
+
+    def __init__(self, builder: TraceBuilder, layout: AddressMap, seed: int = 0) -> None:
+        self.builder = builder
+        self.heap_base = layout.allocate("cons_heap", HEAP_CELLS * CELL_BYTES)
+        self.symtab_base = layout.allocate(
+            "symbol_table", SYMBOL_SLOTS * SYMBOL_ENTRY
+        )
+        self.stack_base = layout.allocate("eval_stack", STACK_BYTES)
+        self.globals_base = layout.allocate("globals", 128)
+        misc_base = layout.allocate("misc", MISC_FOOTPRINT)
+        self._misc = MiscTraffic(
+            builder, make_rng(f"li-misc-{seed}"), misc_base, MISC_FOOTPRINT
+        )
+        self._frame_count = 0
+        self._cars: list[Value] = [NIL] * HEAP_CELLS
+        self._cdrs: list[Value] = [NIL] * HEAP_CELLS
+        self._next_cell = 0
+        self._symbols: dict[str, Symbol] = {}
+        self._global_values: dict[Symbol, Value] = {}
+        self._depth = 0
+        self.gc_count = 0
+
+    # -- cons heap ---------------------------------------------------
+
+    def _cell_address(self, ref: CellRef) -> int:
+        # Addresses wrap within the heap region: a compacting collector
+        # reuses the same physical cells for successive generations.
+        return self.heap_base + (ref.index % HEAP_CELLS) * CELL_BYTES
+
+    def cons(self, car: Value, cdr: Value) -> CellRef:
+        """Allocate a cell; two recorded writes (car and cdr fields)."""
+        if self._next_cell and self._next_cell % HEAP_CELLS == 0:
+            self._collect()
+        ref = CellRef(self._next_cell)
+        self._next_cell += 1
+        if ref.index >= len(self._cars):
+            self._cars.extend([NIL] * HEAP_CELLS)
+            self._cdrs.extend([NIL] * HEAP_CELLS)
+        self._cars[ref.index] = car
+        self._cdrs[ref.index] = cdr
+        address = self._cell_address(ref)
+        self.builder.write(address, HALF_CELL, "cons_heap")
+        self.builder.write(address + HALF_CELL, HALF_CELL, "cons_heap")
+        return ref
+
+    def car(self, ref: Value) -> Value:
+        """Read the car field (one recorded heap read)."""
+        if not isinstance(ref, CellRef):
+            raise TraceError(f"car of non-pair: {ref!r}")
+        self.builder.read(self._cell_address(ref), HALF_CELL, "cons_heap")
+        return self._cars[ref.index]
+
+    def cdr(self, ref: Value) -> Value:
+        """Read the cdr field (one recorded heap read)."""
+        if not isinstance(ref, CellRef):
+            raise TraceError(f"cdr of non-pair: {ref!r}")
+        self.builder.read(
+            self._cell_address(ref) + HALF_CELL, HALF_CELL, "cons_heap"
+        )
+        return self._cdrs[ref.index]
+
+    def _collect(self) -> None:
+        """GC traffic stand-in: a strided sweep read over the region.
+
+        xlisp's mark/sweep touches every heap cell; we record a sweep
+        of every 4th cell to bound trace size. Recorded *addresses*
+        then wrap around the region (compaction reuses physical cells)
+        while the interpreter's cell storage keeps growing, so live
+        data is never clobbered.
+        """
+        for index in range(0, HEAP_CELLS, 4):
+            self.builder.read(
+                self.heap_base + index * CELL_BYTES, HALF_CELL, "cons_heap"
+            )
+        self.gc_count += 1
+
+    # -- symbols -----------------------------------------------------
+
+    def intern(self, text: str) -> Symbol:
+        """Intern a symbol, recording the hash-probe reads."""
+        slot = zlib.crc32(text.encode()) % SYMBOL_SLOTS
+        probes = 1 + (len(text) % 2)
+        for i in range(probes):
+            address = self.symtab_base + ((slot + i) % SYMBOL_SLOTS) * SYMBOL_ENTRY
+            self.builder.read(address, SYMBOL_ENTRY, "symbol_table")
+        if text not in self._symbols:
+            self._symbols[text] = Symbol(text)
+            address = self.symtab_base + (slot % SYMBOL_SLOTS) * SYMBOL_ENTRY
+            self.builder.write(address, SYMBOL_ENTRY, "symbol_table")
+        return self._symbols[text]
+
+    def set_global(self, symbol: Symbol, value: Value) -> None:
+        """Bind a global (a write to the symbol's value slot)."""
+        slot = zlib.crc32(symbol.text.encode()) % SYMBOL_SLOTS
+        self.builder.write(
+            self.symtab_base + slot * SYMBOL_ENTRY + 8, 8, "symbol_table"
+        )
+        self._global_values[symbol] = value
+
+    def get_global(self, symbol: Symbol) -> Value:
+        """Read a global value slot; raises on unbound symbols."""
+        slot = zlib.crc32(symbol.text.encode()) % SYMBOL_SLOTS
+        self.builder.read(
+            self.symtab_base + slot * SYMBOL_ENTRY + 8, 8, "symbol_table"
+        )
+        try:
+            return self._global_values[symbol]
+        except KeyError:
+            raise TraceError(f"unbound symbol: {symbol.text}") from None
+
+    # -- evaluator stack ----------------------------------------------
+
+    def push_frame(self) -> None:
+        """Record an activation-frame write at the current stack depth.
+
+        Every few activations also touch the interpreter's background
+        state (``misc``), as xlisp's evaluator does between cell
+        operations.
+        """
+        offset = (self._depth * FRAME_BYTES) % STACK_BYTES
+        self.builder.write(self.stack_base + offset, FRAME_BYTES, "eval_stack")
+        self._depth += 1
+        self._frame_count += 1
+        if self._frame_count % 3 == 0:
+            self._misc.access()
+
+    def pop_frame(self) -> None:
+        """Record the frame read on evaluator return."""
+        self._depth -= 1
+        offset = (self._depth * FRAME_BYTES) % STACK_BYTES
+        self.builder.read(self.stack_base + offset, FRAME_BYTES, "eval_stack")
+
+
+# -- parser -----------------------------------------------------------
+
+
+def tokenize(source: str) -> list[str]:
+    """Split an s-expression string into tokens."""
+    return source.replace("(", " ( ").replace(")", " ) ").split()
+
+
+def parse(machine: Machine, source: str) -> Value:
+    """Parse one s-expression, building it as heap lists."""
+    tokens = tokenize(source)
+    expr, rest = _parse_tokens(machine, tokens)
+    if rest:
+        raise TraceError(f"trailing tokens after expression: {rest[:4]}")
+    return expr
+
+
+def _parse_tokens(machine: Machine, tokens: list[str]) -> tuple[Value, list[str]]:
+    if not tokens:
+        raise TraceError("unexpected end of input")
+    token, rest = tokens[0], tokens[1:]
+    if token == "(":
+        items: list[Value] = []
+        while rest and rest[0] != ")":
+            item, rest = _parse_tokens(machine, rest)
+            items.append(item)
+        if not rest:
+            raise TraceError("unbalanced parentheses")
+        rest = rest[1:]
+        result: Value = NIL
+        for item in reversed(items):
+            result = machine.cons(item, result)
+        return result, rest
+    if token == ")":
+        raise TraceError("unexpected ')'")
+    try:
+        return int(token), rest
+    except ValueError:
+        return machine.intern(token), rest
+
+
+# -- evaluator --------------------------------------------------------
+
+
+def _lookup(machine: Machine, symbol: Symbol, env: Value) -> Value:
+    """Look a symbol up: chase the env assoc list, then the globals."""
+    cursor = env
+    while isinstance(cursor, CellRef):
+        binding = machine.car(cursor)
+        if machine.car(binding) is symbol:
+            return machine.cdr(binding)
+        cursor = machine.cdr(cursor)
+    return machine.get_global(symbol)
+
+
+def _eval(machine: Machine, expr: Value, env: Value) -> Value:
+    machine.push_frame()
+    try:
+        return _eval_inner(machine, expr, env)
+    finally:
+        machine.pop_frame()
+
+
+def _eval_inner(machine: Machine, expr: Value, env: Value) -> Value:
+    if isinstance(expr, int):
+        return expr
+    if isinstance(expr, Symbol):
+        return _lookup(machine, expr, env)
+    if expr is NIL:
+        return NIL
+    if not isinstance(expr, CellRef):
+        return expr
+    head = machine.car(expr)
+    if isinstance(head, Symbol):
+        if head.text == "quote":
+            return machine.car(machine.cdr(expr))
+        if head.text == "if":
+            rest = machine.cdr(expr)
+            test = _eval(machine, machine.car(rest), env)
+            branch = machine.cdr(rest)
+            if test is not NIL and test != 0:
+                return _eval(machine, machine.car(branch), env)
+            alternative = machine.cdr(branch)
+            if alternative is NIL:
+                return NIL
+            return _eval(machine, machine.car(alternative), env)
+        if head.text == "define":
+            rest = machine.cdr(expr)
+            target = machine.car(rest)
+            if isinstance(target, CellRef):
+                # (define (f a b) body) sugar.
+                name = machine.car(target)
+                params = machine.cdr(target)
+                body = machine.car(machine.cdr(rest))
+                machine.set_global(name, Closure(params, body, env))
+                return name
+            value = _eval(machine, machine.car(machine.cdr(rest)), env)
+            machine.set_global(target, value)
+            return target
+        if head.text == "lambda":
+            rest = machine.cdr(expr)
+            params = machine.car(rest)
+            body = machine.car(machine.cdr(rest))
+            return Closure(params, body, env)
+    function = _eval(machine, head, env)
+    arguments: list[Value] = []
+    cursor = machine.cdr(expr)
+    while isinstance(cursor, CellRef):
+        arguments.append(_eval(machine, machine.car(cursor), env))
+        cursor = machine.cdr(cursor)
+    return _apply(machine, function, arguments)
+
+
+def _apply(machine: Machine, function: Value, arguments: list[Value]) -> Value:
+    if callable(function) and not isinstance(function, Closure):
+        return function(machine, arguments)
+    if isinstance(function, Closure):
+        env = function.env
+        cursor = function.params
+        index = 0
+        while isinstance(cursor, CellRef):
+            if index >= len(arguments):
+                raise TraceError("too few arguments to closure")
+            binding = machine.cons(machine.car(cursor), arguments[index])
+            env = machine.cons(binding, env)
+            cursor = machine.cdr(cursor)
+            index += 1
+        return _eval(machine, function.body, env)
+    raise TraceError(f"not applicable: {function!r}")
+
+
+def _builtin_numeric(
+    op: Callable[[int, int], int],
+) -> Callable[[Machine, list[Value]], Value]:
+    def implementation(machine: Machine, arguments: list[Value]) -> Value:
+        machine.builder.compute(1)
+        result = arguments[0]
+        for argument in arguments[1:]:
+            result = op(result, argument)  # type: ignore[arg-type]
+        # xlisp allocates a fixnum node for every numeric result.
+        machine.cons(result, NIL)
+        return result
+
+    return implementation
+
+
+def _install_builtins(machine: Machine) -> None:
+    def compare(op: Callable[[int, int], bool]) -> Callable:
+        def implementation(machine: Machine, arguments: list[Value]) -> Value:
+            machine.builder.compute(1)
+            return 1 if op(arguments[0], arguments[1]) else NIL
+
+        return implementation
+
+    builtins: dict[str, Callable] = {
+        "+": _builtin_numeric(lambda a, b: a + b),
+        "-": _builtin_numeric(lambda a, b: a - b),
+        "*": _builtin_numeric(lambda a, b: a * b),
+        "<": compare(lambda a, b: a < b),
+        ">": compare(lambda a, b: a > b),
+        "=": compare(lambda a, b: a == b),
+        "cons": lambda m, a: m.cons(a[0], a[1]),
+        "car": lambda m, a: m.car(a[0]),
+        "cdr": lambda m, a: m.cdr(a[0]),
+        "null?": lambda m, a: 1 if a[0] is NIL else NIL,
+    }
+    for name, implementation in builtins.items():
+        machine.set_global(machine.intern(name), implementation)
+
+
+_PROGRAMS = [
+    "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+    "(define (iota n) (if (= n 0) (quote ()) (cons n (iota (- n 1)))))",
+    "(define (rev l acc) (if (null? l) acc (rev (cdr l) (cons (car l) acc))))",
+    "(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))",
+    "(define (assq k l) (if (null? l) (quote ()) "
+    "(if (= k (car (car l))) (car l) (assq k (cdr l)))))",
+    "(define (pairs n) (if (= n 0) (quote ()) "
+    "(cons (cons n (* n n)) (pairs (- n 1)))))",
+    "(define (append2 a b) (if (null? a) b "
+    "(cons (car a) (append2 (cdr a) b))))",
+    "(define (less l p) (if (null? l) (quote ()) "
+    "(if (< (car l) p) (cons (car l) (less (cdr l) p)) (less (cdr l) p))))",
+    "(define (geq l p) (if (null? l) (quote ()) "
+    "(if (< (car l) p) (geq (cdr l) p) (cons (car l) (geq (cdr l) p)))))",
+    "(define (qsort l) (if (null? l) (quote ()) "
+    "(append2 (qsort (less (cdr l) (car l))) "
+    "(cons (car l) (qsort (geq (cdr l) (car l)))))))",
+    "(define (map1 f l) (if (null? l) (quote ()) "
+    "(cons (f (car l)) (map1 f (cdr l)))))",
+]
+
+
+@register_workload
+class LiWorkload(Workload):
+    """Mini-Lisp interpreter running recursive list programs.
+
+    ``scale`` multiplies the per-program problem sizes (fib depth grows
+    logarithmically; list lengths linearly).
+    """
+
+    name = "li"
+
+    @property
+    def pattern_hints(self) -> Mapping[str, AccessPattern]:
+        return {
+            "cons_heap": AccessPattern.SELF_INDIRECT,
+            "symbol_table": AccessPattern.INDEXED,
+            "eval_stack": AccessPattern.INDEXED,
+            "globals": AccessPattern.SCALAR,
+            "misc": AccessPattern.RANDOM,
+        }
+
+    def run(self, builder: TraceBuilder) -> None:
+        layout = AddressMap()
+        machine = Machine(builder, layout, seed=self.seed)
+        _install_builtins(machine)
+        for source in _PROGRAMS:
+            _eval(machine, parse(machine, source), NIL)
+
+        list_len = max(4, int(80 * self.scale))
+        fib_n = max(6, min(16, 11 + int(self.scale)))
+        table_n = max(4, int(40 * self.scale))
+        lookups = max(4, int(60 * self.scale))
+
+        sort_len = max(4, int(24 * self.scale))
+        runs = [
+            f"(fib {fib_n})",
+            f"(sum (rev (iota {list_len}) (quote ())))",
+            f"(define table (pairs {table_n}))",
+            # Worst-case quicksort of a descending list: heavy
+            # append/partition pointer chasing.
+            f"(sum (qsort (iota {sort_len})))",
+            f"(sum (map1 (lambda (x) (* x x)) (iota {table_n})))",
+        ]
+        for source in runs:
+            builder.read(machine.globals_base, 8, "globals")
+            _eval(machine, parse(machine, source), NIL)
+            builder.write(machine.globals_base + 8, 8, "globals")
+        for i in range(lookups):
+            key = 1 + (i * 7) % table_n
+            _eval(machine, parse(machine, f"(assq {key} table)"), NIL)

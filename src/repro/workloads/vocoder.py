@@ -1,0 +1,177 @@
+"""Instrumented LPC speech encoder (stand-in for the GSM *vocoder*).
+
+GSM voice encoding is frame-based linear-predictive coding: each 20 ms
+frame of PCM samples is windowed, autocorrelated, fitted with LPC
+coefficients (Levinson-Durbin), residual-filtered, quantized, and
+emitted. The traffic is dominated by sample streams and small, hot
+coefficient arrays — exactly the stream/scalar mix the paper exploits
+with stream buffers and small SRAMs.
+
+Data structures and their patterns:
+
+* ``speech_in`` — 16-bit PCM input samples (STREAM).
+* ``frame_buf`` — the working frame after windowing (INDEXED: small,
+  re-read by the autocorrelation's nested loops).
+* ``autocorr`` — autocorrelation lags r[0..ORDER] (SCALAR).
+* ``lpc_coeffs`` — LPC coefficient vector (SCALAR).
+* ``encoded_out`` — packed output frames (STREAM).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from repro.trace.events import TraceBuilder
+from repro.trace.patterns import AccessPattern
+from repro.util.rng import make_rng
+from repro.workloads.base import (
+    AddressMap,
+    MiscTraffic,
+    Workload,
+    register_workload,
+)
+
+FRAME_SAMPLES = 160
+SAMPLE_BYTES = 2
+LPC_ORDER = 8
+COEFF_BYTES = 4
+ENCODED_FRAME_BYTES = 36
+
+#: Stride of the recorded inner-loop sample reads. The real kernels
+#: touch every sample; recording every 4th keeps traces bounded while
+#: preserving the stream/array traffic ratio.
+SAMPLE_STRIDE = 4
+
+
+@register_workload
+class VocoderWorkload(Workload):
+    """LPC encoding of synthetic voiced speech frames.
+
+    ``scale`` multiplies the number of frames (default 24 frames at
+    scale 1.0, about 35k recorded accesses).
+    """
+
+    name = "vocoder"
+
+    base_frames = 24
+
+    @property
+    def pattern_hints(self) -> Mapping[str, AccessPattern]:
+        return {
+            "speech_in": AccessPattern.STREAM,
+            "frame_buf": AccessPattern.INDEXED,
+            "autocorr": AccessPattern.SCALAR,
+            "lpc_coeffs": AccessPattern.SCALAR,
+            "encoded_out": AccessPattern.STREAM,
+            "misc": AccessPattern.RANDOM,
+        }
+
+    def run(self, builder: TraceBuilder) -> None:
+        rng = make_rng(f"vocoder-{self.seed}")
+        frames = max(1, int(self.base_frames * self.scale))
+        total_samples = frames * FRAME_SAMPLES
+
+        layout = AddressMap()
+        in_base = layout.allocate("speech_in", total_samples * SAMPLE_BYTES)
+        frame_base = layout.allocate("frame_buf", FRAME_SAMPLES * COEFF_BYTES)
+        autocorr_base = layout.allocate("autocorr", (LPC_ORDER + 1) * COEFF_BYTES)
+        lpc_base = layout.allocate("lpc_coeffs", LPC_ORDER * COEFF_BYTES)
+        out_base = layout.allocate("encoded_out", frames * ENCODED_FRAME_BYTES)
+        misc_footprint = 24_576
+        misc_base = layout.allocate("misc", misc_footprint)
+        misc = MiscTraffic(builder, rng, misc_base, misc_footprint)
+
+        # Synthetic voiced speech: a pitch harmonic plus noise.
+        t = np.arange(total_samples)
+        pitch = 80 + 40 * rng.random()
+        speech = (
+            6000 * np.sin(2 * np.pi * t / pitch)
+            + 2000 * np.sin(2 * np.pi * t / (pitch / 3.1))
+            + 500 * rng.standard_normal(total_samples)
+        ).astype(np.int32)
+
+        for frame_index in range(frames):
+            start = frame_index * FRAME_SAMPLES
+            frame = speech[start : start + FRAME_SAMPLES].astype(np.float64)
+
+            # Windowing: stream in samples, write the working frame.
+            for i in range(0, FRAME_SAMPLES, SAMPLE_STRIDE):
+                builder.read(
+                    in_base + (start + i) * SAMPLE_BYTES, SAMPLE_BYTES, "speech_in"
+                )
+                builder.write(frame_base + i * COEFF_BYTES, COEFF_BYTES, "frame_buf")
+                builder.compute(1)
+                if i % (SAMPLE_STRIDE * 4) == 0:
+                    misc.access()
+            window = np.hamming(FRAME_SAMPLES)
+            frame *= window
+
+            # Autocorrelation r[k] = sum frame[i] * frame[i+k]: the
+            # nested loops re-read the frame once per lag.
+            r = np.empty(LPC_ORDER + 1)
+            for lag in range(LPC_ORDER + 1):
+                r[lag] = float(np.dot(frame[: FRAME_SAMPLES - lag], frame[lag:]))
+                for i in range(0, FRAME_SAMPLES - lag, SAMPLE_STRIDE * 2):
+                    builder.read(
+                        frame_base + i * COEFF_BYTES, COEFF_BYTES, "frame_buf"
+                    )
+                builder.compute(2)
+                builder.write(
+                    autocorr_base + lag * COEFF_BYTES, COEFF_BYTES, "autocorr"
+                )
+
+            # Levinson-Durbin recursion over the small lag/coeff arrays.
+            lpc = self._levinson_durbin(builder, r, autocorr_base, lpc_base)
+
+            # Residual energy + quantization, then emit the frame.
+            for i in range(0, FRAME_SAMPLES, SAMPLE_STRIDE * 2):
+                builder.read(frame_base + i * COEFF_BYTES, COEFF_BYTES, "frame_buf")
+                builder.compute(1)
+            for k in range(LPC_ORDER):
+                builder.read(lpc_base + k * COEFF_BYTES, COEFF_BYTES, "lpc_coeffs")
+                misc.access()
+            for b in range(0, ENCODED_FRAME_BYTES, 4):
+                builder.write(
+                    out_base + frame_index * ENCODED_FRAME_BYTES + b,
+                    4,
+                    "encoded_out",
+                )
+            builder.compute(4)
+            # Quantized coefficients feed the next frame's predictor.
+            _ = lpc
+
+    @staticmethod
+    def _levinson_durbin(
+        builder: TraceBuilder,
+        r: np.ndarray,
+        autocorr_base: int,
+        lpc_base: int,
+    ) -> np.ndarray:
+        """Levinson-Durbin with recorded coefficient-array traffic."""
+        a = np.zeros(LPC_ORDER + 1)
+        error = r[0] if r[0] > 0 else 1.0
+        for order in range(1, LPC_ORDER + 1):
+            builder.read(autocorr_base + order * COEFF_BYTES, COEFF_BYTES, "autocorr")
+            acc = r[order]
+            for j in range(1, order):
+                builder.read(lpc_base + (j - 1) * COEFF_BYTES, COEFF_BYTES, "lpc_coeffs")
+                acc -= a[j] * r[order - j]
+            k = acc / error if error else 0.0
+            new_a = a.copy()
+            new_a[order] = k
+            for j in range(1, order):
+                new_a[j] = a[j] - k * a[order - j]
+                builder.write(
+                    lpc_base + (j - 1) * COEFF_BYTES, COEFF_BYTES, "lpc_coeffs"
+                )
+            builder.write(
+                lpc_base + (order - 1) * COEFF_BYTES, COEFF_BYTES, "lpc_coeffs"
+            )
+            builder.compute(2)
+            a = new_a
+            error *= 1.0 - k * k
+            if error <= 0:
+                error = 1e-9
+        return a[1:]

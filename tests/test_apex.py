@@ -1,0 +1,215 @@
+"""Unit tests for memory architectures and the APEX explorer."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.apex.explorer import (
+    ApexConfig,
+    enumerate_architectures,
+    explore_memory_architectures,
+)
+from repro.channels import Channel
+from repro.errors import ConfigurationError, ExplorationError
+from repro.trace.patterns import profile_patterns
+from repro.util.pareto import is_pareto_point
+
+
+class TestMemoryArchitecture:
+    def test_mapping_and_default(self, mem_library, tiny_trace):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+        sram = mem_library.get("sram_4k").instantiate("sram")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture(
+            "a", [cache, sram], dram, {"table": "sram"}, "cache"
+        )
+        assert arch.module_for("table") == "sram"
+        assert arch.module_for("stream") == "cache"
+        assert arch.module("dram") is dram
+
+    def test_duplicate_module_rejected(self, mem_library):
+        cache_a = mem_library.get("cache_8k_32b_2w").instantiate("m")
+        cache_b = mem_library.get("cache_4k_16b_1w").instantiate("m")
+        dram = mem_library.get("dram").instantiate()
+        with pytest.raises(ConfigurationError):
+            MemoryArchitecture("a", [cache_a, cache_b], dram, {}, "dram")
+
+    def test_reserved_name_rejected(self, mem_library):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cpu")
+        dram = mem_library.get("dram").instantiate()
+        with pytest.raises(ConfigurationError):
+            MemoryArchitecture("a", [cache], dram, {}, "dram")
+
+    def test_unknown_mapping_target_rejected(self, mem_library):
+        dram = mem_library.get("dram").instantiate()
+        with pytest.raises(ConfigurationError):
+            MemoryArchitecture("a", [], dram, {"x": "ghost"}, "dram")
+
+    def test_unknown_default_rejected(self, mem_library):
+        dram = mem_library.get("dram").instantiate()
+        with pytest.raises(ConfigurationError):
+            MemoryArchitecture("a", [], dram, {}, "ghost")
+
+    def test_channels_derived(self, mem_library, tiny_trace):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+        sram = mem_library.get("sram_4k").instantiate("sram")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture(
+            "a", [cache, sram], dram, {"table": "sram"}, "cache"
+        )
+        channels = set(arch.channels(tiny_trace))
+        assert Channel("cpu", "cache") in channels
+        assert Channel("cache", "dram") in channels
+        assert Channel("cpu", "sram") in channels
+        # SRAM holds its structure entirely: no backing channel.
+        assert Channel("sram", "dram") not in channels
+
+    def test_uncached_channel(self, mem_library, tiny_trace):
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [], dram, {}, "dram")
+        assert arch.channels(tiny_trace) == [Channel("cpu", "dram")]
+
+    def test_unused_module_has_no_channel(self, mem_library, tiny_trace):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+        sb = mem_library.get("stream_buffer_4").instantiate("sb")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache, sb], dram, {}, "cache")
+        names = [c.name for c in arch.channels(tiny_trace)]
+        assert "cpu->sb" not in names
+
+    def test_validate_sram_capacity(self, mem_library, tiny_trace):
+        sram = mem_library.get("sram_1k").instantiate("sram")
+        dram = mem_library.get("dram").instantiate()
+        # 'stream' in tiny_trace spans only 256 B: fits. 'table' tiny too.
+        arch = MemoryArchitecture(
+            "a", [sram], dram, {"stream": "sram", "table": "sram"}, "dram"
+        )
+        arch.validate(tiny_trace)
+
+    def test_validate_sram_overflow(self, mem_library, compress_trace):
+        sram = mem_library.get("sram_1k").instantiate("sram")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture(
+            "a", [sram], dram, {"hash_table": "sram"}, "dram"
+        )
+        with pytest.raises(ConfigurationError):
+            arch.validate(compress_trace)
+
+    def test_validate_unknown_struct(self, mem_library, tiny_trace):
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [], dram, {"ghost": "dram"}, "dram")
+        with pytest.raises(ConfigurationError):
+            arch.validate(tiny_trace)
+
+    def test_area_sums_on_chip_only(self, mem_library):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        assert arch.area_gates == cache.area_gates
+
+    def test_describe(self, mem_library):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache], dram, {"x": "cache"}, "cache")
+        text = arch.describe()
+        assert "cache" in text and "default" in text
+
+
+SMALL_CONFIG = ApexConfig(
+    cache_options=(None, "cache_4k_16b_1w", "cache_16k_32b_2w"),
+    stream_buffer_options=(None, "stream_buffer_4"),
+    dma_options=(None, "si_dma_32"),
+    map_indexed_to_sram=(False, True),
+    select_count=4,
+)
+
+
+class TestEnumeration:
+    def test_candidate_count(self, compress_trace, compress_workload, mem_library):
+        profiles = profile_patterns(
+            compress_trace, compress_workload.pattern_hints
+        )
+        candidates = enumerate_architectures(
+            compress_trace, mem_library, profiles, SMALL_CONFIG
+        )
+        # 3 caches x 2 stream x 2 dma x 2 sram = 24
+        assert len(candidates) == 24
+
+    def test_uncached_baseline_present(
+        self, compress_trace, compress_workload, mem_library
+    ):
+        profiles = profile_patterns(
+            compress_trace, compress_workload.pattern_hints
+        )
+        candidates = enumerate_architectures(
+            compress_trace, mem_library, profiles, SMALL_CONFIG
+        )
+        empty = [c for c in candidates if not c.modules]
+        assert len(empty) == 1
+        assert empty[0].default_module == "dram"
+
+    def test_no_si_structs_skips_dma(self, mem_library):
+        from repro.trace.events import TraceBuilder
+
+        builder = TraceBuilder("s")
+        for i in range(256):
+            builder.read(0x1000 + 4 * i, 4, "stream")
+        trace = builder.build()
+        profiles = profile_patterns(trace)
+        config = ApexConfig(
+            cache_options=(None,),
+            stream_buffer_options=(None, "stream_buffer_4"),
+            dma_options=(None, "si_dma_16"),
+            map_indexed_to_sram=(False,),
+        )
+        candidates = enumerate_architectures(
+            trace, mem_library, profiles, config
+        )
+        # One stream struct, no self-indirect struct: DMA options
+        # collapse and only the buffer choice remains.
+        assert len(candidates) == 2
+
+    def test_all_candidates_validate(
+        self, compress_trace, compress_workload, mem_library
+    ):
+        profiles = profile_patterns(
+            compress_trace, compress_workload.pattern_hints
+        )
+        for arch in enumerate_architectures(
+            compress_trace, mem_library, profiles, SMALL_CONFIG
+        ):
+            arch.validate(compress_trace)
+
+
+class TestExploration:
+    @pytest.fixture(scope="class")
+    def result(self, compress_trace, compress_workload, mem_library):
+        return explore_memory_architectures(
+            compress_trace,
+            mem_library,
+            SMALL_CONFIG,
+            hints=compress_workload.pattern_hints,
+        )
+
+    def test_selection_is_pareto(self, result):
+        vectors = [e.objectives for e in result.evaluated]
+        for selected in result.selected:
+            assert is_pareto_point(selected.objectives, vectors)
+
+    def test_selection_bounded(self, result):
+        assert 1 <= len(result.selected) <= SMALL_CONFIG.select_count
+
+    def test_selection_sorted_by_cost(self, result):
+        costs = [e.cost_gates for e in result.selected]
+        assert costs == sorted(costs)
+
+    def test_miss_ratio_decreases_along_front(self, result):
+        ratios = [e.miss_ratio for e in result.selected]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_bad_select_count(self, compress_trace, mem_library):
+        with pytest.raises(ExplorationError):
+            explore_memory_architectures(
+                compress_trace,
+                mem_library,
+                ApexConfig(select_count=0),
+            )

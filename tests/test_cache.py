@@ -1,0 +1,136 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import Cache, WritePolicy
+from repro.trace.events import AccessKind
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+def make(capacity=1024, line=32, ways=2, policy=WritePolicy.WRITE_BACK):
+    return Cache("c", capacity, line, ways, policy)
+
+
+class TestGeometryValidation:
+    def test_non_power_of_two_capacity(self):
+        with pytest.raises(ConfigurationError):
+            make(capacity=1000)
+
+    def test_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            make(line=24)
+
+    def test_too_many_ways(self):
+        with pytest.raises(ConfigurationError):
+            Cache("c", 64, 32, 4)
+
+    def test_bad_latency(self):
+        with pytest.raises(ConfigurationError):
+            Cache("c", 1024, 32, 2, hit_latency=0)
+
+    def test_sets_computed(self):
+        cache = make(capacity=1024, line=32, ways=2)
+        assert cache.sets == 16
+
+
+class TestHitMissBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = make()
+        first = cache.access(0x1000, 4, R, 0)
+        assert not first.hit
+        assert first.refill_bytes == 32
+        second = cache.access(0x1004, 4, R, 1)
+        assert second.hit
+        assert second.refill_bytes == 0
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_line_granularity(self):
+        cache = make(line=32)
+        cache.access(0x1000, 4, R, 0)
+        assert cache.access(0x101F, 1, R, 1).hit  # same line
+        assert not cache.access(0x1020, 4, R, 2).hit  # next line
+
+    def test_lru_eviction(self):
+        cache = make(capacity=128, line=32, ways=2)  # 2 sets
+        sets = cache.sets
+        stride = 32 * sets  # same set, different tags
+        cache.access(0x0, 4, R, 0)
+        cache.access(stride, 4, R, 1)
+        cache.access(0x0, 4, R, 2)  # touch first -> second is LRU
+        cache.access(2 * stride, 4, R, 3)  # evicts `stride`
+        assert cache.access(0x0, 4, R, 4).hit
+        assert not cache.access(stride, 4, R, 5).hit
+
+    def test_direct_mapped_conflict(self):
+        cache = make(capacity=128, line=32, ways=1)
+        stride = 32 * cache.sets
+        cache.access(0x0, 4, R, 0)
+        cache.access(stride, 4, R, 1)
+        assert not cache.access(0x0, 4, R, 2).hit
+
+    def test_miss_ratio(self):
+        cache = make()
+        for i in range(8):
+            cache.access(0x40 * i, 4, R, i)  # 8 distinct lines at line=32? 0x40 stride => every other line
+        assert cache.miss_ratio == 1.0
+
+    def test_reset_clears_state(self):
+        cache = make()
+        cache.access(0x1000, 4, R, 0)
+        cache.reset()
+        assert cache.hits == 0 and cache.misses == 0
+        assert not cache.access(0x1000, 4, R, 0).hit
+
+
+class TestWritePolicies:
+    def test_write_back_dirty_eviction(self):
+        cache = make(capacity=128, line=32, ways=1)
+        stride = 32 * cache.sets
+        cache.access(0x0, 4, W, 0)  # allocate + dirty
+        response = cache.access(stride, 4, R, 1)  # evicts dirty line
+        assert response.writeback_bytes == 32
+
+    def test_write_back_clean_eviction_no_writeback(self):
+        cache = make(capacity=128, line=32, ways=1)
+        stride = 32 * cache.sets
+        cache.access(0x0, 4, R, 0)
+        response = cache.access(stride, 4, R, 1)
+        assert response.writeback_bytes == 0
+
+    def test_write_through_posts_every_write(self):
+        cache = make(policy=WritePolicy.WRITE_THROUGH)
+        cache.access(0x1000, 4, R, 0)
+        response = cache.access(0x1000, 4, W, 1)
+        assert response.hit
+        assert response.writeback_bytes == 4
+
+    def test_write_through_never_dirty(self):
+        cache = make(capacity=128, line=32, ways=1, policy=WritePolicy.WRITE_THROUGH)
+        stride = 32 * cache.sets
+        cache.access(0x0, 4, W, 0)
+        response = cache.access(stride, 4, R, 1)
+        # Eviction carries no line writeback (write-through kept it clean).
+        assert response.writeback_bytes == 0
+
+    def test_write_miss_allocates(self):
+        cache = make()
+        response = cache.access(0x2000, 4, W, 0)
+        assert not response.hit
+        assert response.refill_bytes == 32
+        assert cache.access(0x2000, 4, R, 1).hit
+
+
+class TestModels:
+    def test_area_grows_with_capacity(self):
+        small = make(capacity=4096).area_gates
+        large = make(capacity=32768).area_gates
+        assert large > 4 * small
+
+    def test_energy_grows_with_capacity_and_ways(self):
+        assert make(capacity=32768).access_energy_nj > make(capacity=4096).access_energy_nj
+        assert (
+            Cache("c", 8192, 32, 4).access_energy_nj
+            > Cache("c", 8192, 32, 1).access_energy_nj
+        )

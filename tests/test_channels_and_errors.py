@@ -1,0 +1,59 @@
+"""Unit tests for the Channel record and the error hierarchy."""
+
+import pytest
+
+from repro.channels import CPU, DRAM, Channel
+from repro.errors import (
+    ConfigurationError,
+    ExplorationError,
+    LibraryError,
+    ReproError,
+    SimulationError,
+    TraceError,
+)
+
+
+class TestChannel:
+    def test_name(self):
+        assert Channel("cpu", "cache").name == "cpu->cache"
+
+    def test_crossing_detection(self):
+        assert Channel("cache", DRAM).crosses_chip
+        assert Channel(DRAM, "cache").crosses_chip
+        assert not Channel(CPU, "cache").crosses_chip
+
+    def test_endpoints(self):
+        assert Channel("a", "b").endpoints() == ("a", "b")
+
+    def test_hashable_and_equal(self):
+        assert Channel("cpu", "cache") == Channel("cpu", "cache")
+        assert len({Channel("cpu", "cache"), Channel("cpu", "cache")}) == 1
+        assert Channel("cpu", "cache") != Channel("cache", "cpu")
+
+    def test_constants(self):
+        assert CPU == "cpu"
+        assert DRAM == "dram"
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize(
+        "subclass",
+        [
+            ConfigurationError,
+            ExplorationError,
+            LibraryError,
+            SimulationError,
+            TraceError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, subclass):
+        assert issubclass(subclass, ReproError)
+        with pytest.raises(ReproError):
+            raise subclass("boom")
+
+    def test_catchable_individually(self):
+        with pytest.raises(TraceError):
+            raise TraceError("x")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)

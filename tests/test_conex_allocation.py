@@ -1,0 +1,186 @@
+"""Unit tests for cluster→component allocation and the estimator."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.channels import Channel
+from repro.conex.allocation import compatible_presets, enumerate_assignments
+from repro.conex.brg import build_brg
+from repro.conex.clustering import LogicalConnection, clustering_levels
+from repro.conex.estimator import estimate_design
+from repro.errors import ExplorationError
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def setup(mem_library_module, conn_library_module):
+    from repro.workloads import get_workload
+
+    trace = get_workload("compress", scale=0.12, seed=7).trace()
+    cache = mem_library_module.get("cache_8k_32b_2w").instantiate("cache")
+    dma = mem_library_module.get("si_dma_32").instantiate("dma")
+    dram = mem_library_module.get("dram").instantiate()
+    arch = MemoryArchitecture(
+        "m",
+        [cache, dma],
+        dram,
+        {"hash_table": "dma", "code_table": "dma"},
+        "cache",
+    )
+    profile = simulate(trace, arch)
+    brg = build_brg(arch, profile)
+    return trace, arch, profile, brg
+
+
+@pytest.fixture(scope="module")
+def mem_library_module():
+    from repro.memory.library import default_memory_library
+
+    return default_memory_library()
+
+
+@pytest.fixture(scope="module")
+def conn_library_module():
+    from repro.connectivity.library import default_connectivity_library
+
+    return default_connectivity_library()
+
+
+class TestCompatiblePresets:
+    def test_on_chip_cluster_gets_on_chip_presets(self, conn_library_module):
+        cluster = LogicalConnection(
+            channels=(Channel("cpu", "cache"),),
+            bandwidth=1.0,
+            crosses_chip=False,
+        )
+        names = {p.name for p in compatible_presets(cluster, conn_library_module)}
+        assert "ahb" in names and "dedicated" in names
+        assert not any(n.startswith("offchip") for n in names)
+
+    def test_crossing_cluster_gets_off_chip_presets(self, conn_library_module):
+        cluster = LogicalConnection(
+            channels=(Channel("cache", "dram"),),
+            bandwidth=1.0,
+            crosses_chip=True,
+        )
+        names = {p.name for p in compatible_presets(cluster, conn_library_module)}
+        assert names == {"offchip_16", "offchip_32"}
+
+    def test_port_limits_filter(self, conn_library_module):
+        cluster = LogicalConnection(
+            channels=(
+                Channel("cpu", "a"),
+                Channel("cpu", "b"),
+                Channel("cpu", "c"),
+                Channel("cpu", "d"),
+                Channel("cpu", "e"),
+            ),
+            bandwidth=1.0,
+            crosses_chip=False,
+        )
+        names = {p.name for p in compatible_presets(cluster, conn_library_module)}
+        assert "dedicated" not in names  # 6 endpoints > 2 ports
+        assert "mux" not in names  # > 4 ports
+        assert "ahb" in names
+
+
+class TestEnumerateAssignments:
+    def test_counts_are_product_of_choices(self, setup, conn_library_module):
+        _, _, _, brg = setup
+        levels = clustering_levels(brg)
+        final = levels[-1]  # one on-chip + one crossing cluster
+        assignments = enumerate_assignments(final, conn_library_module)
+        on_chip_choices = len(conn_library_module.on_chip_choices())
+        off_choices = len(conn_library_module.off_chip_choices())
+        # dedicated supports only 2 ports; the merged on-chip cluster
+        # has 3 endpoints, so it drops out; mux may survive.
+        assert len(assignments) <= on_chip_choices * off_choices
+        assert len(assignments) >= (on_chip_choices - 2) * off_choices
+
+    def test_every_assignment_implements_all_channels(
+        self, setup, conn_library_module
+    ):
+        _, _, _, brg = setup
+        level = clustering_levels(brg)[0]
+        for connectivity in enumerate_assignments(level, conn_library_module):
+            assert set(connectivity.channels()) == set(brg.channels)
+
+    def test_max_assignments_thins_deterministically(
+        self, setup, conn_library_module
+    ):
+        _, _, _, brg = setup
+        level = clustering_levels(brg)[0]
+        full = enumerate_assignments(level, conn_library_module, max_assignments=4096)
+        thinned = enumerate_assignments(level, conn_library_module, max_assignments=10)
+        assert len(thinned) == 10
+        full_signatures = {c.preset_signature() for c in full}
+        assert all(c.preset_signature() in full_signatures for c in thinned)
+        again = enumerate_assignments(level, conn_library_module, max_assignments=10)
+        assert [c.preset_signature() for c in thinned] == [
+            c.preset_signature() for c in again
+        ]
+
+    def test_bad_limit_rejected(self, setup, conn_library_module):
+        _, _, _, brg = setup
+        level = clustering_levels(brg)[0]
+        with pytest.raises(ExplorationError):
+            enumerate_assignments(level, conn_library_module, max_assignments=0)
+
+
+class TestEstimator:
+    def test_estimate_tracks_simulation_ordering(
+        self, setup, conn_library_module
+    ):
+        """Phase-I fidelity: estimates rank designs like simulation."""
+        trace, arch, profile, brg = setup
+        level = clustering_levels(brg)[0]
+        assignments = enumerate_assignments(
+            level, conn_library_module, max_assignments=12
+        )
+        pairs = []
+        for connectivity in assignments:
+            estimate = estimate_design(arch, connectivity, profile)
+            result = simulate(trace, arch, connectivity)
+            pairs.append((estimate.avg_latency, result.avg_latency))
+        estimates = [p[0] for p in pairs]
+        actuals = [p[1] for p in pairs]
+        # Rank correlation (Spearman) must be strongly positive.
+        from scipy.stats import spearmanr
+
+        rho, _ = spearmanr(estimates, actuals)
+        assert rho > 0.6
+
+    def test_estimate_cost_matches_simulated_cost(
+        self, setup, conn_library_module
+    ):
+        trace, arch, profile, brg = setup
+        level = clustering_levels(brg)[-1]
+        connectivity = enumerate_assignments(level, conn_library_module)[0]
+        estimate = estimate_design(arch, connectivity, profile)
+        result = simulate(trace, arch, connectivity)
+        assert estimate.cost_gates == pytest.approx(result.cost_gates)
+
+    def test_estimate_latency_at_least_ideal(self, setup, conn_library_module):
+        _, arch, profile, brg = setup
+        level = clustering_levels(brg)[0]
+        connectivity = enumerate_assignments(
+            level, conn_library_module, max_assignments=1
+        )[0]
+        estimate = estimate_design(arch, connectivity, profile)
+        assert estimate.avg_latency >= profile.avg_latency
+        assert estimate.avg_energy_nj >= profile.avg_energy_nj
+
+    def test_mismatched_profile_rejected(
+        self, setup, conn_library_module, mem_library_module
+    ):
+        trace, arch, profile, brg = setup
+        other = MemoryArchitecture(
+            "other", [], mem_library_module.get("dram").instantiate(), {}, "dram"
+        )
+        other_profile = simulate(trace, other)
+        level = clustering_levels(brg)[0]
+        connectivity = enumerate_assignments(
+            level, conn_library_module, max_assignments=1
+        )[0]
+        with pytest.raises(ExplorationError):
+            estimate_design(arch, connectivity, other_profile)

@@ -1,0 +1,149 @@
+"""Unit tests for BRG construction and hierarchical clustering."""
+
+import pytest
+
+from repro.channels import Channel
+from repro.conex.brg import build_brg
+from repro.conex.clustering import clustering_levels
+from repro.errors import ExplorationError
+from repro.sim import simulate
+
+
+@pytest.fixture(scope="module")
+def brg(compress_trace_module, compress_arch_module):
+    profile = simulate(compress_trace_module, compress_arch_module)
+    return build_brg(compress_arch_module, profile)
+
+
+@pytest.fixture(scope="module")
+def compress_trace_module(request):
+    from repro.workloads import get_workload
+
+    return get_workload("compress", scale=0.12, seed=7).trace()
+
+
+@pytest.fixture(scope="module")
+def compress_arch_module(compress_trace_module):
+    from repro.apex.architectures import MemoryArchitecture
+    from repro.memory.library import default_memory_library
+
+    library = default_memory_library()
+    cache = library.get("cache_8k_32b_2w").instantiate("cache")
+    sb = library.get("stream_buffer_4").instantiate("sb")
+    dma = library.get("si_dma_32").instantiate("dma")
+    dram = library.get("dram").instantiate()
+    return MemoryArchitecture(
+        "rich",
+        [cache, sb, dma],
+        dram,
+        {
+            "input_stream": "sb",
+            "hash_table": "dma",
+            "code_table": "dma",
+        },
+        "cache",
+    )
+
+
+class TestBrg:
+    def test_arcs_match_architecture_channels(
+        self, brg, compress_arch_module, compress_trace_module
+    ):
+        expected = set(compress_arch_module.channels(compress_trace_module))
+        assert set(brg.channels) == expected
+
+    def test_bandwidth_positive_and_ordered(self, brg):
+        bandwidths = [brg.bandwidth(c) for c in brg.channels]
+        assert all(b >= 0 for b in bandwidths)
+        assert bandwidths == sorted(bandwidths, reverse=True)
+
+    def test_cpu_dma_is_hot(self, brg):
+        # The hash table dominates compress: its CPU channel out-ranks
+        # the stream buffer's.
+        assert brg.bandwidth(Channel("cpu", "dma")) > brg.bandwidth(
+            Channel("cpu", "sb")
+        )
+
+    def test_domain_partition(self, brg):
+        on_chip = brg.on_chip_channels()
+        crossing = brg.crossing_channels()
+        assert set(on_chip) | set(crossing) == set(brg.channels)
+        assert all(not c.crosses_chip for c in on_chip)
+        assert all(c.crosses_chip for c in crossing)
+
+    def test_networkx_export(self, brg):
+        graph = brg.to_networkx()
+        assert graph.number_of_edges() == len(brg.channels)
+        assert "cpu" in graph
+
+    def test_unknown_arc_raises(self, brg):
+        with pytest.raises(ExplorationError):
+            brg.arc(Channel("cpu", "ghost"))
+
+    def test_mismatched_profile_rejected(
+        self, compress_trace_module, compress_arch_module, mem_library
+    ):
+        from repro.apex.architectures import MemoryArchitecture
+
+        other = MemoryArchitecture(
+            "other", [], mem_library.get("dram").instantiate(), {}, "dram"
+        )
+        profile = simulate(compress_trace_module, other)
+        with pytest.raises(ExplorationError):
+            build_brg(compress_arch_module, profile)
+
+    def test_describe(self, brg):
+        text = brg.describe()
+        assert "BRG" in text and "B/cyc" in text
+
+
+class TestClustering:
+    def test_level_zero_is_singletons(self, brg):
+        levels = clustering_levels(brg)
+        assert levels[0].size == len(brg.channels)
+        assert all(len(c.channels) == 1 for c in levels[0].clusters)
+
+    def test_sizes_strictly_decrease(self, brg):
+        levels = clustering_levels(brg)
+        sizes = [level.size for level in levels]
+        assert sizes == sorted(sizes, reverse=True)
+        assert len(set(sizes)) == len(sizes)
+
+    def test_final_level_one_cluster_per_domain(self, brg):
+        last = clustering_levels(brg)[-1]
+        domains = [c.crosses_chip for c in last.clusters]
+        assert sorted(domains) == [False, True]
+
+    def test_no_cross_domain_merge(self, brg):
+        for level in clustering_levels(brg):
+            for cluster in level.clusters:
+                crossing = {c.crosses_chip for c in cluster.channels}
+                assert len(crossing) == 1
+
+    def test_merges_lowest_bandwidth_first(self, brg):
+        levels = clustering_levels(brg)
+        first_merge = levels[1]
+        merged = [c for c in first_merge.clusters if len(c.channels) > 1]
+        assert len(merged) == 1
+        merged_bw = {brg.bandwidth(c) for c in merged[0].channels}
+        # The merged pair had the two smallest bandwidths of its domain.
+        domain = merged[0].crosses_chip
+        domain_bws = sorted(
+            brg.bandwidth(c)
+            for c in brg.channels
+            if c.crosses_chip is domain
+        )
+        assert merged_bw == set(domain_bws[:2]) or len(merged_bw) == 1
+
+    def test_cluster_bandwidth_is_cumulative(self, brg):
+        for level in clustering_levels(brg):
+            for cluster in level.clusters:
+                total = sum(brg.bandwidth(c) for c in cluster.channels)
+                assert cluster.bandwidth == pytest.approx(total)
+
+    def test_channels_conserved_at_every_level(self, brg):
+        all_channels = set(brg.channels)
+        for level in clustering_levels(brg):
+            seen = [c for cluster in level.clusters for c in cluster.channels]
+            assert set(seen) == all_channels
+            assert len(seen) == len(all_channels)

@@ -1,0 +1,169 @@
+"""Unit tests for ConnectivityArchitecture and the connectivity library."""
+
+import pytest
+
+from repro.channels import Channel
+from repro.connectivity.architecture import (
+    ClusterAssignment,
+    ConnectivityArchitecture,
+    build_cluster,
+    dram_backing_latency,
+)
+from repro.connectivity.library import default_connectivity_library
+from repro.errors import ConfigurationError, LibraryError
+
+
+@pytest.fixture
+def library():
+    return default_connectivity_library()
+
+
+def cpu_cache():
+    return Channel("cpu", "cache")
+
+
+def cache_dram():
+    return Channel("cache", "dram")
+
+
+class TestConnectivityLibrary:
+    def test_population(self, library):
+        assert "ahb" in library and "offchip_16" in library
+        assert len(library.on_chip_choices()) >= 5
+        assert len(library.off_chip_choices()) >= 2
+
+    def test_off_chip_flags_consistent(self, library):
+        for preset in library.off_chip_choices():
+            assert not preset.build().on_chip
+        for preset in library.on_chip_choices():
+            assert preset.build().on_chip
+
+    def test_unknown_raises(self, library):
+        with pytest.raises(LibraryError):
+            library.get("hypertransport")
+
+    def test_instantiate_renames(self, library):
+        component = library.get("ahb").instantiate("bus0")
+        assert component.name == "bus0"
+
+
+class TestClusterAssignment:
+    def test_endpoints_sorted_unique(self, library):
+        cluster = build_cluster(
+            [cpu_cache(), Channel("cpu", "sram")],
+            "ahb",
+            library.get("ahb").instantiate(),
+        )
+        assert cluster.endpoints == ("cache", "cpu", "sram")
+
+    def test_crossing_flag(self, library):
+        off = build_cluster(
+            [cache_dram()], "offchip_16", library.get("offchip_16").instantiate()
+        )
+        assert off.crosses_chip
+
+
+class TestConnectivityArchitectureValidation:
+    def test_mixed_domain_cluster_rejected(self, library):
+        with pytest.raises(ConfigurationError):
+            ConnectivityArchitecture(
+                "bad",
+                [
+                    build_cluster(
+                        [cpu_cache(), cache_dram()],
+                        "offchip_16",
+                        library.get("offchip_16").instantiate(),
+                    )
+                ],
+            )
+
+    def test_on_chip_component_cannot_cross(self, library):
+        with pytest.raises(ConfigurationError):
+            ConnectivityArchitecture(
+                "bad",
+                [build_cluster([cache_dram()], "ahb", library.get("ahb").instantiate())],
+            )
+
+    def test_off_chip_component_wasted_on_chip(self, library):
+        with pytest.raises(ConfigurationError):
+            ConnectivityArchitecture(
+                "bad",
+                [
+                    build_cluster(
+                        [cpu_cache()],
+                        "offchip_16",
+                        library.get("offchip_16").instantiate(),
+                    )
+                ],
+            )
+
+    def test_port_limit_enforced(self, library):
+        channels = [Channel("cpu", f"m{i}") for i in range(4)]
+        with pytest.raises(ConfigurationError):
+            ConnectivityArchitecture(
+                "bad",
+                [
+                    build_cluster(
+                        channels, "dedicated", library.get("dedicated").instantiate()
+                    )
+                ],
+            )
+
+    def test_duplicate_channel_rejected(self, library):
+        with pytest.raises(ConfigurationError):
+            ConnectivityArchitecture(
+                "bad",
+                [
+                    build_cluster([cpu_cache()], "ahb", library.get("ahb").instantiate()),
+                    build_cluster([cpu_cache()], "asb", library.get("asb").instantiate()),
+                ],
+            )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ConnectivityArchitecture("bad", [])
+
+
+class TestConnectivityArchitectureQueries:
+    def make(self, library):
+        return ConnectivityArchitecture(
+            "conn",
+            [
+                build_cluster([cpu_cache()], "ahb", library.get("ahb").instantiate()),
+                build_cluster(
+                    [cache_dram()], "offchip_16", library.get("offchip_16").instantiate()
+                ),
+            ],
+        )
+
+    def test_component_lookup(self, library):
+        conn = self.make(library)
+        assert conn.component_for(cpu_cache()).kind == "ahb"
+        assert conn.component_for(cache_dram()).kind == "offchip"
+
+    def test_unknown_channel_raises(self, library):
+        conn = self.make(library)
+        with pytest.raises(ConfigurationError):
+            conn.cluster_for(Channel("cpu", "ghost"))
+
+    def test_cost_and_energy(self, library, cache_architecture):
+        conn = self.make(library)
+        cost = conn.cost_gates(cache_architecture)
+        assert cost > 0
+        energy = conn.energy_nj_per_byte(cache_dram(), cache_architecture)
+        assert energy > conn.energy_nj_per_byte(cpu_cache(), cache_architecture)
+
+    def test_preset_signature_dedup(self, library):
+        a = self.make(library)
+        b = self.make(library)
+        assert a.preset_signature() == b.preset_signature()
+
+    def test_describe_lists_clusters(self, library):
+        text = self.make(library).describe()
+        assert "ahb" in text and "cpu->cache" in text
+
+    def test_backing_latency_helper(self, library, cache_architecture):
+        conn = self.make(library)
+        latency = dram_backing_latency(conn, cache_architecture, cache_dram(), 16)
+        component = conn.component_for(cache_dram())
+        assert latency == component.timing(16).latency + 20

@@ -1,0 +1,146 @@
+"""Unit tests for the connectivity components' timing and models."""
+
+import pytest
+
+from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
+from repro.connectivity.dedicated import DedicatedConnection
+from repro.connectivity.mux import MuxConnection
+from repro.connectivity.offchip import OffChipBus
+from repro.errors import ConfigurationError
+
+
+class TestTransferTiming:
+    def test_beats(self):
+        ahb = AhbBus()
+        assert ahb.beats(1) == 1
+        assert ahb.beats(4) == 1
+        assert ahb.beats(5) == 2
+        assert ahb.beats(32) == 8
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AhbBus().beats(0)
+
+    def test_pipelined_occupancy_below_latency(self):
+        ahb = AhbBus()
+        timing = ahb.timing(32)
+        assert timing.occupancy < timing.latency
+        assert timing.latency == 2 + 8
+
+    def test_unpipelined_occupancy_equals_latency(self):
+        asb = AsbBus()
+        timing = asb.timing(32)
+        assert timing.occupancy == timing.latency
+
+    def test_apb_two_cycle_beats(self):
+        apb = ApbBus()
+        assert apb.timing(4).latency == 1 + 2
+        assert apb.timing(8).latency == 1 + 4
+
+    def test_dedicated_zero_setup(self):
+        dedicated = DedicatedConnection()
+        assert dedicated.timing(4).latency == 1
+
+    def test_wide_ahb_halves_beats(self):
+        narrow = AhbBus("a", width_bytes=4).timing(32)
+        wide = AhbBus("w", width_bytes=8).timing(32)
+        assert wide.latency < narrow.latency
+
+    def test_offchip_slow_beats(self):
+        off = OffChipBus(width_bytes=2)
+        assert off.timing(32).latency == 3 + 16 * 2
+
+
+class TestProtocolFlags:
+    def test_ahb_split_and_pipelined(self):
+        ahb = AhbBus()
+        assert ahb.pipelined and ahb.split_transactions
+
+    def test_asb_apb_not_split(self):
+        assert not AsbBus().split_transactions
+        assert not ApbBus().split_transactions
+        assert not ApbBus().pipelined
+
+    def test_mux_point_to_point(self):
+        assert MuxConnection().point_to_point
+        assert MuxConnection().max_ports == 4
+
+    def test_dedicated_two_ports(self):
+        assert DedicatedConnection().max_ports == 2
+
+    def test_offchip_flag(self):
+        assert not OffChipBus().on_chip
+        assert AhbBus().on_chip
+
+
+class TestReservationTables:
+    def test_unpipelined_table_single_resource(self):
+        asb = AsbBus()
+        table = asb.reservation_table(8)
+        assert table.resources == ("asb.bus",)
+        assert table.length == asb.timing(8).latency
+        assert table.min_initiation_interval() == table.length
+
+    def test_pipelined_table_overlaps(self):
+        ahb = AhbBus()
+        table = ahb.reservation_table(32)
+        assert table.min_initiation_interval() < table.length
+
+    def test_dedicated_table_ii_matches_beats(self):
+        dedicated = DedicatedConnection()
+        table = dedicated.reservation_table(16)
+        assert table.min_initiation_interval() == 4
+
+
+class TestCostEnergyModels:
+    def test_cost_grows_with_ports(self):
+        ahb = AhbBus()
+        assert ahb.cost_gates(8, 1e5) > ahb.cost_gates(2, 1e5)
+
+    def test_cost_grows_with_attached_area(self):
+        ahb = AhbBus()
+        assert ahb.cost_gates(4, 1e6) > ahb.cost_gates(4, 1e4)
+
+    def test_port_limit_enforced(self):
+        dedicated = DedicatedConnection()
+        with pytest.raises(ConfigurationError):
+            dedicated.cost_gates(3, 1e5)
+
+    def test_mux_wires_cost_more_than_bus_trunk(self):
+        # Point-to-point spokes vs a shared trunk at equal fanout.
+        mux = MuxConnection()
+        asb = AsbBus()
+        assert (
+            mux.wire_model(4, 5e5).length_mm > asb.wire_model(4, 5e5).length_mm
+        )
+
+    def test_ahb_controller_pricier_than_apb(self):
+        ahb, apb = AhbBus(), ApbBus()
+        # Compare controllers only (same wire situation).
+        from repro.memory.area import controller_area_gates
+
+        assert controller_area_gates(4, ahb.protocol_complexity) > (
+            controller_area_gates(4, apb.protocol_complexity)
+        )
+
+    def test_offchip_energy_dominated_by_pads(self):
+        off = OffChipBus()
+        on = AsbBus()
+        assert off.energy_nj_per_byte(2, 1e5) > 5 * on.energy_nj_per_byte(2, 1e5)
+
+    def test_describe_mentions_features(self):
+        assert "split" in AhbBus().describe()
+        assert "off-chip" in OffChipBus().describe()
+
+
+class TestValidation:
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            AhbBus(width_bytes=0)
+
+    def test_timing_positive(self):
+        for component in (AhbBus(), AsbBus(), ApbBus(), MuxConnection(),
+                          DedicatedConnection(), OffChipBus()):
+            timing = component.timing(4)
+            assert timing.latency >= 1
+            assert timing.occupancy >= 1

@@ -1,0 +1,81 @@
+"""Unit tests for the wire length / area / energy models."""
+
+import pytest
+
+from repro.connectivity.wire import (
+    WireModel,
+    wire_area_gates,
+    wire_energy_nj_per_byte,
+    wire_length_mm,
+)
+from repro.errors import ConfigurationError
+
+
+class TestWireLength:
+    def test_grows_with_attached_area(self):
+        assert wire_length_mm(1e6, 2) > wire_length_mm(1e4, 2)
+
+    def test_grows_with_fanout(self):
+        assert wire_length_mm(1e5, 6) > wire_length_mm(1e5, 2)
+
+    def test_point_to_point_longer_at_high_fanout(self):
+        shared = wire_length_mm(1e5, 4, point_to_point=False)
+        spokes = wire_length_mm(1e5, 4, point_to_point=True)
+        assert spokes > shared
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wire_length_mm(-1.0, 2)
+        with pytest.raises(ConfigurationError):
+            wire_length_mm(1e5, 0)
+
+    def test_zero_area_still_positive(self):
+        assert wire_length_mm(0.0, 1) > 0.0
+
+
+class TestWireArea:
+    def test_proportional_to_lanes_and_length(self):
+        assert wire_area_gates(2.0, 32) > wire_area_gates(1.0, 32)
+        assert wire_area_gates(1.0, 64) > wire_area_gates(1.0, 32)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            wire_area_gates(-1.0, 32)
+        with pytest.raises(ConfigurationError):
+            wire_area_gates(1.0, 0)
+
+
+class TestWireEnergy:
+    def test_on_chip_grows_with_length(self):
+        assert wire_energy_nj_per_byte(4.0) > wire_energy_nj_per_byte(1.0)
+
+    def test_off_chip_pad_dominates(self):
+        on = wire_energy_nj_per_byte(2.0, off_chip=False)
+        off = wire_energy_nj_per_byte(2.0, off_chip=True)
+        assert off > 10 * on
+
+    def test_zero_length_on_chip_is_free(self):
+        assert wire_energy_nj_per_byte(0.0) == 0.0
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ConfigurationError):
+            wire_energy_nj_per_byte(-1.0)
+
+
+class TestWireModelBundle:
+    def test_for_connection(self):
+        model = WireModel.for_connection(
+            attached_area_gates=5e5,
+            fanout=3,
+            data_lanes=32,
+            point_to_point=False,
+            off_chip=False,
+        )
+        assert model.length_mm > 0
+        assert model.area_gates > 0
+        assert model.energy_nj_per_byte > 0
+
+    def test_off_chip_energy_flag_propagates(self):
+        on = WireModel.for_connection(1e5, 2, 16, off_chip=False)
+        off = WireModel.for_connection(1e5, 2, 16, off_chip=True)
+        assert off.energy_nj_per_byte > on.energy_nj_per_byte

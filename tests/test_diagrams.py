@@ -1,0 +1,134 @@
+"""Unit tests for interface timing diagrams."""
+
+import pytest
+
+from repro.connectivity.amba import AhbBus, ApbBus
+from repro.errors import ConfigurationError
+from repro.timing.diagrams import (
+    SignalWaveform,
+    TimingDiagram,
+    ahb_read_diagram,
+    apb_read_diagram,
+    diagram_to_table,
+)
+
+
+class TestSignalWaveform:
+    def test_cycles(self):
+        waveform = SignalWaveform("s", ((0, 2), (4, 5)))
+        assert waveform.cycles() == {0, 1, 4}
+        assert waveform.last_cycle == 4
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SignalWaveform("s", ((2, 2),))
+        with pytest.raises(ConfigurationError):
+            SignalWaveform("s", ((-1, 2),))
+
+    def test_overlapping_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SignalWaveform("s", ((0, 3), (2, 5)))
+
+    def test_unsorted_intervals_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SignalWaveform("s", ((4, 5), (0, 1)))
+
+
+class TestTimingDiagram:
+    def test_length(self):
+        diagram = TimingDiagram(
+            "d",
+            (
+                SignalWaveform("a", ((0, 2),)),
+                SignalWaveform("b", ((3, 6),)),
+            ),
+        )
+        assert diagram.length == 6
+
+    def test_duplicate_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingDiagram(
+                "d",
+                (
+                    SignalWaveform("a", ((0, 1),)),
+                    SignalWaveform("a", ((1, 2),)),
+                ),
+            )
+
+    def test_unknown_class_member_rejected(self):
+        with pytest.raises(ConfigurationError):
+            TimingDiagram(
+                "d",
+                (SignalWaveform("a", ((0, 1),)),),
+                resource_classes={"bus": ("ghost",)},
+            )
+
+    def test_signal_lookup(self):
+        diagram = TimingDiagram("d", (SignalWaveform("a", ((0, 1),)),))
+        assert diagram.signal("a").name == "a"
+        with pytest.raises(ConfigurationError):
+            diagram.signal("z")
+
+
+class TestDiagramToTable:
+    def test_resource_classes_merge_signals(self):
+        diagram = TimingDiagram(
+            "d",
+            (
+                SignalWaveform("req", ((0, 1),)),
+                SignalWaveform("gnt", ((1, 2),)),
+                SignalWaveform("data", ((2, 4),)),
+            ),
+            resource_classes={"d.ctl": ("req", "gnt")},
+        )
+        table = diagram_to_table(diagram)
+        assert table.cycles("d.ctl") == frozenset({0, 1})
+        assert table.cycles("d.data") == frozenset({2, 3})
+
+    def test_unclassified_signals_own_resources(self):
+        diagram = TimingDiagram(
+            "d", (SignalWaveform("x", ((0, 2),)),)
+        )
+        table = diagram_to_table(diagram)
+        assert table.resources == ("d.x",)
+
+
+class TestProtocolDiagrams:
+    """The diagrams abstract to the same timing the component models use."""
+
+    @pytest.mark.parametrize("beats", [1, 4, 8])
+    def test_ahb_diagram_matches_component(self, beats):
+        ahb = AhbBus()
+        table = diagram_to_table(ahb_read_diagram(beats))
+        component_table = ahb.reservation_table(beats * ahb.width_bytes)
+        # Same end-to-end latency and same initiation interval.
+        assert table.length == component_table.length
+        assert (
+            table.min_initiation_interval()
+            == component_table.min_initiation_interval()
+        )
+
+    @pytest.mark.parametrize("beats", [1, 2, 4])
+    def test_apb_diagram_matches_component(self, beats):
+        apb = ApbBus()
+        table = diagram_to_table(apb_read_diagram(beats))
+        component_table = apb.reservation_table(beats * apb.width_bytes)
+        assert table.length == component_table.length
+        assert (
+            table.min_initiation_interval()
+            == component_table.min_initiation_interval()
+        )
+
+    def test_ahb_pipelining_visible(self):
+        table = diagram_to_table(ahb_read_diagram(4))
+        assert table.min_initiation_interval() < table.length
+
+    def test_apb_no_pipelining(self):
+        table = diagram_to_table(apb_read_diagram(2))
+        assert table.min_initiation_interval() == table.length
+
+    def test_bad_beats_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ahb_read_diagram(0)
+        with pytest.raises(ConfigurationError):
+            apb_read_diagram(-1)

@@ -1,0 +1,103 @@
+"""Further estimator behaviour tests: saturation, sharing, split buses."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.channels import Channel
+from repro.conex.estimator import estimate_design
+from repro.connectivity.architecture import (
+    ConnectivityArchitecture,
+    build_cluster,
+)
+from repro.sim import simulate
+from repro.trace.events import TraceBuilder
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.memory.library import default_memory_library
+
+    library = default_memory_library()
+    builder = TraceBuilder("est")
+    # A miss-heavy pattern: strided reads defeating a small cache.
+    for i in range(4000):
+        builder.read(0x1_0000 + (i * 4096 + i * 16) % 262144, 8, "hot")
+        builder.compute(2)
+    trace = builder.build()
+    cache = library.get("cache_4k_16b_1w").instantiate("cache")
+    dram = library.get("dram").instantiate()
+    memory = MemoryArchitecture("m", [cache], dram, {}, "cache")
+    profile = simulate(trace, memory)
+    return trace, memory, profile, library
+
+
+def connectivity(conn_library, cpu_preset, off_preset, name="c"):
+    return ConnectivityArchitecture(
+        name,
+        [
+            build_cluster(
+                [Channel("cpu", "cache")],
+                cpu_preset,
+                conn_library.get(cpu_preset).instantiate(),
+            ),
+            build_cluster(
+                [Channel("cache", "dram")],
+                off_preset,
+                conn_library.get(off_preset).instantiate(),
+            ),
+        ],
+    )
+
+
+class TestEstimatorBehaviour:
+    def test_wider_offchip_estimates_faster(self, setup, conn_library):
+        _, memory, profile, _ = setup
+        narrow = estimate_design(
+            memory, connectivity(conn_library, "ahb", "offchip_16"), profile
+        )
+        wide = estimate_design(
+            memory, connectivity(conn_library, "ahb", "offchip_32"), profile
+        )
+        assert wide.avg_latency < narrow.avg_latency
+
+    def test_channel_waits_reported(self, setup, conn_library):
+        _, memory, profile, _ = setup
+        estimate = estimate_design(
+            memory, connectivity(conn_library, "asb", "offchip_16"), profile
+        )
+        assert "cache->dram" in estimate.channel_waits
+        # The miss-heavy pattern loads the narrow off-chip bus hardest.
+        assert (
+            estimate.channel_waits["cache->dram"]
+            >= estimate.channel_waits["cpu->cache"]
+        )
+
+    def test_estimates_track_simulation_across_offchip(self, setup, conn_library):
+        trace, memory, profile, _ = setup
+        for off in ("offchip_16", "offchip_32"):
+            conn = connectivity(conn_library, "ahb", off)
+            estimate = estimate_design(memory, conn, profile)
+            result = simulate(trace, memory, conn)
+            # Same ballpark: within a factor of two on this load.
+            assert estimate.avg_latency < 2 * result.avg_latency
+            assert result.avg_latency < 2 * estimate.avg_latency
+
+    def test_energy_estimate_close_to_simulation(self, setup, conn_library):
+        trace, memory, profile, _ = setup
+        conn = connectivity(conn_library, "ahb", "offchip_16")
+        estimate = estimate_design(memory, conn, profile)
+        result = simulate(trace, memory, conn)
+        assert estimate.avg_energy_nj == pytest.approx(
+            result.avg_energy_nj, rel=0.25
+        )
+
+    def test_objectives_tuple(self, setup, conn_library):
+        _, memory, profile, _ = setup
+        estimate = estimate_design(
+            memory, connectivity(conn_library, "mux", "offchip_16"), profile
+        )
+        assert estimate.objectives == (
+            estimate.cost_gates,
+            estimate.avg_latency,
+            estimate.avg_energy_nj,
+        )

@@ -1,0 +1,49 @@
+"""Smoke tests: every example compiles and exposes a main()."""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(EXAMPLE_FILES) >= 6
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+class TestEveryExample:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text())
+        assert tree.body
+
+    def test_has_module_docstring_with_run_line(self, path):
+        tree = ast.parse(path.read_text())
+        docstring = ast.get_docstring(tree)
+        assert docstring, f"{path.name} lacks a docstring"
+        assert "Run:" in docstring
+
+    def test_defines_main_and_guard(self, path):
+        source = path.read_text()
+        tree = ast.parse(source)
+        functions = {
+            node.name
+            for node in tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+        assert '__name__ == "__main__"' in source
+
+    def test_imports_resolve(self, path):
+        """Importing must succeed (no missing symbols at module level)."""
+        spec = importlib.util.spec_from_file_location(
+            f"example_{path.stem}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)

@@ -1,0 +1,70 @@
+"""Golden regression tests.
+
+The whole pipeline is deterministic (string-seeded RNGs, no wall-clock
+or hash randomization), so exact values can be pinned for fixed seeds.
+These tests exist to catch *unintentional* behavioural drift: if a
+model change legitimately moves a number, update the golden value in
+the same commit and say why.
+"""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.connectivity import default_connectivity_library
+from repro.memory import default_memory_library
+from repro.sim import simulate
+from repro.workloads import get_workload
+from tests.conftest import simple_connectivity
+
+
+@pytest.fixture(scope="module")
+def golden_setup():
+    library = default_memory_library()
+    trace = get_workload("vocoder", scale=0.25, seed=42).trace()
+    cache = library.get("cache_4k_16b_1w").instantiate("cache")
+    architecture = MemoryArchitecture(
+        "g", [cache], library.get("dram").instantiate(), {}, "cache"
+    )
+    return trace, architecture
+
+
+class TestGoldenTraces:
+    def test_vocoder_trace_shape(self, golden_setup):
+        trace, _ = golden_setup
+        assert len(trace) == 2370
+        assert trace.duration == 2954
+        assert trace.total_bytes == 9432
+
+    def test_compress_trace_shape(self):
+        trace = get_workload("compress", scale=0.1, seed=42).trace()
+        assert len(trace) == 4024
+        assert trace.duration == 6657
+
+
+class TestGoldenSimulation:
+    def test_ideal_connectivity(self, golden_setup):
+        trace, architecture = golden_setup
+        result = simulate(trace, architecture)
+        assert result.avg_latency == pytest.approx(2.9240506329113924)
+        assert result.avg_energy_nj == pytest.approx(4.768472573839896)
+        assert result.miss_ratio == pytest.approx(0.11645569620253164)
+        assert result.total_cycles == 7514
+
+    def test_real_connectivity(self, golden_setup):
+        trace, architecture = golden_setup
+        connectivity = simple_connectivity(
+            architecture, trace, default_connectivity_library()
+        )
+        result = simulate(trace, architecture, connectivity)
+        assert result.avg_latency == pytest.approx(8.234599156118144)
+        assert result.avg_energy_nj == pytest.approx(5.265601229641344)
+        assert result.cost_gates == pytest.approx(82832.83674686673)
+        assert result.total_cycles == 20100
+
+    def test_repeat_simulation_identical(self, golden_setup):
+        trace, architecture = golden_setup
+        first = simulate(trace, architecture)
+        second = simulate(trace, architecture)
+        assert first.avg_latency == second.avg_latency
+        assert first.avg_energy_nj == second.avg_energy_nj
+        assert first.total_cycles == second.total_cycles

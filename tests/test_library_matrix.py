@@ -1,0 +1,97 @@
+"""Parametrized sanity matrix over every library preset.
+
+A safety net for library growth: every memory preset must instantiate,
+serve accesses, reset cleanly, and report sane models; every
+connectivity preset must produce coherent timing, reservation tables,
+and cost/energy figures. New presets are covered automatically.
+"""
+
+import pytest
+
+from repro.connectivity.library import default_connectivity_library
+from repro.memory.dram import Dram
+from repro.memory.library import default_memory_library
+from repro.trace.events import AccessKind
+
+MEMORY_LIBRARY = default_memory_library()
+CONNECTIVITY_LIBRARY = default_connectivity_library()
+
+MEMORY_PRESETS = list(MEMORY_LIBRARY.names())
+CONNECTIVITY_PRESETS = list(CONNECTIVITY_LIBRARY.names())
+
+
+@pytest.mark.parametrize("preset_name", MEMORY_PRESETS)
+class TestEveryMemoryPreset:
+    def test_instantiates_fresh(self, preset_name):
+        a = MEMORY_LIBRARY.get(preset_name).instantiate()
+        b = MEMORY_LIBRARY.get(preset_name).instantiate()
+        assert a is not b
+        assert a.name
+
+    def test_models_sane(self, preset_name):
+        module = MEMORY_LIBRARY.get(preset_name).instantiate()
+        assert module.area_gates >= 0.0
+        if not isinstance(module, Dram):
+            assert module.area_gates > 0.0
+        assert module.access_energy_nj > 0.0
+
+    def test_serves_accesses_and_resets(self, preset_name):
+        module = MEMORY_LIBRARY.get(preset_name).instantiate()
+        for tick, address in enumerate([0x100, 0x140, 0x100, 0x9000]):
+            response = module.access(address, 4, AccessKind.READ, tick * 10)
+            assert response.latency >= 1
+            assert response.refill_bytes >= 0
+            assert response.writeback_bytes >= 0
+            assert response.prefetch_bytes >= 0
+        module.reset()
+        # After reset the module serves again from power-on state.
+        response = module.access(0x100, 4, AccessKind.READ, 0)
+        assert response.latency >= 1
+
+    def test_write_access(self, preset_name):
+        module = MEMORY_LIBRARY.get(preset_name).instantiate()
+        response = module.access(0x200, 8, AccessKind.WRITE, 0)
+        assert response.latency >= 1
+
+    def test_kind_tag(self, preset_name):
+        module = MEMORY_LIBRARY.get(preset_name).instantiate()
+        preset = MEMORY_LIBRARY.get(preset_name)
+        assert module.kind == preset.kind
+
+
+@pytest.mark.parametrize("preset_name", CONNECTIVITY_PRESETS)
+class TestEveryConnectivityPreset:
+    def test_timing_monotone_in_size(self, preset_name):
+        component = CONNECTIVITY_LIBRARY.get(preset_name).instantiate()
+        latencies = [component.timing(size).latency for size in (1, 4, 16, 64)]
+        assert latencies == sorted(latencies)
+        assert all(latency >= 1 for latency in latencies)
+
+    def test_occupancy_never_exceeds_latency(self, preset_name):
+        component = CONNECTIVITY_LIBRARY.get(preset_name).instantiate()
+        for size in (1, 8, 32):
+            timing = component.timing(size)
+            assert 1 <= timing.occupancy <= timing.latency
+
+    def test_reservation_table_consistent(self, preset_name):
+        component = CONNECTIVITY_LIBRARY.get(preset_name).instantiate()
+        table = component.reservation_table(16)
+        assert table.length >= 1
+        assert 1 <= table.min_initiation_interval() <= table.length
+        if component.pipelined:
+            assert table.min_initiation_interval() <= component.timing(16).latency
+
+    def test_cost_and_energy_positive(self, preset_name):
+        component = CONNECTIVITY_LIBRARY.get(preset_name).instantiate()
+        ports = min(2, component.max_ports)
+        assert component.cost_gates(ports, 1e5) > 0.0
+        assert component.energy_nj_per_byte(ports, 1e5) > 0.0
+
+    def test_off_chip_flag_matches_library(self, preset_name):
+        preset = CONNECTIVITY_LIBRARY.get(preset_name)
+        component = preset.instantiate()
+        assert preset.off_chip_capable == (not component.on_chip)
+
+    def test_describe_mentions_width(self, preset_name):
+        component = CONNECTIVITY_LIBRARY.get(preset_name).instantiate()
+        assert f"{component.width_bytes * 8}-bit" in component.describe()

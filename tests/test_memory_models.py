@@ -1,0 +1,123 @@
+"""Unit tests for the analytic area and energy models and the library."""
+
+import pytest
+
+from repro.errors import ConfigurationError, LibraryError
+from repro.memory.area import (
+    cache_area_gates,
+    controller_area_gates,
+    prefetch_buffer_area_gates,
+    sram_area_gates,
+)
+from repro.memory.energy import (
+    cache_access_energy_nj,
+    dram_access_energy_nj,
+    dram_transaction_energy_nj,
+    sram_access_energy_nj,
+)
+from repro.memory.library import MemoryLibrary, ModulePreset, default_memory_library
+from repro.memory.sram import Sram
+
+
+class TestAreaModels:
+    def test_sram_area_scales_with_bits(self):
+        assert sram_area_gates(8192) > 1.9 * sram_area_gates(4096)
+
+    def test_cache_area_exceeds_equal_sram(self):
+        # Tags and way control make a cache bigger than a plain SRAM.
+        assert cache_area_gates(8192, 32, 2) > sram_area_gates(8192)
+
+    def test_cache_area_in_paper_range(self):
+        # The paper's compress designs sit around 0.48-0.9 M gates;
+        # a 32 KiB cache should dominate such a budget.
+        area = cache_area_gates(32768, 32, 2)
+        assert 300_000 < area < 700_000
+
+    def test_associativity_increases_area(self):
+        assert cache_area_gates(8192, 32, 4) > cache_area_gates(8192, 32, 1)
+
+    def test_bad_cache_geometry(self):
+        with pytest.raises(ConfigurationError):
+            cache_area_gates(64, 32, 4)
+        with pytest.raises(ConfigurationError):
+            cache_area_gates(0, 32, 1)
+
+    def test_controller_complexity(self):
+        simple = controller_area_gates(4, complexity=0.3)
+        complex_ = controller_area_gates(4, complexity=1.8)
+        assert complex_ > 4 * simple
+
+    def test_controller_ports(self):
+        assert controller_area_gates(8) > controller_area_gates(2)
+
+    def test_prefetch_buffer(self):
+        assert prefetch_buffer_area_gates(32, 16) > prefetch_buffer_area_gates(8, 16)
+        with pytest.raises(ConfigurationError):
+            prefetch_buffer_area_gates(0, 16)
+
+
+class TestEnergyModels:
+    def test_sram_energy_sublinear(self):
+        e1 = sram_access_energy_nj(1024)
+        e16 = sram_access_energy_nj(16384)
+        assert e16 > e1
+        assert e16 < 16 * e1
+
+    def test_cache_energy_adds_tag_ways(self):
+        assert (
+            cache_access_energy_nj(8192, 4)
+            > cache_access_energy_nj(8192, 1)
+        )
+
+    def test_dram_page_hit_cheaper(self):
+        hit = dram_transaction_energy_nj(32, page_hit=True)
+        miss = dram_transaction_energy_nj(32, page_hit=False)
+        assert miss > 2 * hit
+
+    def test_dram_dominates_sram(self):
+        # The paper: connectivity/memory-module power is small next to
+        # off-chip accesses.
+        assert dram_access_energy_nj(32) > 10 * sram_access_energy_nj(8192)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            sram_access_energy_nj(0)
+        with pytest.raises(ConfigurationError):
+            dram_transaction_energy_nj(0, True)
+
+
+class TestMemoryLibrary:
+    def test_default_population(self, mem_library):
+        assert len(mem_library.of_kind("cache")) >= 6
+        assert len(mem_library.of_kind("sram")) >= 4
+        assert len(mem_library.of_kind("stream_buffer")) >= 2
+        assert len(mem_library.of_kind("self_indirect_dma")) >= 2
+        assert "dram" in mem_library
+
+    def test_instantiate_is_fresh(self, mem_library):
+        a = mem_library.get("cache_8k_32b_2w").instantiate()
+        b = mem_library.get("cache_8k_32b_2w").instantiate()
+        assert a is not b
+
+    def test_instantiate_renames(self, mem_library):
+        module = mem_library.get("sram_4k").instantiate("my_sram")
+        assert module.name == "my_sram"
+
+    def test_unknown_preset_raises(self, mem_library):
+        with pytest.raises(LibraryError):
+            mem_library.get("cache_1g")
+
+    def test_duplicate_rejected(self):
+        library = MemoryLibrary()
+        preset = ModulePreset("x", "sram", lambda: Sram("x", 1024))
+        library.add(preset)
+        with pytest.raises(LibraryError):
+            library.add(preset)
+
+    def test_names_order_stable(self):
+        assert default_memory_library().names() == default_memory_library().names()
+
+    def test_cache_presets_have_increasing_cost(self, mem_library):
+        small = mem_library.get("cache_4k_16b_1w").instantiate()
+        large = mem_library.get("cache_32k_32b_2w").instantiate()
+        assert large.area_gates > 4 * small.area_gates

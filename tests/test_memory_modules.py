@@ -1,0 +1,191 @@
+"""Unit tests for SRAM, stream buffer, self-indirect DMA, and DRAM."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.dma import SelfIndirectDma
+from repro.memory.dram import Dram
+from repro.memory.sram import Sram
+from repro.memory.stream_buffer import StreamBuffer
+from repro.trace.events import AccessKind
+
+R, W = AccessKind.READ, AccessKind.WRITE
+
+
+class TestSram:
+    def test_always_hits(self):
+        sram = Sram("s", 4096)
+        for i in range(10):
+            response = sram.access(0x100 + i * 8, 8, R, i)
+            assert response.hit
+            assert response.refill_bytes == 0
+        assert sram.accesses == 10
+
+    def test_latency(self):
+        assert Sram("s", 4096, access_latency=2).access(0, 4, R, 0).latency == 2
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            Sram("s", 0)
+
+    def test_reset(self):
+        sram = Sram("s", 1024)
+        sram.access(0, 4, R, 0)
+        sram.reset()
+        assert sram.accesses == 0
+
+    def test_area_monotone(self):
+        assert Sram("a", 8192).area_gates > Sram("b", 1024).area_gates
+
+
+class TestStreamBuffer:
+    def test_cold_start_miss_then_sequential_hits(self):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        first = buffer.access(0x1000, 4, R, 0)
+        assert not first.hit
+        assert first.refill_bytes == 32
+        assert first.prefetch_bytes == 3 * 32
+        for i in range(1, 32):
+            assert buffer.access(0x1000 + 4 * i, 4, R, i).hit
+
+    def test_window_advance_prefetches(self):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        buffer.access(0x1000, 4, R, 0)
+        response = buffer.access(0x1020, 4, R, 1)  # next line
+        assert response.hit
+        assert response.prefetch_bytes == 32
+
+    def test_jump_outside_window_misses(self):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        buffer.access(0x1000, 4, R, 0)
+        response = buffer.access(0x9000, 4, R, 1)
+        assert not response.hit
+        assert response.refill_bytes == 32
+
+    def test_backward_jump_misses(self):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        buffer.access(0x1000, 4, R, 0)
+        assert not buffer.access(0x0800, 4, R, 1).hit
+
+    def test_writes_stream_out(self):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        first = buffer.access(0x1000, 4, W, 0)
+        assert first.writeback_bytes == 4  # posted
+        assert first.refill_bytes == 0  # no fetch for write streams
+        response = buffer.access(0x1020, 4, W, 1)
+        assert response.hit
+        assert response.writeback_bytes == 32  # line crossed
+
+    def test_miss_ratio_low_for_streams(self):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        for i in range(400):
+            buffer.access(0x1000 + 4 * i, 4, R, i)
+        assert buffer.miss_ratio < 0.01
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            StreamBuffer("sb", depth=0)
+        with pytest.raises(ConfigurationError):
+            StreamBuffer("sb", line_size=24)
+
+
+class TestSelfIndirectDma:
+    def test_unprimed_acts_as_node_cache(self):
+        dma = SelfIndirectDma("d", entries=4, node_size=16, lookahead=2)
+        assert not dma.access(0x100, 8, R, 0).hit
+        assert dma.access(0x108, 8, R, 1).hit  # same node
+
+    def test_primed_prefetch_hits_chain(self):
+        dma = SelfIndirectDma("d", entries=8, node_size=16, lookahead=2)
+        dma.backing_latency_hint = 5
+        chain = [0x100, 0x300, 0x500, 0x700, 0x900, 0xB00]
+        dma.prime(chain)
+        tick = 0
+        responses = []
+        for address in chain:
+            responses.append(dma.access(address, 8, R, tick))
+            tick += 20  # slow CPU: prefetches always ready
+        assert not responses[0].hit  # cold
+        assert all(r.hit for r in responses[1:])
+
+    def test_fast_chase_stalls(self):
+        dma = SelfIndirectDma("d", entries=8, node_size=16, lookahead=1)
+        dma.backing_latency_hint = 50
+        chain = [0x100, 0x300, 0x500, 0x700]
+        dma.prime(chain)
+        dma.access(0x100, 8, R, 0)
+        response = dma.access(0x300, 8, R, 2)  # prefetch not ready yet
+        assert response.hit
+        assert response.latency > 40  # stalled waiting for the prefetch
+        assert dma.stall_cycles > 0
+
+    def test_eviction_pressure(self):
+        dma = SelfIndirectDma("d", entries=2, node_size=16, lookahead=0)
+        addresses = [0x100, 0x200, 0x300, 0x100]
+        dma.prime(addresses)
+        for i, address in enumerate(addresses):
+            last = dma.access(address, 8, R, 100 * i)
+        assert not last.hit  # 0x100 was evicted by 0x200/0x300
+
+    def test_prefetch_counts_bytes(self):
+        dma = SelfIndirectDma("d", entries=8, node_size=16, lookahead=2)
+        dma.prime([0x100, 0x300, 0x500])
+        response = dma.access(0x100, 8, R, 0)
+        assert response.prefetch_bytes == 32  # two successors fetched
+
+    def test_write_posts_writeback(self):
+        dma = SelfIndirectDma("d", entries=4, node_size=16)
+        response = dma.access(0x100, 8, W, 0)
+        assert response.writeback_bytes == 8
+
+    def test_reset(self):
+        dma = SelfIndirectDma("d", entries=4)
+        dma.prime([0x100, 0x200])
+        dma.access(0x100, 8, R, 0)
+        dma.reset()
+        assert dma.hits == 0 and dma.misses == 0
+        assert not dma.access(0x100, 8, R, 0).hit
+
+    def test_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            SelfIndirectDma("d", entries=0)
+        with pytest.raises(ConfigurationError):
+            SelfIndirectDma("d", node_size=12)
+        with pytest.raises(ConfigurationError):
+            SelfIndirectDma("d", lookahead=-1)
+
+
+class TestDram:
+    def test_page_hit_vs_miss(self):
+        dram = Dram("m", core_latency=20, page_hit_latency=8, row_bytes=1024)
+        first = dram.access(0x1000, 32, R, 0)
+        assert first.latency == 20
+        second = dram.access(0x1100, 32, R, 1)  # same 1 KiB row
+        assert second.latency == 8
+        third = dram.access(0x9000, 32, R, 2)
+        assert third.latency == 20
+        assert dram.page_hits == 1
+
+    def test_latency_for_peek_does_not_change_state(self):
+        dram = Dram("m")
+        dram.access(0x1000, 32, R, 0)
+        peek = dram.latency_for(0x9000)
+        assert peek == dram.core_latency
+        assert dram.latency_for(0x1000) == dram.page_hit_latency
+
+    def test_no_on_chip_area(self):
+        assert Dram("m").area_gates == 0.0
+        assert Dram("m").on_chip is False
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            Dram("m", core_latency=5, page_hit_latency=10)
+        with pytest.raises(ConfigurationError):
+            Dram("m", row_bytes=1000)
+
+    def test_reset(self):
+        dram = Dram("m")
+        dram.access(0x1000, 32, R, 0)
+        dram.reset()
+        assert dram.accesses == 0
+        assert dram.access(0x1000, 32, R, 0).latency == dram.core_latency

@@ -1,0 +1,77 @@
+"""Tests for the cross-workload comparison."""
+
+import pytest
+
+from repro.apex.explorer import ApexConfig
+from repro.conex.explorer import ConExConfig
+from repro.core.memorex import MemorExConfig, run_memorex
+from repro.core.multi import compare_workloads, format_comparison
+from repro.errors import ExplorationError
+from repro.workloads import get_workload
+
+SMALL = MemorExConfig(
+    apex=ApexConfig(
+        cache_options=(None, "cache_4k_16b_1w"),
+        stream_buffer_options=(None, "stream_buffer_4"),
+        dma_options=(None,),
+        map_indexed_to_sram=(False,),
+        select_count=2,
+    ),
+    conex=ConExConfig(
+        max_logical_connections=3,
+        max_assignments_per_level=16,
+        phase1_keep=3,
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return [
+        run_memorex(get_workload("vocoder", scale=0.3, seed=1), config=SMALL),
+        run_memorex(get_workload("dct", scale=0.5, seed=1), config=SMALL),
+    ]
+
+
+class TestCompareWorkloads:
+    def test_all_workloads_present(self, results):
+        comparison = compare_workloads(results)
+        assert set(comparison.knees) == {"vocoder", "dct"}
+        assert set(comparison.fronts) == {"vocoder", "dct"}
+
+    def test_knee_is_on_its_front(self, results):
+        comparison = compare_workloads(results)
+        for workload, knee in comparison.knees.items():
+            labels = [s.label for s in comparison.fronts[workload]]
+            assert knee.label in labels
+
+    def test_preset_tally_counts_clusters(self, results):
+        comparison = compare_workloads(results)
+        total_clusters = sum(
+            len(p.connectivity.clusters)
+            for result in results
+            for p in result.selected_points
+        )
+        assert sum(comparison.preset_tally.values()) == total_clusters
+
+    def test_favoured_presets_ordered(self, results):
+        comparison = compare_workloads(results)
+        favoured = comparison.favoured_presets(top=5)
+        counts = [count for _, count in favoured]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExplorationError):
+            compare_workloads([])
+
+    def test_duplicate_workload_rejected(self, results):
+        with pytest.raises(ExplorationError):
+            compare_workloads([results[0], results[0]])
+
+
+class TestFormatComparison:
+    def test_report_contents(self, results):
+        text = format_comparison(compare_workloads(results))
+        assert "vocoder" in text and "dct" in text
+        assert "knee pick" in text
+        assert "most-used connectivity presets" in text

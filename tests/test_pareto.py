@@ -1,0 +1,141 @@
+"""Unit tests for pareto-front mathematics."""
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.util.pareto import (
+    average_axis_distance,
+    dominates,
+    is_pareto_point,
+    pareto_coverage,
+    pareto_front,
+    pareto_indices,
+)
+
+
+class TestDominates:
+    def test_strictly_better_on_all_axes(self):
+        assert dominates((1.0, 1.0), (2.0, 2.0))
+
+    def test_better_on_one_equal_on_other(self):
+        assert dominates((1.0, 2.0), (2.0, 2.0))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not dominates((1.0, 2.0), (1.0, 2.0))
+
+    def test_trade_off_points_do_not_dominate(self):
+        assert not dominates((1.0, 3.0), (2.0, 2.0))
+        assert not dominates((2.0, 2.0), (1.0, 3.0))
+
+    def test_three_dimensional(self):
+        assert dominates((1, 1, 1), (1, 1, 2))
+        assert not dominates((1, 1, 2), (2, 2, 1))
+
+    def test_dimension_mismatch_raises(self):
+        with pytest.raises(ExplorationError):
+            dominates((1.0,), (1.0, 2.0))
+
+
+class TestParetoIndices:
+    def test_single_point_is_pareto(self):
+        assert pareto_indices([(3.0, 4.0)]) == [0]
+
+    def test_dominated_point_excluded(self):
+        assert pareto_indices([(1, 1), (2, 2)]) == [0]
+
+    def test_trade_off_chain_all_kept(self):
+        points = [(1, 4), (2, 3), (3, 2), (4, 1)]
+        assert pareto_indices(points) == [0, 1, 2, 3]
+
+    def test_duplicates_all_kept(self):
+        assert pareto_indices([(1, 1), (1, 1)]) == [0, 1]
+
+    def test_mixed(self):
+        points = [(1, 5), (2, 2), (3, 3), (5, 1), (2, 6)]
+        assert pareto_indices(points) == [0, 1, 3]
+
+    def test_preserves_input_order(self):
+        points = [(4, 1), (1, 4), (2, 2)]
+        assert pareto_indices(points) == [0, 1, 2]
+
+
+class TestParetoFront:
+    def test_key_extraction(self):
+        items = [{"c": 1, "p": 5}, {"c": 2, "p": 2}, {"c": 3, "p": 4}]
+        front = pareto_front(items, key=lambda d: (d["c"], d["p"]))
+        assert front == [items[0], items[1]]
+
+    def test_empty_input_gives_empty_front(self):
+        assert pareto_front([], key=lambda x: x) == []
+
+    def test_three_objectives(self):
+        items = [(1, 1, 9), (1, 9, 1), (9, 1, 1), (5, 5, 5), (9, 9, 9)]
+        front = pareto_front(items, key=lambda v: v)
+        assert (9, 9, 9) not in front
+        assert len(front) == 4
+
+
+class TestIsParetoPoint:
+    def test_non_dominated(self):
+        assert is_pareto_point((1, 5), [(2, 2), (3, 3)])
+
+    def test_dominated(self):
+        assert not is_pareto_point((4, 4), [(2, 2)])
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        reference = [(1.0, 4.0), (2.0, 2.0)]
+        result = pareto_coverage(reference, reference)
+        assert result.coverage == 1.0
+        assert result.coverage_percent == 100.0
+        assert result.axis_distances == (0.0, 0.0)
+        assert result.missed == ()
+
+    def test_partial_coverage(self):
+        reference = [(1.0, 4.0), (2.0, 2.0)]
+        explored = [(1.0, 4.0), (2.1, 2.1)]
+        result = pareto_coverage(reference, explored)
+        assert result.coverage == 0.5
+        assert len(result.missed) == 1
+        # Closest to (2, 2) is (2.1, 2.1): 5% on each axis.
+        assert result.axis_distances[0] == pytest.approx(5.0)
+        assert result.axis_distances[1] == pytest.approx(5.0)
+
+    def test_tolerance_counts_near_matches(self):
+        reference = [(100.0, 10.0)]
+        explored = [(100.5, 10.05)]
+        loose = pareto_coverage(reference, explored, rel_tol=0.01)
+        assert loose.coverage == 1.0
+        strict = pareto_coverage(reference, explored, rel_tol=1e-9)
+        assert strict.coverage == 0.0
+
+    def test_empty_reference_raises(self):
+        with pytest.raises(ExplorationError):
+            pareto_coverage([], [(1.0, 1.0)])
+
+    def test_three_axis_distances(self):
+        reference = [(10.0, 10.0, 10.0)]
+        explored = [(11.0, 12.0, 13.0)]
+        result = pareto_coverage(reference, explored)
+        assert result.axis_distances == pytest.approx((10.0, 20.0, 30.0))
+
+
+class TestAverageAxisDistance:
+    def test_empty_missed_gives_empty(self):
+        assert average_axis_distance([], [(1.0, 1.0)]) == ()
+
+    def test_empty_explored_raises(self):
+        with pytest.raises(ExplorationError):
+            average_axis_distance([(1.0, 1.0)], [])
+
+    def test_picks_closest_candidate(self):
+        missed = [(10.0, 10.0)]
+        explored = [(100.0, 100.0), (10.5, 10.5)]
+        distances = average_axis_distance(missed, explored)
+        assert distances == pytest.approx((5.0, 5.0))
+
+    def test_zero_reference_axis_uses_absolute(self):
+        distances = average_axis_distance([(0.0, 10.0)], [(0.5, 10.0)])
+        assert distances[0] == pytest.approx(50.0)
+        assert distances[1] == 0.0

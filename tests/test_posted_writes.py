@@ -1,0 +1,108 @@
+"""Tests for the posted-writes CPU option and write-through presets."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.memory.cache import WritePolicy
+from repro.sim import simulate
+from repro.trace.events import AccessKind, TraceBuilder
+
+
+def write_heavy_trace():
+    builder = TraceBuilder("writes")
+    for i in range(300):
+        builder.write(0x1000 + 32 * (i % 64), 8, "buf")
+        builder.compute(2)
+    for i in range(100):
+        builder.read(0x1000 + 32 * (i % 64), 8, "buf")
+        builder.compute(2)
+    return builder.build()
+
+
+@pytest.fixture
+def arch(mem_library):
+    cache = mem_library.get("cache_4k_16b_1w").instantiate("cache")
+    dram = mem_library.get("dram").instantiate()
+    return MemoryArchitecture("a", [cache], dram, {}, "cache")
+
+
+class TestPostedWrites:
+    def test_posted_never_slower(self, arch):
+        trace = write_heavy_trace()
+        blocking = simulate(trace, arch)
+        posted = simulate(trace, arch, posted_writes=True)
+        assert posted.avg_latency <= blocking.avg_latency
+
+    def test_posted_helps_write_heavy_traces(self, arch):
+        trace = write_heavy_trace()
+        blocking = simulate(trace, arch)
+        posted = simulate(trace, arch, posted_writes=True)
+        assert posted.avg_latency < 0.9 * blocking.avg_latency
+        assert posted.total_cycles < blocking.total_cycles
+
+    def test_traffic_unchanged(self, arch):
+        """Posting changes CPU stalls, not what moves on the channels."""
+        trace = write_heavy_trace()
+        blocking = simulate(trace, arch)
+        posted = simulate(trace, arch, posted_writes=True)
+        for name, traffic in blocking.channels.items():
+            assert posted.channels[name].bytes_moved == traffic.bytes_moved
+        assert posted.miss_ratio == blocking.miss_ratio
+
+    def test_read_only_trace_unaffected(self, arch, tiny_trace):
+        # tiny_trace has writes to 'table'; build a pure-read trace.
+        builder = TraceBuilder("reads")
+        for i in range(100):
+            builder.read(0x1000 + 4 * i, 4, "s")
+        trace = builder.build()
+        blocking = simulate(trace, arch)
+        posted = simulate(trace, arch, posted_writes=True)
+        assert posted.avg_latency == blocking.avg_latency
+
+    def test_deterministic(self, arch):
+        trace = write_heavy_trace()
+        first = simulate(trace, arch, posted_writes=True)
+        second = simulate(trace, arch, posted_writes=True)
+        assert first.avg_latency == second.avg_latency
+
+
+class TestWriteThroughPresets:
+    def test_presets_build_write_through(self, mem_library):
+        for name in ("cache_8k_32b_2w_wt", "cache_16k_32b_2w_wt"):
+            cache = mem_library.get(name).instantiate()
+            assert cache.write_policy is WritePolicy.WRITE_THROUGH
+
+    def test_apex_can_enumerate_wt_caches(
+        self, compress_trace, compress_workload, mem_library
+    ):
+        from repro.apex.explorer import ApexConfig, explore_memory_architectures
+
+        config = ApexConfig(
+            cache_options=("cache_8k_32b_2w", "cache_8k_32b_2w_wt"),
+            stream_buffer_options=(None,),
+            dma_options=(None,),
+            map_indexed_to_sram=(False,),
+            select_count=2,
+        )
+        result = explore_memory_architectures(
+            compress_trace, mem_library, config,
+            hints=compress_workload.pattern_hints,
+        )
+        policies = {
+            m.write_policy
+            for e in result.evaluated
+            for m in e.architecture.modules.values()
+        }
+        assert policies == {WritePolicy.WRITE_BACK, WritePolicy.WRITE_THROUGH}
+
+    def test_wt_moves_more_backing_bytes_on_write_heavy(self, mem_library):
+        trace = write_heavy_trace()
+        results = {}
+        for preset in ("cache_8k_32b_2w", "cache_8k_32b_2w_wt"):
+            cache = mem_library.get(preset).instantiate("cache")
+            dram = mem_library.get("dram").instantiate()
+            arch = MemoryArchitecture("a", [cache], dram, {}, "cache")
+            results[preset] = simulate(trace, arch)
+        wb = results["cache_8k_32b_2w"].channels["cache->dram"].bytes_moved
+        wt = results["cache_8k_32b_2w_wt"].channels["cache->dram"].bytes_moved
+        assert wt > wb

@@ -1,0 +1,215 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import Cache
+from repro.timing.reservation import ReservationTable
+from repro.trace.events import AccessKind
+from repro.util.pareto import dominates, pareto_front, pareto_indices
+from repro.util.stats import RunningStats
+
+points_2d = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+points_3d = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestParetoProperties:
+    @given(points_2d)
+    def test_front_is_nonempty_and_subset(self, points):
+        front = pareto_front(points, key=lambda p: p)
+        assert front
+        assert all(p in points for p in front)
+
+    @given(points_2d)
+    def test_no_front_point_dominated_by_any_point(self, points):
+        front = pareto_front(points, key=lambda p: p)
+        for candidate in front:
+            assert not any(dominates(other, candidate) for other in points)
+
+    @given(points_2d)
+    def test_every_excluded_point_is_dominated(self, points):
+        front_indices = set(pareto_indices(points))
+        for i, point in enumerate(points):
+            if i not in front_indices:
+                assert any(
+                    dominates(q, point)
+                    for j, q in enumerate(points)
+                    if j != i
+                )
+
+    @given(points_3d)
+    def test_front_idempotent(self, points):
+        front = pareto_front(points, key=lambda p: p)
+        again = pareto_front(front, key=lambda p: p)
+        assert front == again
+
+    @given(points_2d)
+    def test_dominance_is_irreflexive_and_antisymmetric(self, points):
+        for p in points:
+            assert not dominates(p, p)
+        for p in points:
+            for q in points:
+                if dominates(p, q):
+                    assert not dominates(q, p)
+
+    @given(
+        points_2d,
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+            st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        ),
+    )
+    def test_adding_dominated_point_preserves_front(self, points, extra):
+        front = pareto_front(points, key=lambda p: p)
+        dominated = (extra[0] + front[0][0] + 1.0, extra[1] + front[0][1] + 1.0)
+        new_front = pareto_front(points + [dominated], key=lambda p: p)
+        assert set(new_front) == set(front)
+
+
+class TestRunningStatsProperties:
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_matches_batch_computation(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        mean = sum(values) / len(values)
+        assert abs(stats.mean - mean) < 1e-6 * max(1.0, abs(mean))
+        assert stats.minimum == min(values)
+        assert stats.maximum == max(values)
+        assert stats.count == len(values)
+        assert stats.variance >= 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        st.lists(
+            st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+    )
+    def test_merge_associativity(self, first, second):
+        a, b, combined = RunningStats(), RunningStats(), RunningStats()
+        a.extend(first)
+        b.extend(second)
+        combined.extend(first + second)
+        merged = a.merge(b)
+        assert merged.count == combined.count
+        assert abs(merged.mean - combined.mean) < 1e-6 * max(
+            1.0, abs(combined.mean)
+        )
+        assert abs(merged.variance - combined.variance) <= 1e-5 * max(
+            1.0, combined.variance
+        )
+
+
+usage_strategy = st.dictionaries(
+    st.sampled_from(["bus", "arb", "data", "dram"]),
+    st.sets(st.integers(min_value=0, max_value=12), min_size=1, max_size=6),
+    min_size=1,
+    max_size=4,
+)
+
+
+class TestReservationTableProperties:
+    @given(usage_strategy)
+    def test_mii_within_bounds(self, usage):
+        table = ReservationTable(usage)
+        mii = table.min_initiation_interval()
+        assert 1 <= mii <= table.length
+
+    @given(usage_strategy)
+    def test_mii_is_conflict_free(self, usage):
+        table = ReservationTable(usage)
+        mii = table.min_initiation_interval()
+        assert not table.conflicts_with(table, mii)
+
+    @given(usage_strategy)
+    def test_conflict_symmetry(self, usage):
+        table = ReservationTable(usage)
+        for offset in range(1, table.length + 1):
+            assert table.conflicts_with(table, offset) == table.conflicts_with(
+                table, -offset
+            )
+
+    @given(usage_strategy, st.integers(min_value=0, max_value=8))
+    def test_shift_preserves_structure(self, usage, offset):
+        table = ReservationTable(usage)
+        shifted = table.shifted(offset)
+        assert shifted.length == table.length + offset
+        assert shifted.resources == table.resources
+
+
+@st.composite
+def cache_accesses(draw):
+    capacity = draw(st.sampled_from([256, 1024, 4096]))
+    line = draw(st.sampled_from([16, 32]))
+    ways = draw(st.sampled_from([1, 2, 4]))
+    addresses = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=1 << 16),
+            min_size=1,
+            max_size=150,
+        )
+    )
+    return capacity, line, ways, addresses
+
+
+class TestCacheProperties:
+    @settings(max_examples=40)
+    @given(cache_accesses())
+    def test_counts_consistent(self, setup):
+        capacity, line, ways, addresses = setup
+        cache = Cache("c", capacity, line, ways)
+        for tick, address in enumerate(addresses):
+            response = cache.access(address, 4, AccessKind.READ, tick)
+            assert response.latency >= 1
+            assert response.refill_bytes in (0, line)
+        assert cache.hits + cache.misses == len(addresses)
+        assert 0.0 <= cache.miss_ratio <= 1.0
+
+    @settings(max_examples=40)
+    @given(cache_accesses())
+    def test_repeat_access_hits(self, setup):
+        capacity, line, ways, addresses = setup
+        cache = Cache("c", capacity, line, ways)
+        for tick, address in enumerate(addresses):
+            cache.access(address, 4, AccessKind.READ, tick)
+            # An immediate repeat of the same address always hits.
+            assert cache.access(address, 4, AccessKind.READ, tick).hit
+
+    @settings(max_examples=30)
+    @given(cache_accesses())
+    def test_determinism(self, setup):
+        capacity, line, ways, addresses = setup
+        a = Cache("a", capacity, line, ways)
+        b = Cache("b", capacity, line, ways)
+        for tick, address in enumerate(addresses):
+            ra = a.access(address, 4, AccessKind.READ, tick)
+            rb = b.access(address, 4, AccessKind.READ, tick)
+            assert ra.hit == rb.hit
+            assert ra.refill_bytes == rb.refill_bytes

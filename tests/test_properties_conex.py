@@ -1,0 +1,128 @@
+"""Property-based tests over synthetic BRGs: clustering + allocation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.channels import Channel
+from repro.conex.allocation import compatible_presets, enumerate_assignments
+from repro.conex.brg import ArcProfile, BandwidthRequirementGraph
+from repro.conex.clustering import clustering_levels
+from repro.connectivity.library import default_connectivity_library
+
+CONNECTIVITY_LIBRARY = default_connectivity_library()
+
+
+@st.composite
+def synthetic_brg(draw):
+    """A random BRG: 1-5 on-chip modules with random bandwidths."""
+    module_count = draw(st.integers(min_value=1, max_value=5))
+    modules = [f"m{i}" for i in range(module_count)]
+    backed = draw(
+        st.lists(
+            st.booleans(), min_size=module_count, max_size=module_count
+        )
+    )
+    arcs = {}
+    duration = 10_000
+    for i, module in enumerate(modules):
+        cpu_bw = draw(
+            st.floats(min_value=0.001, max_value=4.0, allow_nan=False)
+        )
+        channel = Channel("cpu", module)
+        arcs[channel] = ArcProfile(
+            channel=channel,
+            bandwidth=cpu_bw,
+            bytes_moved=int(cpu_bw * duration),
+            transactions=max(1, int(cpu_bw * duration / 4)),
+            background_transactions=0,
+        )
+        if backed[i]:
+            back_bw = draw(
+                st.floats(min_value=0.001, max_value=2.0, allow_nan=False)
+            )
+            back = Channel(module, "dram")
+            arcs[back] = ArcProfile(
+                channel=back,
+                bandwidth=back_bw,
+                bytes_moved=int(back_bw * duration),
+                transactions=max(1, int(back_bw * duration / 32)),
+                background_transactions=0,
+            )
+    return BandwidthRequirementGraph(
+        memory_name="synthetic", duration=duration, arcs=arcs
+    )
+
+
+class TestClusteringProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(synthetic_brg())
+    def test_channels_conserved_at_every_level(self, brg):
+        all_channels = set(brg.channels)
+        for level in clustering_levels(brg):
+            seen = [
+                channel
+                for cluster in level.clusters
+                for channel in cluster.channels
+            ]
+            assert set(seen) == all_channels
+            assert len(seen) == len(all_channels)
+
+    @settings(max_examples=60, deadline=None)
+    @given(synthetic_brg())
+    def test_level_sizes_strictly_decrease_to_domain_count(self, brg):
+        levels = clustering_levels(brg)
+        sizes = [level.size for level in levels]
+        assert sizes[0] == len(brg.channels)
+        assert all(a - b == 1 for a, b in zip(sizes, sizes[1:]))
+        domains = {c.crosses_chip for c in brg.channels}
+        assert sizes[-1] == len(domains)
+
+    @settings(max_examples=60, deadline=None)
+    @given(synthetic_brg())
+    def test_no_cross_domain_merges(self, brg):
+        for level in clustering_levels(brg):
+            for cluster in level.clusters:
+                assert len({c.crosses_chip for c in cluster.channels}) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(synthetic_brg())
+    def test_cumulative_bandwidth_conserved(self, brg):
+        total = sum(brg.bandwidth(c) for c in brg.channels)
+        for level in clustering_levels(brg):
+            level_total = sum(cluster.bandwidth for cluster in level.clusters)
+            assert abs(level_total - total) < 1e-9 * max(1.0, total)
+
+
+class TestAllocationProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(synthetic_brg())
+    def test_every_assignment_is_valid_and_complete(self, brg):
+        level = clustering_levels(brg)[-1]
+        assignments = enumerate_assignments(
+            level, CONNECTIVITY_LIBRARY, max_assignments=24
+        )
+        assert assignments
+        for connectivity in assignments:
+            assert set(connectivity.channels()) == set(brg.channels)
+
+    @settings(max_examples=30, deadline=None)
+    @given(synthetic_brg())
+    def test_compatible_presets_respect_domain(self, brg):
+        for level in clustering_levels(brg):
+            for cluster in level.clusters:
+                for preset in compatible_presets(cluster, CONNECTIVITY_LIBRARY):
+                    assert preset.off_chip_capable == cluster.crosses_chip
+
+    @settings(max_examples=20, deadline=None)
+    @given(synthetic_brg())
+    def test_assignments_deterministic(self, brg):
+        level = clustering_levels(brg)[-1]
+        first = enumerate_assignments(
+            level, CONNECTIVITY_LIBRARY, max_assignments=16
+        )
+        second = enumerate_assignments(
+            level, CONNECTIVITY_LIBRARY, max_assignments=16
+        )
+        assert [c.preset_signature() for c in first] == [
+            c.preset_signature() for c in second
+        ]

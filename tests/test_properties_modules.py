@@ -1,0 +1,134 @@
+"""Property-based tests on module and exploration-layer invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.dma import SelfIndirectDma
+from repro.memory.stream_buffer import StreamBuffer
+from repro.trace.events import AccessKind, TraceBuilder
+from repro.util.selection import knee_point, weighted_best
+
+addresses_strategy = st.lists(
+    st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=200
+)
+
+
+class TestStreamBufferProperties:
+    @settings(max_examples=50)
+    @given(addresses_strategy)
+    def test_never_crashes_and_counts_consistent(self, addresses):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        for tick, address in enumerate(addresses):
+            response = buffer.access(address, 4, AccessKind.READ, tick)
+            assert response.latency >= 1
+            assert response.refill_bytes >= 0
+            assert response.prefetch_bytes >= 0
+        assert buffer.hits + buffer.misses == len(addresses)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=1, max_value=1000))
+    def test_pure_sequential_stream_has_one_miss(self, length):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        for i in range(length):
+            buffer.access(0x1000 + 4 * i, 4, AccessKind.READ, i)
+        assert buffer.misses == 1
+
+    @settings(max_examples=30)
+    @given(addresses_strategy)
+    def test_total_prefetch_bounded_by_window_slides(self, addresses):
+        buffer = StreamBuffer("sb", depth=4, line_size=32)
+        total_prefetch = 0
+        for tick, address in enumerate(addresses):
+            response = buffer.access(address, 4, AccessKind.READ, tick)
+            total_prefetch += response.prefetch_bytes
+        # Prefetch per event never exceeds the window size.
+        assert total_prefetch <= len(addresses) * 4 * 32
+
+
+class TestDmaProperties:
+    @settings(max_examples=50)
+    @given(addresses_strategy, st.integers(min_value=1, max_value=32))
+    def test_buffer_never_exceeds_capacity(self, addresses, entries):
+        dma = SelfIndirectDma("d", entries=entries, node_size=16, lookahead=2)
+        dma.prime(addresses)
+        for tick, address in enumerate(addresses):
+            dma.access(address, 8, AccessKind.READ, tick * 3)
+            assert len(dma._buffer) <= entries
+        assert dma.hits + dma.misses == len(addresses)
+
+    @settings(max_examples=30)
+    @given(addresses_strategy)
+    def test_priming_never_hurts_hit_count(self, addresses):
+        """Knowing the chain can only help (with slack to absorb LRU
+        order noise on adversarial sequences)."""
+        blind = SelfIndirectDma("b", entries=16, node_size=16, lookahead=2)
+        primed = SelfIndirectDma("p", entries=16, node_size=16, lookahead=2)
+        primed.prime(addresses)
+        primed.backing_latency_hint = 0
+        for tick, address in enumerate(addresses):
+            blind.access(address, 8, AccessKind.READ, tick * 50)
+            primed.access(address, 8, AccessKind.READ, tick * 50)
+        assert primed.hits >= blind.hits - 2
+
+    @settings(max_examples=30)
+    @given(addresses_strategy)
+    def test_repeated_same_address_hits(self, addresses):
+        dma = SelfIndirectDma("d", entries=8, node_size=16)
+        for tick, address in enumerate(addresses):
+            dma.access(address, 8, AccessKind.READ, tick)
+            repeat = dma.access(address, 8, AccessKind.READ, tick)
+            assert repeat.hit
+
+
+class TestTraceBuilderProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1 << 30),
+                st.sampled_from([1, 2, 4, 8]),
+                st.booleans(),
+                st.integers(min_value=0, max_value=10),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    def test_ticks_strictly_increase(self, events):
+        builder = TraceBuilder("p")
+        for address, size, write, gap in events:
+            builder.compute(gap)
+            if write:
+                builder.write(address, size, "s")
+            else:
+                builder.read(address, size, "s")
+        trace = builder.build()
+        ticks = list(trace.ticks)
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+        assert trace.duration > ticks[-1]
+
+
+objective_points = st.lists(
+    st.tuples(
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+        st.floats(min_value=0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestSelectionProperties:
+    @given(objective_points)
+    def test_knee_is_member(self, points):
+        assert knee_point(points, key=lambda p: p) in points
+
+    @given(objective_points)
+    def test_weighted_best_is_member(self, points):
+        best = weighted_best(points, key=lambda p: p, weights=(1.0, 2.0))
+        assert best in points
+
+    @given(objective_points)
+    def test_single_axis_weight_matches_min(self, points):
+        best = weighted_best(points, key=lambda p: p, weights=(1.0, 0.0))
+        assert best[0] == min(p[0] for p in points)

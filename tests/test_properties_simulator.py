@@ -1,0 +1,141 @@
+"""Property-based tests of whole-simulator invariants.
+
+Hypothesis generates small random traces and architecture shapes; the
+simulator must uphold its invariants on all of them: latencies at least
+one cycle, conserved traffic, monotone time, determinism.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.connectivity.library import default_connectivity_library
+from repro.memory.cache import Cache
+from repro.memory.dma import SelfIndirectDma
+from repro.memory.library import default_memory_library
+from repro.memory.sram import Sram
+from repro.memory.stream_buffer import StreamBuffer
+from repro.sim.simulator import simulate
+from repro.trace.events import TraceBuilder
+from tests.conftest import simple_connectivity
+
+MEMORY_LIBRARY = default_memory_library()
+CONNECTIVITY_LIBRARY = default_connectivity_library()
+
+#: Structures and their address regions (small, disjoint).
+REGIONS = {
+    "alpha": (0x1_0000, 0x2000),
+    "beta": (0x8_0000, 0x800),
+    "gamma": (0x10_0000, 0x400),
+}
+
+
+@st.composite
+def random_trace(draw):
+    events = draw(
+        st.lists(
+            st.tuples(
+                st.sampled_from(sorted(REGIONS)),
+                st.floats(min_value=0.0, max_value=1.0),
+                st.booleans(),
+                st.integers(min_value=0, max_value=6),
+            ),
+            min_size=1,
+            max_size=120,
+        )
+    )
+    builder = TraceBuilder("prop")
+    # Touch every region once so any architecture mapping is valid.
+    for struct in sorted(REGIONS):
+        base, _ = REGIONS[struct]
+        builder.read(base, 4, struct)
+    for struct, position, write, gap in events:
+        base, span = REGIONS[struct]
+        address = base + int(position * (span - 8)) // 4 * 4
+        builder.compute(gap)
+        if write:
+            builder.write(address, 4, struct)
+        else:
+            builder.read(address, 4, struct)
+    return builder.build()
+
+
+@st.composite
+def random_architecture(draw):
+    modules = []
+    mapping = {}
+    kind = draw(st.sampled_from(["cache", "sram", "dma", "stream", "none"]))
+    if kind == "cache":
+        modules.append(Cache("cache", 2048, 32, 2))
+        default = "cache"
+    elif kind == "sram":
+        # 16 KiB covers every region's footprint.
+        modules.append(Sram("sram", 16384))
+        mapping = {s: "sram" for s in REGIONS}
+        default = "dram"
+    elif kind == "dma":
+        modules.append(SelfIndirectDma("dma", entries=16))
+        mapping = {"alpha": "dma"}
+        modules.append(Cache("cache", 1024, 16, 1))
+        default = "cache"
+    elif kind == "stream":
+        modules.append(StreamBuffer("sb", depth=4))
+        mapping = {"beta": "sb"}
+        default = "dram"
+    else:
+        default = "dram"
+    dram = MEMORY_LIBRARY.get("dram").instantiate()
+    return MemoryArchitecture("prop_arch", modules, dram, mapping, default)
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(random_trace(), random_architecture())
+    def test_core_invariants(self, trace, architecture):
+        result = simulate(trace, architecture)
+        assert result.accesses == len(trace)
+        assert result.avg_latency >= 1.0
+        assert result.total_cycles >= trace.duration
+        assert result.avg_energy_nj > 0.0
+        assert 0.0 <= result.miss_ratio <= 1.0
+        # Conservation: CPU-side channels carry exactly the trace bytes.
+        cpu_bytes = sum(
+            t.bytes_moved
+            for t in result.channels.values()
+            if t.channel_name.startswith("cpu->")
+        )
+        assert cpu_bytes == trace.total_bytes
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_trace(), random_architecture())
+    def test_real_connectivity_never_faster_than_ideal(
+        self, trace, architecture
+    ):
+        ideal = simulate(trace, architecture)
+        connectivity = simple_connectivity(
+            architecture, trace, CONNECTIVITY_LIBRARY
+        )
+        real = simulate(trace, architecture, connectivity)
+        assert real.avg_latency >= ideal.avg_latency
+        assert real.avg_energy_nj >= ideal.avg_energy_nj
+        assert real.cost_gates >= ideal.cost_gates
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_trace(), random_architecture())
+    def test_determinism(self, trace, architecture):
+        first = simulate(trace, architecture)
+        second = simulate(trace, architecture)
+        assert first.avg_latency == second.avg_latency
+        assert first.total_cycles == second.total_cycles
+        assert first.avg_energy_nj == second.avg_energy_nj
+
+    @settings(max_examples=20, deadline=None)
+    @given(random_trace())
+    def test_hit_counters_sum(self, trace):
+        cache = Cache("cache", 2048, 32, 2)
+        dram = MEMORY_LIBRARY.get("dram").instantiate()
+        architecture = MemoryArchitecture("c", [cache], dram, {}, "cache")
+        result = simulate(trace, architecture)
+        stats = result.modules["cache"]
+        assert stats.hits + stats.misses == len(trace)
+        assert stats.miss_ratio == result.miss_ratio

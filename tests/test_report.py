@@ -1,0 +1,60 @@
+"""Tests for the full exploration report renderer."""
+
+import pytest
+
+from repro.apex.explorer import ApexConfig
+from repro.conex.explorer import ConExConfig
+from repro.core.memorex import MemorExConfig, run_memorex
+from repro.core.report import render_full_report
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def result():
+    workload = get_workload("vocoder", scale=0.3, seed=1)
+    config = MemorExConfig(
+        apex=ApexConfig(
+            cache_options=(None, "cache_4k_16b_1w", "cache_8k_32b_2w"),
+            stream_buffer_options=(None, "stream_buffer_4"),
+            dma_options=(None,),
+            map_indexed_to_sram=(False,),
+            select_count=3,
+        ),
+        conex=ConExConfig(
+            max_logical_connections=3,
+            max_assignments_per_level=24,
+            phase1_keep=4,
+        ),
+    )
+    return run_memorex(workload, config=config)
+
+
+def test_report_sections_present(result):
+    report = render_full_report(result)
+    assert "ConEx exploration report" in report
+    assert "trace:" in report
+    assert "APEX:" in report
+    assert "ConEx:" in report
+    assert "Final pareto designs" in report
+    assert "knee-point recommendation" in report
+
+
+def test_report_lists_every_pareto_design(result):
+    report = render_full_report(result)
+    for point in result.selected_points:
+        assert point.label() in report
+
+
+def test_report_mentions_structures(result):
+    report = render_full_report(result)
+    for struct in result.trace.structs:
+        assert struct in report
+
+
+def test_knee_is_one_of_the_pareto_designs(result):
+    report = render_full_report(result)
+    labels = [p.label() for p in result.selected_points]
+    knee_line = next(
+        line for line in report.splitlines() if "knee-point" in line
+    )
+    assert any(label in knee_line for label in labels)

@@ -1,0 +1,79 @@
+"""Unit tests for report rendering."""
+
+import pytest
+
+from repro.core.design_point import DesignPointSummary
+from repro.core.reporting import (
+    ascii_scatter,
+    format_design_points,
+    format_pareto_table,
+)
+from repro.errors import ExplorationError
+
+
+def make_summary(label="d1", cost=1000.0, latency=5.0, energy=10.0):
+    return DesignPointSummary(
+        label=label,
+        cost_gates=cost,
+        avg_latency=latency,
+        avg_energy_nj=energy,
+        miss_ratio=0.1,
+        memory_modules=("cache c",),
+        connections=("ahb bus",),
+    )
+
+
+class TestFormatDesignPoints:
+    def test_columns_present(self):
+        out = format_design_points([make_summary()], title="T")
+        assert "T" in out
+        assert "cost [gates]" in out
+        assert "1,000" in out
+        assert "5.00" in out
+        assert "10.0%" in out
+
+    def test_sorted_by_cost(self):
+        out = format_design_points(
+            [make_summary("b", cost=2000.0), make_summary("a", cost=100.0)]
+        )
+        lines = out.splitlines()
+        assert lines[2].startswith("a")
+        assert lines[3].startswith("b")
+
+
+class TestFormatParetoTable:
+    def test_rows(self):
+        out = format_pareto_table([("x", 100.0, 2.5, 7.25)])
+        assert "x" in out and "2.50" in out and "7.25" in out
+
+
+class TestAsciiScatter:
+    def test_renders_all_points(self):
+        out = ascii_scatter(
+            [(0, 0), (10, 10), (5, 5)], width=20, height=10
+        )
+        assert out.count("*") == 3
+
+    def test_custom_marks(self):
+        out = ascii_scatter(
+            [(0, 0), (10, 10)], width=20, height=10, marks=["a", "b"]
+        )
+        assert "a" in out and "b" in out
+
+    def test_axis_labels(self):
+        out = ascii_scatter(
+            [(0, 1), (2, 3)], x_label="cost", y_label="latency"
+        )
+        assert "cost" in out and "latency" in out
+
+    def test_degenerate_single_point(self):
+        out = ascii_scatter([(5, 5)], width=10, height=5)
+        assert out.count("*") == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExplorationError):
+            ascii_scatter([])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ExplorationError):
+            ascii_scatter([(0, 0)], width=2, height=2)

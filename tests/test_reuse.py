@@ -1,0 +1,172 @@
+"""Unit tests for the locality analysis (reuse distance, working sets)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import TraceBuilder
+from repro.trace.reuse import (
+    hit_ratio_curve,
+    reuse_distances,
+    stride_histogram,
+    working_set_profile,
+)
+
+
+def build(recorder):
+    builder = TraceBuilder("t")
+    recorder(builder)
+    return builder.build()
+
+
+class TestReuseDistances:
+    def test_cold_accesses_are_minus_one(self):
+        trace = build(
+            lambda b: [b.read(0x1000 + 64 * i, 4, "s") for i in range(5)]
+        )
+        distances = reuse_distances(trace, block_bytes=32)
+        assert (distances == -1).all()
+
+    def test_immediate_reuse_is_zero(self):
+        def record(b):
+            b.read(0x1000, 4, "s")
+            b.read(0x1000, 4, "s")
+
+        distances = reuse_distances(build(record), block_bytes=32)
+        assert list(distances) == [-1, 0]
+
+    def test_stack_distance_counts_distinct_blocks(self):
+        def record(b):
+            b.read(0x0, 4, "s")      # A cold
+            b.read(0x100, 4, "s")    # B cold
+            b.read(0x200, 4, "s")    # C cold
+            b.read(0x100, 4, "s")    # B: one distinct block (C) since
+            b.read(0x0, 4, "s")      # A: two distinct (C, B)
+
+        distances = reuse_distances(build(record), block_bytes=32)
+        assert list(distances) == [-1, -1, -1, 1, 2]
+
+    def test_duplicate_touch_does_not_inflate(self):
+        def record(b):
+            b.read(0x0, 4, "s")
+            b.read(0x100, 4, "s")
+            b.read(0x100, 4, "s")  # same block twice
+            b.read(0x0, 4, "s")    # only one distinct block in between
+
+        distances = reuse_distances(build(record), block_bytes=32)
+        assert distances[-1] == 1
+
+    def test_block_granularity(self):
+        def record(b):
+            b.read(0x1000, 4, "s")
+            b.read(0x1010, 4, "s")  # same 32 B block
+
+        distances = reuse_distances(build(record), block_bytes=32)
+        assert list(distances) == [-1, 0]
+
+    def test_struct_restriction(self, tiny_trace):
+        all_distances = reuse_distances(tiny_trace)
+        table_only = reuse_distances(tiny_trace, struct="table")
+        assert len(table_only) == 64
+        assert len(all_distances) == len(tiny_trace)
+
+    def test_bad_block_size(self, tiny_trace):
+        with pytest.raises(TraceError):
+            reuse_distances(tiny_trace, block_bytes=24)
+
+
+class TestHitRatioCurve:
+    def test_monotone_in_capacity(self, compress_trace):
+        distances = reuse_distances(compress_trace, block_bytes=32)
+        curve = hit_ratio_curve(distances, [8, 32, 128, 512])
+        values = list(curve.values())
+        assert values == sorted(values)
+        assert all(0.0 <= v <= 1.0 for v in values)
+
+    def test_infinite_capacity_hits_all_warm(self):
+        def record(b):
+            for _ in range(3):
+                for i in range(4):
+                    b.read(0x1000 + 64 * i, 4, "s")
+
+        distances = reuse_distances(build(record), block_bytes=32)
+        curve = hit_ratio_curve(distances, [10_000])
+        # 4 cold misses out of 12 accesses.
+        assert curve[10_000] == pytest.approx(8 / 12)
+
+    def test_matches_cache_upper_bound(self, compress_trace):
+        """A real 2-way cache cannot beat the fully associative LRU
+        bound at equal capacity."""
+        from repro.memory.cache import Cache
+        from repro.trace.events import AccessKind
+
+        block = 32
+        capacity_blocks = 128
+        distances = reuse_distances(compress_trace, block_bytes=block)
+        bound = hit_ratio_curve(distances, [capacity_blocks])[capacity_blocks]
+        cache = Cache("c", capacity_blocks * block, block, 2)
+        hits = 0
+        for i in range(len(compress_trace)):
+            response = cache.access(
+                int(compress_trace.addresses[i]),
+                int(compress_trace.sizes[i]),
+                AccessKind(int(compress_trace.kinds[i])),
+                i,
+            )
+            hits += response.hit
+        assert hits / len(compress_trace) <= bound + 1e-9
+
+    def test_validation(self):
+        with pytest.raises(TraceError):
+            hit_ratio_curve(np.array([], dtype=np.int64), [4])
+        with pytest.raises(TraceError):
+            hit_ratio_curve(np.array([1]), [0])
+
+
+class TestWorkingSet:
+    def test_stream_working_set_equals_window_blocks(self):
+        trace = build(
+            lambda b: [b.read(0x1000 + 32 * i, 4, "s") for i in range(200)]
+        )
+        profile = working_set_profile(trace, window=100, block_bytes=32)
+        assert profile.peak == 100  # every access a new block
+
+    def test_hot_loop_working_set_small(self):
+        trace = build(
+            lambda b: [b.read(0x1000 + 32 * (i % 4), 4, "s") for i in range(200)]
+        )
+        profile = working_set_profile(trace, window=100, block_bytes=32)
+        assert profile.peak == 4
+        assert profile.mean == 4.0
+
+    def test_struct_restriction(self, tiny_trace):
+        profile = working_set_profile(
+            tiny_trace, window=32, block_bytes=32, struct="table"
+        )
+        assert profile.peak <= 2  # 8 slots x 8 B inside 64 B
+
+    def test_validation(self, tiny_trace):
+        with pytest.raises(TraceError):
+            working_set_profile(tiny_trace, window=0)
+
+
+class TestStrideHistogram:
+    def test_pure_stream(self):
+        trace = build(
+            lambda b: [b.read(0x1000 + 4 * i, 4, "s") for i in range(100)]
+        )
+        histogram = stride_histogram(trace, "s")
+        assert histogram[4] == pytest.approx(1.0)
+
+    def test_top_limits_entries(self, compress_trace):
+        histogram = stride_histogram(compress_trace, "hash_table", top=3)
+        assert len(histogram) <= 3
+        assert all(0 < f <= 1 for f in histogram.values())
+
+    def test_single_access_struct_empty(self):
+        def record(b):
+            b.read(0x1000, 4, "one")
+            b.read(0x2000, 4, "other")
+            b.read(0x2004, 4, "other")
+
+        assert stride_histogram(build(record), "one") == {}

@@ -1,0 +1,193 @@
+"""Unit tests for RTGEN-style table generation."""
+
+import pytest
+
+from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
+from repro.errors import ConfigurationError
+from repro.timing.rtgen import (
+    OperationDescription,
+    Stage,
+    bus_transfer_description,
+    compose_operation_tables,
+    generate_table,
+    memory_access_description,
+)
+from repro.timing.reservation import ReservationTable
+
+
+class TestStageValidation:
+    def test_no_resources_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage("s", (), 1)
+
+    def test_zero_duration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage("s", ("r",), 0)
+
+    def test_negative_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Stage("s", ("r",), 1, overlap=-1)
+
+    def test_empty_operation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperationDescription("op", ())
+
+    def test_first_stage_overlap_rejected(self):
+        with pytest.raises(ConfigurationError):
+            OperationDescription("op", (Stage("s", ("r",), 1, overlap=1),))
+
+
+class TestGenerateTable:
+    def test_sequential_stages(self):
+        operation = OperationDescription(
+            "op",
+            (
+                Stage("a", ("bus",), 2),
+                Stage("b", ("mem",), 3),
+            ),
+        )
+        table = generate_table(operation)
+        assert table.cycles("bus") == frozenset({0, 1})
+        assert table.cycles("mem") == frozenset({2, 3, 4})
+        assert table.length == 5
+
+    def test_overlapping_stages(self):
+        operation = OperationDescription(
+            "op",
+            (
+                Stage("a", ("bus",), 3),
+                Stage("b", ("mem",), 3, overlap=2),
+            ),
+        )
+        table = generate_table(operation)
+        assert table.cycles("mem") == frozenset({1, 2, 3})
+
+    def test_same_resource_conflict_rejected(self):
+        operation = OperationDescription(
+            "op",
+            (
+                Stage("a", ("bus",), 3),
+                Stage("b", ("bus",), 2, overlap=1),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            generate_table(operation)
+
+    def test_same_resource_sequential_allowed(self):
+        operation = OperationDescription(
+            "op",
+            (
+                Stage("a", ("bus",), 2),
+                Stage("wait", ("mem",), 4),
+                Stage("return", ("bus",), 2),
+            ),
+        )
+        table = generate_table(operation)
+        assert table.cycles("bus") == frozenset({0, 1, 6, 7})
+
+    def test_excessive_overlap_rejected(self):
+        operation = OperationDescription(
+            "op",
+            (
+                Stage("a", ("x",), 1),
+                Stage("b", ("y",), 1, overlap=5),
+            ),
+        )
+        with pytest.raises(ConfigurationError):
+            generate_table(operation)
+
+
+class TestGeneratorMatchesComponents:
+    """The hand-specialized component tables are instances of the
+    generic descriptions — cross-check them."""
+
+    @pytest.mark.parametrize("size", [4, 16, 32])
+    def test_ahb(self, size):
+        ahb = AhbBus()
+        generated = generate_table(
+            bus_transfer_description(
+                "ahb",
+                beats=ahb.beats(size),
+                base_latency=ahb.base_latency,
+                cycles_per_beat=ahb.cycles_per_beat,
+                pipelined=True,
+            )
+        )
+        assert generated == ahb.reservation_table(size)
+
+    @pytest.mark.parametrize("size", [4, 16, 32])
+    def test_asb(self, size):
+        asb = AsbBus()
+        generated = generate_table(
+            bus_transfer_description(
+                "asb",
+                beats=asb.beats(size),
+                base_latency=asb.base_latency,
+                cycles_per_beat=asb.cycles_per_beat,
+                pipelined=False,
+            )
+        )
+        assert generated == asb.reservation_table(size)
+
+    @pytest.mark.parametrize("size", [4, 8])
+    def test_apb(self, size):
+        apb = ApbBus()
+        generated = generate_table(
+            bus_transfer_description(
+                "apb",
+                beats=apb.beats(size),
+                base_latency=apb.base_latency,
+                cycles_per_beat=apb.cycles_per_beat,
+                pipelined=False,
+            )
+        )
+        assert generated == apb.reservation_table(size)
+
+
+class TestMemoryAccessDescription:
+    def test_port_released_during_array(self):
+        table = generate_table(
+            memory_access_description("cache", port_cycles=1, array_cycles=2)
+        )
+        assert table.cycles("cache.port") == frozenset({0})
+        assert table.cycles("cache.array") == frozenset({1, 2})
+        # Initiation interval limited by the array, not the port.
+        assert table.min_initiation_interval() == 2
+
+    def test_multiple_ports(self):
+        table = generate_table(
+            memory_access_description(
+                "sram", port_cycles=1, array_cycles=1, ports=("rd", "wr")
+            )
+        )
+        assert "sram.rd" in table.resources
+        assert "sram.wr" in table.resources
+
+
+class TestComposeOperationTables:
+    def test_end_to_end_chain(self):
+        tables = {
+            "cpu_bus": ReservationTable({"ahb.bus": range(3)}),
+            "cache": ReservationTable({"cache.port": [0]}),
+            "offchip": ReservationTable({"pad.bus": range(8)}),
+        }
+        composed = compose_operation_tables(
+            tables, order=("cpu_bus", "cache", "offchip")
+        )
+        assert composed.cycles("cache.port") == frozenset({3})
+        assert composed.cycles("pad.bus") == frozenset(range(4, 12))
+        assert composed.length == 12
+
+    def test_gaps(self):
+        tables = {
+            "a": ReservationTable({"x": [0]}),
+            "b": ReservationTable({"y": [0]}),
+        }
+        composed = compose_operation_tables(
+            tables, order=("a", "b"), gaps={"b": 2}
+        )
+        assert composed.cycles("y") == frozenset({3})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError):
+            compose_operation_tables({}, order=("ghost",))

@@ -1,0 +1,42 @@
+"""Unit tests for the time-sampling configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.sampling import SamplingConfig
+
+
+def test_defaults_match_paper_ratio():
+    config = SamplingConfig()
+    assert config.off_ratio == 9  # the paper's 1/9 on/off ratio
+    assert config.period == config.on_window * 10
+
+
+def test_is_on_pattern():
+    config = SamplingConfig(on_window=10, off_ratio=1, warmup=2)
+    assert all(config.is_on(i) for i in range(10))
+    assert not any(config.is_on(i) for i in range(10, 20))
+    assert config.is_on(20)  # next period
+
+
+def test_is_measured_excludes_warmup():
+    config = SamplingConfig(on_window=10, off_ratio=1, warmup=3)
+    assert not config.is_measured(0)
+    assert not config.is_measured(2)
+    assert config.is_measured(3)
+    assert config.is_measured(9)
+    assert not config.is_measured(10)
+
+
+def test_zero_off_ratio_always_on():
+    config = SamplingConfig(on_window=5, off_ratio=0, warmup=0)
+    assert all(config.is_on(i) for i in range(50))
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        SamplingConfig(on_window=0)
+    with pytest.raises(ConfigurationError):
+        SamplingConfig(off_ratio=-1)
+    with pytest.raises(ConfigurationError):
+        SamplingConfig(on_window=10, warmup=10)

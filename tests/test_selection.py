@@ -1,0 +1,88 @@
+"""Unit tests for knee-point and weighted selection helpers."""
+
+import pytest
+
+from repro.errors import ExplorationError
+from repro.util.selection import knee_point, weighted_best
+
+
+class TestKneePoint:
+    def test_obvious_knee(self):
+        # Steep drop then flat tail: the corner is the knee.
+        curve = [(0.0, 10.0), (1.0, 2.0), (5.0, 1.8), (10.0, 1.7)]
+        assert knee_point(curve, key=lambda p: p) == (1.0, 2.0)
+
+    def test_straight_line_returns_an_endpoint_or_middle(self):
+        line = [(0.0, 10.0), (5.0, 5.0), (10.0, 0.0)]
+        assert knee_point(line, key=lambda p: p) in line
+
+    def test_two_points(self):
+        pair = [(3.0, 1.0), (1.0, 3.0)]
+        assert knee_point(pair, key=lambda p: p) == (1.0, 3.0)
+
+    def test_single_point(self):
+        assert knee_point([(1.0, 1.0)], key=lambda p: p) == (1.0, 1.0)
+
+    def test_key_extraction(self):
+        items = [
+            {"cost": 0.0, "lat": 10.0},
+            {"cost": 1.0, "lat": 2.0},
+            {"cost": 10.0, "lat": 1.9},
+        ]
+        knee = knee_point(items, key=lambda d: (d["cost"], d["lat"]))
+        assert knee["cost"] == 1.0
+
+    def test_unsorted_input(self):
+        curve = [(10.0, 1.7), (0.0, 10.0), (5.0, 1.8), (1.0, 2.0)]
+        assert knee_point(curve, key=lambda p: p) == (1.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExplorationError):
+            knee_point([], key=lambda p: p)
+
+    def test_degenerate_axis(self):
+        flat = [(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]
+        assert knee_point(flat, key=lambda p: p) in flat
+
+
+class TestWeightedBest:
+    POINTS = [(100.0, 10.0, 5.0), (200.0, 5.0, 5.0), (150.0, 7.0, 2.0)]
+
+    def test_cost_priority(self):
+        best = weighted_best(self.POINTS, key=lambda p: p, weights=(1, 0, 0))
+        assert best == (100.0, 10.0, 5.0)
+
+    def test_latency_priority(self):
+        best = weighted_best(self.POINTS, key=lambda p: p, weights=(0, 1, 0))
+        assert best == (200.0, 5.0, 5.0)
+
+    def test_energy_priority(self):
+        best = weighted_best(self.POINTS, key=lambda p: p, weights=(0, 0, 1))
+        assert best == (150.0, 7.0, 2.0)
+
+    def test_balanced(self):
+        best = weighted_best(self.POINTS, key=lambda p: p, weights=(1, 1, 1))
+        assert best in self.POINTS
+
+    def test_normalization_makes_weights_unitless(self):
+        # Scaling one axis by 1000 must not change the outcome.
+        scaled = [(p[0] * 1000, p[1], p[2]) for p in self.POINTS]
+        best_original = weighted_best(
+            self.POINTS, key=lambda p: p, weights=(1, 1, 1)
+        )
+        best_scaled = weighted_best(scaled, key=lambda p: p, weights=(1, 1, 1))
+        assert best_scaled[1:] == best_original[1:]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExplorationError):
+            weighted_best([], key=lambda p: p, weights=(1,))
+
+    def test_bad_weights_rejected(self):
+        with pytest.raises(ExplorationError):
+            weighted_best(self.POINTS, key=lambda p: p, weights=(0, 0, 0))
+        with pytest.raises(ExplorationError):
+            weighted_best(self.POINTS, key=lambda p: p, weights=(-1, 1, 1))
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(ExplorationError):
+            weighted_best(self.POINTS, key=lambda p: p, weights=(1, 1))

@@ -1,0 +1,189 @@
+"""Edge-case and failure-injection tests for the simulator."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.memory.cache import Cache, WritePolicy
+from repro.memory.dma import SelfIndirectDma
+from repro.sim import SamplingConfig, simulate
+from repro.trace.events import TraceBuilder
+from tests.conftest import simple_connectivity
+
+
+def single_access_trace():
+    builder = TraceBuilder("single")
+    builder.read(0x1000, 4, "x")
+    return builder.build()
+
+
+def all_writes_trace():
+    builder = TraceBuilder("writes")
+    for i in range(200):
+        builder.write(0x1000 + 16 * i, 8, "buf")
+    return builder.build()
+
+
+def burst_trace():
+    """Back-to-back accesses with zero compute gaps."""
+    builder = TraceBuilder("burst")
+    for i in range(300):
+        builder.read(0x1000 + 64 * (i % 50), 4, "hot")
+    return builder.build()
+
+
+class TestDegenerateTraces:
+    def test_single_access(self, mem_library, conn_library):
+        trace = single_access_trace()
+        cache = mem_library.get("cache_4k_16b_1w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        conn = simple_connectivity(arch, trace, conn_library)
+        result = simulate(trace, arch, conn)
+        assert result.accesses == 1
+        assert result.miss_ratio == 1.0  # cold miss
+        assert result.avg_latency > 1.0
+
+    def test_all_writes(self, mem_library, conn_library):
+        trace = all_writes_trace()
+        cache = mem_library.get("cache_4k_16b_1w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        conn = simple_connectivity(arch, trace, conn_library)
+        result = simulate(trace, arch, conn)
+        assert result.accesses == 200
+        assert result.total_cycles >= trace.duration
+
+    def test_zero_gap_burst_contention(self, mem_library, conn_library):
+        trace = burst_trace()
+        cache = mem_library.get("cache_4k_16b_1w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        ideal = simulate(trace, arch)
+        conn = simple_connectivity(arch, trace, conn_library, cpu_preset="apb")
+        real = simulate(trace, arch, conn)
+        # With zero think time, connection latency shows fully.
+        assert real.avg_latency > ideal.avg_latency + 1.0
+
+    def test_large_access_sizes(self, mem_library, conn_library):
+        builder = TraceBuilder("wide")
+        for i in range(50):
+            builder.read(0x1000 + 64 * i, 64, "wide")  # full-line reads
+        trace = builder.build()
+        cache = Cache("cache", 4096, line_size=64, associativity=1)
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        conn = simple_connectivity(arch, trace, conn_library)
+        result = simulate(trace, arch, conn)
+        assert result.accesses == 50
+        cpu = result.channels["cpu->cache"]
+        assert cpu.bytes_moved == 50 * 64
+
+
+class TestWriteThroughArchitecture:
+    def test_write_through_generates_more_backing_traffic(
+        self, mem_library, conn_library
+    ):
+        trace = all_writes_trace()
+        dram_a = mem_library.get("dram").instantiate()
+        dram_b = mem_library.get("dram").instantiate()
+        wb = Cache("cache", 4096, 16, 1, WritePolicy.WRITE_BACK)
+        wt = Cache("cache", 4096, 16, 1, WritePolicy.WRITE_THROUGH)
+        arch_wb = MemoryArchitecture("wb", [wb], dram_a, {}, "cache")
+        arch_wt = MemoryArchitecture("wt", [wt], dram_b, {}, "cache")
+        result_wb = simulate(trace, arch_wb)
+        result_wt = simulate(trace, arch_wt)
+        back_wb = result_wb.channels["cache->dram"].bytes_moved
+        back_wt = result_wt.channels["cache->dram"].bytes_moved
+        assert back_wt > back_wb
+
+
+class TestDmaIntegration:
+    def make_chase_trace(self):
+        builder = TraceBuilder("chase")
+        node = 0
+        for i in range(400):
+            builder.read(0x10000 + node * 16, 8, "list")
+            builder.compute(3)
+            node = (node * 7 + 3) % 128
+        return builder.build()
+
+    def test_dma_beats_uncached(self, mem_library, conn_library):
+        trace = self.make_chase_trace()
+        dma = SelfIndirectDma("dma", entries=64, node_size=16, lookahead=4)
+        dram_a = mem_library.get("dram").instantiate()
+        dram_b = mem_library.get("dram").instantiate()
+        arch_dma = MemoryArchitecture(
+            "dma_arch", [dma], dram_a, {"list": "dma"}, "dram"
+        )
+        arch_plain = MemoryArchitecture("plain", [], dram_b, {}, "dram")
+        with_dma = simulate(trace, arch_dma)
+        without = simulate(trace, arch_plain)
+        assert with_dma.avg_latency < without.avg_latency
+
+    def test_dma_hint_follows_connectivity(self, mem_library, conn_library):
+        trace = self.make_chase_trace()
+        dma = SelfIndirectDma("dma", entries=64, node_size=16, lookahead=4)
+        dram = mem_library.get("dram").instantiate()
+        arch = MemoryArchitecture("a", [dma], dram, {"list": "dma"}, "dram")
+        conn = simple_connectivity(arch, trace, conn_library)
+        simulate(trace, arch, conn)
+        off_chip = conn.component_for(
+            [c for c in conn.channels() if c.source == "dma"][0]
+        )
+        expected = off_chip.timing(16).latency + dram.core_latency
+        assert dma.backing_latency_hint == expected
+
+
+class TestSamplingEdges:
+    def test_period_longer_than_trace(self, tiny_trace, cache_architecture):
+        # Whole trace fits in the first on-window.
+        config = SamplingConfig(on_window=10_000, off_ratio=9, warmup=10)
+        result = simulate(tiny_trace, cache_architecture, sampling=config)
+        assert result.sampled_accesses == len(tiny_trace) - 10
+
+    def test_all_on_sampling_equals_full(self, tiny_trace, cache_architecture):
+        config = SamplingConfig(on_window=10_000, off_ratio=0, warmup=0)
+        sampled = simulate(tiny_trace, cache_architecture, sampling=config)
+        full = simulate(tiny_trace, cache_architecture)
+        assert sampled.avg_latency == full.avg_latency
+        assert sampled.avg_energy_nj == full.avg_energy_nj
+
+    def test_warmup_consumes_whole_trace_raises(
+        self, cache_architecture
+    ):
+        from repro.errors import SimulationError
+
+        builder = TraceBuilder("t")
+        for i in range(5):
+            builder.read(0x1000 + 4 * i, 4, "s")
+        trace = builder.build()
+        config = SamplingConfig(on_window=100, off_ratio=0, warmup=50)
+        with pytest.raises(SimulationError):
+            simulate(trace, cache_architecture, sampling=config)
+
+
+class TestDeterminismAcrossRuns:
+    def test_full_pipeline_reproducible(self, mem_library, conn_library):
+        from repro.apex.explorer import ApexConfig, explore_memory_architectures
+        from repro.workloads import get_workload
+
+        config = ApexConfig(
+            cache_options=("cache_4k_16b_1w",),
+            stream_buffer_options=(None,),
+            dma_options=(None,),
+            map_indexed_to_sram=(False,),
+            select_count=1,
+        )
+
+        def run():
+            workload = get_workload("vocoder", scale=0.25, seed=9)
+            trace = workload.trace()
+            apex = explore_memory_architectures(
+                trace, mem_library, config, hints=workload.pattern_hints
+            )
+            return [
+                (e.cost_gates, e.miss_ratio, e.avg_latency)
+                for e in apex.evaluated
+            ]
+
+        assert run() == run()

@@ -1,0 +1,133 @@
+"""Integration tests for the Pruned / Neighborhood / Full strategies.
+
+Uses a deliberately tiny design space so Full stays fast; the point is
+the Table 2 relationships: Full has 100% coverage by construction,
+Pruned is fastest, Neighborhood sits between.
+"""
+
+import pytest
+
+from repro.apex.explorer import ApexConfig
+from repro.conex.explorer import ConExConfig
+from repro.core.strategies import (
+    coverage_rows,
+    run_full,
+    run_neighborhood,
+    run_pruned,
+)
+
+APEX_CONFIG = ApexConfig(
+    cache_options=(None, "cache_4k_16b_1w", "cache_16k_32b_2w"),
+    stream_buffer_options=(None, "stream_buffer_4"),
+    dma_options=(None,),
+    map_indexed_to_sram=(False,),
+    select_count=3,
+)
+
+CONEX_CONFIG = ConExConfig(
+    max_logical_connections=3,
+    max_assignments_per_level=24,
+    phase1_keep=4,
+)
+
+
+@pytest.fixture(scope="module")
+def outcomes(mem_library_module, conn_library_module):
+    from repro.workloads import get_workload
+
+    workload = get_workload("vocoder", scale=0.3, seed=7)
+    trace = workload.trace()
+    hints = dict(workload.pattern_hints)
+    common = (
+        trace,
+        mem_library_module,
+        conn_library_module,
+        APEX_CONFIG,
+        CONEX_CONFIG,
+    )
+    pruned = run_pruned(*common, hints=hints)
+    neighborhood = run_neighborhood(*common, hints=hints)
+    full = run_full(*common, hints=hints)
+    return pruned, neighborhood, full
+
+
+@pytest.fixture(scope="module")
+def mem_library_module():
+    from repro.memory.library import default_memory_library
+
+    return default_memory_library()
+
+
+@pytest.fixture(scope="module")
+def conn_library_module():
+    from repro.connectivity.library import default_connectivity_library
+
+    return default_connectivity_library()
+
+
+class TestStrategyRelations:
+    def test_simulation_counts_ordered(self, outcomes):
+        pruned, neighborhood, full = outcomes
+        # Full covers the most enumerated points; Neighborhood adds
+        # one-swap points on top of Pruned (in a tiny test space the
+        # swaps can rival Full's thinned enumeration, so only the
+        # Pruned relations are strict).
+        assert len(full.simulated) > len(pruned.simulated)
+        assert len(neighborhood.simulated) > len(pruned.simulated)
+
+    def test_pruned_subset_of_full_space(self, outcomes):
+        pruned, _, full = outcomes
+        full_vectors = {p.simulated_objectives for p in full.simulated}
+        for point in pruned.simulated:
+            assert point.simulated_objectives in full_vectors
+
+    def test_neighborhood_superset_of_selected_memories(self, outcomes):
+        pruned, neighborhood, _ = outcomes
+        pruned_memories = {p.memory_name for p in pruned.simulated}
+        neighborhood_memories = {p.memory_name for p in neighborhood.simulated}
+        assert pruned_memories <= neighborhood_memories
+
+    def test_all_paretos_nonempty(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.pareto
+
+
+class TestCoverage:
+    def test_full_covers_itself(self, outcomes):
+        _, _, full = outcomes
+        rows = coverage_rows(full, [])
+        assert rows[-1].strategy == "Full"
+        assert rows[-1].coverage_percent == 100.0
+        assert rows[-1].distances == (0.0, 0.0, 0.0)
+
+    def test_row_ordering_and_fields(self, outcomes):
+        pruned, neighborhood, full = outcomes
+        rows = coverage_rows(full, [pruned, neighborhood])
+        assert [r.strategy for r in rows] == ["Pruned", "Neighborhood", "Full"]
+        for row in rows:
+            assert 0.0 <= row.coverage_percent <= 100.0
+            assert row.seconds > 0
+            assert len(row.distances) == 3
+
+    def test_neighborhood_covers_at_least_pruned(self, outcomes):
+        pruned, neighborhood, full = outcomes
+        rows = coverage_rows(full, [pruned, neighborhood])
+        by_name = {r.strategy: r for r in rows}
+        assert (
+            by_name["Neighborhood"].coverage_percent
+            >= by_name["Pruned"].coverage_percent
+        )
+
+    def test_pruned_finds_some_pareto_points(self, outcomes):
+        pruned, _, full = outcomes
+        rows = coverage_rows(full, [pruned])
+        assert rows[0].coverage_percent > 0.0
+
+    def test_missed_points_have_close_replacements(self, outcomes):
+        """The paper's claim: missed pareto points are approximated by
+        nearby explored designs (small average distance)."""
+        pruned, _, full = outcomes
+        rows = coverage_rows(full, [pruned])
+        pruned_row = rows[0]
+        if pruned_row.coverage_percent < 100.0:
+            assert all(d < 60.0 for d in pruned_row.distances)

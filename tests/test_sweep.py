@@ -1,0 +1,109 @@
+"""Unit tests for the parameter-sweep utilities."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.core.sweep import (
+    series,
+    sweep_cache_size,
+    sweep_cpu_bus,
+    sweep_offchip_bus,
+)
+from repro.errors import ExplorationError
+
+CACHES = ["cache_4k_16b_1w", "cache_8k_32b_2w", "cache_16k_32b_2w"]
+
+
+@pytest.fixture
+def cache_arch(mem_library):
+    cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+    dram = mem_library.get("dram").instantiate()
+    return MemoryArchitecture("m", [cache], dram, {}, "cache")
+
+
+class TestCacheSizeSweep:
+    def test_miss_ratio_monotone_decreasing(
+        self, compress_trace, mem_library, conn_library
+    ):
+        points = sweep_cache_size(
+            compress_trace, mem_library, conn_library, CACHES
+        )
+        ratios = [p.result.miss_ratio for p in points]
+        assert ratios == sorted(ratios, reverse=True)
+
+    def test_cost_monotone_increasing(
+        self, compress_trace, mem_library, conn_library
+    ):
+        points = sweep_cache_size(
+            compress_trace, mem_library, conn_library, CACHES
+        )
+        costs = [p.result.cost_gates for p in points]
+        assert costs == sorted(costs)
+
+    def test_settings_recorded(self, compress_trace, mem_library, conn_library):
+        points = sweep_cache_size(
+            compress_trace, mem_library, conn_library, CACHES[:2]
+        )
+        assert [p.setting for p in points] == CACHES[:2]
+
+    def test_empty_rejected(self, compress_trace, mem_library, conn_library):
+        with pytest.raises(ExplorationError):
+            sweep_cache_size(compress_trace, mem_library, conn_library, [])
+
+
+class TestBusSweeps:
+    def test_cpu_bus_ordering(
+        self, compress_trace, cache_arch, conn_library
+    ):
+        points = sweep_cpu_bus(
+            compress_trace, cache_arch, conn_library, ["apb", "asb", "dedicated"]
+        )
+        by_name = {p.setting: p.result.avg_latency for p in points}
+        # The slow peripheral bus is worst; the dedicated link is best.
+        assert by_name["apb"] > by_name["asb"] >= by_name["dedicated"]
+
+    def test_offchip_width_helps(
+        self, compress_trace, cache_arch, conn_library
+    ):
+        points = sweep_offchip_bus(
+            compress_trace, cache_arch, conn_library,
+            ["offchip_16", "offchip_32"],
+        )
+        by_name = {p.setting: p.result.avg_latency for p in points}
+        assert by_name["offchip_32"] <= by_name["offchip_16"]
+
+    def test_memory_held_constant(
+        self, compress_trace, cache_arch, conn_library
+    ):
+        points = sweep_cpu_bus(
+            compress_trace, cache_arch, conn_library, ["asb", "ahb"]
+        )
+        memory_costs = {p.result.memory_cost_gates for p in points}
+        assert len(memory_costs) == 1
+        miss_ratios = {p.result.miss_ratio for p in points}
+        assert len(miss_ratios) == 1  # connectivity cannot change misses
+
+
+class TestSeriesExtraction:
+    def test_series(self, compress_trace, cache_arch, conn_library):
+        points = sweep_cpu_bus(
+            compress_trace, cache_arch, conn_library, ["asb", "ahb"]
+        )
+        pairs = series(points, "avg_latency")
+        assert len(pairs) == 2
+        assert all(isinstance(v, float) for _, v in pairs)
+
+    def test_unknown_metric_rejected(
+        self, compress_trace, cache_arch, conn_library
+    ):
+        points = sweep_cpu_bus(
+            compress_trace, cache_arch, conn_library, ["asb"]
+        )
+        with pytest.raises(ExplorationError):
+            series(points, "nonsense")
+        with pytest.raises(ExplorationError):
+            series(points, "summary")  # callable, not numeric
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExplorationError):
+            series([], "avg_latency")

@@ -1,0 +1,104 @@
+"""Tests for trace concatenation and the new per-struct statistics."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.sim import simulate
+from repro.trace import concatenate_traces
+from repro.trace.events import TraceBuilder
+
+
+def make(name, structs):
+    builder = TraceBuilder(name)
+    for i, struct in enumerate(structs):
+        builder.read(0x1000 * (1 + hash(struct) % 4) + 4 * i, 4, struct)
+        builder.compute(1)
+    return builder.build()
+
+
+class TestConcatenate:
+    def test_lengths_and_name(self):
+        combined = concatenate_traces([make("a", "xxy"), make("b", "yz")])
+        assert len(combined) == 5
+        assert combined.name == "a+b"
+
+    def test_custom_name(self):
+        combined = concatenate_traces([make("a", "x")], name="solo")
+        assert combined.name == "solo"
+
+    def test_struct_merge_by_name(self):
+        combined = concatenate_traces([make("a", "xy"), make("b", "yx")])
+        assert set(combined.structs) == {"x", "y"}
+        assert combined.counts_by_struct() == {"x": 2, "y": 2}
+
+    def test_ticks_rebased_and_monotone(self):
+        first = make("a", "xx")
+        second = make("b", "yy")
+        combined = concatenate_traces([first, second])
+        ticks = list(combined.ticks)
+        assert ticks == sorted(ticks)
+        assert ticks[2] >= first.duration
+
+    def test_duration_is_sum(self):
+        first = make("a", "xxx")
+        second = make("b", "yy")
+        combined = concatenate_traces([first, second])
+        assert combined.duration == first.duration + second.duration
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            concatenate_traces([])
+
+    def test_single_pass_through(self):
+        trace = make("a", "xyz")
+        combined = concatenate_traces([trace])
+        assert len(combined) == len(trace)
+        assert combined.structs == trace.structs
+
+    def test_concatenated_trace_simulates(self, cache_architecture):
+        phases = [make("p1", "abcabc"), make("p2", "cba")]
+        combined = concatenate_traces(phases)
+        result = simulate(combined, cache_architecture)
+        assert result.accesses == 9
+
+
+class TestStructLatencyStats:
+    def test_shares_sum_to_one(self, compress_trace, cache_architecture):
+        result = simulate(compress_trace, cache_architecture)
+        assert sum(s.share for s in result.structs.values()) == pytest.approx(1.0)
+
+    def test_counts_match_trace(self, compress_trace, cache_architecture):
+        result = simulate(compress_trace, cache_architecture)
+        for struct, stats in result.structs.items():
+            assert stats.accesses == compress_trace.counts_by_struct()[struct]
+
+    def test_mean_latencies_weighted_average(
+        self, compress_trace, cache_architecture
+    ):
+        result = simulate(compress_trace, cache_architecture)
+        weighted = sum(
+            s.mean_latency * s.accesses for s in result.structs.values()
+        ) / result.accesses
+        assert weighted == pytest.approx(result.avg_latency)
+
+    def test_pointer_chasing_structs_cost_more(
+        self, compress_trace, cache_architecture
+    ):
+        result = simulate(compress_trace, cache_architecture)
+        assert (
+            result.structs["hash_table"].mean_latency
+            > result.structs["input_stream"].mean_latency
+        )
+
+    def test_sampled_runs_report_measured_only(
+        self, compress_trace, cache_architecture
+    ):
+        from repro.sim import SamplingConfig
+
+        result = simulate(
+            compress_trace,
+            cache_architecture,
+            sampling=SamplingConfig(on_window=400, off_ratio=9, warmup=50),
+        )
+        measured = sum(s.accesses for s in result.structs.values())
+        assert measured == result.sampled_accesses

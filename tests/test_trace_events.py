@@ -1,0 +1,125 @@
+"""Unit tests for Access / TraceBuilder / Trace."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import Access, AccessKind, Trace, TraceBuilder
+
+
+class TestTraceBuilder:
+    def test_records_and_builds(self):
+        builder = TraceBuilder("t")
+        builder.read(0x100, 4, "a")
+        builder.write(0x200, 8, "b")
+        trace = builder.build()
+        assert len(trace) == 2
+        assert trace.name == "t"
+        assert trace.structs == ("a", "b")
+
+    def test_ticks_advance_per_access_and_compute(self):
+        builder = TraceBuilder("t")
+        builder.read(0, 4, "a")  # tick 0
+        builder.compute(5)
+        builder.read(4, 4, "a")  # tick 6
+        trace = builder.build()
+        assert list(trace.ticks) == [0, 6]
+        assert trace.duration == 7
+
+    def test_negative_compute_rejected(self):
+        builder = TraceBuilder("t")
+        with pytest.raises(TraceError):
+            builder.compute(-1)
+
+    def test_zero_size_rejected(self):
+        builder = TraceBuilder("t")
+        with pytest.raises(TraceError):
+            builder.read(0, 0, "a")
+
+    def test_negative_address_rejected(self):
+        builder = TraceBuilder("t")
+        with pytest.raises(TraceError):
+            builder.write(-4, 4, "a")
+
+    def test_empty_build_rejected(self):
+        with pytest.raises(TraceError):
+            TraceBuilder("empty").build()
+
+    def test_struct_interning_order(self):
+        builder = TraceBuilder("t")
+        builder.read(0, 4, "z")
+        builder.read(4, 4, "a")
+        builder.read(8, 4, "z")
+        assert builder.build().structs == ("z", "a")
+
+
+class TestTrace:
+    def make(self):
+        builder = TraceBuilder("t")
+        builder.read(0x10, 4, "a")
+        builder.write(0x20, 8, "b")
+        builder.read(0x14, 4, "a")
+        return builder.build()
+
+    def test_iteration_yields_accesses(self):
+        accesses = list(self.make())
+        assert accesses[0] == Access(0x10, 4, AccessKind.READ, "a", 0)
+        assert accesses[1].kind == AccessKind.WRITE
+        assert accesses[2].struct == "a"
+
+    def test_total_bytes(self):
+        assert self.make().total_bytes == 16
+
+    def test_counts_by_struct(self):
+        assert self.make().counts_by_struct() == {"a": 2, "b": 1}
+
+    def test_struct_mask(self):
+        trace = self.make()
+        assert list(trace.struct_mask("a")) == [True, False, True]
+
+    def test_unknown_struct_mask_raises(self):
+        with pytest.raises(TraceError):
+            self.make().struct_mask("nope")
+
+    def test_arrays_are_read_only(self):
+        trace = self.make()
+        with pytest.raises(ValueError):
+            trace.addresses[0] = 99
+
+    def test_slice(self):
+        trace = self.make()
+        sub = trace.slice(1, 3)
+        assert len(sub) == 2
+        assert list(sub.addresses) == [0x20, 0x14]
+        assert sub.structs == trace.structs
+
+    def test_bad_slice_raises(self):
+        trace = self.make()
+        with pytest.raises(TraceError):
+            trace.slice(2, 2)
+        with pytest.raises(TraceError):
+            trace.slice(0, 99)
+
+    def test_mismatched_columns_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                "bad",
+                addresses=np.array([1, 2], dtype=np.int64),
+                sizes=np.array([4], dtype=np.int32),
+                kinds=np.array([0, 0], dtype=np.int8),
+                struct_ids=np.array([0, 0], dtype=np.int32),
+                ticks=np.array([0, 1], dtype=np.int64),
+                structs=("a",),
+            )
+
+    def test_unknown_struct_id_rejected(self):
+        with pytest.raises(TraceError):
+            Trace(
+                "bad",
+                addresses=np.array([1], dtype=np.int64),
+                sizes=np.array([4], dtype=np.int32),
+                kinds=np.array([0], dtype=np.int8),
+                struct_ids=np.array([3], dtype=np.int32),
+                ticks=np.array([0], dtype=np.int64),
+                structs=("a",),
+            )

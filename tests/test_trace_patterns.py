@@ -1,0 +1,114 @@
+"""Unit tests for access-pattern classification."""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import TraceBuilder
+from repro.trace.patterns import (
+    AccessPattern,
+    classify_structure,
+    profile_patterns,
+)
+
+
+def build_trace(recorder):
+    builder = TraceBuilder("t")
+    recorder(builder)
+    return builder.build()
+
+
+class TestHeuristicClassification:
+    def test_stream_detected(self):
+        trace = build_trace(
+            lambda b: [b.read(0x1000 + 4 * i, 4, "s") for i in range(200)]
+        )
+        profile = classify_structure(trace, "s")
+        assert profile.pattern is AccessPattern.STREAM
+        assert profile.dominant_stride == 4
+        assert profile.stride_fraction == 1.0
+
+    def test_scalar_detected_by_small_footprint(self):
+        trace = build_trace(
+            lambda b: [b.read(0x1000 + 8 * (i % 4), 8, "g") for i in range(50)]
+        )
+        assert classify_structure(trace, "g").pattern is AccessPattern.SCALAR
+
+    def test_indexed_detected_by_revisits(self):
+        def record(b):
+            slots = [0, 7, 3, 7, 0, 11, 3, 7, 0, 11] * 20
+            for s in slots:
+                b.read(0x1000 + 64 * s, 8, "t")
+
+        trace = build_trace(record)
+        profile = classify_structure(trace, "t")
+        assert profile.pattern is AccessPattern.INDEXED
+        assert profile.revisit_fraction > 0.5
+
+    def test_random_detected(self):
+        def record(b):
+            address = 0x1000
+            for i in range(300):
+                address = 0x1000 + (address * 1103515245 + 12345 + i) % 65536
+                b.read(address, 8, "r")
+
+        trace = build_trace(record)
+        assert classify_structure(trace, "r").pattern is AccessPattern.RANDOM
+
+    def test_single_access(self):
+        trace = build_trace(lambda b: b.read(0x1000, 4, "one"))
+        profile = classify_structure(trace, "one")
+        assert profile.count == 1
+        assert profile.pattern is AccessPattern.SCALAR
+
+
+class TestHints:
+    def test_hint_overrides_heuristic(self):
+        trace = build_trace(
+            lambda b: [b.read(0x1000 + 4 * i, 4, "s") for i in range(100)]
+        )
+        profile = classify_structure(
+            trace, "s", hint=AccessPattern.SELF_INDIRECT
+        )
+        assert profile.pattern is AccessPattern.SELF_INDIRECT
+        assert profile.dominant_stride == 4  # features still measured
+
+    def test_unknown_hint_struct_raises(self):
+        trace = build_trace(lambda b: b.read(0, 4, "a"))
+        with pytest.raises(TraceError):
+            profile_patterns(trace, {"ghost": AccessPattern.STREAM})
+
+
+class TestProfilePatterns:
+    def test_ordering_by_activity(self):
+        def record(b):
+            for i in range(10):
+                b.read(0x9000 + 8 * i, 8, "cold")
+            for i in range(100):
+                b.read(0x1000 + 4 * i, 4, "hot")
+
+        profiles = profile_patterns(build_trace(record))
+        assert list(profiles) == ["hot", "cold"]
+
+    def test_read_write_fractions(self):
+        def record(b):
+            for i in range(10):
+                b.read(0x1000 + 512 * i, 4, "m")
+            for i in range(30):
+                b.write(0x1000 + 512 * (i % 10), 4, "m")
+
+        profile = profile_patterns(build_trace(record))["m"]
+        assert profile.read_fraction == pytest.approx(0.25)
+
+    def test_workload_hints_accepted(self, compress_workload, compress_trace):
+        profiles = profile_patterns(
+            compress_trace, compress_workload.pattern_hints
+        )
+        assert profiles["hash_table"].pattern is AccessPattern.SELF_INDIRECT
+        assert profiles["input_stream"].pattern is AccessPattern.STREAM
+        assert profiles["misc"].pattern is AccessPattern.RANDOM
+
+    def test_compress_heuristics_without_hints(self, compress_trace):
+        profiles = profile_patterns(compress_trace)
+        # The input stream is detectable without source knowledge.
+        assert profiles["input_stream"].pattern is AccessPattern.STREAM
+        assert profiles["globals"].pattern is AccessPattern.SCALAR

@@ -1,0 +1,56 @@
+"""Unit tests for bandwidth profiling."""
+
+import pytest
+
+from repro.trace.events import TraceBuilder
+from repro.trace.profiler import profile_trace
+
+
+def test_profile_totals(tiny_trace):
+    profile = profile_trace(tiny_trace)
+    assert profile.trace_name == "tiny"
+    assert profile.total.accesses == len(tiny_trace)
+    assert profile.total.bytes_moved == tiny_trace.total_bytes
+    assert profile.duration == tiny_trace.duration
+
+
+def test_per_struct_stats(tiny_trace):
+    profile = profile_trace(tiny_trace)
+    stream = profile.by_struct["stream"]
+    table = profile.by_struct["table"]
+    assert stream.accesses == 64
+    assert stream.reads == 64 and stream.writes == 0
+    assert table.writes == 64 and table.reads == 0
+    assert table.write_fraction == 1.0
+    assert stream.bytes_moved == 64 * 4
+    assert table.bytes_moved == 64 * 8
+
+
+def test_bandwidth_is_bytes_per_cycle(tiny_trace):
+    profile = profile_trace(tiny_trace)
+    expected = tiny_trace.total_bytes / tiny_trace.duration
+    assert profile.total.bandwidth == pytest.approx(expected)
+    assert profile.bandwidth_of("stream") == pytest.approx(
+        64 * 4 / tiny_trace.duration
+    )
+
+
+def test_hottest(tiny_trace):
+    assert profile_trace(tiny_trace).hottest().struct == "table"
+
+
+def test_single_struct_trace():
+    builder = TraceBuilder("one")
+    builder.read(0, 4, "only")
+    profile = profile_trace(builder.build())
+    assert profile.total.accesses == 1
+    assert profile.by_struct["only"].bandwidth == pytest.approx(4.0)
+
+
+def test_compress_profile_shape(compress_trace):
+    profile = profile_trace(compress_trace)
+    # The hash table dominates compress traffic.
+    assert profile.hottest().struct == "hash_table"
+    assert set(profile.by_struct) == set(compress_trace.structs)
+    total = sum(s.bytes_moved for s in profile.by_struct.values())
+    assert total == profile.total.bytes_moved

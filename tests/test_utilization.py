@@ -1,0 +1,73 @@
+"""Tests for channel utilization accounting."""
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.sim import simulate
+from repro.sim.metrics import ChannelTraffic
+from tests.conftest import simple_connectivity
+
+
+class TestUtilizationMetric:
+    def test_bounds(self):
+        traffic = ChannelTraffic(
+            channel_name="x", transactions=1, bytes_moved=4,
+            total_wait_cycles=0, busy_cycles=50,
+        )
+        assert traffic.utilization(100) == 0.5
+        assert traffic.utilization(25) == 1.0  # clamped
+        assert traffic.utilization(0) == 0.0
+
+    def test_ideal_connectivity_reports_zero_busy(
+        self, tiny_trace, cache_architecture
+    ):
+        result = simulate(tiny_trace, cache_architecture)
+        for traffic in result.channels.values():
+            assert traffic.busy_cycles == 0
+
+    def test_real_connectivity_accumulates_busy(
+        self, compress_trace, mem_library, conn_library
+    ):
+        cache = mem_library.get("cache_4k_16b_1w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        architecture = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        connectivity = simple_connectivity(
+            architecture, compress_trace, conn_library
+        )
+        result = simulate(compress_trace, architecture, connectivity)
+        cpu = result.channels["cpu->cache"]
+        backing = result.channels["cache->dram"]
+        assert cpu.busy_cycles > 0
+        assert backing.busy_cycles > 0
+        assert 0.0 < cpu.utilization(result.total_cycles) < 1.0
+        # A small cache saturates the narrow off-chip bus.
+        assert backing.utilization(result.total_cycles) > 0.5
+
+    def test_bigger_cache_relieves_backing_utilization(
+        self, compress_trace, mem_library, conn_library
+    ):
+        utilizations = {}
+        for preset in ("cache_4k_16b_1w", "cache_32k_32b_2w"):
+            cache = mem_library.get(preset).instantiate("cache")
+            dram = mem_library.get("dram").instantiate()
+            architecture = MemoryArchitecture("a", [cache], dram, {}, "cache")
+            connectivity = simple_connectivity(
+                architecture, compress_trace, conn_library
+            )
+            result = simulate(compress_trace, architecture, connectivity)
+            backing = result.channels["cache->dram"]
+            utilizations[preset] = backing.utilization(result.total_cycles)
+        assert utilizations["cache_32k_32b_2w"] < utilizations["cache_4k_16b_1w"]
+
+    def test_busy_bounded_by_run_length(
+        self, compress_trace, mem_library, conn_library
+    ):
+        cache = mem_library.get("cache_8k_32b_2w").instantiate("cache")
+        dram = mem_library.get("dram").instantiate()
+        architecture = MemoryArchitecture("a", [cache], dram, {}, "cache")
+        connectivity = simple_connectivity(
+            architecture, compress_trace, conn_library
+        )
+        result = simulate(compress_trace, architecture, connectivity)
+        for traffic in result.channels.values():
+            assert traffic.busy_cycles <= result.total_cycles * 1.05

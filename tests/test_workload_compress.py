@@ -1,0 +1,95 @@
+"""Unit tests for the instrumented LZW compress workload."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import AccessKind
+from repro.trace.patterns import AccessPattern
+from repro.util.rng import make_rng
+from repro.workloads import CompressWorkload
+from repro.workloads.compress import (
+    HTAB_ENTRY,
+    TABLE_SIZE,
+    _zipf_text,
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return CompressWorkload(scale=0.12, seed=3).trace()
+
+
+class TestZipfText:
+    def test_length(self):
+        text = _zipf_text(make_rng(1), 2000)
+        assert len(text) == 2000
+
+    def test_lowercase_words(self):
+        text = _zipf_text(make_rng(1), 500)
+        assert all(97 <= b <= 122 or b == 32 for b in text)
+
+    def test_repetition(self):
+        text = _zipf_text(make_rng(1), 4000)
+        words = text.split()
+        assert len(set(words)) < len(words) / 2  # zipf head repeats
+
+
+class TestCompressTrace:
+    def test_expected_structures(self, trace):
+        assert set(trace.structs) == {
+            "input_stream",
+            "output_stream",
+            "hash_table",
+            "code_table",
+            "globals",
+            "misc",
+        }
+
+    def test_input_stream_is_sequential_reads(self, trace):
+        mask = trace.struct_mask("input_stream")
+        addresses = trace.addresses[mask]
+        assert list(np.diff(addresses)) == [1] * (len(addresses) - 1)
+        assert (trace.kinds[mask] == int(AccessKind.READ)).all()
+
+    def test_output_stream_is_writes(self, trace):
+        mask = trace.struct_mask("output_stream")
+        assert (trace.kinds[mask] == int(AccessKind.WRITE)).all()
+
+    def test_hash_table_in_region(self, trace):
+        mask = trace.struct_mask("hash_table")
+        addresses = trace.addresses[mask]
+        span = int(addresses.max() - addresses.min())
+        assert span < TABLE_SIZE * HTAB_ENTRY
+
+    def test_hash_dominates_traffic(self, trace):
+        counts = trace.counts_by_struct()
+        assert counts["hash_table"] > counts["input_stream"]
+        # At least one probe (hash read) per input character.
+        assert counts["hash_table"] >= counts["input_stream"]
+
+    def test_code_table_reads_follow_hits(self, trace):
+        counts = trace.counts_by_struct()
+        # codetab touched at most once per htab probe.
+        assert counts["code_table"] <= counts["hash_table"]
+
+    def test_deterministic_across_runs(self):
+        a = CompressWorkload(scale=0.05, seed=9).trace()
+        b = CompressWorkload(scale=0.05, seed=9).trace()
+        assert len(a) == len(b)
+        assert (a.addresses == b.addresses).all()
+        assert (a.kinds == b.kinds).all()
+
+    def test_seed_changes_trace(self):
+        a = CompressWorkload(scale=0.05, seed=1).trace()
+        b = CompressWorkload(scale=0.05, seed=2).trace()
+        assert len(a) != len(b) or not (a.addresses == b.addresses).all()
+
+    def test_scale_grows_trace(self):
+        small = CompressWorkload(scale=0.05, seed=1).trace()
+        large = CompressWorkload(scale=0.2, seed=1).trace()
+        assert len(large) > 2 * len(small)
+
+    def test_hints_cover_all_structs(self, trace):
+        hints = CompressWorkload(scale=0.1).pattern_hints
+        assert set(hints) == set(trace.structs)
+        assert hints["hash_table"] is AccessPattern.SELF_INDIRECT

@@ -1,0 +1,78 @@
+"""Unit tests for the 2-D DCT workload."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import AccessKind
+from repro.workloads import DctWorkload
+from repro.workloads.dct import BLOCK, ZIGZAG, _dct_basis
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return DctWorkload(scale=0.5, seed=2).trace()
+
+
+class TestDctMath:
+    def test_basis_is_orthonormal(self):
+        basis = _dct_basis()
+        identity = basis @ basis.T
+        assert np.allclose(identity, np.eye(BLOCK), atol=1e-12)
+
+    def test_zigzag_visits_every_cell_once(self):
+        assert len(ZIGZAG) == BLOCK * BLOCK
+        assert len(set(ZIGZAG)) == BLOCK * BLOCK
+        assert ZIGZAG[0] == (0, 0)
+
+    def test_zigzag_diagonal_order(self):
+        sums = [i + j for i, j in ZIGZAG]
+        assert sums == sorted(sums)
+
+
+class TestDctTrace:
+    def test_structures(self, trace):
+        assert set(trace.structs) == {
+            "image_in",
+            "block_buf",
+            "coeff_table",
+            "quant_table",
+            "coded_out",
+            "misc",
+        }
+
+    def test_every_pixel_read_once(self, trace):
+        mask = trace.struct_mask("image_in")
+        addresses = trace.addresses[mask]
+        # side x side pixels, each read exactly once.
+        assert len(addresses) == len(np.unique(addresses))
+
+    def test_block_buffer_hot_and_small(self, trace):
+        mask = trace.struct_mask("block_buf")
+        addresses = trace.addresses[mask]
+        footprint = int(addresses.max() - addresses.min()) + 32
+        assert footprint <= BLOCK * BLOCK * 4
+        assert len(addresses) > 4 * len(np.unique(addresses))
+
+    def test_output_is_writes(self, trace):
+        mask = trace.struct_mask("coded_out")
+        assert (trace.kinds[mask] == int(AccessKind.WRITE)).all()
+        assert mask.sum() > 0
+
+    def test_coeff_table_read_only(self, trace):
+        mask = trace.struct_mask("coeff_table")
+        assert (trace.kinds[mask] == int(AccessKind.READ)).all()
+
+    def test_determinism(self):
+        a = DctWorkload(scale=0.3, seed=5).trace()
+        b = DctWorkload(scale=0.3, seed=5).trace()
+        assert (a.addresses == b.addresses).all()
+
+    def test_scale_grows_image(self):
+        small = DctWorkload(scale=0.3, seed=1).trace()
+        large = DctWorkload(scale=2.0, seed=1).trace()
+        assert len(large) > 2 * len(small)
+
+    def test_energy_compaction_limits_output(self, trace):
+        # DCT compacts energy: far fewer coded symbols than pixels.
+        counts = trace.counts_by_struct()
+        assert counts["coded_out"] < counts["image_in"]

@@ -1,0 +1,221 @@
+"""Unit tests for the mini-Lisp interpreter workload.
+
+Covers both the interpreter semantics (it is a real evaluator — wrong
+results would mean the recorded traffic is fiction) and the trace it
+generates.
+"""
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.events import TraceBuilder
+from repro.workloads import LiWorkload
+from repro.workloads.base import AddressMap
+from repro.workloads.li import (
+    NIL,
+    CellRef,
+    Machine,
+    Symbol,
+    _eval,
+    _install_builtins,
+    parse,
+    tokenize,
+)
+
+
+@pytest.fixture
+def machine():
+    builder = TraceBuilder("li-test")
+    m = Machine(builder, AddressMap(), seed=0)
+    _install_builtins(m)
+    return m
+
+
+def run(machine, source):
+    return _eval(machine, parse(machine, source), NIL)
+
+
+class TestParser:
+    def test_tokenize(self):
+        assert tokenize("(+ 1 (f x))") == ["(", "+", "1", "(", "f", "x", ")", ")"]
+
+    def test_parse_atom(self, machine):
+        assert parse(machine, "42") == 42
+        assert isinstance(parse(machine, "foo"), Symbol)
+
+    def test_parse_list_structure(self, machine):
+        expr = parse(machine, "(1 2 3)")
+        assert isinstance(expr, CellRef)
+        assert machine.car(expr) == 1
+        assert machine.car(machine.cdr(expr)) == 2
+
+    def test_unbalanced_rejected(self, machine):
+        with pytest.raises(TraceError):
+            parse(machine, "(1 2")
+        with pytest.raises(TraceError):
+            parse(machine, "1 2")
+
+
+class TestEvaluator:
+    def test_arithmetic(self, machine):
+        assert run(machine, "(+ 1 2 3)") == 6
+        assert run(machine, "(* 2 (- 10 4))") == 12
+
+    def test_comparison(self, machine):
+        assert run(machine, "(< 1 2)") == 1
+        assert run(machine, "(< 2 1)") is NIL
+
+    def test_if(self, machine):
+        assert run(machine, "(if (< 1 2) 10 20)") == 10
+        assert run(machine, "(if (< 2 1) 10 20)") == 20
+        assert run(machine, "(if (< 2 1) 10)") is NIL
+
+    def test_quote(self, machine):
+        value = run(machine, "(quote (1 2))")
+        assert isinstance(value, CellRef)
+        assert machine.car(value) == 1
+
+    def test_define_and_lookup(self, machine):
+        run(machine, "(define x 41)")
+        assert run(machine, "(+ x 1)") == 42
+
+    def test_lambda_application(self, machine):
+        run(machine, "(define inc (lambda (n) (+ n 1)))")
+        assert run(machine, "(inc 41)") == 42
+
+    def test_define_function_sugar(self, machine):
+        run(machine, "(define (double n) (* n 2))")
+        assert run(machine, "(double 21)") == 42
+
+    def test_recursion_fib(self, machine):
+        run(
+            machine,
+            "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))",
+        )
+        assert run(machine, "(fib 10)") == 55
+
+    def test_list_operations(self, machine):
+        run(machine, "(define (iota n) (if (= n 0) (quote ()) (cons n (iota (- n 1)))))")
+        run(machine, "(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))")
+        assert run(machine, "(sum (iota 10))") == 55
+
+    def test_quicksort(self, machine):
+        for source in (
+            "(define (iota n) (if (= n 0) (quote ()) (cons n (iota (- n 1)))))",
+            "(define (append2 a b) (if (null? a) b "
+            "(cons (car a) (append2 (cdr a) b))))",
+            "(define (less l p) (if (null? l) (quote ()) "
+            "(if (< (car l) p) (cons (car l) (less (cdr l) p)) (less (cdr l) p))))",
+            "(define (geq l p) (if (null? l) (quote ()) "
+            "(if (< (car l) p) (geq (cdr l) p) (cons (car l) (geq (cdr l) p)))))",
+            "(define (qsort l) (if (null? l) (quote ()) "
+            "(append2 (qsort (less (cdr l) (car l))) "
+            "(cons (car l) (qsort (geq (cdr l) (car l)))))))",
+        ):
+            run(machine, source)
+        sorted_list = run(machine, "(qsort (iota 8))")
+        values = []
+        cursor = sorted_list
+        while cursor is not NIL:
+            values.append(machine.car(cursor))
+            cursor = machine.cdr(cursor)
+        assert values == [1, 2, 3, 4, 5, 6, 7, 8]
+
+    def test_higher_order_map(self, machine):
+        run(machine, "(define (iota n) (if (= n 0) (quote ()) (cons n (iota (- n 1)))))")
+        run(machine, "(define (sum l) (if (null? l) 0 (+ (car l) (sum (cdr l)))))")
+        run(machine, "(define (map1 f l) (if (null? l) (quote ()) "
+                     "(cons (f (car l)) (map1 f (cdr l)))))")
+        assert run(machine, "(sum (map1 (lambda (x) (* x x)) (iota 4)))") == 30
+
+    def test_closure_captures_environment(self, machine):
+        run(machine, "(define (adder n) (lambda (m) (+ n m)))")
+        run(machine, "(define add5 (adder 5))")
+        assert run(machine, "(add5 3)") == 8
+
+    def test_unbound_symbol_raises(self, machine):
+        with pytest.raises(TraceError):
+            run(machine, "nosuchthing")
+
+    def test_car_of_non_pair_raises(self, machine):
+        with pytest.raises(TraceError):
+            run(machine, "(car 5)")
+
+
+class TestMachineInstrumentation:
+    def test_cons_records_two_writes(self):
+        builder = TraceBuilder("t")
+        machine = Machine(builder, AddressMap())
+        machine.cons(1, NIL)
+        trace = builder.build()
+        assert len(trace) == 2
+        assert trace.counts_by_struct()["cons_heap"] == 2
+
+    def test_car_cdr_record_reads(self):
+        builder = TraceBuilder("t")
+        machine = Machine(builder, AddressMap())
+        cell = machine.cons(1, 2)
+        machine.car(cell)
+        machine.cdr(cell)
+        trace = builder.build()
+        reads = int((trace.kinds == 0).sum())
+        assert reads == 2
+
+    def test_gc_sweeps_and_reuses(self):
+        builder = TraceBuilder("t")
+        machine = Machine(builder, AddressMap())
+        from repro.workloads.li import HEAP_CELLS
+
+        for _ in range(HEAP_CELLS + 10):
+            machine.cons(0, NIL)
+        assert machine.gc_count == 1
+
+    def test_gc_addresses_wrap_within_region(self):
+        from repro.workloads.li import CELL_BYTES, HEAP_CELLS
+
+        builder = TraceBuilder("t")
+        machine = Machine(builder, AddressMap())
+        for _ in range(2 * HEAP_CELLS):
+            machine.cons(0, NIL)
+        trace = builder.build()
+        mask = trace.struct_mask("cons_heap")
+        addresses = trace.addresses[mask]
+        assert int(addresses.max()) < machine.heap_base + HEAP_CELLS * CELL_BYTES
+
+    def test_live_data_survives_gc(self):
+        """Regression: the GC must not clobber live lists (the old
+        compacting reset overwrote cells still referenced by the
+        program)."""
+        from repro.workloads.li import HEAP_CELLS
+
+        builder = TraceBuilder("t")
+        machine = Machine(builder, AddressMap())
+        head = machine.cons(1, machine.cons(2, NIL))
+        for _ in range(HEAP_CELLS + 50):
+            machine.cons(0, NIL)
+        assert machine.gc_count >= 1
+        assert machine.car(head) == 1
+        assert machine.car(machine.cdr(head)) == 2
+
+    def test_interning_is_stable(self, machine):
+        assert machine.intern("foo") is machine.intern("foo")
+
+
+class TestLiTrace:
+    def test_trace_structures(self):
+        trace = LiWorkload(scale=0.08, seed=1).trace()
+        assert set(trace.structs) == {
+            "cons_heap",
+            "symbol_table",
+            "eval_stack",
+            "globals",
+            "misc",
+        }
+        counts = trace.counts_by_struct()
+        assert counts["cons_heap"] > counts["symbol_table"]
+
+    def test_determinism(self):
+        a = LiWorkload(scale=0.05, seed=4).trace()
+        b = LiWorkload(scale=0.05, seed=4).trace()
+        assert len(a) == len(b)
+        assert (a.addresses == b.addresses).all()

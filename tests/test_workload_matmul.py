@@ -1,0 +1,73 @@
+"""Unit tests for the blocked matrix-multiply workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import MatmulWorkload
+from repro.workloads.matmul import ELEMENT_BYTES, TILE
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return MatmulWorkload(scale=1.0, seed=3).trace()
+
+
+def test_structures(trace):
+    assert set(trace.structs) == {
+        "matrix_a",
+        "matrix_b",
+        "matrix_c",
+        "misc",
+    }
+
+
+def test_c_is_read_modify_write(trace):
+    mask = trace.struct_mask("matrix_c")
+    kinds = trace.kinds[mask]
+    reads = int((kinds == 0).sum())
+    writes = int((kinds == 1).sum())
+    assert reads == writes  # one read per write
+
+
+def test_a_b_are_read_only(trace):
+    for struct in ("matrix_a", "matrix_b"):
+        mask = trace.struct_mask(struct)
+        assert (trace.kinds[mask] == 0).all()
+
+
+def test_b_is_revisited_across_panels(trace):
+    mask = trace.struct_mask("matrix_b")
+    addresses = trace.addresses[mask]
+    # Blocked schedule revisits B panels once per A row-panel.
+    assert len(np.unique(addresses)) < len(addresses)
+
+
+def test_addresses_stay_in_matrices(trace):
+    side = 32  # base_side at scale 1.0
+    matrix_bytes = side * side * ELEMENT_BYTES
+    for struct in ("matrix_a", "matrix_b", "matrix_c"):
+        mask = trace.struct_mask(struct)
+        addresses = trace.addresses[mask]
+        assert addresses.max() - addresses.min() < matrix_bytes
+
+
+def test_scale_grows_matrix():
+    small = MatmulWorkload(scale=0.5, seed=1).trace()
+    large = MatmulWorkload(scale=2.0, seed=1).trace()
+    assert len(large) > 2 * len(small)
+
+
+def test_determinism():
+    a = MatmulWorkload(scale=0.5, seed=9).trace()
+    b = MatmulWorkload(scale=0.5, seed=9).trace()
+    assert (a.addresses == b.addresses).all()
+
+
+def test_side_is_tile_multiple():
+    trace = MatmulWorkload(scale=0.7, seed=1).trace()
+    mask = trace.struct_mask("matrix_a")
+    addresses = trace.addresses[mask]
+    span = int(addresses.max() - addresses.min()) + ELEMENT_BYTES
+    side_squared = span / ELEMENT_BYTES
+    side = int(np.sqrt(side_squared))
+    assert side % TILE == 0 or side_squared < (side + 1) ** 2

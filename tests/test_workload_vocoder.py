@@ -1,0 +1,71 @@
+"""Unit tests for the LPC vocoder workload."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import AccessKind
+from repro.workloads import VocoderWorkload
+from repro.workloads.vocoder import ENCODED_FRAME_BYTES, FRAME_SAMPLES
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return VocoderWorkload(scale=0.5, seed=2).trace()
+
+
+def test_structures(trace):
+    assert set(trace.structs) == {
+        "speech_in",
+        "frame_buf",
+        "autocorr",
+        "lpc_coeffs",
+        "encoded_out",
+        "misc",
+    }
+
+
+def test_speech_in_is_monotone_stream(trace):
+    mask = trace.struct_mask("speech_in")
+    addresses = trace.addresses[mask]
+    assert (np.diff(addresses) > 0).all()
+    assert (trace.kinds[mask] == int(AccessKind.READ)).all()
+
+
+def test_frame_buffer_footprint_small(trace):
+    mask = trace.struct_mask("frame_buf")
+    addresses = trace.addresses[mask]
+    assert addresses.max() - addresses.min() < FRAME_SAMPLES * 4
+
+
+def test_frame_buffer_reused_across_frames(trace):
+    mask = trace.struct_mask("frame_buf")
+    addresses = trace.addresses[mask]
+    unique = len(np.unique(addresses))
+    assert unique < len(addresses) / 4  # heavy reuse
+
+
+def test_output_written_per_frame(trace):
+    frames = max(1, int(VocoderWorkload.base_frames * 0.5))
+    mask = trace.struct_mask("encoded_out")
+    writes = int(mask.sum())
+    assert writes == frames * (ENCODED_FRAME_BYTES // 4)
+
+
+def test_scale_controls_frames():
+    small = VocoderWorkload(scale=0.25, seed=1).trace()
+    large = VocoderWorkload(scale=1.0, seed=1).trace()
+    assert len(large) > 3 * len(small)
+
+
+def test_determinism():
+    a = VocoderWorkload(scale=0.25, seed=5).trace()
+    b = VocoderWorkload(scale=0.25, seed=5).trace()
+    assert (a.addresses == b.addresses).all()
+    assert (a.ticks == b.ticks).all()
+
+
+def test_coefficient_arrays_are_scalar_class(trace):
+    for struct in ("autocorr", "lpc_coeffs"):
+        mask = trace.struct_mask(struct)
+        addresses = trace.addresses[mask]
+        assert addresses.max() - addresses.min() <= 64
