@@ -1,0 +1,94 @@
+"""perf1 — serial-vs-parallel Full-strategy timing (repro.exec engine).
+
+Runs the Full exploration strategy — the largest simulation batch in
+the library — once serially and once over four worker processes, with
+the result cache disabled in both runs so each measures real
+simulation work. Asserts the engine's determinism contract (identical
+pareto sets regardless of worker count) and records both wall times in
+``benchmarks/out/BENCH_parallel.json``.
+
+The ≥2x speedup assertion only fires on machines with at least four
+CPUs: process pools cannot beat a serial loop on a single core, and a
+timing miss there would say nothing about the engine. The JSON record
+is written either way, tagged with the machine's ``cpu_count``.
+"""
+
+import os
+import time
+
+import common
+from repro.apex.explorer import ApexConfig
+from repro.conex.explorer import ConExConfig
+from repro.core.strategies import run_full
+from repro.exec import NullCache
+from repro.workloads import get_workload
+
+WORKERS = 4
+
+REDUCED_APEX = ApexConfig(
+    cache_options=(None, "cache_4k_16b_1w", "cache_16k_32b_2w"),
+    stream_buffer_options=(None, "stream_buffer_4"),
+    dma_options=(None, "si_dma_32"),
+    map_indexed_to_sram=(False,),
+    select_count=5,
+)
+
+REDUCED_CONEX = ConExConfig(
+    max_logical_connections=3,
+    max_assignments_per_level=48,
+    phase1_keep=12,
+)
+
+
+def regenerate() -> str:
+    workload = get_workload("compress", scale=0.15, seed=1)
+    trace = workload.trace()
+    hints = dict(workload.pattern_hints)
+    args = (
+        trace,
+        common.MEMORY_LIBRARY,
+        common.CONNECTIVITY_LIBRARY,
+        REDUCED_APEX,
+        REDUCED_CONEX,
+    )
+
+    start = time.perf_counter()
+    serial = run_full(*args, hints=hints, workers=1, cache=NullCache())
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_full(
+        *args, hints=hints, workers=WORKERS, cache=NullCache()
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    record = common.record_parallel_timing(
+        "full_strategy",
+        serial_seconds,
+        parallel_seconds,
+        WORKERS,
+        simulated=len(serial.simulated),
+    )
+    regenerate.outcomes = (serial, parallel)
+    regenerate.record = record
+    return (
+        f"Full strategy, {len(serial.simulated)} designs simulated: "
+        f"serial {serial_seconds:.1f}s, "
+        f"workers={WORKERS} {parallel_seconds:.1f}s "
+        f"(speedup {record['speedup']}x on {record['cpu_count']} CPUs)"
+    )
+
+
+def test_engine_parallel(benchmark):
+    text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    common.write_output("engine_parallel", text)
+
+    serial, parallel = regenerate.outcomes
+    # Determinism contract: the pareto set is workers-invariant.
+    assert parallel.pareto_vectors() == serial.pareto_vectors()
+    assert len(parallel.simulated) == len(serial.simulated)
+    assert parallel.workers == WORKERS
+    # Speedup only measurable with real cores to run on.
+    if (os.cpu_count() or 1) >= WORKERS:
+        record = regenerate.record
+        assert record["speedup"] >= 2.0, record

@@ -13,6 +13,8 @@ on a laptop while preserving every qualitative shape the paper reports.
 from __future__ import annotations
 
 import functools
+import json
+import os
 import pathlib
 
 from repro.apex.explorer import ApexConfig, ApexResult, explore_memory_architectures
@@ -99,3 +101,45 @@ def write_output(stem: str, text: str) -> None:
     path.write_text(text + "\n")
     print()
     print(text)
+
+
+#: Machine-readable serial-vs-parallel timing records (one list entry
+#: per benchmark stem; re-runs replace their own entry).
+PARALLEL_TIMINGS = OUTPUT_DIR / "BENCH_parallel.json"
+
+
+def record_parallel_timing(
+    stem: str,
+    serial_seconds: float,
+    parallel_seconds: float,
+    workers: int,
+    **extra,
+) -> dict:
+    """Append one serial-vs-parallel timing record to BENCH_parallel.json.
+
+    Records ``cpu_count`` alongside the measurement so a reader can
+    tell a genuine speedup apart from pool overhead on a starved
+    machine. Returns the record written.
+    """
+    record = {
+        "name": stem,
+        "serial_seconds": round(serial_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "workers": workers,
+        "speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds > 0
+        else None,
+        "cpu_count": os.cpu_count(),
+        **extra,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    records = []
+    if PARALLEL_TIMINGS.exists():
+        try:
+            records = json.loads(PARALLEL_TIMINGS.read_text())
+        except ValueError:
+            records = []
+    records = [r for r in records if r.get("name") != stem]
+    records.append(record)
+    PARALLEL_TIMINGS.write_text(json.dumps(records, indent=2) + "\n")
+    return record

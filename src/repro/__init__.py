@@ -32,6 +32,8 @@ Package layout:
   contribution).
 * :mod:`repro.core` — the MemorEx pipeline, exploration strategies,
   and report rendering.
+* :mod:`repro.exec` — parallel batch evaluation (``simulate_many``)
+  and the content-addressed simulation result cache.
 """
 
 from repro.channels import CPU, DRAM, Channel

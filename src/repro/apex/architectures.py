@@ -149,6 +149,25 @@ class MemoryArchitecture:
             module.reset()
         self.dram.reset()
 
+    def signature(self) -> tuple:
+        """Content signature of the architecture (cache key component).
+
+        Built from every module's configuration, the DRAM, the
+        structure mapping, and the default module — deliberately *not*
+        the architecture name, so two identically-configured candidates
+        enumerated under different labels share simulation results in
+        the :mod:`repro.exec` cache.
+        """
+        return (
+            tuple(
+                self.modules[name].config_signature()
+                for name in sorted(self.modules)
+            ),
+            self.dram.config_signature(),
+            tuple(sorted(self.mapping.items())),
+            self.default_module,
+        )
+
     def describe(self) -> str:
         """Multi-line human description used in reports."""
         lines = [f"{self.name}: {len(self.modules)} on-chip modules"]

@@ -26,12 +26,13 @@ from typing import Mapping, Sequence
 
 from repro.apex.architectures import DRAM, MemoryArchitecture
 from repro.errors import ExplorationError
+from repro.exec.cache import SimulationCache
+from repro.exec.engine import SimulationJob, simulate_many
 from repro.memory.dram import Dram
 from repro.memory.library import MemoryLibrary
 from repro.memory.module import MemoryModule
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
-from repro.sim.simulator import simulate
 from repro.trace.events import Trace
 from repro.trace.patterns import AccessPattern, PatternProfile, profile_patterns
 from repro.util.pareto import pareto_front
@@ -197,6 +198,8 @@ def _thin_selection(
     ordered = sorted(front, key=lambda e: e.cost_gates)
     if len(ordered) <= count:
         return list(ordered)
+    if count <= 1:
+        return [ordered[0]]
     picks = {0, len(ordered) - 1}
     step = (len(ordered) - 1) / (count - 1)
     for i in range(1, count - 1):
@@ -209,12 +212,17 @@ def explore_memory_architectures(
     library: MemoryLibrary,
     config: ApexConfig | None = None,
     hints: Mapping[str, AccessPattern] | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> ApexResult:
     """Run the APEX exploration on ``trace``.
 
     Evaluates every candidate under ideal connectivity and selects the
     cost/miss-ratio pareto front, thinned to ``config.select_count``
-    points spread along the cost axis.
+    points spread along the cost axis. Candidate evaluations run
+    through :func:`repro.exec.simulate_many` — parallel when
+    ``workers`` (or ``REPRO_WORKERS``) asks for it, and cached so the
+    strategy comparisons re-profile each architecture only once.
     """
     config = config or ApexConfig()
     if config.select_count < 1:
@@ -223,20 +231,29 @@ def explore_memory_architectures(
         )
     profiles = profile_patterns(trace, hints)
     candidates = enumerate_architectures(trace, library, profiles, config)
-    evaluated: list[EvaluatedMemoryArchitecture] = []
-    for architecture in candidates:
-        result = simulate(
-            trace, architecture, connectivity=None, sampling=config.sampling
-        )
-        evaluated.append(
-            EvaluatedMemoryArchitecture(
-                architecture=architecture,
-                cost_gates=result.memory_cost_gates,
-                miss_ratio=result.miss_ratio,
-                avg_latency=result.avg_latency,
-                result=result,
+    report = simulate_many(
+        trace,
+        [
+            SimulationJob(
+                memory=architecture,
+                connectivity=None,
+                sampling=config.sampling,
             )
+            for architecture in candidates
+        ],
+        workers=workers,
+        cache=cache,
+    )
+    evaluated = [
+        EvaluatedMemoryArchitecture(
+            architecture=architecture,
+            cost_gates=result.memory_cost_gates,
+            miss_ratio=result.miss_ratio,
+            avg_latency=result.avg_latency,
+            result=result,
         )
+        for architecture, result in zip(candidates, report.results)
+    ]
     front = pareto_front(evaluated, key=lambda e: e.objectives)
     selected = _thin_selection(front, config.select_count)
     return ApexResult(

@@ -53,6 +53,17 @@ def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
 
 
+def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for simulation batches "
+        "(default: REPRO_WORKERS or serial)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -71,12 +82,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "apex", help="run the APEX memory-modules exploration"
     )
     _add_workload_arguments(apex_cmd)
+    _add_jobs_argument(apex_cmd)
     apex_cmd.add_argument("--select", type=int, default=5)
 
     explore_cmd = commands.add_parser(
         "explore", help="run the full MemorEx pipeline"
     )
     _add_workload_arguments(explore_cmd)
+    _add_jobs_argument(explore_cmd)
     explore_cmd.add_argument("--select", type=int, default=5)
     explore_cmd.add_argument("--keep", type=int, default=8, help="Phase-I keep")
     explore_cmd.add_argument("--csv", metavar="FILE.csv", default=None)
@@ -91,6 +104,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="compare Pruned / Neighborhood / Full strategies (Table 2)",
     )
     _add_workload_arguments(coverage_cmd)
+    _add_jobs_argument(coverage_cmd)
     return parser
 
 
@@ -147,6 +161,7 @@ def _cmd_apex(args: argparse.Namespace) -> None:
         default_memory_library(),
         ApexConfig(select_count=args.select),
         hints=workload.pattern_hints,
+        workers=args.jobs,
     )
     print(
         f"evaluated {len(result.evaluated)} architectures, "
@@ -167,7 +182,7 @@ def _cmd_explore(args: argparse.Namespace) -> None:
         apex=ApexConfig(select_count=args.select),
         conex=ConExConfig(phase1_keep=args.keep),
     )
-    result = run_memorex(workload, config=config)
+    result = run_memorex(workload, config=config, workers=args.jobs)
     report = render_full_report(result)
     print(report)
     if args.report:
@@ -209,9 +224,9 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
         apex_config,
         conex_config,
     )
-    pruned = run_pruned(*common, hints=hints)
-    neighborhood = run_neighborhood(*common, hints=hints)
-    full = run_full(*common, hints=hints)
+    pruned = run_pruned(*common, hints=hints, workers=args.jobs)
+    neighborhood = run_neighborhood(*common, hints=hints, workers=args.jobs)
+    full = run_full(*common, hints=hints, workers=args.jobs)
     rows = []
     for row in coverage_rows(full, [pruned, neighborhood]):
         cost_d, perf_d, energy_d = row.distances

@@ -23,13 +23,19 @@ from repro.apex.explorer import EvaluatedMemoryArchitecture
 from repro.conex.allocation import enumerate_assignments
 from repro.conex.brg import BandwidthRequirementGraph, build_brg
 from repro.conex.clustering import clustering_levels
-from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.conex.estimator import ConnectivityEstimate
 from repro.connectivity.architecture import ConnectivityArchitecture
 from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
+from repro.exec.cache import SimulationCache
+from repro.exec.engine import (
+    EstimateJob,
+    SimulationJob,
+    estimate_many,
+    simulate_many,
+)
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
-from repro.sim.simulator import simulate
 from repro.trace.events import Trace
 from repro.util.pareto import pareto_front
 
@@ -106,6 +112,11 @@ class ConExResult:
     brgs: dict[str, BandwidthRequirementGraph] = field(repr=False)
     phase1_seconds: float = 0.0
     phase2_seconds: float = 0.0
+    #: Phase-II result-cache accounting: hits came for free, misses
+    #: were freshly simulated (by ``workers`` processes).
+    phase2_cache_hits: int = 0
+    phase2_cache_misses: int = 0
+    workers: int = 1
 
     @property
     def total_seconds(self) -> float:
@@ -117,16 +128,19 @@ def connectivity_exploration(
     memory_eval: EvaluatedMemoryArchitecture,
     library: ConnectivityLibrary,
     config: ConExConfig,
+    workers: int | None = None,
 ) -> tuple[BandwidthRequirementGraph, list[ConnectivityDesignPoint]]:
     """The paper's ``Procedure ConnectivityExploration`` for one arch.
 
     Returns the BRG and every estimated design point (all clustering
     levels passing the max-cost guard, all feasible allocations).
+    Candidates are enumerated first, then estimated as one
+    :func:`repro.exec.estimate_many` batch.
     """
     memory = memory_eval.architecture
     profile = memory_eval.result
     brg = build_brg(memory, profile)
-    points: list[ConnectivityDesignPoint] = []
+    candidates: list[ConnectivityArchitecture] = []
     seen: set = set()
     for level in clustering_levels(brg):
         if level.size > config.max_logical_connections:
@@ -144,15 +158,22 @@ def connectivity_exploration(
             if signature in seen:
                 continue
             seen.add(signature)
-            estimate = estimate_design(memory, connectivity, profile)
-            points.append(
-                ConnectivityDesignPoint(
-                    memory_eval=memory_eval,
-                    connectivity=connectivity,
-                    estimate=estimate,
-                )
-            )
-    return brg, points
+            candidates.append(connectivity)
+    report = estimate_many(
+        [
+            EstimateJob(memory=memory, connectivity=c, profile=profile)
+            for c in candidates
+        ],
+        workers=workers,
+    )
+    return brg, [
+        ConnectivityDesignPoint(
+            memory_eval=memory_eval,
+            connectivity=connectivity,
+            estimate=estimate,
+        )
+        for connectivity, estimate in zip(candidates, report.results)
+    ]
 
 
 def _thin_by_latency(
@@ -162,6 +183,11 @@ def _thin_by_latency(
     ordered = sorted(front, key=lambda p: p.estimate.avg_latency)
     if len(ordered) <= count:
         return list(ordered)
+    if count <= 1:
+        # A single carry slot: keep the lowest-latency front point
+        # (count < 1 cannot reach here — ordered is non-empty, so
+        # len(ordered) <= 0 never passes the guard above).
+        return [ordered[0]]
     picks = {0, len(ordered) - 1}
     step = (len(ordered) - 1) / (count - 1)
     for i in range(1, count - 1):
@@ -174,8 +200,17 @@ def explore_connectivity(
     selected_memories: Sequence[EvaluatedMemoryArchitecture],
     library: ConnectivityLibrary,
     config: ConExConfig | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> ConExResult:
-    """Run the full ConEx algorithm (Phases I and II)."""
+    """Run the full ConEx algorithm (Phases I and II).
+
+    Phase II dispatches the carried candidates through
+    :func:`repro.exec.simulate_many`: ``workers`` processes (default
+    serial, see ``REPRO_WORKERS``) against the content-addressed result
+    ``cache`` (default: the process-wide cache, so a repeated identical
+    exploration re-simulates nothing).
+    """
     config = config or ConExConfig()
     if not selected_memories:
         raise ExplorationError("ConEx needs at least one memory architecture")
@@ -186,7 +221,7 @@ def explore_connectivity(
     brgs: dict[str, BandwidthRequirementGraph] = {}
     for memory_eval in selected_memories:
         brg, points = connectivity_exploration(
-            trace, memory_eval, library, config
+            trace, memory_eval, library, config, workers=workers
         )
         brgs[memory_eval.architecture.name] = brg
         estimated.extend(points)
@@ -197,22 +232,28 @@ def explore_connectivity(
     phase1_seconds = time.perf_counter() - phase1_start
 
     phase2_start = time.perf_counter()
-    simulated: list[ConnectivityDesignPoint] = []
-    for point in carried:
-        result = simulate(
-            trace,
-            point.memory_eval.architecture,
-            point.connectivity,
-            sampling=config.phase2_sampling,
-        )
-        simulated.append(
-            ConnectivityDesignPoint(
-                memory_eval=point.memory_eval,
+    report = simulate_many(
+        trace,
+        [
+            SimulationJob(
+                memory=point.memory_eval.architecture,
                 connectivity=point.connectivity,
-                estimate=point.estimate,
-                simulation=result,
+                sampling=config.phase2_sampling,
             )
+            for point in carried
+        ],
+        workers=workers,
+        cache=cache,
+    )
+    simulated = [
+        ConnectivityDesignPoint(
+            memory_eval=point.memory_eval,
+            connectivity=point.connectivity,
+            estimate=point.estimate,
+            simulation=result,
         )
+        for point, result in zip(carried, report.results)
+    ]
     phase2_seconds = time.perf_counter() - phase2_start
 
     selected = pareto_front(simulated, key=lambda p: p.simulated_objectives)
@@ -224,4 +265,7 @@ def explore_connectivity(
         brgs=brgs,
         phase1_seconds=phase1_seconds,
         phase2_seconds=phase2_seconds,
+        phase2_cache_hits=report.cache_hits,
+        phase2_cache_misses=report.cache_misses,
+        workers=report.workers,
     )

@@ -165,6 +165,26 @@ class ConnectivityArchitecture:
             )
         )
 
+    def full_signature(self) -> tuple:
+        """Content signature including component configurations.
+
+        :meth:`preset_signature` identifies an assignment *within one
+        library*; this variant additionally hashes each component's
+        timing/width/protocol configuration, so custom components that
+        reuse a preset label (e.g. the ``custom_protocol_timing``
+        example) cannot collide in the :mod:`repro.exec` result cache.
+        """
+        return tuple(
+            sorted(
+                (
+                    tuple(sorted(c.name for c in cluster.channels)),
+                    cluster.preset_name,
+                    cluster.component.config_signature(),
+                )
+                for cluster in self.clusters
+            )
+        )
+
     def __repr__(self) -> str:
         return f"<ConnectivityArchitecture {self.name} ({len(self.clusters)} clusters)>"
 

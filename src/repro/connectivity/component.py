@@ -144,6 +144,22 @@ class ConnectivityComponent(ABC):
         wire = self.wire_model(ports, attached_area_gates)
         return wire.energy_nj_per_byte * self.energy_scale
 
+    def config_signature(self) -> tuple:
+        """Hashable summary of the component's configuration.
+
+        Scalar public attributes only — components carry no mutable
+        simulation state, so this is the full behavioural identity.
+        Used by the :mod:`repro.exec` result cache.
+        """
+        items: list[tuple[str, object]] = []
+        for key in sorted(vars(self)):
+            if key.startswith("_"):
+                continue
+            value = vars(self)[key]
+            if value is None or isinstance(value, (str, int, float, bool)):
+                items.append((key, value))
+        return (type(self).__name__, tuple(items))
+
     def describe(self) -> str:
         """One-line description used in reports."""
         feature = []

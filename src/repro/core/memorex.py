@@ -10,6 +10,7 @@ from repro.connectivity.library import (
     ConnectivityLibrary,
     default_connectivity_library,
 )
+from repro.exec.cache import SimulationCache
 from repro.memory.library import MemoryLibrary, default_memory_library
 from repro.trace.events import Trace
 from repro.workloads.base import Workload
@@ -43,12 +44,16 @@ def run_memorex(
     memory_library: MemoryLibrary | None = None,
     connectivity_library: ConnectivityLibrary | None = None,
     config: MemorExConfig | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> MemorExResult:
     """Run the full exploration on one workload.
 
     Generates the trace, runs APEX over the memory library, then ConEx
     over the connectivity library starting from APEX's selections, and
-    returns all intermediate and final results.
+    returns all intermediate and final results. ``workers`` and
+    ``cache`` feed the :mod:`repro.exec` engine in both stages (serial
+    and uncached-by-request are the ``1`` / ``NULL_CACHE`` values).
     """
     config = config or MemorExConfig()
     memory_library = memory_library or default_memory_library()
@@ -56,10 +61,12 @@ def run_memorex(
 
     trace = workload.trace()
     apex = explore_memory_architectures(
-        trace, memory_library, config.apex, hints=workload.pattern_hints
+        trace, memory_library, config.apex, hints=workload.pattern_hints,
+        workers=workers, cache=cache,
     )
     conex = explore_connectivity(
-        trace, apex.selected, connectivity_library, config.conex
+        trace, apex.selected, connectivity_library, config.conex,
+        workers=workers, cache=cache,
     )
     return MemorExResult(
         workload_name=workload.name,

@@ -14,10 +14,12 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from repro.core.design_point import DesignPointSummary, summarize
-from repro.core.memorex import MemorExResult
+from repro.core.memorex import MemorExConfig, MemorExResult, run_memorex
 from repro.errors import ExplorationError
+from repro.exec.cache import SimulationCache
 from repro.util.selection import knee_point
 from repro.util.tables import format_table
+from repro.workloads.base import Workload
 
 
 @dataclass(frozen=True)
@@ -31,6 +33,26 @@ class WorkloadComparison:
     def favoured_presets(self, top: int = 3) -> list[tuple[str, int]]:
         """The connectivity presets most often on pareto fronts."""
         return Counter(self.preset_tally).most_common(top)
+
+
+def explore_portfolio(
+    workloads: Sequence[Workload],
+    config: MemorExConfig | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
+) -> list[MemorExResult]:
+    """Run MemorEx over a workload portfolio with a shared engine setup.
+
+    Each workload's exploration goes through :mod:`repro.exec` with the
+    same ``workers`` / ``cache`` pair, so designs shared between
+    workload variants (same trace fingerprint) simulate only once.
+    """
+    if not workloads:
+        raise ExplorationError("no workloads in portfolio")
+    return [
+        run_memorex(workload, config=config, workers=workers, cache=cache)
+        for workload in workloads
+    ]
 
 
 def compare_workloads(

@@ -39,8 +39,9 @@ from repro.conex.explorer import (
 from repro.conex.estimator import estimate_design
 from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
+from repro.exec.cache import SimulationCache
+from repro.exec.engine import SimulationJob, simulate_many
 from repro.memory.library import MemoryLibrary
-from repro.sim.simulator import simulate
 from repro.trace.events import Trace
 from repro.trace.patterns import AccessPattern
 from repro.util.pareto import ParetoCoverage, pareto_coverage, pareto_front
@@ -48,12 +49,23 @@ from repro.util.pareto import ParetoCoverage, pareto_coverage, pareto_front
 
 @dataclass(frozen=True)
 class StrategyOutcome:
-    """What one strategy produced, and how long it took."""
+    """What one strategy produced, and how long it took.
+
+    ``cache_hits``/``cache_misses`` count full-simulation lookups in
+    the :mod:`repro.exec` result cache over the whole run (APEX
+    profiling plus every ConEx phase); they make the Table 2 timings
+    honest — a strategy that rode an earlier strategy's simulations
+    shows the reuse explicitly instead of reporting a misleadingly
+    small wall time.
+    """
 
     name: str
     seconds: float
     simulated: tuple[ConnectivityDesignPoint, ...]
     pareto: tuple[ConnectivityDesignPoint, ...]
+    cache_hits: int = 0
+    cache_misses: int = 0
+    workers: int = 1
 
     def pareto_vectors(self) -> list[tuple[float, float, float]]:
         """(cost, latency, energy) of the strategy's pareto points."""
@@ -84,6 +96,12 @@ def _pareto(points: Sequence[ConnectivityDesignPoint]):
     return tuple(pareto_front(points, key=lambda p: p.simulated_objectives))
 
 
+def _resolve_cache(cache: SimulationCache | None) -> SimulationCache:
+    from repro.exec.cache import default_cache
+
+    return cache if cache is not None else default_cache()
+
+
 def run_pruned(
     trace: Trace,
     memory_library: MemoryLibrary,
@@ -91,14 +109,20 @@ def run_pruned(
     apex_config: ApexConfig,
     conex_config: ConExConfig,
     hints: dict[str, AccessPattern] | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> StrategyOutcome:
     """The paper's pruned exploration (the MemorEx default)."""
+    cache = _resolve_cache(cache)
+    hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
     apex = explore_memory_architectures(
-        trace, memory_library, apex_config, hints=hints
+        trace, memory_library, apex_config, hints=hints,
+        workers=workers, cache=cache,
     )
     conex = explore_connectivity(
-        trace, apex.selected, connectivity_library, conex_config
+        trace, apex.selected, connectivity_library, conex_config,
+        workers=workers, cache=cache,
     )
     seconds = time.perf_counter() - start
     return StrategyOutcome(
@@ -106,6 +130,9 @@ def run_pruned(
         seconds=seconds,
         simulated=conex.simulated,
         pareto=_pareto(conex.simulated),
+        cache_hits=cache.hits - hits0,
+        cache_misses=cache.misses - misses0,
+        workers=conex.workers,
     )
 
 
@@ -132,22 +159,30 @@ def run_neighborhood(
     apex_config: ApexConfig,
     conex_config: ConExConfig,
     hints: dict[str, AccessPattern] | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> StrategyOutcome:
     """Pruned plus the neighbourhood of every selected design."""
+    cache = _resolve_cache(cache)
+    hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
     apex = explore_memory_architectures(
-        trace, memory_library, apex_config, hints=hints
+        trace, memory_library, apex_config, hints=hints,
+        workers=workers, cache=cache,
     )
     expanded = _expand_neighborhood(apex.selected, apex.evaluated)
     widened = replace(conex_config, phase1_keep=2 * conex_config.phase1_keep)
     conex = explore_connectivity(
-        trace, expanded, connectivity_library, widened
+        trace, expanded, connectivity_library, widened,
+        workers=workers, cache=cache,
     )
-    # One-swap connectivity neighbors of every simulated design.
+    # One-swap connectivity neighbors of every simulated design,
+    # estimated inline and simulated as one batch.
     simulated = list(conex.simulated)
     seen = {
         (p.memory_name, p.connectivity.preset_signature()) for p in simulated
     }
+    neighbor_points: list[ConnectivityDesignPoint] = []
     for point in conex.simulated:
         memory = point.memory_eval.architecture
         for neighbor in assignment_neighbors(
@@ -157,24 +192,45 @@ def run_neighborhood(
             if key in seen:
                 continue
             seen.add(key)
-            estimate = estimate_design(
-                memory, neighbor, point.memory_eval.result
-            )
-            result = simulate(trace, memory, neighbor)
-            simulated.append(
+            neighbor_points.append(
                 ConnectivityDesignPoint(
                     memory_eval=point.memory_eval,
                     connectivity=neighbor,
-                    estimate=estimate,
-                    simulation=result,
+                    estimate=estimate_design(
+                        memory, neighbor, point.memory_eval.result
+                    ),
                 )
             )
+    report = simulate_many(
+        trace,
+        [
+            SimulationJob(
+                memory=point.memory_eval.architecture,
+                connectivity=point.connectivity,
+            )
+            for point in neighbor_points
+        ],
+        workers=workers,
+        cache=cache,
+    )
+    simulated.extend(
+        ConnectivityDesignPoint(
+            memory_eval=point.memory_eval,
+            connectivity=point.connectivity,
+            estimate=point.estimate,
+            simulation=result,
+        )
+        for point, result in zip(neighbor_points, report.results)
+    )
     seconds = time.perf_counter() - start
     return StrategyOutcome(
         name="Neighborhood",
         seconds=seconds,
         simulated=tuple(simulated),
         pareto=_pareto(simulated),
+        cache_hits=cache.hits - hits0,
+        cache_misses=cache.misses - misses0,
+        workers=report.workers,
     )
 
 
@@ -185,37 +241,59 @@ def run_full(
     apex_config: ApexConfig,
     conex_config: ConExConfig,
     hints: dict[str, AccessPattern] | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> StrategyOutcome:
-    """Brute force: fully simulate every design point in the space."""
+    """Brute force: fully simulate every design point in the space.
+
+    The whole enumerated space is collected first and dispatched as a
+    single :func:`repro.exec.simulate_many` batch — the largest job
+    list in the library and the engine's biggest win.
+    """
+    cache = _resolve_cache(cache)
+    hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
     apex = explore_memory_architectures(
-        trace, memory_library, apex_config, hints=hints
+        trace, memory_library, apex_config, hints=hints,
+        workers=workers, cache=cache,
     )
-    simulated: list[ConnectivityDesignPoint] = []
+    candidates: list[ConnectivityDesignPoint] = []
     for memory_eval in apex.evaluated:
-        _, candidates = connectivity_exploration(
-            trace, memory_eval, connectivity_library, conex_config
+        _, points = connectivity_exploration(
+            trace, memory_eval, connectivity_library, conex_config,
+            workers=workers,
         )
-        for point in candidates:
-            result = simulate(
-                trace,
-                point.memory_eval.architecture,
-                point.connectivity,
+        candidates.extend(points)
+    report = simulate_many(
+        trace,
+        [
+            SimulationJob(
+                memory=point.memory_eval.architecture,
+                connectivity=point.connectivity,
             )
-            simulated.append(
-                ConnectivityDesignPoint(
-                    memory_eval=point.memory_eval,
-                    connectivity=point.connectivity,
-                    estimate=point.estimate,
-                    simulation=result,
-                )
-            )
+            for point in candidates
+        ],
+        workers=workers,
+        cache=cache,
+    )
+    simulated = [
+        ConnectivityDesignPoint(
+            memory_eval=point.memory_eval,
+            connectivity=point.connectivity,
+            estimate=point.estimate,
+            simulation=result,
+        )
+        for point, result in zip(candidates, report.results)
+    ]
     seconds = time.perf_counter() - start
     return StrategyOutcome(
         name="Full",
         seconds=seconds,
         simulated=tuple(simulated),
         pareto=_pareto(simulated),
+        cache_hits=cache.hits - hits0,
+        cache_misses=cache.misses - misses0,
+        workers=report.workers,
     )
 
 

@@ -20,9 +20,10 @@ from repro.connectivity.architecture import (
 )
 from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
+from repro.exec.cache import SimulationCache
+from repro.exec.engine import SimulationJob, simulate_many
 from repro.memory.library import MemoryLibrary
 from repro.sim.metrics import SimulationResult
-from repro.sim.simulator import simulate
 from repro.trace.events import Trace
 
 
@@ -60,6 +61,21 @@ def _default_connectivity(
     )
 
 
+def _run_sweep(
+    trace: Trace,
+    settings: Sequence[str],
+    jobs: Sequence[SimulationJob],
+    workers: int | None,
+    cache: SimulationCache | None,
+) -> list[SweepPoint]:
+    """Dispatch one sweep's job list and pair results with settings."""
+    report = simulate_many(trace, jobs, workers=workers, cache=cache)
+    return [
+        SweepPoint(setting=setting, result=result)
+        for setting, result in zip(settings, report.results)
+    ]
+
+
 def sweep_cache_size(
     trace: Trace,
     memory_library: MemoryLibrary,
@@ -67,6 +83,8 @@ def sweep_cache_size(
     cache_presets: Sequence[str],
     cpu_preset: str = "ahb",
     offchip_preset: str = "offchip_16",
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> list[SweepPoint]:
     """Simulate cache-only architectures across ``cache_presets``.
 
@@ -76,23 +94,18 @@ def sweep_cache_size(
     """
     if not cache_presets:
         raise ExplorationError("no cache presets to sweep")
-    points: list[SweepPoint] = []
+    jobs: list[SimulationJob] = []
     for preset_name in cache_presets:
-        cache = memory_library.get(preset_name).instantiate("cache")
+        module = memory_library.get(preset_name).instantiate("cache")
         dram = memory_library.get("dram").instantiate()
         memory = MemoryArchitecture(
-            f"sweep_{preset_name}", [cache], dram, {}, "cache"
+            f"sweep_{preset_name}", [module], dram, {}, "cache"
         )
         connectivity = _default_connectivity(
             memory, trace, connectivity_library, cpu_preset, offchip_preset
         )
-        points.append(
-            SweepPoint(
-                setting=preset_name,
-                result=simulate(trace, memory, connectivity),
-            )
-        )
-    return points
+        jobs.append(SimulationJob(memory=memory, connectivity=connectivity))
+    return _run_sweep(trace, list(cache_presets), jobs, workers, cache)
 
 
 def sweep_cpu_bus(
@@ -101,6 +114,8 @@ def sweep_cpu_bus(
     connectivity_library: ConnectivityLibrary,
     cpu_presets: Sequence[str],
     offchip_preset: str = "offchip_16",
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> list[SweepPoint]:
     """Simulate ``memory`` under each CPU-side connection preset.
 
@@ -110,18 +125,17 @@ def sweep_cpu_bus(
     """
     if not cpu_presets:
         raise ExplorationError("no connection presets to sweep")
-    points: list[SweepPoint] = []
-    for preset_name in cpu_presets:
-        connectivity = _default_connectivity(
-            memory, trace, connectivity_library, preset_name, offchip_preset
+    jobs = [
+        SimulationJob(
+            memory=memory,
+            connectivity=_default_connectivity(
+                memory, trace, connectivity_library, preset_name,
+                offchip_preset,
+            ),
         )
-        points.append(
-            SweepPoint(
-                setting=preset_name,
-                result=simulate(trace, memory, connectivity),
-            )
-        )
-    return points
+        for preset_name in cpu_presets
+    ]
+    return _run_sweep(trace, list(cpu_presets), jobs, workers, cache)
 
 
 def sweep_offchip_bus(
@@ -130,22 +144,22 @@ def sweep_offchip_bus(
     connectivity_library: ConnectivityLibrary,
     offchip_presets: Sequence[str],
     cpu_preset: str = "ahb",
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
 ) -> list[SweepPoint]:
     """Simulate ``memory`` under each off-chip bus preset."""
     if not offchip_presets:
         raise ExplorationError("no off-chip presets to sweep")
-    points: list[SweepPoint] = []
-    for preset_name in offchip_presets:
-        connectivity = _default_connectivity(
-            memory, trace, connectivity_library, cpu_preset, preset_name
+    jobs = [
+        SimulationJob(
+            memory=memory,
+            connectivity=_default_connectivity(
+                memory, trace, connectivity_library, cpu_preset, preset_name
+            ),
         )
-        points.append(
-            SweepPoint(
-                setting=preset_name,
-                result=simulate(trace, memory, connectivity),
-            )
-        )
-    return points
+        for preset_name in offchip_presets
+    ]
+    return _run_sweep(trace, list(offchip_presets), jobs, workers, cache)
 
 
 def series(

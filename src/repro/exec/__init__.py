@@ -1,0 +1,57 @@
+"""Execution engine: parallel evaluation + content-addressed caching.
+
+The exploration layers (:mod:`repro.apex`, :mod:`repro.conex`,
+:mod:`repro.core`) evaluate thousands of independent (trace, memory,
+connectivity) design points. This package makes that the fast path:
+
+* :mod:`repro.exec.engine` — :func:`simulate_many` /
+  :func:`estimate_many` batch evaluators with a process pool,
+  deterministic job-index result ordering, and a bit-identical serial
+  fallback (``workers=1`` / ``REPRO_WORKERS`` unset).
+* :mod:`repro.exec.cache` — a content-addressed
+  :class:`SimulationCache` keyed by trace fingerprint, architecture
+  signatures, sampling config, and write model, with an optional
+  on-disk layer (``REPRO_CACHE_DIR``).
+
+See ``docs/performance.md`` for the knobs and invalidation rules.
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    NULL_CACHE,
+    NullCache,
+    SimulationCache,
+    default_cache,
+    key_digest,
+    sampling_signature,
+    set_default_cache,
+    simulation_key,
+)
+from repro.exec.engine import (
+    EngineReport,
+    EstimateJob,
+    SimulationJob,
+    WORKERS_ENV,
+    estimate_many,
+    resolve_workers,
+    simulate_many,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "EngineReport",
+    "EstimateJob",
+    "NULL_CACHE",
+    "NullCache",
+    "SimulationCache",
+    "SimulationJob",
+    "WORKERS_ENV",
+    "default_cache",
+    "estimate_many",
+    "key_digest",
+    "resolve_workers",
+    "sampling_signature",
+    "set_default_cache",
+    "simulate_many",
+    "simulation_key",
+]

@@ -1,0 +1,210 @@
+"""Content-addressed simulation/estimate result cache.
+
+A simulation is a pure function of (trace, memory architecture,
+connectivity architecture, sampling config, posted-writes flag), so its
+result can be cached under a content key built from those inputs:
+
+* the trace's :meth:`~repro.trace.events.Trace.fingerprint` (a sha256
+  over name, columns, and structure tags),
+* the memory architecture's :meth:`~repro.apex.architectures.MemoryArchitecture.signature`,
+* the connectivity's :meth:`~repro.connectivity.architecture.ConnectivityArchitecture.full_signature`
+  (``None`` for APEX's ideal connectivity),
+* the sampling window parameters and the posted-writes flag.
+
+The cache is two-layered: a process-wide in-memory dict (the default —
+this is what lets the Full strategy reuse every point the Pruned pass
+already simulated, and a second ``explore_connectivity`` call run at
+zero simulation cost), plus an optional on-disk layer (one pickle per
+result, named by the key digest) that persists results across processes
+next to the ``.npz`` trace store managed by :mod:`repro.io`.
+
+Invalidation is automatic by construction: any change to the trace
+content, a module/component parameter, the structure mapping, the
+sampling window, or the write model changes the key. Deleting the cache
+directory (or calling :meth:`SimulationCache.clear`) is the only manual
+operation that exists.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pathlib
+import pickle
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.connectivity.architecture import ConnectivityArchitecture
+from repro.sim.metrics import SimulationResult
+from repro.sim.sampling import SamplingConfig
+from repro.trace.events import Trace
+
+#: Environment variable enabling the on-disk layer of the default cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Cache file suffix for persisted results.
+_SUFFIX = ".simres.pkl"
+
+
+def sampling_signature(sampling: SamplingConfig | None) -> tuple | None:
+    """Hashable summary of a sampling configuration."""
+    if sampling is None:
+        return None
+    return (sampling.on_window, sampling.off_ratio, sampling.warmup)
+
+
+def simulation_key(
+    trace: Trace,
+    memory: MemoryArchitecture,
+    connectivity: ConnectivityArchitecture | None,
+    sampling: SamplingConfig | None = None,
+    posted_writes: bool = False,
+) -> tuple:
+    """The full content key of one simulation."""
+    return (
+        trace.fingerprint(),
+        memory.signature(),
+        None if connectivity is None else connectivity.full_signature(),
+        sampling_signature(sampling),
+        bool(posted_writes),
+    )
+
+
+def key_digest(key: tuple) -> str:
+    """Stable hex digest of a simulation key (disk file name)."""
+    return hashlib.sha256(repr(key).encode()).hexdigest()
+
+
+class SimulationCache:
+    """In-memory result cache with an optional on-disk layer.
+
+    Args:
+        directory: when given, results are additionally persisted as
+            ``<digest>.simres.pkl`` files there and looked up on
+            in-memory misses, so repeated benchmark *processes* share
+            work too. The directory is created on first write.
+    """
+
+    def __init__(self, directory: str | pathlib.Path | None = None) -> None:
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        self._memory: dict[tuple, SimulationResult] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- core protocol -------------------------------------------------
+
+    def get(self, key: tuple) -> SimulationResult | None:
+        """The cached result for ``key``, or ``None`` on a miss."""
+        result = self._memory.get(key)
+        if result is None and self.directory is not None:
+            result = self._load_from_disk(key)
+            if result is not None:
+                self._memory[key] = result
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(self, key: tuple, result: SimulationResult) -> None:
+        """Store ``result`` under ``key`` (memory, and disk if enabled)."""
+        self._memory[key] = result
+        if self.directory is not None:
+            self._store_to_disk(key, result)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._memory or (
+            self.directory is not None and self._disk_path(key).exists()
+        )
+
+    def clear(self) -> None:
+        """Drop the in-memory layer and any persisted results."""
+        self._memory.clear()
+        self.hits = 0
+        self.misses = 0
+        if self.directory is not None and self.directory.exists():
+            for path in self.directory.glob(f"*{_SUFFIX}"):
+                path.unlink()
+
+    # -- disk layer ----------------------------------------------------
+
+    def _disk_path(self, key: tuple) -> pathlib.Path:
+        assert self.directory is not None
+        return self.directory / f"{key_digest(key)}{_SUFFIX}"
+
+    def _load_from_disk(self, key: tuple) -> SimulationResult | None:
+        path = self._disk_path(key)
+        if not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # Treat any torn/corrupt file as a miss: pickle surfaces
+            # garbage as UnpicklingError, ValueError, EOFError,
+            # AttributeError, ... — a cache read must never abort a run.
+            return None
+
+    def _store_to_disk(self, key: tuple, result: SimulationResult) -> None:
+        assert self.directory is not None
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._disk_path(key)
+        temp = path.with_suffix(path.suffix + ".tmp")
+        with open(temp, "wb") as handle:
+            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(temp, path)  # atomic: readers never see a torn file
+
+    def __repr__(self) -> str:
+        where = f" dir={self.directory}" if self.directory else ""
+        return (
+            f"<SimulationCache {len(self._memory)} entries, "
+            f"{self.hits} hits / {self.misses} misses{where}>"
+        )
+
+
+class NullCache(SimulationCache):
+    """A cache that never stores — disables result reuse explicitly.
+
+    Pass ``cache=NULL_CACHE`` to an engine entry point (or any explorer
+    that forwards a ``cache`` argument) to force fresh simulations, e.g.
+    for honest serial-vs-parallel timing comparisons.
+    """
+
+    def get(self, key: tuple) -> SimulationResult | None:
+        self.misses += 1
+        return None
+
+    def put(self, key: tuple, result: SimulationResult) -> None:
+        pass
+
+    def __contains__(self, key: tuple) -> bool:
+        return False
+
+
+#: Shared no-op cache instance.
+NULL_CACHE = NullCache()
+
+_default_cache: SimulationCache | None = None
+
+
+def default_cache() -> SimulationCache:
+    """The process-wide cache used when callers pass ``cache=None``.
+
+    Created lazily; picks up an on-disk layer from ``REPRO_CACHE_DIR``
+    when that variable is set at first use.
+    """
+    global _default_cache
+    if _default_cache is None:
+        directory = os.environ.get(CACHE_DIR_ENV) or None
+        _default_cache = SimulationCache(directory)
+    return _default_cache
+
+
+def set_default_cache(cache: SimulationCache | None) -> None:
+    """Replace the process-wide default cache (``None`` resets lazily)."""
+    global _default_cache
+    _default_cache = cache

@@ -1,0 +1,297 @@
+"""Parallel evaluation engine: simulate/estimate many design points.
+
+The exploration algorithms spend essentially all their wall time in
+:func:`repro.sim.simulator.simulate` — one call per candidate design,
+every call independent of every other. This module turns those serial
+loops into batch jobs:
+
+* :func:`simulate_many` — run a list of :class:`SimulationJob` specs
+  over one trace, against the content-addressed result cache, with the
+  cache misses dispatched to a ``ProcessPoolExecutor`` when more than
+  one worker is requested.
+* :func:`estimate_many` — the Phase-I analogue for
+  :func:`repro.conex.estimator.estimate_design`.
+
+Determinism contract: results are returned **keyed by job index**,
+never by completion order — ``simulate_many(trace, jobs)[i]`` always
+corresponds to ``jobs[i]``, and the simulator itself is deterministic,
+so a parallel run is bit-identical to a serial run of the same job
+list. ``workers=1`` (or ``REPRO_WORKERS=1``, the default) short-circuits
+to a plain in-process loop with no executor, no pickling, and no
+subprocesses — exactly the code path the pre-engine explorers ran.
+
+Job specs are plain picklable dataclasses. The trace — by far the
+largest object — is shipped to each worker **once** via the pool
+initializer rather than once per job, so dispatch cost stays
+proportional to the (small) architecture descriptions.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.connectivity.architecture import ConnectivityArchitecture
+from repro.errors import ExplorationError
+from repro.exec.cache import SimulationCache, default_cache, simulation_key
+from repro.sim.metrics import SimulationResult
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import simulate
+from repro.trace.events import Trace
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Below this many pending estimate jobs a pool costs more than it
+#: saves (estimates are microseconds each; pickling is not).
+_MIN_PARALLEL_ESTIMATES = 64
+
+
+@dataclass(frozen=True)
+class SimulationJob:
+    """One picklable simulation work item (the trace travels separately)."""
+
+    memory: MemoryArchitecture
+    connectivity: ConnectivityArchitecture | None = None
+    sampling: SamplingConfig | None = None
+    posted_writes: bool = False
+
+
+@dataclass(frozen=True)
+class EstimateJob:
+    """One picklable Phase-I estimation work item."""
+
+    memory: MemoryArchitecture
+    connectivity: ConnectivityArchitecture
+    profile: SimulationResult
+
+
+@dataclass(frozen=True)
+class EngineReport:
+    """What one batch produced and what it cost.
+
+    ``results[i]`` always corresponds to ``jobs[i]`` of the submitted
+    list. ``cache_hits + cache_misses == len(results)`` for simulation
+    batches; estimates are not cached (they are cheaper than a lookup
+    is interesting) and report all-miss.
+    """
+
+    results: tuple
+    workers: int
+    cache_hits: int = 0
+    cache_misses: int = 0
+    seconds: float = 0.0
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else 1.
+
+    The serial default keeps library behaviour (and golden outputs)
+    identical to the pre-engine code unless a caller or the environment
+    opts into parallelism.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ExplorationError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ExplorationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+# -- worker-process plumbing ------------------------------------------------
+
+_WORKER_TRACE: Trace | None = None
+
+
+def _init_worker(trace: Trace) -> None:
+    """Pool initializer: install the shared trace in this worker."""
+    global _WORKER_TRACE
+    _WORKER_TRACE = trace
+
+
+def _run_simulation(job: SimulationJob) -> SimulationResult:
+    """Execute one job against the worker's installed trace."""
+    assert _WORKER_TRACE is not None, "worker used before initialization"
+    return simulate(
+        _WORKER_TRACE,
+        job.memory,
+        job.connectivity,
+        sampling=job.sampling,
+        posted_writes=job.posted_writes,
+    )
+
+
+def _run_estimate(job: EstimateJob) -> ConnectivityEstimate:
+    return estimate_design(job.memory, job.connectivity, job.profile)
+
+
+def _chunksize(pending: int, workers: int) -> int:
+    """Dispatch granularity: ~4 chunks per worker amortizes the IPC."""
+    return max(1, -(-pending // (workers * 4)))
+
+
+def _relabel(result: SimulationResult, job: SimulationJob) -> SimulationResult:
+    """Stamp a shared result with the requesting job's design names.
+
+    Cache keys are content-addressed (names excluded), so a hit may
+    come from an identically-configured architecture under another
+    name. Downstream consumers (e.g. the BRG builder) check result
+    ownership by name, so shared results are relabelled on retrieval.
+    """
+    memory_name = job.memory.name
+    connectivity_name = (
+        job.connectivity.name
+        if job.connectivity is not None
+        else result.connectivity_name
+    )
+    if (
+        result.memory_name == memory_name
+        and result.connectivity_name == connectivity_name
+    ):
+        return result
+    return replace(
+        result,
+        memory_name=memory_name,
+        connectivity_name=connectivity_name,
+    )
+
+
+# -- public entry points ----------------------------------------------------
+
+def simulate_many(
+    trace: Trace,
+    jobs: Sequence[SimulationJob],
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
+) -> EngineReport:
+    """Simulate every job over ``trace``; results ordered like ``jobs``.
+
+    Args:
+        trace: the shared access trace (sent to each worker once).
+        jobs: picklable job specs; duplicates are simulated once and
+            share the cached result.
+        workers: process count; ``None`` consults ``REPRO_WORKERS`` and
+            falls back to 1 (serial, in-process).
+        cache: result cache; ``None`` selects the process-wide default
+            (:func:`repro.exec.cache.default_cache`). Pass
+            :data:`repro.exec.cache.NULL_CACHE` to force fresh runs.
+    """
+    start = time.perf_counter()
+    workers = resolve_workers(workers)
+    cache = cache if cache is not None else default_cache()
+    results: list[SimulationResult | None] = [None] * len(jobs)
+    pending: list[int] = []
+    keys: list[tuple] = []
+    for index, job in enumerate(jobs):
+        key = simulation_key(
+            trace, job.memory, job.connectivity, job.sampling,
+            job.posted_writes,
+        )
+        keys.append(key)
+        cached = cache.get(key)
+        if cached is None:
+            pending.append(index)
+        else:
+            results[index] = _relabel(cached, job)
+    hits = len(jobs) - len(pending)
+
+    if pending:
+        # Duplicate keys inside one batch run once; later copies reuse.
+        first_of: dict[tuple, int] = {}
+        unique: list[int] = []
+        for index in pending:
+            if keys[index] in first_of:
+                continue
+            first_of[keys[index]] = index
+            unique.append(index)
+
+        if workers <= 1 or len(unique) <= 1:
+            for index in unique:
+                results[index] = _execute_inline(trace, jobs[index])
+        else:
+            job_list = [jobs[i] for i in unique]
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(unique)),
+                initializer=_init_worker,
+                initargs=(trace,),
+            ) as pool:
+                outcomes = pool.map(
+                    _run_simulation,
+                    job_list,
+                    chunksize=_chunksize(len(unique), workers),
+                )
+                for index, result in zip(unique, outcomes):
+                    results[index] = result
+        for index in unique:
+            cache.put(keys[index], results[index])
+        for index in pending:
+            if results[index] is None:
+                results[index] = _relabel(
+                    results[first_of[keys[index]]], jobs[index]
+                )
+
+    return EngineReport(
+        results=tuple(results),
+        workers=workers,
+        cache_hits=hits,
+        cache_misses=len(pending),
+        seconds=time.perf_counter() - start,
+    )
+
+
+def _execute_inline(trace: Trace, job: SimulationJob) -> SimulationResult:
+    """Serial fallback: run one job in-process (no pickling)."""
+    return simulate(
+        trace,
+        job.memory,
+        job.connectivity,
+        sampling=job.sampling,
+        posted_writes=job.posted_writes,
+    )
+
+
+def estimate_many(
+    jobs: Sequence[EstimateJob],
+    workers: int | None = None,
+) -> EngineReport:
+    """Run Phase-I estimates for every job; results ordered like ``jobs``.
+
+    Estimates are analytic (microseconds each), so the pool only engages
+    for batches large enough to amortize job pickling; smaller batches —
+    and ``workers=1`` — run serially in-process.
+    """
+    start = time.perf_counter()
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(jobs) < _MIN_PARALLEL_ESTIMATES:
+        results = tuple(
+            estimate_design(job.memory, job.connectivity, job.profile)
+            for job in jobs
+        )
+    else:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            results = tuple(
+                pool.map(
+                    _run_estimate,
+                    jobs,
+                    chunksize=_chunksize(len(jobs), workers),
+                )
+            )
+    return EngineReport(
+        results=results,
+        workers=workers,
+        cache_misses=len(jobs),
+        seconds=time.perf_counter() - start,
+    )

@@ -21,15 +21,42 @@ from repro.core.design_point import DesignPointSummary, summarize
 from repro.errors import TraceError
 from repro.trace.events import Trace
 
-_TRACE_FORMAT_VERSION = 1
+#: Version 2 added the ``fingerprint`` column (content hash, verified
+#: on load). Version-1 files — without it — still load fine.
+_TRACE_FORMAT_VERSION = 2
+
+
+def trace_fingerprint(path: str | pathlib.Path) -> str:
+    """The fingerprint stored in a saved trace file, without loading it.
+
+    Lets cache-management tooling match on-disk traces against
+    :mod:`repro.exec` cache keys cheaply. Version-1 files predate the
+    stored fingerprint and raise :class:`TraceError`.
+    """
+    path = pathlib.Path(path)
+    if not path.exists():
+        raise TraceError(f"no trace file at {path}")
+    with np.load(path, allow_pickle=False) as data:
+        if "fingerprint" not in data:
+            raise TraceError(
+                f"{path} predates stored fingerprints (format version 1); "
+                "load it and call Trace.fingerprint()"
+            )
+        return str(data["fingerprint"])
 
 
 def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
-    """Write ``trace`` to a compressed ``.npz`` file."""
+    """Write ``trace`` to a compressed ``.npz`` file.
+
+    The trace's content fingerprint is stored alongside the columns so
+    identity survives the round-trip: a reloaded trace hits the same
+    :mod:`repro.exec` cache entries as the original.
+    """
     np.savez_compressed(
         pathlib.Path(path),
         version=np.int64(_TRACE_FORMAT_VERSION),
         name=np.str_(trace.name),
+        fingerprint=np.str_(trace.fingerprint()),
         addresses=trace.addresses,
         sizes=trace.sizes,
         kinds=trace.kinds,
@@ -40,18 +67,23 @@ def save_trace(trace: Trace, path: str | pathlib.Path) -> None:
 
 
 def load_trace(path: str | pathlib.Path) -> Trace:
-    """Load a trace previously written by :func:`save_trace`."""
+    """Load a trace previously written by :func:`save_trace`.
+
+    If the file carries a stored fingerprint (format version 2), the
+    reloaded trace is re-hashed and verified against it, so corruption
+    cannot silently poison fingerprint-keyed caches.
+    """
     path = pathlib.Path(path)
     if not path.exists():
         raise TraceError(f"no trace file at {path}")
     with np.load(path, allow_pickle=False) as data:
         try:
             version = int(data["version"])
-            if version != _TRACE_FORMAT_VERSION:
+            if version not in (1, _TRACE_FORMAT_VERSION):
                 raise TraceError(
                     f"unsupported trace format version {version} in {path}"
                 )
-            return Trace(
+            trace = Trace(
                 name=str(data["name"]),
                 addresses=data["addresses"].astype(np.int64),
                 sizes=data["sizes"].astype(np.int32),
@@ -60,6 +92,14 @@ def load_trace(path: str | pathlib.Path) -> Trace:
                 ticks=data["ticks"].astype(np.int64),
                 structs=tuple(str(s) for s in data["structs"]),
             )
+            if "fingerprint" in data:
+                stored = str(data["fingerprint"])
+                if trace.fingerprint() != stored:
+                    raise TraceError(
+                        f"fingerprint mismatch in {path}: stored {stored}, "
+                        f"recomputed {trace.fingerprint()}"
+                    )
+            return trace
         except KeyError as missing:
             raise TraceError(
                 f"{path} is not a trace file (missing column {missing})"

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -52,8 +53,42 @@ class MemoryModule(ABC):
     #: paper's hit/miss accounting: on-chip accesses are hits).
     on_chip: bool = True
 
+    #: Mutable statistics / runtime state excluded from the
+    #: configuration signature: two modules that differ only in these
+    #: attributes are behaviourally identical after :meth:`reset`.
+    _STATE_ATTRS = frozenset(
+        {
+            "hits",
+            "misses",
+            "accesses",
+            "page_hits",
+            "stall_cycles",
+            "burst_prefetches",
+            "backing_latency_hint",
+        }
+    )
+
     def __init__(self, name: str) -> None:
         self.name = name
+
+    def config_signature(self) -> tuple:
+        """Hashable summary of the module's configuration.
+
+        Collects every public scalar attribute except the mutable
+        statistics in :attr:`_STATE_ATTRS`, so the signature identifies
+        *what the module is*, not what it has simulated so far. Used by
+        the :mod:`repro.exec` result cache.
+        """
+        items: list[tuple[str, object]] = []
+        for key in sorted(vars(self)):
+            if key.startswith("_") or key in self._STATE_ATTRS:
+                continue
+            value = vars(self)[key]
+            if isinstance(value, enum.Enum):
+                value = str(value.value)
+            if value is None or isinstance(value, (str, int, float, bool)):
+                items.append((key, value))
+        return (type(self).__name__, tuple(items))
 
     @property
     @abstractmethod

@@ -11,6 +11,7 @@ event-driven simulator.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, Mapping, Sequence
@@ -152,9 +153,39 @@ class Trace:
         self.structs: tuple[str, ...] = tuple(structs)
         for arrays in (addresses, sizes, kinds, struct_ids, ticks):
             arrays.setflags(write=False)
+        self._fingerprint: str | None = None
 
     def __len__(self) -> int:
         return len(self.addresses)
+
+    def fingerprint(self) -> str:
+        """Stable content hash of the trace (name, accesses, tags).
+
+        Two traces with identical name, structure tables, and access
+        columns share a fingerprint regardless of how they were built
+        (recorded, loaded from ``.npz``, sliced into being). The value
+        keys the simulation/estimate cache in :mod:`repro.exec` and is
+        persisted by :func:`repro.io.save_trace` so stored traces
+        round-trip their identity.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.name.encode())
+            digest.update(b"\x00")
+            for struct in self.structs:
+                digest.update(struct.encode())
+                digest.update(b"\x00")
+            for column in (
+                self.addresses,
+                self.sizes,
+                self.kinds,
+                self.struct_ids,
+                self.ticks,
+            ):
+                digest.update(str(column.dtype).encode())
+                digest.update(np.ascontiguousarray(column).tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     def __iter__(self) -> Iterator[Access]:
         structs = self.structs

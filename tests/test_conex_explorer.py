@@ -109,6 +109,30 @@ class TestConExResult:
         with pytest.raises(ExplorationError):
             explore_connectivity(trace, [], conn_library_module)
 
+    def test_phase1_keep_one(self, exploration, conn_library_module):
+        """Regression: a single carry slot used to divide by zero in
+        the latency-axis thinning."""
+        trace, apex, _ = exploration
+        config = ConExConfig(
+            max_logical_connections=4,
+            max_assignments_per_level=128,
+            phase1_keep=1,
+        )
+        conex = explore_connectivity(
+            trace, apex.selected, conn_library_module, config
+        )
+        # One design carried per memory architecture: the lowest-latency
+        # point of each local front.
+        assert 1 <= len(conex.simulated) <= len(apex.selected)
+        for point in conex.simulated:
+            local = [
+                p for p in conex.estimated
+                if p.memory_name == point.memory_name
+            ]
+            assert point.estimate.avg_latency == min(
+                p.estimate.avg_latency for p in local
+            )
+
 
 class TestScenarios:
     def test_power_constrained(self, exploration):

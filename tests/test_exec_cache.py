@@ -1,0 +1,212 @@
+"""Unit tests for the content-addressed simulation result cache."""
+
+import pickle
+
+import pytest
+
+from repro.apex.architectures import MemoryArchitecture
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    NULL_CACHE,
+    NullCache,
+    SimulationCache,
+    default_cache,
+    key_digest,
+    sampling_signature,
+    set_default_cache,
+    simulation_key,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.sampling import SamplingConfig
+
+
+def _arch(mem_library, preset: str, name: str) -> MemoryArchitecture:
+    cache = mem_library.get(preset).instantiate("cache")
+    dram = mem_library.get("dram").instantiate()
+    return MemoryArchitecture(name, [cache], dram, {}, "cache")
+
+
+def _result(label: str = "r") -> SimulationResult:
+    return SimulationResult(
+        trace_name="t",
+        memory_name=label,
+        connectivity_name="c",
+        accesses=1,
+        sampled_accesses=1,
+        avg_latency=1.0,
+        total_cycles=1,
+        avg_energy_nj=1.0,
+        total_energy_nj=1.0,
+        miss_ratio=0.0,
+        cost_gates=1.0,
+        memory_cost_gates=1.0,
+        connectivity_cost_gates=0.0,
+    )
+
+
+class TestSimulationKey:
+    def test_key_is_stable_across_instances(self, tiny_trace, mem_library):
+        a = _arch(mem_library, "cache_8k_32b_2w", "one")
+        b = _arch(mem_library, "cache_8k_32b_2w", "one")
+        assert simulation_key(tiny_trace, a, None) == simulation_key(
+            tiny_trace, b, None
+        )
+
+    def test_architecture_name_excluded(self, tiny_trace, mem_library):
+        """Content addressing: identical configs share a key, names apart."""
+        a = _arch(mem_library, "cache_8k_32b_2w", "alpha")
+        b = _arch(mem_library, "cache_8k_32b_2w", "beta")
+        assert simulation_key(tiny_trace, a, None) == simulation_key(
+            tiny_trace, b, None
+        )
+
+    def test_module_config_changes_key(self, tiny_trace, mem_library):
+        a = _arch(mem_library, "cache_8k_32b_2w", "m")
+        b = _arch(mem_library, "cache_16k_32b_2w", "m")
+        assert simulation_key(tiny_trace, a, None) != simulation_key(
+            tiny_trace, b, None
+        )
+
+    def test_sampling_and_posted_writes_change_key(
+        self, tiny_trace, mem_library
+    ):
+        arch = _arch(mem_library, "cache_8k_32b_2w", "m")
+        plain = simulation_key(tiny_trace, arch, None)
+        sampled = simulation_key(
+            tiny_trace, arch, None,
+            sampling=SamplingConfig(on_window=1024, off_ratio=3),
+        )
+        posted = simulation_key(
+            tiny_trace, arch, None, posted_writes=True
+        )
+        assert len({plain, sampled, posted}) == 3
+
+    def test_connectivity_changes_key(
+        self, tiny_trace, cache_architecture, cache_connectivity
+    ):
+        ideal = simulation_key(tiny_trace, cache_architecture, None)
+        wired = simulation_key(
+            tiny_trace, cache_architecture, cache_connectivity
+        )
+        assert ideal != wired
+
+    def test_simulation_does_not_perturb_key(
+        self, tiny_trace, cache_architecture
+    ):
+        """Mutable module counters must stay out of the signature."""
+        from repro.sim import simulate
+
+        before = simulation_key(tiny_trace, cache_architecture, None)
+        simulate(tiny_trace, cache_architecture)
+        after = simulation_key(tiny_trace, cache_architecture, None)
+        assert before == after
+
+    def test_key_is_picklable_and_digestible(self, tiny_trace, mem_library):
+        key = simulation_key(
+            tiny_trace, _arch(mem_library, "cache_8k_32b_2w", "m"), None
+        )
+        assert pickle.loads(pickle.dumps(key)) == key
+        digest = key_digest(key)
+        assert len(digest) == 64
+        assert digest == key_digest(key)
+
+    def test_sampling_signature_none(self):
+        assert sampling_signature(None) is None
+
+
+class TestSimulationCacheMemory:
+    def test_miss_then_hit(self):
+        cache = SimulationCache()
+        key = ("k",)
+        assert cache.get(key) is None
+        assert (cache.hits, cache.misses) == (0, 1)
+        cache.put(key, _result())
+        assert cache.get(key) is not None
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert len(cache) == 1
+        assert key in cache
+
+    def test_clear_resets_everything(self):
+        cache = SimulationCache()
+        cache.put(("k",), _result())
+        cache.get(("k",))
+        cache.clear()
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_repr_mentions_counts(self):
+        cache = SimulationCache()
+        cache.put(("k",), _result())
+        assert "1 entries" in repr(cache)
+
+
+class TestSimulationCacheDisk:
+    def test_results_persist_across_instances(self, tmp_path):
+        key = ("shared",)
+        writer = SimulationCache(tmp_path)
+        writer.put(key, _result("persisted"))
+        reader = SimulationCache(tmp_path)
+        found = reader.get(key)
+        assert found is not None
+        assert found.memory_name == "persisted"
+        assert (reader.hits, reader.misses) == (1, 0)
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [b"not a pickle", b"garbage\n", b"", b"\x80\x05"],
+        ids=["text", "int-opcode", "empty", "truncated-frame"],
+    )
+    def test_corrupt_file_is_a_miss(self, tmp_path, garbage):
+        key = ("torn",)
+        cache = SimulationCache(tmp_path)
+        cache.put(key, _result())
+        path = cache._disk_path(key)
+        path.write_bytes(garbage)
+        fresh = SimulationCache(tmp_path)
+        assert fresh.get(key) is None
+
+    def test_clear_removes_files(self, tmp_path):
+        cache = SimulationCache(tmp_path)
+        cache.put(("k",), _result())
+        assert list(tmp_path.glob("*.simres.pkl"))
+        cache.clear()
+        assert not list(tmp_path.glob("*.simres.pkl"))
+
+    def test_contains_consults_disk(self, tmp_path):
+        SimulationCache(tmp_path).put(("k",), _result())
+        assert ("k",) in SimulationCache(tmp_path)
+
+
+class TestNullCache:
+    def test_never_stores(self):
+        cache = NullCache()
+        cache.put(("k",), _result())
+        assert cache.get(("k",)) is None
+        assert ("k",) not in cache
+        assert len(cache) == 0
+
+    def test_shared_instance_is_null(self):
+        assert isinstance(NULL_CACHE, NullCache)
+
+
+class TestDefaultCache:
+    @pytest.fixture(autouse=True)
+    def _isolate_default(self):
+        set_default_cache(None)
+        yield
+        set_default_cache(None)
+
+    def test_lazy_singleton(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        first = default_cache()
+        assert first is default_cache()
+        assert first.directory is None
+
+    def test_env_enables_disk_layer(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "cache"))
+        assert default_cache().directory == tmp_path / "cache"
+
+    def test_set_default_cache(self):
+        mine = SimulationCache()
+        set_default_cache(mine)
+        assert default_cache() is mine

@@ -11,6 +11,7 @@ from repro.io import (
     export_design_points_json,
     load_trace,
     save_trace,
+    trace_fingerprint,
 )
 
 
@@ -58,6 +59,59 @@ class TestTraceRoundTrip:
         np.savez(path, something=np.arange(4))
         with pytest.raises(TraceError):
             load_trace(path)
+
+
+class TestFingerprintPersistence:
+    def test_round_trip_preserves_identity(self, tiny_trace, tmp_path):
+        path = tmp_path / "t.npz"
+        save_trace(tiny_trace, path)
+        assert load_trace(path).fingerprint() == tiny_trace.fingerprint()
+
+    def test_stored_fingerprint_readable_without_loading(
+        self, tiny_trace, tmp_path
+    ):
+        path = tmp_path / "t.npz"
+        save_trace(tiny_trace, path)
+        assert trace_fingerprint(path) == tiny_trace.fingerprint()
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(TraceError):
+            trace_fingerprint(tmp_path / "ghost.npz")
+
+    def test_tampered_columns_detected(self, tiny_trace, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "t.npz"
+        save_trace(tiny_trace, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {key: data[key] for key in data.files}
+        addresses = arrays["addresses"].copy()
+        addresses[0] += 64
+        arrays["addresses"] = addresses
+        tampered = tmp_path / "tampered.npz"
+        np.savez_compressed(tampered, **arrays)
+        with pytest.raises(TraceError):
+            load_trace(tampered)
+
+    def test_version1_files_still_load(self, tiny_trace, tmp_path):
+        import numpy as np
+
+        path = tmp_path / "v1.npz"
+        np.savez_compressed(
+            path,
+            version=np.int64(1),
+            name=np.str_(tiny_trace.name),
+            addresses=tiny_trace.addresses,
+            sizes=tiny_trace.sizes,
+            kinds=tiny_trace.kinds,
+            struct_ids=tiny_trace.struct_ids,
+            ticks=tiny_trace.ticks,
+            structs=np.array(tiny_trace.structs, dtype=np.str_),
+        )
+        loaded = load_trace(path)
+        assert loaded.fingerprint() == tiny_trace.fingerprint()
+        with pytest.raises(TraceError):
+            trace_fingerprint(path)
 
 
 @pytest.fixture(scope="module")

@@ -123,3 +123,32 @@ class TestTrace:
                 ticks=np.array([0], dtype=np.int64),
                 structs=("a",),
             )
+
+
+class TestFingerprint:
+    def build(self, name="t", flip=False):
+        builder = TraceBuilder(name)
+        builder.read(0x100, 4, "a")
+        builder.compute(3)
+        builder.write(0x204 if flip else 0x200, 8, "b")
+        return builder.build()
+
+    def test_stable_across_rebuilds(self):
+        assert self.build().fingerprint() == self.build().fingerprint()
+
+    def test_memoized(self):
+        trace = self.build()
+        assert trace.fingerprint() is trace.fingerprint()
+
+    def test_content_change_changes_fingerprint(self):
+        assert self.build().fingerprint() != self.build(flip=True).fingerprint()
+
+    def test_name_is_part_of_identity(self):
+        assert (
+            self.build("one").fingerprint() != self.build("two").fingerprint()
+        )
+
+    def test_looks_like_sha256(self):
+        fingerprint = self.build().fingerprint()
+        assert len(fingerprint) == 64
+        assert set(fingerprint) <= set("0123456789abcdef")
