@@ -143,3 +143,40 @@ def record_parallel_timing(
     records.append(record)
     PARALLEL_TIMINGS.write_text(json.dumps(records, indent=2) + "\n")
     return record
+
+
+#: Machine-readable reference-vs-kernel single-process timing records
+#: (same replace-by-name convention as BENCH_parallel.json).
+KERNEL_TIMINGS = OUTPUT_DIR / "BENCH_sim_kernel.json"
+
+
+def record_kernel_timing(
+    stem: str,
+    reference_seconds: float,
+    kernel_seconds: float,
+    accesses: int,
+    **extra,
+) -> dict:
+    """Append one reference-vs-kernel record to BENCH_sim_kernel.json."""
+    record = {
+        "name": stem,
+        "accesses": accesses,
+        "reference_seconds": round(reference_seconds, 4),
+        "kernel_seconds": round(kernel_seconds, 4),
+        "speedup": round(reference_seconds / kernel_seconds, 3)
+        if kernel_seconds > 0
+        else None,
+        "cpu_count": os.cpu_count(),
+        **extra,
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    records = []
+    if KERNEL_TIMINGS.exists():
+        try:
+            records = json.loads(KERNEL_TIMINGS.read_text())
+        except ValueError:
+            records = []
+    records = [r for r in records if r.get("name") != stem]
+    records.append(record)
+    KERNEL_TIMINGS.write_text(json.dumps(records, indent=2) + "\n")
+    return record

@@ -24,6 +24,13 @@ Job specs are plain picklable dataclasses. The trace — by far the
 largest object — is shipped to each worker **once** via the pool
 initializer rather than once per job, so dispatch cost stays
 proportional to the (small) architecture descriptions.
+
+Each simulation call runs the columnar fast-path kernel
+(:mod:`repro.sim.kernels`) by default, in workers and in-process
+alike. The kernel is bit-identical to the scalar reference loop, so
+engine selection needs no cache-key component: cached results mix
+freely across engines and across ``REPRO_REFERENCE_SIM`` settings
+(the opt-out env var propagates to pool workers like any other).
 """
 
 from __future__ import annotations

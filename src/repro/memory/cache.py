@@ -4,10 +4,12 @@ from __future__ import annotations
 
 from enum import Enum
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.memory.area import cache_area_gates
 from repro.memory.energy import cache_access_energy_nj
-from repro.memory.module import MemoryModule, ModuleResponse
+from repro.memory.module import BatchResponse, MemoryModule, ModuleResponse
 from repro.trace.events import AccessKind
 
 
@@ -38,6 +40,7 @@ class Cache(MemoryModule):
     """
 
     kind = "cache"
+    supports_batch = True
 
     def __init__(
         self,
@@ -129,4 +132,62 @@ class Cache(MemoryModule):
             latency=self.hit_latency,
             refill_bytes=self.line_size,
             writeback_bytes=writeback + (size if write and through else 0),
+        )
+
+    def access_many(
+        self, addresses: np.ndarray, sizes: np.ndarray, kinds: np.ndarray
+    ) -> BatchResponse:
+        # LRU recency is inherently sequential, so this stays a Python
+        # loop — but one stripped of per-access response allocation and
+        # numpy scalar boxing, which is where the scalar path's time
+        # goes. The set mutations are byte-for-byte those of `access`.
+        n = len(addresses)
+        hit_flags = [False] * n
+        refill = [0] * n
+        writeback = [0] * n
+        address_list = addresses.tolist()
+        size_list = sizes.tolist()
+        kind_list = kinds.tolist()
+        line_size = self.line_size
+        n_sets = self.sets
+        associativity = self.associativity
+        through = self.write_policy == WritePolicy.WRITE_THROUGH
+        write_kind = int(AccessKind.WRITE)
+        sets = self._sets
+        hits = 0
+        for i in range(n):
+            line_address = address_list[i] // line_size
+            ways = sets[line_address % n_sets]
+            tag = line_address // n_sets
+            write = kind_list[i] == write_kind
+            matched = False
+            for position, entry in enumerate(ways):
+                if entry[0] == tag:
+                    hits += 1
+                    ways.append(ways.pop(position))
+                    if write:
+                        if through:
+                            writeback[i] = size_list[i]
+                        else:
+                            entry[1] = 1
+                    hit_flags[i] = True
+                    matched = True
+                    break
+            if matched:
+                continue
+            evicted = 0
+            if len(ways) >= associativity:
+                victim = ways.pop(0)
+                if victim[1]:
+                    evicted = line_size
+            ways.append([tag, 1 if write and not through else 0])
+            refill[i] = line_size
+            writeback[i] = evicted + (size_list[i] if write and through else 0)
+        self.hits += hits
+        self.misses += n - hits
+        return BatchResponse(
+            hit=np.asarray(hit_flags, dtype=bool),
+            latency=np.full(n, self.hit_latency, dtype=np.int64),
+            refill_bytes=np.asarray(refill, dtype=np.int64),
+            writeback_bytes=np.asarray(writeback, dtype=np.int64),
         )

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.memory.energy import dram_access_energy_nj
 from repro.memory.module import MemoryModule, ModuleResponse
@@ -24,6 +26,7 @@ class Dram(MemoryModule):
 
     kind = "dram"
     on_chip = False
+    supports_batch = True
 
     def __init__(
         self,
@@ -81,6 +84,47 @@ class Dram(MemoryModule):
             latency = self.core_latency
             self._open_rows[bank] = row
         return ModuleResponse(hit=True, latency=latency)
+
+    def open_row_latencies(self, addresses: np.ndarray) -> np.ndarray:
+        """Batched :meth:`access` latencies for a burst of transactions.
+
+        Equivalent to calling :meth:`access` once per address in order:
+        a transaction pays the page-hit latency exactly when its row is
+        the one the previous transaction in the same bank left open (or
+        the row open at entry for each bank's first transaction). Row
+        state and the access/page-hit counters are updated as the
+        scalar path would.
+        """
+        n = len(addresses)
+        rows = addresses // self.row_bytes
+        latencies = np.full(n, self.core_latency, dtype=np.int64)
+        page_hits = 0
+        if self.banks == 1:
+            bank_slices = ((0, None, rows),)
+        else:
+            banks = rows % self.banks
+            bank_slices = tuple(
+                (bank, indices, rows[indices])
+                for bank in range(self.banks)
+                for indices in (np.flatnonzero(banks == bank),)
+            )
+        for bank, indices, bank_rows in bank_slices:
+            if not len(bank_rows):
+                continue
+            previous = np.empty_like(bank_rows)
+            previous[1:] = bank_rows[:-1]
+            open_row = self._open_rows[bank]
+            previous[0] = -1 if open_row is None else open_row
+            hit = bank_rows == previous
+            if indices is None:
+                latencies[hit] = self.page_hit_latency
+            else:
+                latencies[indices[hit]] = self.page_hit_latency
+            page_hits += int(np.count_nonzero(hit))
+            self._open_rows[bank] = int(bank_rows[-1])
+        self.accesses += n
+        self.page_hits += page_hits
+        return latencies
 
     def latency_for(self, address: int) -> int:
         """Peek at the latency of an access without updating row state."""

@@ -194,3 +194,59 @@ def default_memory_library() -> MemoryLibrary:
         )
     )
     return library
+
+
+def mixed_architecture(
+    trace,
+    library: MemoryLibrary | None = None,
+    name: str = "mixed",
+    cache_preset: str = "cache_8k_32b_2w",
+    stream_preset: str = "stream_buffer_4",
+    sram_preset: str = "sram_16k",
+    dram_preset: str = "dram_4bank",
+    dma_preset: str | None = None,
+):
+    """A deterministic mixed-module architecture over ``trace``.
+
+    Cycles the trace's structures over cache → stream buffer → SRAM →
+    uncached DRAM (→ DMA when ``dma_preset`` is given), demoting SRAM
+    picks whose footprints do not fit the remaining capacity back to
+    the cache. The simulation-kernel golden-equivalence tests and the
+    kernel benchmark share this builder because it exercises every
+    batchable module kind — and, with a DMA, the scalar fallback — in
+    one architecture.
+    """
+    # Imported lazily: repro.apex pulls in the explorer, which imports
+    # this module.
+    from repro.apex.architectures import MemoryArchitecture
+    from repro.channels import DRAM
+
+    library = library or default_memory_library()
+    cache = library.get(cache_preset).instantiate("cache")
+    stream = library.get(stream_preset).instantiate("stream")
+    sram = library.get(sram_preset).instantiate("sram")
+    dram = library.get(dram_preset).instantiate()
+    modules = [cache, stream, sram]
+    targets = ["cache", "stream", "sram", DRAM]
+    if dma_preset is not None:
+        modules.append(library.get(dma_preset).instantiate("dma"))
+        targets.append("dma")
+    mapping: dict[str, str] = {}
+    sram_left = sram.capacity
+    for index, struct in enumerate(trace.structs):
+        target = targets[index % len(targets)]
+        if target == "sram":
+            mask = trace.struct_mask(struct)
+            addresses = trace.addresses[mask]
+            footprint = int(
+                addresses.max() - addresses.min() + trace.sizes[mask].max()
+            )
+            if footprint > sram_left:
+                target = "cache"
+            else:
+                sram_left -= footprint
+        if target != DRAM:
+            mapping[struct] = target
+    return MemoryArchitecture(
+        name, modules, dram, mapping, default_module=DRAM
+    )

@@ -1,10 +1,12 @@
-"""Memory-module base class and the behavioural response record."""
+"""Memory-module base class and the behavioural response records."""
 
 from __future__ import annotations
 
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.trace.events import AccessKind
 
@@ -36,6 +38,23 @@ class ModuleResponse:
     prefetch_bytes: int = 0
 
 
+@dataclass(frozen=True, slots=True)
+class BatchResponse:
+    """Columnar outcome of a batch of accesses (see :meth:`access_many`).
+
+    Each field is the per-access column of the corresponding
+    :class:`ModuleResponse` attribute, in presentation order. The byte
+    columns may be ``None`` to mean all-zero, so modules that never
+    produce backing traffic (SRAMs) skip the allocations.
+    """
+
+    hit: np.ndarray
+    latency: np.ndarray
+    refill_bytes: np.ndarray | None = None
+    writeback_bytes: np.ndarray | None = None
+    prefetch_bytes: np.ndarray | None = None
+
+
 class MemoryModule(ABC):
     """A component of the memory architecture.
 
@@ -48,6 +67,13 @@ class MemoryModule(ABC):
 
     #: Short kind tag used in architecture descriptions ("cache"...).
     kind: str = "module"
+
+    #: Whether :meth:`access_many` is a faithful batched equivalent of
+    #: :meth:`access` that the simulation kernel may use on off-window
+    #: spans. A subclass overriding :meth:`access` without keeping
+    #: :meth:`access_many` in lockstep MUST set this back to ``False``;
+    #: the kernel falls back to the scalar loop for such modules.
+    supports_batch: bool = False
 
     #: Whether the module sits on-chip (drives wire models and the
     #: paper's hit/miss accounting: on-chip accesses are hits).
@@ -105,6 +131,25 @@ class MemoryModule(ABC):
         self, address: int, size: int, kind: AccessKind, tick: int
     ) -> ModuleResponse:
         """Present one CPU access; update state; return the outcome."""
+
+    def access_many(
+        self,
+        addresses: np.ndarray,
+        sizes: np.ndarray,
+        kinds: np.ndarray,
+    ) -> BatchResponse | None:
+        """Present a contiguous batch of accesses; return the columns.
+
+        Semantics contract: calling this on ``n`` accesses must leave
+        the module in exactly the state ``n`` sequential :meth:`access`
+        calls would, and the returned columns must equal the ``n``
+        scalar responses element-by-element. Only modules whose access
+        outcome does not depend on the ``tick`` argument can honour
+        that contract (the issue tick is unknown mid-batch); those
+        modules advertise :attr:`supports_batch`. The default
+        implementation returns ``None`` (no batched path).
+        """
+        return None
 
     @abstractmethod
     def reset(self) -> None:

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.memory.area import sram_area_gates
 from repro.memory.energy import sram_access_energy_nj
-from repro.memory.module import MemoryModule, ModuleResponse
+from repro.memory.module import BatchResponse, MemoryModule, ModuleResponse
 from repro.trace.events import AccessKind
 
 
@@ -20,6 +22,7 @@ class Sram(MemoryModule):
     """
 
     kind = "sram"
+    supports_batch = True
 
     def __init__(self, name: str, capacity: int, access_latency: int = 1) -> None:
         super().__init__(name)
@@ -47,3 +50,13 @@ class Sram(MemoryModule):
     ) -> ModuleResponse:
         self.accesses += 1
         return ModuleResponse(hit=True, latency=self.access_latency)
+
+    def access_many(
+        self, addresses: np.ndarray, sizes: np.ndarray, kinds: np.ndarray
+    ) -> BatchResponse:
+        n = len(addresses)
+        self.accesses += n
+        return BatchResponse(
+            hit=np.ones(n, dtype=bool),
+            latency=np.full(n, self.access_latency, dtype=np.int64),
+        )

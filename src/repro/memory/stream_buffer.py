@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.memory.area import prefetch_buffer_area_gates
 from repro.memory.energy import sram_access_energy_nj
-from repro.memory.module import MemoryModule, ModuleResponse
+from repro.memory.module import BatchResponse, MemoryModule, ModuleResponse
 from repro.trace.events import AccessKind
 
 
@@ -24,6 +26,7 @@ class StreamBuffer(MemoryModule):
     """
 
     kind = "stream_buffer"
+    supports_batch = True
 
     def __init__(
         self,
@@ -109,4 +112,48 @@ class StreamBuffer(MemoryModule):
             refill_bytes=0 if write else self.line_size,
             prefetch_bytes=0 if write else (self.depth - 1) * self.line_size,
             writeback_bytes=size if write else 0,
+        )
+
+    def access_many(
+        self, addresses: np.ndarray, sizes: np.ndarray, kinds: np.ndarray
+    ) -> BatchResponse:
+        # After every scalar access the window head equals that access's
+        # line (hits with offset 0 leave it there, everything else moves
+        # it), so the whole batch reduces to a shifted-line comparison.
+        n = len(addresses)
+        line_size = self.line_size
+        depth = self.depth
+        lines = addresses // line_size
+        previous = np.empty_like(lines)
+        previous[1:] = lines[:-1]
+        if self._window_start is None:
+            # Sentinel forcing the cold-start miss of the scalar path.
+            previous[0] = lines[0] + depth
+        else:
+            previous[0] = self._window_start
+        offsets = lines - previous
+        hit = (offsets >= 0) & (offsets < depth)
+        write = kinds == int(AccessKind.WRITE)
+        read = ~write
+        advanced_bytes = np.where(hit & (offsets > 0), offsets, 0) * line_size
+        miss_read = ~hit & read
+        refill = np.where(miss_read, line_size, 0)
+        prefetch = np.where(
+            miss_read,
+            (depth - 1) * line_size,
+            np.where(read, advanced_bytes, 0),
+        )
+        writeback = np.where(
+            write, np.where(hit, advanced_bytes, sizes.astype(np.int64)), 0
+        )
+        hits = int(np.count_nonzero(hit))
+        self.hits += hits
+        self.misses += n - hits
+        self._window_start = int(lines[-1])
+        return BatchResponse(
+            hit=hit,
+            latency=np.full(n, self.hit_latency, dtype=np.int64),
+            refill_bytes=refill,
+            writeback_bytes=writeback,
+            prefetch_bytes=prefetch,
         )

@@ -1,0 +1,563 @@
+"""Columnar fast-path simulation kernel.
+
+:meth:`repro.sim.simulator.Simulator.run` dispatches here by default.
+The kernel produces **bit-identical** :class:`SimulationResult`\\ s to
+the scalar reference loop (``run(reference=True)``) by exploiting the
+structure time-sampling creates in the per-access recurrence:
+
+* **On-window accesses** model contention — bus arbitration waits,
+  DRAM banking against ``dram_free``, busy-cycle accounting — which
+  serializes on the ``lag``/``cluster_free`` state. Those spans run a
+  scalar loop, but one stripped of per-iteration overhead: trace
+  columns converted to plain Python lists once (no numpy scalar
+  boxing, no ``int()`` casts), ``AccessKind`` singletons indexed
+  instead of constructed, sampling predicates materialized to masks,
+  and attribute lookups hoisted to locals.
+* **Off-window accesses** skip contention and statistics entirely, so
+  an access's latency depends only on per-access columns and module
+  state — not on ``lag`` or any channel timeline. Spans whose
+  structures all route to batch-capable modules (direct-DRAM routes,
+  SRAMs, stream buffers, caches — see
+  :attr:`repro.memory.module.MemoryModule.supports_batch`) are
+  evaluated columnar: one ``access_many`` call per module, DRAM
+  open-row latencies for the merged refill/uncached stream in one
+  vectorized pass, and the whole span's ``lag`` contribution reduced
+  with one sum. Spans containing tick-dependent modules (the DMA
+  engines model prefetch timeliness against issue time) fall back to
+  the scalar loop, which keeps their state exact.
+
+Because measured windows are a subset of on windows, off-window spans
+never touch the energy or latency statistics — the batched work is
+pure integer arithmetic and counter sums, which is why equality with
+the reference loop is exact rather than approximate. The
+golden-equivalence suite (``tests/test_sim_kernel_equivalence.py``)
+asserts it across workloads, sampling, write models, and connectivity
+modes.
+
+Setting the environment variable :data:`REFERENCE_ENV`
+(``REPRO_REFERENCE_SIM=1``) forces the reference loop everywhere — the
+debugging escape hatch when bisecting a suspected kernel divergence.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.channels import DRAM
+from repro.errors import SimulationError
+from repro.memory.energy import dram_transaction_energy_nj
+from repro.trace.events import AccessKind
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.sim.simulator import Simulator, _ChannelState, _RunState
+
+#: Environment variable forcing the scalar reference loop.
+REFERENCE_ENV = "REPRO_REFERENCE_SIM"
+
+#: Shortest off-window span worth dispatching to numpy; shorter runs
+#: execute scalar (identical results, lower constant cost).
+MIN_BATCH_SPAN = 64
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: AccessKind singletons indexed by trace kind code (no per-access
+#: enum construction).
+_KINDS = (AccessKind.READ, AccessKind.WRITE)
+
+_WRITE_CODE = int(AccessKind.WRITE)
+
+
+def reference_requested() -> bool:
+    """Has the environment opted out of the kernel?"""
+    return os.environ.get(REFERENCE_ENV, "").strip().lower() in _TRUTHY
+
+
+# -- run plan ---------------------------------------------------------------
+
+
+@dataclass
+class _Group:
+    """Batched evaluation context for one routing target."""
+
+    target: str
+    module: object  # MemoryModule | None for direct-DRAM routes
+    cpu_state: "_ChannelState"
+    backing_state: "_ChannelState | None"
+    batchable: bool
+    # Size→latency memo for the CPU-side component, private to this
+    # run (a global id()-keyed cache would go stale when component
+    # objects die and their ids are reused).
+    timing_memo: dict
+
+
+@dataclass
+class _Plan:
+    """Precomputed per-run columns shared by every span handler."""
+
+    addresses: list
+    sizes: list
+    kinds: list
+    struct_ids: list
+    ticks: list
+    on_list: list | None
+    counted_list: list | None
+
+
+def _build_groups(
+    sim: "Simulator",
+) -> tuple[list[_Group], np.ndarray, np.ndarray]:
+    """One :class:`_Group` per routing target, plus per-struct maps.
+
+    Returns ``(groups, struct_group, struct_batchable)`` where the two
+    arrays are indexed by struct id.
+    """
+    channels = sim._channels
+    groups: list[_Group] = []
+    index_of: dict[str, int] = {}
+    struct_group = np.empty(len(sim._routes), dtype=np.int64)
+    struct_batchable = np.empty(len(sim._routes), dtype=bool)
+    for struct_id, route in enumerate(sim._routes):
+        gid = index_of.get(route.target)
+        if gid is None:
+            gid = len(groups)
+            index_of[route.target] = gid
+            module = route.module
+            batchable = module is None or bool(
+                getattr(type(module), "supports_batch", False)
+            )
+            groups.append(
+                _Group(
+                    target=route.target,
+                    module=module,
+                    cpu_state=channels[route.cpu_channel],
+                    backing_state=(
+                        channels[route.backing_channel]
+                        if route.backing_channel >= 0
+                        else None
+                    ),
+                    batchable=batchable,
+                    timing_memo={},
+                )
+            )
+        struct_group[struct_id] = gid
+        struct_batchable[struct_id] = groups[gid].batchable
+    return groups, struct_group, struct_batchable
+
+
+def _batch_spans(fast: np.ndarray) -> list[tuple[int, int]]:
+    """Maximal runs of ``fast`` at least :data:`MIN_BATCH_SPAN` long."""
+    edges = np.flatnonzero(fast[1:] != fast[:-1]) + 1
+    bounds = [0, *edges.tolist(), len(fast)]
+    return [
+        (bounds[k], bounds[k + 1])
+        for k in range(len(bounds) - 1)
+        if fast[bounds[k]] and bounds[k + 1] - bounds[k] >= MIN_BATCH_SPAN
+    ]
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def run_kernel(sim: "Simulator", state: "_RunState") -> None:
+    """Execute the whole trace into ``state`` (kernel engine)."""
+    trace = sim.trace
+    n = len(trace)
+    sampling = sim.sampling
+
+    on_mask = counted_mask = None
+    if sampling is not None:
+        on_mask, counted_mask = sampling.masks(n)
+
+    plan = _Plan(
+        addresses=trace.addresses.tolist(),
+        sizes=trace.sizes.tolist(),
+        kinds=trace.kinds.tolist(),
+        struct_ids=trace.struct_ids.tolist(),
+        ticks=trace.ticks.tolist(),
+        on_list=None if on_mask is None else on_mask.tolist(),
+        counted_list=None if counted_mask is None else counted_mask.tolist(),
+    )
+
+    spans: list[tuple[int, int]] = []
+    groups: list[_Group] = []
+    struct_group: np.ndarray | None = None
+    dram_batchable = bool(
+        getattr(type(sim.memory.dram), "supports_batch", False)
+    )
+    if on_mask is not None and dram_batchable:
+        groups, struct_group, struct_batchable = _build_groups(sim)
+        fast = ~on_mask & struct_batchable[trace.struct_ids]
+        if fast.any():
+            spans = _batch_spans(fast)
+
+    cursor = 0
+    for start, stop in spans:
+        if cursor < start:
+            _scalar_span(sim, state, plan, cursor, start)
+        _batch_span(sim, state, struct_group, groups, start, stop)
+        cursor = stop
+    if cursor < n:
+        _scalar_span(sim, state, plan, cursor, n)
+
+
+# -- scalar spans -----------------------------------------------------------
+
+
+def _scalar_span(
+    sim: "Simulator",
+    state: "_RunState",
+    plan: _Plan,
+    span_start: int,
+    span_stop: int,
+) -> None:
+    """The reference recurrence over ``[span_start, span_stop)``.
+
+    Operation-for-operation the loop of
+    :meth:`Simulator._reference_loop` (same integer updates, same float
+    accumulation order), re-expressed over the plan's pre-converted
+    Python-list columns with per-iteration allocations removed.
+    """
+    channels = sim._channels
+    routes = sim._routes
+    posted_writes = sim.posted_writes
+    dram_transaction = sim._dram_transaction
+    background_traffic = sim._background_traffic
+    transaction_energy = dram_transaction_energy_nj
+    kind_table = _KINDS
+    write_kind = AccessKind.WRITE
+
+    addresses = plan.addresses
+    sizes = plan.sizes
+    kinds = plan.kinds
+    struct_ids = plan.struct_ids
+    ticks = plan.ticks
+    on_list = plan.on_list
+    counted_list = plan.counted_list
+    no_sampling = on_list is None
+
+    cluster_free = state.cluster_free
+    dram_free = state.dram_free
+    lag = state.lag
+    measured = state.measured
+    latency_sum = state.latency_sum
+    energy_sum = state.energy_sum
+    energy_modules = state.energy_modules
+    energy_dram = state.energy_dram
+    energy_wires = state.energy_wires
+    misses = state.misses
+    module_counts = state.module_counts
+    struct_counts = state.struct_counts
+    struct_latency = state.struct_latency
+
+    for i in range(span_start, span_stop):
+        address = addresses[i]
+        size = sizes[i]
+        kind = kind_table[kinds[i]]
+        struct_id = struct_ids[i]
+        route = routes[struct_id]
+        issue = ticks[i] + lag
+        if no_sampling:
+            on_window = True
+            counted = True
+        else:
+            on_window = on_list[i]
+            counted = counted_list[i]
+
+        cpu_state = channels[route.cpu_channel]
+        energy = 0.0
+
+        if route.module is None:
+            # Uncached: straight to DRAM over the off-chip connection.
+            completion, wait, dram_free, page_hit = dram_transaction(
+                cpu_state, issue, address, size, cluster_free, dram_free,
+                on_window,
+            )
+            misses += 1
+            counts = module_counts[DRAM]
+            counts[0] += 1
+            counts[2] += 1
+            if counted:
+                dram_nj = transaction_energy(size, page_hit)
+                wire_nj = size * cpu_state.energy_per_byte
+                energy += dram_nj + wire_nj
+                energy_dram += dram_nj
+                energy_wires += wire_nj
+            cpu_state.bytes_moved += size
+            cpu_state.transactions += 1
+            cpu_state.wait_cycles += wait
+        else:
+            component = cpu_state.component
+            if component is None:
+                start = issue
+                wait = 0
+                conn_latency = 0
+                occupancy = 0
+            else:
+                free = cluster_free[cpu_state.cluster_index]
+                start = issue if issue >= free else free
+                if not on_window:
+                    start = issue
+                wait = start - issue
+                timing = component.timing(size)
+                conn_latency = timing.latency
+                occupancy = timing.occupancy
+
+            arrival = start + conn_latency
+            response = route.module.access(address, size, kind, arrival)
+            served = arrival + response.latency
+            counts = module_counts[route.target]
+            counts[0] += 1
+            if response.hit:
+                counts[1] += 1
+            else:
+                counts[2] += 1
+                misses += 1
+
+            completion = served
+            backing = route.backing_channel
+            if backing >= 0:
+                back_state = channels[backing]
+                if response.refill_bytes:
+                    completion, back_wait, dram_free, page_hit = (
+                        dram_transaction(
+                            back_state, served, address,
+                            response.refill_bytes, cluster_free,
+                            dram_free, on_window,
+                        )
+                    )
+                    back_state.bytes_moved += response.refill_bytes
+                    back_state.transactions += 1
+                    back_state.wait_cycles += back_wait
+                    if counted:
+                        dram_nj = transaction_energy(
+                            response.refill_bytes, page_hit
+                        )
+                        wire_nj = (
+                            response.refill_bytes * back_state.energy_per_byte
+                        )
+                        energy += dram_nj + wire_nj
+                        energy_dram += dram_nj
+                        energy_wires += wire_nj
+                off_path = response.writeback_bytes + response.prefetch_bytes
+                if off_path:
+                    dram_free = background_traffic(
+                        back_state, served, off_path, cluster_free,
+                        dram_free, on_window,
+                    )
+                    if counted:
+                        # Background prefetch/writeback bursts run in
+                        # page mode.
+                        dram_nj = transaction_energy(off_path, True)
+                        wire_nj = off_path * back_state.energy_per_byte
+                        energy += dram_nj + wire_nj
+                        energy_dram += dram_nj
+                        energy_wires += wire_nj
+
+            if component is not None and on_window:
+                cluster = cpu_state.cluster_index
+                if component.split_transactions or completion == served:
+                    busy_until = start + occupancy
+                else:
+                    # Non-split bus held for the whole miss.
+                    busy_until = completion
+                cpu_state.busy_cycles += max(0, busy_until - start)
+                if busy_until > cluster_free[cluster]:
+                    cluster_free[cluster] = busy_until
+            cpu_state.bytes_moved += size
+            cpu_state.transactions += 1
+            cpu_state.wait_cycles += wait
+            if counted:
+                module_nj = route.module.access_energy_nj
+                wire_nj = size * cpu_state.energy_per_byte
+                energy += module_nj + wire_nj
+                energy_modules += module_nj
+                energy_wires += wire_nj
+
+        latency = completion - issue
+        if latency < 1:
+            raise SimulationError(
+                f"access {i} completed in {latency} cycles"
+            )
+        if posted_writes and kind == write_kind:
+            # Posted write: the CPU moves on after one issue slot;
+            # the transfer still happened on the channels above.
+            latency = 1
+        lag += latency - 1
+        if counted:
+            measured += 1
+            latency_sum += latency
+            energy_sum += energy
+            struct_counts[struct_id] += 1
+            struct_latency[struct_id] += latency
+
+    state.dram_free = dram_free
+    state.lag = lag
+    state.measured = measured
+    state.latency_sum = latency_sum
+    state.energy_sum = energy_sum
+    state.energy_modules = energy_modules
+    state.energy_dram = energy_dram
+    state.energy_wires = energy_wires
+    state.misses = misses
+
+
+# -- batched spans ----------------------------------------------------------
+
+
+def _size_column(
+    component, sizes: np.ndarray, attribute_cache: dict
+) -> np.ndarray:
+    """Per-access connection latencies over ``component`` (vectorized).
+
+    Sizes take a handful of distinct values (1/2/4/8 plus line sizes),
+    so the ``component.timing`` results are memoized per size and
+    painted over the column by equality mask.
+    """
+    out = np.zeros(len(sizes), dtype=np.int64)
+    for value in np.unique(sizes).tolist():
+        latency = attribute_cache.get(value)
+        if latency is None:
+            latency = component.timing(value).latency
+            attribute_cache[value] = latency
+        out[sizes == value] = latency
+    return out
+
+
+def _beats_cycles(component, sizes: np.ndarray) -> np.ndarray:
+    """Vectorized ``component.beats(size) * cycles_per_beat``."""
+    sizes = sizes.astype(np.int64, copy=False)
+    return (
+        -(-sizes // component.width_bytes) * component.cycles_per_beat
+    )
+
+
+def _batch_span(
+    sim: "Simulator",
+    state: "_RunState",
+    struct_group: np.ndarray,
+    groups: list[_Group],
+    span_start: int,
+    span_stop: int,
+) -> None:
+    """One off-window span, evaluated columnar.
+
+    Every access in the span is off-window (no contention, no energy,
+    no measured statistics) and routes to a batch-capable target, so
+    the span reduces to: per-module ``access_many`` calls, one merged
+    DRAM open-row pass for refills and uncached accesses in trace
+    order, counter sums, and a single ``lag`` update.
+    """
+    trace = sim.trace
+    addresses = trace.addresses[span_start:span_stop]
+    sizes = trace.sizes[span_start:span_stop]
+    kinds = trace.kinds[span_start:span_stop]
+    group_col = struct_group[trace.struct_ids[span_start:span_stop]]
+    span_n = span_stop - span_start
+
+    latencies = np.zeros(span_n, dtype=np.int64)
+    dram_positions: list[np.ndarray] = []
+    dram_addresses: list[np.ndarray] = []
+
+    for gid in np.unique(group_col).tolist():
+        group = groups[gid]
+        positions = np.flatnonzero(group_col == gid)
+        g_addresses = addresses[positions]
+        g_sizes = sizes[positions]
+        count = len(positions)
+        cpu_state = group.cpu_state
+        component = cpu_state.component
+
+        if group.module is None:
+            # Uncached: straight to DRAM over the off-chip connection.
+            if component is None:
+                base = np.zeros(count, dtype=np.int64)
+            else:
+                base = component.base_latency + _beats_cycles(
+                    component, g_sizes
+                )
+            latencies[positions] = base
+            dram_positions.append(positions)
+            dram_addresses.append(g_addresses)
+            counts = state.module_counts[DRAM]
+            counts[0] += count
+            counts[2] += count
+            state.misses += count
+        else:
+            outcome = group.module.access_many(
+                g_addresses, g_sizes, kinds[positions]
+            )
+            if component is None:
+                lat = outcome.latency.astype(np.int64, copy=True)
+            else:
+                lat = outcome.latency + _size_column(
+                    component, g_sizes, group.timing_memo
+                )
+            hits = int(np.count_nonzero(outcome.hit))
+            counts = state.module_counts[group.target]
+            counts[0] += count
+            counts[1] += hits
+            counts[2] += count - hits
+            state.misses += count - hits
+
+            back_state = group.backing_state
+            if back_state is not None:
+                refill = outcome.refill_bytes
+                if refill is not None and refill.any():
+                    refill_at = np.flatnonzero(refill)
+                    refill_bytes = refill[refill_at]
+                    back_component = back_state.component
+                    if back_component is None:
+                        extra = np.zeros(len(refill_at), dtype=np.int64)
+                    else:
+                        extra = back_component.base_latency + _beats_cycles(
+                            back_component, refill_bytes
+                        )
+                    lat[refill_at] += extra
+                    dram_positions.append(positions[refill_at])
+                    dram_addresses.append(g_addresses[refill_at])
+                    back_state.bytes_moved += int(refill_bytes.sum())
+                    back_state.transactions += len(refill_at)
+                writeback = outcome.writeback_bytes
+                prefetch = outcome.prefetch_bytes
+                if writeback is None:
+                    off_path = prefetch
+                elif prefetch is None:
+                    off_path = writeback
+                else:
+                    off_path = writeback + prefetch
+                if off_path is not None:
+                    background = int(np.count_nonzero(off_path))
+                    if background:
+                        back_state.bytes_moved += int(off_path.sum())
+                        back_state.background_transactions += background
+            latencies[positions] = lat
+
+        cpu_state.bytes_moved += int(g_sizes.sum())
+        cpu_state.transactions += count
+
+    if dram_positions:
+        # One open-row pass over every DRAM transaction, in trace order
+        # (module state only sees its own accesses, but the DRAM row
+        # registers see the merged stream).
+        merged_positions = np.concatenate(dram_positions)
+        merged_addresses = np.concatenate(dram_addresses)
+        order = np.argsort(merged_positions, kind="stable")
+        core = sim.memory.dram.open_row_latencies(merged_addresses[order])
+        latencies[merged_positions[order]] += core
+
+    if latencies.min() < 1:
+        # Match the reference loop: report the first offending access.
+        bad = int(np.argmax(latencies < 1))
+        raise SimulationError(
+            f"access {span_start + bad} completed in "
+            f"{int(latencies[bad])} cycles"
+        )
+    if sim.posted_writes:
+        lag_deltas = np.where(kinds == _WRITE_CODE, 0, latencies - 1)
+    else:
+        lag_deltas = latencies - 1
+    state.lag += int(lag_deltas.sum())

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 
 
@@ -55,3 +57,17 @@ class SamplingConfig:
         """Is access ``index`` counted in the statistics?"""
         position = index % self.period
         return self.warmup <= position < self.on_window
+
+    def masks(self, length: int) -> tuple[np.ndarray, np.ndarray]:
+        """Materialized ``(on, measured)`` boolean masks.
+
+        ``masks(n)[0][i] == is_on(i)`` and ``masks(n)[1][i] ==
+        is_measured(i)`` for every ``i < n`` — the whole-trace columns
+        the simulation kernel batches over instead of calling the
+        per-index predicates a million times. Measured windows are a
+        subset of on windows by construction (``warmup < on_window``).
+        """
+        positions = np.arange(length, dtype=np.int64) % self.period
+        on = positions < self.on_window
+        measured = on & (positions >= self.warmup)
+        return on, measured

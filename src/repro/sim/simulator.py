@@ -24,6 +24,13 @@ Timing model (cycle-approximate, single in-order CPU master):
 Energy model: module array energy per access, DRAM core + pin energy
 per DRAM transaction, and wire switching energy per byte per
 connection (from the connectivity architecture's wire models).
+
+Execution engines: :meth:`Simulator.run` dispatches to the columnar
+fast-path kernel (:mod:`repro.sim.kernels`) by default and to the
+scalar reference loop kept in this module with ``run(reference=True)``
+or ``REPRO_REFERENCE_SIM=1``. The two produce bit-identical
+:class:`SimulationResult`\\ s — the kernel's golden-equivalence suite
+asserts it — so callers and caches never need to know which ran.
 """
 
 from __future__ import annotations
@@ -31,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.channels import DRAM, Channel
 from repro.connectivity.architecture import ConnectivityArchitecture
@@ -73,6 +82,57 @@ class _ChannelState:
     wait_cycles: int = 0
     background_transactions: int = 0
     busy_cycles: int = 0
+
+    def reset(self) -> None:
+        """Zero the traffic counters so one Simulator can run repeatedly."""
+        self.transactions = 0
+        self.bytes_moved = 0
+        self.wait_cycles = 0
+        self.background_transactions = 0
+        self.busy_cycles = 0
+
+
+class _RunState:
+    """Mutable whole-run accumulators shared by both execution engines.
+
+    The reference loop and the columnar kernel both read and write this
+    record span by span, so a run can interleave scalar and batched
+    spans while accumulating one consistent set of statistics.
+    """
+
+    __slots__ = (
+        "cluster_free",
+        "dram_free",
+        "lag",
+        "measured",
+        "latency_sum",
+        "energy_sum",
+        "energy_modules",
+        "energy_dram",
+        "energy_wires",
+        "misses",
+        "module_counts",
+        "struct_counts",
+        "struct_latency",
+    )
+
+    def __init__(self, simulator: "Simulator") -> None:
+        channels = simulator._channels
+        self.cluster_free = [0] * (1 + max(c.cluster_index for c in channels))
+        self.dram_free = 0
+        self.lag = 0
+        self.measured = 0
+        self.latency_sum = 0
+        self.energy_sum = 0.0
+        self.energy_modules = 0.0
+        self.energy_dram = 0.0
+        self.energy_wires = 0.0
+        self.misses = 0
+        self.module_counts: dict[str, list[int]] = {
+            r.target: [0, 0, 0] for r in simulator._routes
+        }
+        self.struct_counts = [0] * len(simulator._routes)
+        self.struct_latency = [0] * len(simulator._routes)
 
 
 class Simulator:
@@ -180,13 +240,17 @@ class Simulator:
             if isinstance(module, SelfIndirectDma):
                 dma_targets[name] = []
         if dma_targets:
-            struct_targets = [r.target for r in self._routes]
             addresses = self.trace.addresses
             struct_ids = self.trace.struct_ids
-            for i in range(len(self.trace)):
-                target = struct_targets[struct_ids[i]]
-                if target in dma_targets:
-                    dma_targets[target].append(int(addresses[i]))
+            for name in dma_targets:
+                serving = np.flatnonzero(
+                    np.array([r.target == name for r in self._routes])
+                )
+                if len(serving) == 1:
+                    mask = struct_ids == serving[0]
+                else:
+                    mask = np.isin(struct_ids, serving)
+                dma_targets[name] = addresses[mask].tolist()
             for name, sequence in dma_targets.items():
                 module = self.memory.modules[name]
                 assert isinstance(module, SelfIndirectDma)
@@ -203,19 +267,41 @@ class Simulator:
 
     # -- main loop -------------------------------------------------------
 
-    def run(self) -> SimulationResult:
-        """Simulate the whole trace and return the aggregate result."""
+    def run(self, reference: bool | None = None) -> SimulationResult:
+        """Simulate the whole trace and return the aggregate result.
+
+        Args:
+            reference: ``True`` forces the scalar reference loop,
+                ``False`` forces the columnar kernel, and ``None`` (the
+                default) selects the kernel unless the
+                ``REPRO_REFERENCE_SIM`` environment variable opts out.
+                Both engines return bit-identical results.
+        """
+        from repro.sim.kernels import reference_requested, run_kernel
+
+        if reference is None:
+            reference = reference_requested()
         self._prime_modules()
+        for channel_state in self._channels:
+            channel_state.reset()
+        state = _RunState(self)
+        if reference:
+            self._reference_loop(state)
+        else:
+            run_kernel(self, state)
+        return self._finalize(state)
+
+    def _reference_loop(self, state: _RunState) -> None:
+        """The original per-access Python loop, kept as ground truth."""
         trace = self.trace
         dram = self.memory.dram
         sampling = self.sampling
         channels = self._channels
         routes = self._routes
 
-        n_clusters = 1 + max(c.cluster_index for c in channels)
-        cluster_free = [0] * n_clusters
-        dram_free = 0
-        lag = 0
+        cluster_free = state.cluster_free
+        dram_free = state.dram_free
+        lag = state.lag
 
         addresses = trace.addresses
         sizes = trace.sizes
@@ -223,18 +309,16 @@ class Simulator:
         struct_ids = trace.struct_ids
         ticks = trace.ticks
 
-        measured = 0
-        latency_sum = 0
-        energy_sum = 0.0
-        energy_modules = 0.0
-        energy_dram = 0.0
-        energy_wires = 0.0
-        misses = 0
-        module_counts: dict[str, list[int]] = {
-            r.target: [0, 0, 0] for r in routes
-        }
-        struct_counts = [0] * len(routes)
-        struct_latency = [0] * len(routes)
+        measured = state.measured
+        latency_sum = state.latency_sum
+        energy_sum = state.energy_sum
+        energy_modules = state.energy_modules
+        energy_dram = state.energy_dram
+        energy_wires = state.energy_wires
+        misses = state.misses
+        module_counts = state.module_counts
+        struct_counts = state.struct_counts
+        struct_latency = state.struct_latency
 
         for i in range(len(trace)):
             address = int(addresses[i])
@@ -373,15 +457,36 @@ class Simulator:
                 struct_counts[struct_id] += 1
                 struct_latency[struct_id] += latency
 
+        state.cluster_free = cluster_free
+        state.dram_free = dram_free
+        state.lag = lag
+        state.measured = measured
+        state.latency_sum = latency_sum
+        state.energy_sum = energy_sum
+        state.energy_modules = energy_modules
+        state.energy_dram = energy_dram
+        state.energy_wires = energy_wires
+        state.misses = misses
+
+    def _finalize(self, state: _RunState) -> SimulationResult:
+        """Fold the accumulated run state into a :class:`SimulationResult`."""
+        trace = self.trace
+        measured = state.measured
         if measured == 0:
             raise SimulationError("sampling measured no accesses")
 
+        latency_sum = state.latency_sum
+        lag = state.lag
+        misses = state.misses
+        struct_counts = state.struct_counts
+        struct_latency = state.struct_latency
+
         avg_latency = latency_sum / measured
-        avg_energy = energy_sum / measured
+        avg_energy = state.energy_sum / measured
         breakdown = {
-            "modules": energy_modules / measured,
-            "dram": energy_dram / measured,
-            "connectivity": energy_wires / measured,
+            "modules": state.energy_modules / measured,
+            "dram": state.energy_dram / measured,
+            "connectivity": state.energy_wires / measured,
         }
         memory_cost = self.memory.area_gates
         connectivity_cost = (
@@ -393,7 +498,7 @@ class Simulator:
             name: ModuleStats(
                 name=name, accesses=c[0], hits=c[1], misses=c[2]
             )
-            for name, c in module_counts.items()
+            for name, c in state.module_counts.items()
         }
         struct_stats = {}
         for struct_id, struct_name in enumerate(trace.structs):
@@ -408,15 +513,15 @@ class Simulator:
                 share=total_latency / latency_sum if latency_sum else 0.0,
             )
         channel_stats = {
-            state.channel.name: ChannelTraffic(
-                channel_name=state.channel.name,
-                transactions=state.transactions,
-                bytes_moved=state.bytes_moved,
-                total_wait_cycles=state.wait_cycles,
-                background_transactions=state.background_transactions,
-                busy_cycles=state.busy_cycles,
+            channel_state.channel.name: ChannelTraffic(
+                channel_name=channel_state.channel.name,
+                transactions=channel_state.transactions,
+                bytes_moved=channel_state.bytes_moved,
+                total_wait_cycles=channel_state.wait_cycles,
+                background_transactions=channel_state.background_transactions,
+                busy_cycles=channel_state.busy_cycles,
             )
-            for state in channels
+            for channel_state in self._channels
         }
         return SimulationResult(
             trace_name=trace.name,
@@ -528,8 +633,9 @@ def simulate(
     connectivity: ConnectivityArchitecture | None = None,
     sampling: SamplingConfig | None = None,
     posted_writes: bool = False,
+    reference: bool | None = None,
 ) -> SimulationResult:
     """One-shot convenience wrapper around :class:`Simulator`."""
     return Simulator(
         trace, memory, connectivity, sampling, posted_writes
-    ).run()
+    ).run(reference=reference)

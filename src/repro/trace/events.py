@@ -151,6 +151,9 @@ class Trace:
         self.struct_ids = struct_ids
         self.ticks = ticks
         self.structs: tuple[str, ...] = tuple(structs)
+        self._struct_index: dict[str, int] = {
+            name: index for index, name in enumerate(self.structs)
+        }
         for arrays in (addresses, sizes, kinds, struct_ids, ticks):
             arrays.setflags(write=False)
         self._fingerprint: str | None = None
@@ -212,13 +215,18 @@ class Trace:
         """Names of all data structures appearing in the trace."""
         return self.structs
 
-    def struct_mask(self, struct: str) -> np.ndarray:
-        """Boolean mask selecting the accesses of one data structure."""
-        if struct not in self.structs:
+    def struct_id(self, struct: str) -> int:
+        """Column id of one data structure (O(1) name lookup)."""
+        try:
+            return self._struct_index[struct]
+        except KeyError:
             raise TraceError(
                 f"unknown structure '{struct}' in trace '{self.name}'"
-            )
-        return self.struct_ids == self.structs.index(struct)
+            ) from None
+
+    def struct_mask(self, struct: str) -> np.ndarray:
+        """Boolean mask selecting the accesses of one data structure."""
+        return self.struct_ids == self.struct_id(struct)
 
     def counts_by_struct(self) -> Mapping[str, int]:
         """Access counts keyed by data-structure name."""

@@ -1,5 +1,6 @@
 """Unit tests for the time-sampling configuration."""
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
@@ -31,6 +32,46 @@ def test_is_measured_excludes_warmup():
 def test_zero_off_ratio_always_on():
     config = SamplingConfig(on_window=5, off_ratio=0, warmup=0)
     assert all(config.is_on(i) for i in range(50))
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        SamplingConfig(),
+        SamplingConfig(on_window=10, off_ratio=1, warmup=3),
+        SamplingConfig(on_window=5, off_ratio=0, warmup=0),
+        SamplingConfig(on_window=7, off_ratio=3, warmup=2),
+        SamplingConfig(on_window=1, off_ratio=9, warmup=0),
+    ],
+)
+def test_masks_match_predicates_elementwise(config):
+    """The materialized masks are the predicates, index by index."""
+    length = 3 * config.period + 5
+    on, measured = config.masks(length)
+    assert len(on) == len(measured) == length
+    assert on.dtype == measured.dtype == np.bool_
+    assert on.tolist() == [config.is_on(i) for i in range(length)]
+    assert measured.tolist() == [
+        config.is_measured(i) for i in range(length)
+    ]
+
+
+@pytest.mark.parametrize(
+    "config",
+    [SamplingConfig(), SamplingConfig(on_window=16, off_ratio=4, warmup=5)],
+)
+def test_measured_is_subset_of_on(config):
+    on, measured = config.masks(10 * config.period)
+    assert not np.any(measured & ~on)
+
+
+def test_masks_handle_short_lengths():
+    config = SamplingConfig(on_window=100, off_ratio=9, warmup=10)
+    on, measured = config.masks(3)  # shorter than one on-window
+    assert on.tolist() == [True, True, True]
+    assert measured.tolist() == [False, False, False]
+    on, measured = config.masks(0)
+    assert len(on) == len(measured) == 0
 
 
 def test_validation():

@@ -1,0 +1,278 @@
+"""Golden equivalence: the columnar kernel vs the reference loop.
+
+The contract of :mod:`repro.sim.kernels` is exact — not approximate —
+equality: for any trace, architecture, connectivity, sampling, and
+write model, ``run(reference=False)`` must return a
+:class:`SimulationResult` equal field-for-field (including every float,
+stats dict, and per-channel counter) to ``run(reference=True)``. This
+suite asserts it across all five workloads × sampling on/off × posted
+writes on/off × {ideal, AMBA, mux} connectivity, plus module-level
+batch-vs-scalar property checks for each ``supports_batch`` module.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.connectivity.architecture import (
+    ConnectivityArchitecture,
+    build_cluster,
+)
+from repro.connectivity.library import default_connectivity_library
+from repro.memory.cache import Cache, WritePolicy
+from repro.memory.dram import Dram
+from repro.memory.library import default_memory_library, mixed_architecture
+from repro.memory.stream_buffer import StreamBuffer
+from repro.sim.kernels import MIN_BATCH_SPAN, _batch_spans, reference_requested
+from repro.sim.sampling import SamplingConfig
+from repro.sim.simulator import simulate
+from repro.trace.events import AccessKind
+from repro.workloads import get_workload
+
+#: Scales chosen so every workload's trace spans multiple sampling
+#: periods (so batched spans actually run) while the grid stays fast.
+WORKLOAD_SCALES = {
+    "compress": 0.12,
+    "li": 0.08,
+    "vocoder": 0.5,
+    "dct": 1.0,
+    "matmul": 1.0,
+}
+
+#: Small windows → many on/off transitions per trace.
+SAMPLING = SamplingConfig(on_window=256, off_ratio=9, warmup=32)
+
+CONNECTIVITY_MODES = ("ideal", "amba", "mux")
+
+MEM_LIBRARY = default_memory_library()
+CONN_LIBRARY = default_connectivity_library()
+
+
+@functools.lru_cache(maxsize=None)
+def _trace(workload: str):
+    return get_workload(workload, scale=WORKLOAD_SCALES[workload], seed=7).trace()
+
+
+@functools.lru_cache(maxsize=None)
+def _architecture(workload: str):
+    return mixed_architecture(_trace(workload), MEM_LIBRARY)
+
+
+def _connectivity(memory, trace, mode: str):
+    if mode == "ideal":
+        return None
+    channels = memory.channels(trace)
+    on_chip = [c for c in channels if not c.crosses_chip]
+    crossing = [c for c in channels if c.crosses_chip]
+    clusters = []
+    if mode == "amba":
+        if on_chip:
+            preset = CONN_LIBRARY.get("ahb")
+            clusters.append(build_cluster(on_chip, "ahb", preset.instantiate()))
+    else:
+        # Point-to-point muxes: one component per on-chip channel.
+        preset = CONN_LIBRARY.get("mux")
+        for channel in on_chip:
+            clusters.append(
+                build_cluster([channel], "mux", preset.instantiate())
+            )
+    if crossing:
+        preset = CONN_LIBRARY.get("offchip_16")
+        clusters.append(
+            build_cluster(crossing, "offchip_16", preset.instantiate())
+        )
+    return ConnectivityArchitecture(mode, clusters)
+
+
+GRID = list(
+    itertools.product(
+        sorted(WORKLOAD_SCALES),
+        ("unsampled", "sampled"),
+        (False, True),
+        CONNECTIVITY_MODES,
+    )
+)
+
+
+@pytest.mark.parametrize("workload,sampling_mode,posted,conn_mode", GRID)
+def test_kernel_matches_reference(workload, sampling_mode, posted, conn_mode):
+    trace = _trace(workload)
+    memory = _architecture(workload)
+    connectivity = _connectivity(memory, trace, conn_mode)
+    sampling = SAMPLING if sampling_mode == "sampled" else None
+    reference = simulate(
+        trace, memory, connectivity, sampling, posted, reference=True
+    )
+    kernel = simulate(
+        trace, memory, connectivity, sampling, posted, reference=False
+    )
+    # SimulationResult is a frozen dataclass: == covers every numeric
+    # field, the module/channel/struct stats dicts, and the energy
+    # breakdown, all compared exactly.
+    assert kernel == reference
+
+
+def test_kernel_matches_reference_with_dma_fallback():
+    """DMA-mapped structures force scalar spans; results stay exact."""
+    trace = _trace("li")
+    memory = mixed_architecture(trace, MEM_LIBRARY, dma_preset="si_dma_32")
+    reference = simulate(trace, memory, None, SAMPLING, reference=True)
+    kernel = simulate(trace, memory, None, SAMPLING, reference=False)
+    assert kernel == reference
+
+
+def test_environment_opt_out(monkeypatch):
+    """``REPRO_REFERENCE_SIM=1`` routes default runs to the reference."""
+    monkeypatch.delenv("REPRO_REFERENCE_SIM", raising=False)
+    assert not reference_requested()
+    for value in ("1", "true", "YES", " on "):
+        monkeypatch.setenv("REPRO_REFERENCE_SIM", value)
+        assert reference_requested()
+    monkeypatch.setenv("REPRO_REFERENCE_SIM", "0")
+    assert not reference_requested()
+    # Either way the result is the same object value.
+    trace = _trace("matmul")
+    memory = _architecture("matmul")
+    monkeypatch.setenv("REPRO_REFERENCE_SIM", "1")
+    via_env = simulate(trace, memory, None, SAMPLING)
+    monkeypatch.delenv("REPRO_REFERENCE_SIM")
+    assert simulate(trace, memory, None, SAMPLING) == via_env
+
+
+def test_batch_span_segmentation():
+    """Only maximal fast runs of at least MIN_BATCH_SPAN batch."""
+    fast = np.zeros(1000, dtype=bool)
+    fast[100:200] = True  # long enough
+    fast[300 : 300 + MIN_BATCH_SPAN - 1] = True  # one short
+    fast[900:1000] = True  # runs to the end
+    assert _batch_spans(fast) == [(100, 200), (900, 1000)]
+    assert _batch_spans(np.ones(5, dtype=bool)) == []
+    assert _batch_spans(np.ones(MIN_BATCH_SPAN, dtype=bool)) == [
+        (0, MIN_BATCH_SPAN)
+    ]
+    assert _batch_spans(np.zeros(MIN_BATCH_SPAN, dtype=bool)) == []
+
+
+# -- module-level batch-vs-scalar properties --------------------------------
+
+
+def _random_columns(seed: int, n: int = 600, span: int = 1 << 14):
+    rng = np.random.default_rng(seed)
+    mixed = np.where(
+        rng.random(n) < 0.6,
+        np.cumsum(rng.integers(1, 9, n)) % span,  # mostly sequential
+        rng.integers(0, span, n),  # with random jumps
+    )
+    return (
+        mixed.astype(np.int64),
+        rng.choice([1, 2, 4, 8], n).astype(np.int32),
+        rng.integers(0, 2, n).astype(np.int8),
+    )
+
+
+def _scalar_replay(module, addresses, sizes, kinds):
+    columns = ([], [], [], [], [])
+    for i in range(len(addresses)):
+        response = module.access(
+            int(addresses[i]),
+            int(sizes[i]),
+            AccessKind(int(kinds[i])),
+            tick=0,
+        )
+        for column, value in zip(
+            columns,
+            (
+                response.hit,
+                response.latency,
+                response.refill_bytes,
+                response.writeback_bytes,
+                response.prefetch_bytes,
+            ),
+        ):
+            column.append(value)
+    return columns
+
+
+def _assert_batch_matches(make_module, seed):
+    addresses, sizes, kinds = _random_columns(seed)
+    scalar_module, batch_module = make_module(), make_module()
+    hits, latencies, refills, writebacks, prefetches = _scalar_replay(
+        scalar_module, addresses, sizes, kinds
+    )
+    # Split in two to check state carries across batch boundaries.
+    mid = len(addresses) // 3
+    halves = [
+        batch_module.access_many(addresses[:mid], sizes[:mid], kinds[:mid]),
+        batch_module.access_many(addresses[mid:], sizes[mid:], kinds[mid:]),
+    ]
+
+    def merged(field):
+        parts = []
+        for half, count in zip(halves, (mid, len(addresses) - mid)):
+            column = getattr(half, field)
+            parts.append(
+                np.zeros(count, dtype=np.int64) if column is None else column
+            )
+        return np.concatenate(parts)
+
+    assert merged("hit").astype(bool).tolist() == hits
+    assert merged("latency").tolist() == latencies
+    assert merged("refill_bytes").tolist() == refills
+    assert merged("writeback_bytes").tolist() == writebacks
+    assert merged("prefetch_bytes").tolist() == prefetches
+    assert (scalar_module.hits, scalar_module.misses) == (
+        batch_module.hits,
+        batch_module.misses,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize(
+    "policy", [WritePolicy.WRITE_BACK, WritePolicy.WRITE_THROUGH]
+)
+def test_cache_access_many_matches_access(seed, policy):
+    _assert_batch_matches(
+        lambda: Cache(
+            "c", capacity=2048, line_size=32, associativity=2,
+            write_policy=policy,
+        ),
+        seed,
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("depth", [2, 4])
+def test_stream_buffer_access_many_matches_access(seed, depth):
+    _assert_batch_matches(
+        lambda: StreamBuffer("s", depth=depth, line_size=32), seed
+    )
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+@pytest.mark.parametrize("banks", [1, 4])
+def test_dram_open_row_latencies_match_access(seed, banks):
+    addresses, sizes, kinds = _random_columns(seed, span=1 << 18)
+    scalar, batched = (
+        Dram("d", row_bytes=1024, banks=banks) for _ in range(2)
+    )
+    expected = [
+        scalar.access(int(a), int(s), AccessKind(int(k)), tick=0).latency
+        for a, s, k in zip(addresses, sizes, kinds)
+    ]
+    mid = len(addresses) // 2
+    got = np.concatenate(
+        [
+            batched.open_row_latencies(addresses[:mid]),
+            batched.open_row_latencies(addresses[mid:]),
+        ]
+    )
+    assert got.tolist() == expected
+    assert (scalar.accesses, scalar.page_hits) == (
+        batched.accesses,
+        batched.page_hits,
+    )
+    assert scalar._open_rows == batched._open_rows
