@@ -150,6 +150,33 @@ def record_parallel_timing(
 KERNEL_TIMINGS = OUTPUT_DIR / "BENCH_sim_kernel.json"
 
 
+#: Machine-readable execution-runtime overhead records (same
+#: replace-by-name convention as BENCH_parallel.json).
+RUNTIME_TIMINGS = OUTPUT_DIR / "BENCH_runtime.json"
+
+
+def record_runtime_timing(stem: str, **fields) -> dict:
+    """Append one execution-runtime record to BENCH_runtime.json.
+
+    Field names are benchmark-specific (dispatch overhead and columnar
+    estimation report different quantities); ``cpu_count`` is stamped
+    on every record so a reader can judge pool numbers from a starved
+    machine fairly.
+    """
+    record = {"name": stem, **fields, "cpu_count": os.cpu_count()}
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    records = []
+    if RUNTIME_TIMINGS.exists():
+        try:
+            records = json.loads(RUNTIME_TIMINGS.read_text())
+        except ValueError:
+            records = []
+    records = [r for r in records if r.get("name") != stem]
+    records.append(record)
+    RUNTIME_TIMINGS.write_text(json.dumps(records, indent=2) + "\n")
+    return record
+
+
 def record_kernel_timing(
     stem: str,
     reference_seconds: float,

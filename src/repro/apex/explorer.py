@@ -28,6 +28,7 @@ from repro.apex.architectures import DRAM, MemoryArchitecture
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache
 from repro.exec.engine import SimulationJob, simulate_many
+from repro.exec.runtime import ExecutionRuntime
 from repro.memory.dram import Dram
 from repro.memory.library import MemoryLibrary
 from repro.memory.module import MemoryModule
@@ -214,6 +215,7 @@ def explore_memory_architectures(
     hints: Mapping[str, AccessPattern] | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> ApexResult:
     """Run the APEX exploration on ``trace``.
 
@@ -221,8 +223,9 @@ def explore_memory_architectures(
     cost/miss-ratio pareto front, thinned to ``config.select_count``
     points spread along the cost axis. Candidate evaluations run
     through :func:`repro.exec.simulate_many` — parallel when
-    ``workers`` (or ``REPRO_WORKERS``) asks for it, and cached so the
-    strategy comparisons re-profile each architecture only once.
+    ``workers`` (or ``REPRO_WORKERS``) asks for it, cached so the
+    strategy comparisons re-profile each architecture only once, and
+    dispatched through ``runtime`` when a persistent pool is supplied.
     """
     config = config or ApexConfig()
     if config.select_count < 1:
@@ -243,6 +246,7 @@ def explore_memory_architectures(
         ],
         workers=workers,
         cache=cache,
+        runtime=runtime,
     )
     evaluated = [
         EvaluatedMemoryArchitecture(

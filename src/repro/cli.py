@@ -32,6 +32,7 @@ from repro.core.strategies import (
     run_pruned,
 )
 from repro.errors import ReproError
+from repro.exec.runtime import ExecutionRuntime
 from repro.io import (
     export_design_points_csv,
     export_design_points_json,
@@ -156,13 +157,15 @@ def _cmd_trace(args: argparse.Namespace) -> None:
 def _cmd_apex(args: argparse.Namespace) -> None:
     workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
     trace = workload.trace()
-    result = explore_memory_architectures(
-        trace,
-        default_memory_library(),
-        ApexConfig(select_count=args.select),
-        hints=workload.pattern_hints,
-        workers=args.jobs,
-    )
+    with ExecutionRuntime(workers=args.jobs) as runtime:
+        result = explore_memory_architectures(
+            trace,
+            default_memory_library(),
+            ApexConfig(select_count=args.select),
+            hints=workload.pattern_hints,
+            workers=args.jobs,
+            runtime=runtime,
+        )
     print(
         f"evaluated {len(result.evaluated)} architectures, "
         f"selected {len(result.selected)}:"
@@ -182,7 +185,10 @@ def _cmd_explore(args: argparse.Namespace) -> None:
         apex=ApexConfig(select_count=args.select),
         conex=ConExConfig(phase1_keep=args.keep),
     )
-    result = run_memorex(workload, config=config, workers=args.jobs)
+    with ExecutionRuntime(workers=args.jobs) as runtime:
+        result = run_memorex(
+            workload, config=config, workers=args.jobs, runtime=runtime
+        )
     report = render_full_report(result)
     print(report)
     if args.report:
@@ -224,9 +230,18 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
         apex_config,
         conex_config,
     )
-    pruned = run_pruned(*common, hints=hints, workers=args.jobs)
-    neighborhood = run_neighborhood(*common, hints=hints, workers=args.jobs)
-    full = run_full(*common, hints=hints, workers=args.jobs)
+    # One persistent runtime serves all three strategies: the pool is
+    # built once and the trace is exported to shared memory once.
+    with ExecutionRuntime(workers=args.jobs) as runtime:
+        pruned = run_pruned(
+            *common, hints=hints, workers=args.jobs, runtime=runtime
+        )
+        neighborhood = run_neighborhood(
+            *common, hints=hints, workers=args.jobs, runtime=runtime
+        )
+        full = run_full(
+            *common, hints=hints, workers=args.jobs, runtime=runtime
+        )
     rows = []
     for row in coverage_rows(full, [pruned, neighborhood]):
         cost_d, perf_d, energy_d = row.distances

@@ -19,8 +19,17 @@ For each memory architecture selected by APEX, ConEx:
 
 from repro.conex.brg import BandwidthRequirementGraph, build_brg
 from repro.conex.clustering import ClusteringLevel, clustering_levels
-from repro.conex.allocation import assignment_neighbors, enumerate_assignments
-from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.conex.allocation import (
+    AssignmentPlan,
+    assignment_neighbors,
+    enumerate_assignments,
+    plan_assignments,
+)
+from repro.conex.estimator import (
+    ConnectivityEstimate,
+    estimate_design,
+    estimate_plan,
+)
 from repro.conex.explorer import (
     ConExConfig,
     ConExResult,
@@ -34,6 +43,7 @@ from repro.conex.scenarios import (
 )
 
 __all__ = [
+    "AssignmentPlan",
     "BandwidthRequirementGraph",
     "ClusteringLevel",
     "ConExConfig",
@@ -46,6 +56,7 @@ __all__ = [
     "cost_constrained_selection",
     "enumerate_assignments",
     "estimate_design",
+    "estimate_plan",
     "explore_connectivity",
     "performance_constrained_selection",
     "power_constrained_selection",

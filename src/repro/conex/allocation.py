@@ -20,8 +20,10 @@ constraint" guard on the number of logical connections.
 
 from __future__ import annotations
 
-import itertools
+from dataclasses import dataclass
 from typing import Iterator, Sequence
+
+import numpy as np
 
 from repro.conex.clustering import ClusteringLevel, LogicalConnection
 from repro.connectivity.architecture import (
@@ -41,35 +43,159 @@ def compatible_presets(
     else:
         pool = library.on_chip_choices()
     ports = len(cluster.endpoints)
-    result = []
-    for preset in pool:
-        component = preset.build()
-        if component.max_ports >= ports:
-            result.append(preset)
-    return result
+    return [preset for preset in pool if preset.max_ports >= ports]
+
+
+def _strided_flat_indices(total: int, limit: int) -> list[int]:
+    """Flat cross-product indices, evenly thinned to ``limit``.
+
+    The stride accumulates in floating point on purpose — this is the
+    historical thinning rule, and the enumerated candidate set (hence
+    every downstream golden number) depends on reproducing the exact
+    ``int(position)`` sequence.
+    """
+    if total <= limit:
+        return list(range(total))
+    stride = total / limit
+    position = 0.0
+    flats = []
+    for _ in range(limit):
+        flats.append(int(position))
+        position += stride
+    return flats
+
+
+def _decode_flat(flat: int, radices: Sequence[int]) -> tuple[int, ...]:
+    """Mixed-radix digits of ``flat``, last cluster least significant."""
+    digits = []
+    remainder = flat
+    for radix in reversed(radices):
+        remainder, digit = divmod(remainder, radix)
+        digits.append(digit)
+    return tuple(reversed(digits))
 
 
 def _strided_product(
     choices: Sequence[Sequence[ConnectivityPreset]], limit: int
 ) -> Iterator[tuple[ConnectivityPreset, ...]]:
     """The cross product of ``choices``, evenly thinned to ``limit``."""
+    radices = [len(options) for options in choices]
     total = 1
-    for options in choices:
-        total *= len(options)
-    if total <= limit:
-        yield from itertools.product(*choices)
-        return
-    stride = total / limit
-    position = 0.0
-    for index in range(limit):
-        flat = int(position)
-        position += stride
-        picks = []
-        remainder = flat
-        for options in reversed(choices):
-            remainder, digit = divmod(remainder, len(options))
-            picks.append(options[digit])
-        yield tuple(reversed(picks))
+    for radix in radices:
+        total *= radix
+    for flat in _strided_flat_indices(total, limit):
+        digits = _decode_flat(flat, radices)
+        yield tuple(
+            options[digit] for options, digit in zip(choices, digits)
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class AssignmentPlan:
+    """A clustering level's candidate assignments, without the objects.
+
+    The plan holds the per-cluster preset pools plus an ``(N, clusters)``
+    index matrix — one row per candidate, one column per cluster. Names,
+    signatures, and the columnar Phase-I estimator all work straight off
+    the indices; :meth:`materialize` builds the full
+    :class:`ConnectivityArchitecture` (the expensive part: one component
+    instance per cluster) only for the candidates that survive pruning.
+
+    Candidate order, names, and the thinning rule are exactly those of
+    :func:`enumerate_assignments`, which is now a thin wrapper that
+    materializes every row.
+    """
+
+    level: ClusteringLevel
+    presets: tuple[tuple[ConnectivityPreset, ...], ...]
+    choices: np.ndarray
+    name_prefix: str
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def name(self, index: int) -> str:
+        """The architecture name candidate ``index`` will carry."""
+        return f"{self.name_prefix}_L{self.level.size}_{index}"
+
+    def preset_signature(self, index: int) -> tuple:
+        """Structural signature of candidate ``index``.
+
+        Matches
+        :meth:`~repro.connectivity.architecture.ConnectivityArchitecture.preset_signature`
+        of the materialized candidate, so dedup can run before any
+        component is built.
+        """
+        row = self.choices[index]
+        return tuple(
+            sorted(
+                (
+                    tuple(sorted(channel.name for channel in cluster.channels)),
+                    self.presets[position][row[position]].name,
+                )
+                for position, cluster in enumerate(self.level.clusters)
+            )
+        )
+
+    def materialize(self, index: int) -> ConnectivityArchitecture:
+        """Build the full architecture object for candidate ``index``."""
+        row = self.choices[index]
+        clusters = []
+        for position, cluster in enumerate(self.level.clusters):
+            preset = self.presets[position][row[position]]
+            component = preset.instantiate(f"{preset.name}#{position}")
+            clusters.append(
+                ClusterAssignment(
+                    channels=cluster.channels,
+                    preset_name=preset.name,
+                    component=component,
+                )
+            )
+        return ConnectivityArchitecture(
+            name=self.name(index), clusters=clusters
+        )
+
+
+def plan_assignments(
+    level: ClusteringLevel,
+    library: ConnectivityLibrary,
+    name_prefix: str = "conn",
+    max_assignments: int = 4096,
+) -> AssignmentPlan:
+    """The feasible assignments for one level, as an index plan.
+
+    Raises :class:`ExplorationError` when some cluster has no
+    compatible preset (the level is infeasible with this library).
+    """
+    if max_assignments < 1:
+        raise ExplorationError(
+            f"max_assignments must be >= 1: {max_assignments}"
+        )
+    per_cluster: list[tuple[ConnectivityPreset, ...]] = []
+    for cluster in level.clusters:
+        presets = compatible_presets(cluster, library)
+        if not presets:
+            raise ExplorationError(
+                f"no library preset can implement cluster with endpoints "
+                f"{cluster.endpoints}"
+            )
+        per_cluster.append(tuple(presets))
+
+    radices = [len(presets) for presets in per_cluster]
+    total = 1
+    for radix in radices:
+        total *= radix
+    flats = _strided_flat_indices(total, max_assignments)
+    choices = np.empty((len(flats), len(per_cluster)), dtype=np.int64)
+    for row, flat in enumerate(flats):
+        choices[row] = _decode_flat(flat, radices)
+    choices.setflags(write=False)
+    return AssignmentPlan(
+        level=level,
+        presets=tuple(per_cluster),
+        choices=choices,
+        name_prefix=name_prefix,
+    )
 
 
 def assignment_neighbors(
@@ -119,38 +245,8 @@ def enumerate_assignments(
     Raises :class:`ExplorationError` when some cluster has no
     compatible preset (the level is infeasible with this library).
     """
-    if max_assignments < 1:
-        raise ExplorationError(
-            f"max_assignments must be >= 1: {max_assignments}"
-        )
-    per_cluster: list[list[ConnectivityPreset]] = []
-    for cluster in level.clusters:
-        presets = compatible_presets(cluster, library)
-        if not presets:
-            raise ExplorationError(
-                f"no library preset can implement cluster with endpoints "
-                f"{cluster.endpoints}"
-            )
-        per_cluster.append(presets)
-
-    architectures: list[ConnectivityArchitecture] = []
-    for index, combo in enumerate(
-        _strided_product(per_cluster, max_assignments)
-    ):
-        clusters = []
-        for position, (cluster, preset) in enumerate(zip(level.clusters, combo)):
-            component = preset.instantiate(f"{preset.name}#{position}")
-            clusters.append(
-                ClusterAssignment(
-                    channels=cluster.channels,
-                    preset_name=preset.name,
-                    component=component,
-                )
-            )
-        architectures.append(
-            ConnectivityArchitecture(
-                name=f"{name_prefix}_L{level.size}_{index}",
-                clusters=clusters,
-            )
-        )
-    return architectures
+    plan = plan_assignments(
+        level, library, name_prefix=name_prefix,
+        max_assignments=max_assignments,
+    )
+    return [plan.materialize(index) for index in range(len(plan))]

@@ -29,19 +29,38 @@ estimator only has to *rank* candidates well enough to prune
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
+
+import numpy as np
 
 from repro.apex.architectures import MemoryArchitecture
 from repro.channels import Channel
-from repro.connectivity.architecture import ConnectivityArchitecture
+from repro.connectivity.architecture import (
+    ConnectivityArchitecture,
+    attached_area_gates,
+)
 from repro.errors import ExplorationError
 from repro.sim.metrics import SimulationResult
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.conex.allocation import AssignmentPlan
 
 #: Closed-loop cap on the expected wait, in service-time units: a
 #: blocking master cannot queue more deeply than a few in-flight
 #: services' worth of backlog (background prefetch/writeback traffic).
 CLOSED_LOOP_WAIT_CAP = 3.0
+
+#: Set to ``1`` to make :func:`estimate_plan` fall back to materializing
+#: each candidate and calling :func:`estimate_design` — the scalar
+#: reference path the columnar estimator must match bit-for-bit.
+REFERENCE_ESTIMATOR_ENV = "REPRO_REFERENCE_ESTIMATOR"
+
+
+def reference_estimator_enabled() -> bool:
+    """Did the environment opt out of the columnar Phase-I estimator?"""
+    return os.environ.get(REFERENCE_ESTIMATOR_ENV, "").strip() == "1"
 
 
 @dataclass(frozen=True)
@@ -147,3 +166,153 @@ def estimate_design(
         avg_energy_nj=profile.avg_energy_nj + added_energy / accesses,
         channel_waits=channel_waits,
     )
+
+
+def estimate_plan(
+    memory: MemoryArchitecture,
+    plan: "AssignmentPlan",
+    profile: SimulationResult,
+    indices: Sequence[int] | None = None,
+) -> list[ConnectivityEstimate]:
+    """Estimate the plan's candidates columnarly; one estimate per index.
+
+    Candidates of one clustering level differ only in which preset each
+    cluster picked, so everything expensive factors by (cluster,
+    preset): traffic aggregates are preset-independent, and the per
+    (cluster, preset) cost / energy / latency / wait scalars are
+    candidate-independent. This function computes each scalar once with
+    exactly the arithmetic of :func:`estimate_design`, then folds them
+    over candidates as NumPy vectors — elementwise float64 adds in the
+    same order as the scalar accumulation, so results are bit-identical
+    (``REPRO_REFERENCE_ESTIMATOR=1`` reverts to materialize-and-call
+    for auditing).
+
+    ``indices`` selects a subset of the plan's candidates (defaults to
+    all); results are ordered like ``indices``.
+    """
+    if indices is None:
+        indices = range(len(plan))
+    index_list = list(indices)
+    if reference_estimator_enabled():
+        return [
+            estimate_design(memory, plan.materialize(index), profile)
+            for index in index_list
+        ]
+    if profile.memory_name != memory.name:
+        raise ExplorationError(
+            f"profile is for '{profile.memory_name}', not '{memory.name}'"
+        )
+    if not index_list:
+        return []
+    duration = profile.total_cycles
+    accesses = profile.accesses
+    dram_mean = _mean_dram_latency(memory)
+
+    count = len(index_list)
+    choices = plan.choices[np.asarray(index_list, dtype=np.int64)]
+    cost_acc = np.zeros(count, dtype=np.float64)
+    latency_acc = np.zeros(count, dtype=np.float64)
+    energy_acc = np.zeros(count, dtype=np.float64)
+    # (channel name, per-candidate wait) in scalar insertion order.
+    wait_entries: list[tuple[str, np.ndarray]] = []
+
+    for position, cluster in enumerate(plan.level.clusters):
+        presets = plan.presets[position]
+        components = [preset.build() for preset in presets]
+        column = choices[:, position]
+        ports = len(cluster.endpoints)
+        area = attached_area_gates(cluster.endpoints, memory)
+
+        cost_terms = np.array(
+            [
+                component.cost_gates(ports=ports, attached_area_gates=area)
+                for component in components
+            ],
+            dtype=np.float64,
+        )
+        cost_acc = cost_acc + cost_terms[column]
+
+        energy_per_byte = [
+            component.energy_nj_per_byte(
+                ports=ports, attached_area_gates=area
+            )
+            for component in components
+        ]
+
+        total_transfers = 0
+        background_transfers = 0
+        total_bytes = 0
+        critical: list[tuple[Channel, int, float]] = []
+        for channel in cluster.channels:
+            traffic = profile.channels.get(channel.name)
+            if traffic is None:
+                continue
+            total_transfers += traffic.all_transactions
+            background_transfers += traffic.background_transactions
+            total_bytes += traffic.bytes_moved
+            if traffic.transactions:
+                mean_size = max(
+                    1.0, traffic.bytes_moved / traffic.all_transactions
+                )
+                critical.append((channel, traffic.transactions, mean_size))
+            # The scalar path adds each channel's energy to the running
+            # total one term at a time; replicate that fold exactly.
+            energy_terms = np.array(
+                [traffic.bytes_moved * epb for epb in energy_per_byte],
+                dtype=np.float64,
+            )
+            energy_acc = energy_acc + energy_terms[column]
+        if total_transfers == 0:
+            continue
+        mean_bytes = max(1, round(total_bytes / total_transfers))
+
+        waits = []
+        for component in components:
+            table = component.reservation_table(mean_bytes)
+            service = float(table.min_initiation_interval())
+            if cluster.crosses_chip and not component.split_transactions:
+                service += dram_mean
+            rho_background = service * background_transfers / duration
+            rho_total = min(0.95, service * total_transfers / duration)
+            waits.append(
+                min(
+                    service * rho_background / (2.0 * (1.0 - rho_total)),
+                    service * CLOSED_LOOP_WAIT_CAP,
+                )
+            )
+
+        for channel, transfers, mean_size in critical:
+            size = max(1, round(mean_size))
+            latency_terms = np.array(
+                [
+                    (component.timing(size).latency + wait)
+                    * transfers
+                    / accesses
+                    for component, wait in zip(components, waits)
+                ],
+                dtype=np.float64,
+            )
+            latency_acc = latency_acc + latency_terms[column]
+            wait_entries.append(
+                (channel.name, np.array(waits, dtype=np.float64)[column])
+            )
+
+    cost = profile.memory_cost_gates + cost_acc
+    avg_latency = profile.avg_latency + latency_acc
+    avg_energy = profile.avg_energy_nj + energy_acc / accesses
+
+    estimates = []
+    for row, index in enumerate(index_list):
+        estimates.append(
+            ConnectivityEstimate(
+                memory_name=memory.name,
+                connectivity_name=plan.name(index),
+                cost_gates=float(cost[row]),
+                avg_latency=float(avg_latency[row]),
+                avg_energy_nj=float(avg_energy[row]),
+                channel_waits={
+                    name: float(values[row]) for name, values in wait_entries
+                },
+            )
+        )
+    return estimates

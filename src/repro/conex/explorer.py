@@ -17,13 +17,18 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Sequence
+from functools import partial
+from typing import Callable, Sequence
 
 from repro.apex.explorer import EvaluatedMemoryArchitecture
-from repro.conex.allocation import enumerate_assignments
+from repro.conex.allocation import AssignmentPlan, plan_assignments
 from repro.conex.brg import BandwidthRequirementGraph, build_brg
 from repro.conex.clustering import clustering_levels
-from repro.conex.estimator import ConnectivityEstimate
+from repro.conex.estimator import (
+    ConnectivityEstimate,
+    estimate_plan,
+    reference_estimator_enabled,
+)
 from repro.connectivity.architecture import ConnectivityArchitecture
 from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
@@ -34,6 +39,7 @@ from repro.exec.engine import (
     estimate_many,
     simulate_many,
 )
+from repro.exec.runtime import ExecutionRuntime
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
 from repro.trace.events import Trace
@@ -67,14 +73,47 @@ class ConExConfig:
     phase2_sampling: SamplingConfig | None = None
 
 
-@dataclass(frozen=True)
 class ConnectivityDesignPoint:
-    """One combined memory + connectivity design point."""
+    """One combined memory + connectivity design point.
 
-    memory_eval: EvaluatedMemoryArchitecture
-    connectivity: ConnectivityArchitecture
-    estimate: ConnectivityEstimate
-    simulation: SimulationResult | None = None
+    The :class:`ConnectivityArchitecture` object can be supplied
+    eagerly (``connectivity=``) or lazily (``builder=``, a zero-arg
+    callable — typically ``plan.materialize`` bound to a candidate
+    index). Phase I only needs names and objectives, which live on the
+    estimate, so the thousands of pruned candidates never pay for
+    component instantiation; accessing :attr:`connectivity` on a
+    survivor builds and memoizes the full object.
+    """
+
+    __slots__ = (
+        "memory_eval", "estimate", "simulation", "_connectivity", "_builder",
+    )
+
+    def __init__(
+        self,
+        memory_eval: EvaluatedMemoryArchitecture,
+        connectivity: ConnectivityArchitecture | None = None,
+        estimate: ConnectivityEstimate | None = None,
+        simulation: SimulationResult | None = None,
+        *,
+        builder: Callable[[], ConnectivityArchitecture] | None = None,
+    ) -> None:
+        if (connectivity is None) == (builder is None):
+            raise ExplorationError(
+                "design point needs exactly one of connectivity or builder"
+            )
+        self.memory_eval = memory_eval
+        self.estimate = estimate
+        self.simulation = simulation
+        self._connectivity = connectivity
+        self._builder = builder
+
+    @property
+    def connectivity(self) -> ConnectivityArchitecture:
+        """The architecture object, materialized on first access."""
+        if self._connectivity is None:
+            self._connectivity = self._builder()
+        return self._connectivity
 
     @property
     def memory_name(self) -> str:
@@ -93,7 +132,21 @@ class ConnectivityDesignPoint:
         return self.simulation.objectives
 
     def label(self) -> str:
+        if self.estimate is not None:
+            return f"{self.memory_name}/{self.estimate.connectivity_name}"
         return f"{self.memory_name}/{self.connectivity.name}"
+
+    def __repr__(self) -> str:
+        name = (
+            self.estimate.connectivity_name
+            if self.estimate is not None
+            else (
+                self._connectivity.name
+                if self._connectivity is not None
+                else "<unbuilt>"
+            )
+        )
+        return f"<ConnectivityDesignPoint {self.memory_name}/{name}>"
 
 
 @dataclass(frozen=True)
@@ -129,51 +182,86 @@ def connectivity_exploration(
     library: ConnectivityLibrary,
     config: ConExConfig,
     workers: int | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> tuple[BandwidthRequirementGraph, list[ConnectivityDesignPoint]]:
     """The paper's ``Procedure ConnectivityExploration`` for one arch.
 
     Returns the BRG and every estimated design point (all clustering
     levels passing the max-cost guard, all feasible allocations).
-    Candidates are enumerated first, then estimated as one
-    :func:`repro.exec.estimate_many` batch.
+    Candidates are enumerated as index plans
+    (:func:`repro.conex.allocation.plan_assignments`) and scored by the
+    columnar :func:`repro.conex.estimator.estimate_plan` — architecture
+    objects are only materialized lazily, for the points a caller
+    actually inspects. ``REPRO_REFERENCE_ESTIMATOR=1`` reverts to
+    materializing every candidate and batching through
+    :func:`repro.exec.estimate_many` (bit-identical, for auditing).
     """
     memory = memory_eval.architecture
     profile = memory_eval.result
     brg = build_brg(memory, profile)
-    candidates: list[ConnectivityArchitecture] = []
+    # (plan, surviving candidate indices), deduplicated by structural
+    # signature across levels — same order the eager enumeration used.
+    kept: list[tuple[AssignmentPlan, list[int]]] = []
     seen: set = set()
     for level in clustering_levels(brg):
         if level.size > config.max_logical_connections:
             continue
         if level.size < config.min_logical_connections:
             continue
-        assignments = enumerate_assignments(
+        plan = plan_assignments(
             level,
             library,
             name_prefix=f"{memory.name}",
             max_assignments=config.max_assignments_per_level,
         )
-        for connectivity in assignments:
-            signature = connectivity.preset_signature()
+        indices = []
+        for index in range(len(plan)):
+            signature = plan.preset_signature(index)
             if signature in seen:
                 continue
             seen.add(signature)
-            candidates.append(connectivity)
-    report = estimate_many(
-        [
-            EstimateJob(memory=memory, connectivity=c, profile=profile)
-            for c in candidates
-        ],
-        workers=workers,
-    )
-    return brg, [
-        ConnectivityDesignPoint(
-            memory_eval=memory_eval,
-            connectivity=connectivity,
-            estimate=estimate,
+            indices.append(index)
+        if indices:
+            kept.append((plan, indices))
+
+    points: list[ConnectivityDesignPoint] = []
+    if reference_estimator_enabled():
+        pairs = [
+            (plan.materialize(index), plan)
+            for plan, indices in kept
+            for index in indices
+        ]
+        report = estimate_many(
+            [
+                EstimateJob(
+                    memory=memory, connectivity=connectivity, profile=profile
+                )
+                for connectivity, _ in pairs
+            ],
+            workers=workers,
+            runtime=runtime,
         )
-        for connectivity, estimate in zip(candidates, report.results)
-    ]
+        points = [
+            ConnectivityDesignPoint(
+                memory_eval=memory_eval,
+                connectivity=connectivity,
+                estimate=estimate,
+            )
+            for (connectivity, _), estimate in zip(pairs, report.results)
+        ]
+        return brg, points
+
+    for plan, indices in kept:
+        estimates = estimate_plan(memory, plan, profile, indices)
+        for index, estimate in zip(indices, estimates):
+            points.append(
+                ConnectivityDesignPoint(
+                    memory_eval=memory_eval,
+                    estimate=estimate,
+                    builder=partial(plan.materialize, index),
+                )
+            )
+    return brg, points
 
 
 def _thin_by_latency(
@@ -202,6 +290,7 @@ def explore_connectivity(
     config: ConExConfig | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> ConExResult:
     """Run the full ConEx algorithm (Phases I and II).
 
@@ -209,7 +298,9 @@ def explore_connectivity(
     :func:`repro.exec.simulate_many`: ``workers`` processes (default
     serial, see ``REPRO_WORKERS``) against the content-addressed result
     ``cache`` (default: the process-wide cache, so a repeated identical
-    exploration re-simulates nothing).
+    exploration re-simulates nothing). Pass a persistent
+    :class:`repro.exec.ExecutionRuntime` to reuse one worker pool (and
+    one shared trace export) across repeated explorations.
     """
     config = config or ConExConfig()
     if not selected_memories:
@@ -221,7 +312,8 @@ def explore_connectivity(
     brgs: dict[str, BandwidthRequirementGraph] = {}
     for memory_eval in selected_memories:
         brg, points = connectivity_exploration(
-            trace, memory_eval, library, config, workers=workers
+            trace, memory_eval, library, config, workers=workers,
+            runtime=runtime,
         )
         brgs[memory_eval.architecture.name] = brg
         estimated.extend(points)
@@ -244,6 +336,7 @@ def explore_connectivity(
         ],
         workers=workers,
         cache=cache,
+        runtime=runtime,
     )
     simulated = [
         ConnectivityDesignPoint(

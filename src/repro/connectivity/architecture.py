@@ -31,6 +31,28 @@ CPU_BLOCK_GATES = 120_000.0
 DRAM_IO_BLOCK_GATES = 30_000.0
 
 
+def attached_area_gates(
+    endpoints: Iterable[str], memory: MemoryArchitecture
+) -> float:
+    """Summed block area of ``endpoints`` (the wire-length proxy).
+
+    Shared by :meth:`ConnectivityArchitecture.cost_gates` /
+    ``energy_nj_per_byte`` and the columnar Phase-I estimator, which
+    prices clusters without materializing architecture objects; the
+    fold order over the (sorted) endpoints is part of the bit-identity
+    contract between the two.
+    """
+    area = 0.0
+    for endpoint in endpoints:
+        if endpoint == CPU:
+            area += CPU_BLOCK_GATES
+        elif endpoint == DRAM:
+            area += DRAM_IO_BLOCK_GATES
+        else:
+            area += memory.module(endpoint).area_gates
+    return area
+
+
 @dataclass(frozen=True)
 class ClusterAssignment:
     """One cluster of channels implemented by one component instance."""
@@ -118,15 +140,7 @@ class ConnectivityArchitecture:
     def _attached_area(
         self, cluster: ClusterAssignment, memory: MemoryArchitecture
     ) -> float:
-        area = 0.0
-        for endpoint in cluster.endpoints:
-            if endpoint == CPU:
-                area += CPU_BLOCK_GATES
-            elif endpoint == DRAM:
-                area += DRAM_IO_BLOCK_GATES
-            else:
-                area += memory.module(endpoint).area_gates
-        return area
+        return attached_area_gates(cluster.endpoints, memory)
 
     def cost_gates(self, memory: MemoryArchitecture) -> float:
         """Total connectivity cost: controllers plus wire area."""

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Iterable
 
 from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
@@ -25,6 +26,18 @@ class ConnectivityPreset:
     kind: str
     off_chip_capable: bool
     build: Callable[[], ConnectivityComponent] = field(compare=False)
+
+    @cached_property
+    def max_ports(self) -> int:
+        """Port capacity of the preset's component, built once.
+
+        Compatibility filtering queries this for every (cluster,
+        preset) pair during allocation; memoizing it avoids
+        constructing a throwaway component per query. (``cached_property``
+        writes to the instance ``__dict__``, which a frozen dataclass
+        permits — only ``__setattr__`` is blocked.)
+        """
+        return self.build().max_ports
 
     def instantiate(self, instance_name: str | None = None) -> ConnectivityComponent:
         """Create a fresh component, optionally renaming the instance."""

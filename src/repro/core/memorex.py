@@ -11,6 +11,7 @@ from repro.connectivity.library import (
     default_connectivity_library,
 )
 from repro.exec.cache import SimulationCache
+from repro.exec.runtime import ExecutionRuntime
 from repro.memory.library import MemoryLibrary, default_memory_library
 from repro.trace.events import Trace
 from repro.workloads.base import Workload
@@ -46,6 +47,7 @@ def run_memorex(
     config: MemorExConfig | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> MemorExResult:
     """Run the full exploration on one workload.
 
@@ -62,11 +64,11 @@ def run_memorex(
     trace = workload.trace()
     apex = explore_memory_architectures(
         trace, memory_library, config.apex, hints=workload.pattern_hints,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     conex = explore_connectivity(
         trace, apex.selected, connectivity_library, config.conex,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     return MemorExResult(
         workload_name=workload.name,

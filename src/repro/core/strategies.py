@@ -41,6 +41,7 @@ from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache
 from repro.exec.engine import SimulationJob, simulate_many
+from repro.exec.runtime import ExecutionRuntime
 from repro.memory.library import MemoryLibrary
 from repro.trace.events import Trace
 from repro.trace.patterns import AccessPattern
@@ -111,6 +112,7 @@ def run_pruned(
     hints: dict[str, AccessPattern] | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> StrategyOutcome:
     """The paper's pruned exploration (the MemorEx default)."""
     cache = _resolve_cache(cache)
@@ -118,11 +120,11 @@ def run_pruned(
     start = time.perf_counter()
     apex = explore_memory_architectures(
         trace, memory_library, apex_config, hints=hints,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     conex = explore_connectivity(
         trace, apex.selected, connectivity_library, conex_config,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     seconds = time.perf_counter() - start
     return StrategyOutcome(
@@ -161,6 +163,7 @@ def run_neighborhood(
     hints: dict[str, AccessPattern] | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> StrategyOutcome:
     """Pruned plus the neighbourhood of every selected design."""
     cache = _resolve_cache(cache)
@@ -168,13 +171,13 @@ def run_neighborhood(
     start = time.perf_counter()
     apex = explore_memory_architectures(
         trace, memory_library, apex_config, hints=hints,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     expanded = _expand_neighborhood(apex.selected, apex.evaluated)
     widened = replace(conex_config, phase1_keep=2 * conex_config.phase1_keep)
     conex = explore_connectivity(
         trace, expanded, connectivity_library, widened,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     # One-swap connectivity neighbors of every simulated design,
     # estimated inline and simulated as one batch.
@@ -212,6 +215,7 @@ def run_neighborhood(
         ],
         workers=workers,
         cache=cache,
+        runtime=runtime,
     )
     simulated.extend(
         ConnectivityDesignPoint(
@@ -243,6 +247,7 @@ def run_full(
     hints: dict[str, AccessPattern] | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> StrategyOutcome:
     """Brute force: fully simulate every design point in the space.
 
@@ -255,13 +260,13 @@ def run_full(
     start = time.perf_counter()
     apex = explore_memory_architectures(
         trace, memory_library, apex_config, hints=hints,
-        workers=workers, cache=cache,
+        workers=workers, cache=cache, runtime=runtime,
     )
     candidates: list[ConnectivityDesignPoint] = []
     for memory_eval in apex.evaluated:
         _, points = connectivity_exploration(
             trace, memory_eval, connectivity_library, conex_config,
-            workers=workers,
+            workers=workers, runtime=runtime,
         )
         candidates.extend(points)
     report = simulate_many(
@@ -275,6 +280,7 @@ def run_full(
         ],
         workers=workers,
         cache=cache,
+        runtime=runtime,
     )
     simulated = [
         ConnectivityDesignPoint(

@@ -22,6 +22,7 @@ from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache
 from repro.exec.engine import SimulationJob, simulate_many
+from repro.exec.runtime import ExecutionRuntime
 from repro.memory.library import MemoryLibrary
 from repro.sim.metrics import SimulationResult
 from repro.trace.events import Trace
@@ -67,9 +68,12 @@ def _run_sweep(
     jobs: Sequence[SimulationJob],
     workers: int | None,
     cache: SimulationCache | None,
+    runtime: ExecutionRuntime | None = None,
 ) -> list[SweepPoint]:
     """Dispatch one sweep's job list and pair results with settings."""
-    report = simulate_many(trace, jobs, workers=workers, cache=cache)
+    report = simulate_many(
+        trace, jobs, workers=workers, cache=cache, runtime=runtime
+    )
     return [
         SweepPoint(setting=setting, result=result)
         for setting, result in zip(settings, report.results)
@@ -85,6 +89,7 @@ def sweep_cache_size(
     offchip_preset: str = "offchip_16",
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> list[SweepPoint]:
     """Simulate cache-only architectures across ``cache_presets``.
 
@@ -105,7 +110,9 @@ def sweep_cache_size(
             memory, trace, connectivity_library, cpu_preset, offchip_preset
         )
         jobs.append(SimulationJob(memory=memory, connectivity=connectivity))
-    return _run_sweep(trace, list(cache_presets), jobs, workers, cache)
+    return _run_sweep(
+        trace, list(cache_presets), jobs, workers, cache, runtime=runtime
+    )
 
 
 def sweep_cpu_bus(
@@ -116,6 +123,7 @@ def sweep_cpu_bus(
     offchip_preset: str = "offchip_16",
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> list[SweepPoint]:
     """Simulate ``memory`` under each CPU-side connection preset.
 
@@ -135,7 +143,9 @@ def sweep_cpu_bus(
         )
         for preset_name in cpu_presets
     ]
-    return _run_sweep(trace, list(cpu_presets), jobs, workers, cache)
+    return _run_sweep(
+        trace, list(cpu_presets), jobs, workers, cache, runtime=runtime
+    )
 
 
 def sweep_offchip_bus(
@@ -146,6 +156,7 @@ def sweep_offchip_bus(
     cpu_preset: str = "ahb",
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> list[SweepPoint]:
     """Simulate ``memory`` under each off-chip bus preset."""
     if not offchip_presets:
@@ -159,7 +170,9 @@ def sweep_offchip_bus(
         )
         for preset_name in offchip_presets
     ]
-    return _run_sweep(trace, list(offchip_presets), jobs, workers, cache)
+    return _run_sweep(
+        trace, list(offchip_presets), jobs, workers, cache, runtime=runtime
+    )
 
 
 def series(

@@ -8,6 +8,11 @@ connectivity) design points. This package makes that the fast path:
   :func:`estimate_many` batch evaluators with a process pool,
   deterministic job-index result ordering, and a bit-identical serial
   fallback (``workers=1`` / ``REPRO_WORKERS`` unset).
+* :mod:`repro.exec.runtime` — the persistent
+  :class:`ExecutionRuntime`: a long-lived worker pool reused across
+  batches, with traces exported once per fingerprint to shared memory
+  so workers attach zero-copy instead of unpickling them
+  (``REPRO_PERSISTENT_RUNTIME=0`` opts out).
 * :mod:`repro.exec.cache` — a content-addressed
   :class:`SimulationCache` keyed by trace fingerprint, architecture
   signatures, sampling config, and write model, with an optional
@@ -31,27 +36,39 @@ from repro.exec.engine import (
     EngineReport,
     EstimateJob,
     SimulationJob,
-    WORKERS_ENV,
     estimate_many,
-    resolve_workers,
     simulate_many,
+)
+from repro.exec.runtime import (
+    RUNTIME_ENV,
+    WORKERS_ENV,
+    ExecutionRuntime,
+    default_runtime,
+    persistent_runtime_enabled,
+    resolve_workers,
+    set_default_runtime,
 )
 
 __all__ = [
     "CACHE_DIR_ENV",
     "EngineReport",
     "EstimateJob",
+    "ExecutionRuntime",
     "NULL_CACHE",
     "NullCache",
+    "RUNTIME_ENV",
     "SimulationCache",
     "SimulationJob",
     "WORKERS_ENV",
     "default_cache",
+    "default_runtime",
     "estimate_many",
     "key_digest",
+    "persistent_runtime_enabled",
     "resolve_workers",
     "sampling_signature",
     "set_default_cache",
+    "set_default_runtime",
     "simulate_many",
     "simulation_key",
 ]

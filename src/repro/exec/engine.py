@@ -20,10 +20,14 @@ list. ``workers=1`` (or ``REPRO_WORKERS=1``, the default) short-circuits
 to a plain in-process loop with no executor, no pickling, and no
 subprocesses — exactly the code path the pre-engine explorers ran.
 
-Job specs are plain picklable dataclasses. The trace — by far the
-largest object — is shipped to each worker **once** via the pool
-initializer rather than once per job, so dispatch cost stays
-proportional to the (small) architecture descriptions.
+Job specs are plain picklable dataclasses. Parallel batches dispatch
+through the persistent :class:`repro.exec.runtime.ExecutionRuntime` by
+default: the worker pool is built once per runtime and the trace is
+exported once per (runtime, trace-fingerprint) to shared memory, so a
+batch moves only the (small) architecture descriptions. Pass
+``runtime=`` for an explicit handle, or set
+``REPRO_PERSISTENT_RUNTIME=0`` to fall back to the legacy per-batch
+pool whose initializer ships the trace to each worker.
 
 Each simulation call runs the columnar fast-path kernel
 (:mod:`repro.sim.kernels`) by default, in workers and in-process
@@ -35,7 +39,6 @@ freely across engines and across ``REPRO_REFERENCE_SIM`` settings
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, replace
@@ -46,13 +49,18 @@ from repro.conex.estimator import ConnectivityEstimate, estimate_design
 from repro.connectivity.architecture import ConnectivityArchitecture
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache, default_cache, simulation_key
+from repro.exec.runtime import (
+    WORKERS_ENV,
+    ExecutionRuntime,
+    default_runtime,
+    dispatch_chunksize,
+    persistent_runtime_enabled,
+    resolve_workers,
+)
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import simulate
 from repro.trace.events import Trace
-
-#: Environment variable supplying the default worker count.
-WORKERS_ENV = "REPRO_WORKERS"
 
 #: Below this many pending estimate jobs a pool costs more than it
 #: saves (estimates are microseconds each; pickling is not).
@@ -83,39 +91,19 @@ class EngineReport:
     """What one batch produced and what it cost.
 
     ``results[i]`` always corresponds to ``jobs[i]`` of the submitted
-    list. ``cache_hits + cache_misses == len(results)`` for simulation
-    batches; estimates are not cached (they are cheaper than a lookup
-    is interesting) and report all-miss.
+    list. ``cache_hits + cache_misses + uncached == len(results)``:
+    simulation batches split into hits and misses; estimates never
+    consult the cache (they are cheaper than a lookup is interesting)
+    and count as ``uncached``, so summing reports across simulate and
+    estimate batches keeps the aggregate hit rate honest.
     """
 
     results: tuple
     workers: int
     cache_hits: int = 0
     cache_misses: int = 0
+    uncached: int = 0
     seconds: float = 0.0
-
-
-def resolve_workers(workers: int | None = None) -> int:
-    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else 1.
-
-    The serial default keeps library behaviour (and golden outputs)
-    identical to the pre-engine code unless a caller or the environment
-    opts into parallelism.
-    """
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if raw:
-            try:
-                workers = int(raw)
-            except ValueError:
-                raise ExplorationError(
-                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
-                ) from None
-    if workers is None:
-        return 1
-    if workers < 1:
-        raise ExplorationError(f"workers must be >= 1, got {workers}")
-    return workers
 
 
 # -- worker-process plumbing ------------------------------------------------
@@ -145,9 +133,8 @@ def _run_estimate(job: EstimateJob) -> ConnectivityEstimate:
     return estimate_design(job.memory, job.connectivity, job.profile)
 
 
-def _chunksize(pending: int, workers: int) -> int:
-    """Dispatch granularity: ~4 chunks per worker amortizes the IPC."""
-    return max(1, -(-pending // (workers * 4)))
+#: Backwards-compatible alias; the helper moved to the runtime module.
+_chunksize = dispatch_chunksize
 
 
 def _relabel(result: SimulationResult, job: SimulationJob) -> SimulationResult:
@@ -183,20 +170,29 @@ def simulate_many(
     jobs: Sequence[SimulationJob],
     workers: int | None = None,
     cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> EngineReport:
     """Simulate every job over ``trace``; results ordered like ``jobs``.
 
     Args:
-        trace: the shared access trace (sent to each worker once).
+        trace: the shared access trace (exported to the workers once
+            per runtime).
         jobs: picklable job specs; duplicates are simulated once and
             share the cached result.
-        workers: process count; ``None`` consults ``REPRO_WORKERS`` and
-            falls back to 1 (serial, in-process).
+        workers: process count; ``None`` consults the ``runtime`` (when
+            given), else ``REPRO_WORKERS``, and falls back to 1
+            (serial, in-process).
         cache: result cache; ``None`` selects the process-wide default
             (:func:`repro.exec.cache.default_cache`). Pass
             :data:`repro.exec.cache.NULL_CACHE` to force fresh runs.
+        runtime: persistent execution runtime to dispatch through;
+            ``None`` uses the process-wide default
+            (:func:`repro.exec.runtime.default_runtime`) unless
+            ``REPRO_PERSISTENT_RUNTIME=0`` reverts to per-batch pools.
     """
     start = time.perf_counter()
+    if workers is None and runtime is not None:
+        workers = runtime.workers
     workers = resolve_workers(workers)
     cache = cache if cache is not None else default_cache()
     results: list[SimulationResult | None] = [None] * len(jobs)
@@ -230,18 +226,26 @@ def simulate_many(
                 results[index] = _execute_inline(trace, jobs[index])
         else:
             job_list = [jobs[i] for i in unique]
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(unique)),
-                initializer=_init_worker,
-                initargs=(trace,),
-            ) as pool:
-                outcomes = pool.map(
-                    _run_simulation,
-                    job_list,
-                    chunksize=_chunksize(len(unique), workers),
-                )
-                for index, result in zip(unique, outcomes):
-                    results[index] = result
+            if runtime is not None or persistent_runtime_enabled():
+                active = runtime or default_runtime(workers)
+                outcomes = active.map_simulations(trace, job_list)
+            else:
+                # Legacy path: a fresh pool per batch, the trace shipped
+                # through the initializer.
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(unique)),
+                    initializer=_init_worker,
+                    initargs=(trace,),
+                ) as pool:
+                    outcomes = list(
+                        pool.map(
+                            _run_simulation,
+                            job_list,
+                            chunksize=dispatch_chunksize(len(unique), workers),
+                        )
+                    )
+            for index, result in zip(unique, outcomes):
+                results[index] = result
         for index in unique:
             cache.put(keys[index], results[index])
         for index in pending:
@@ -273,32 +277,40 @@ def _execute_inline(trace: Trace, job: SimulationJob) -> SimulationResult:
 def estimate_many(
     jobs: Sequence[EstimateJob],
     workers: int | None = None,
+    runtime: ExecutionRuntime | None = None,
 ) -> EngineReport:
     """Run Phase-I estimates for every job; results ordered like ``jobs``.
 
     Estimates are analytic (microseconds each), so the pool only engages
     for batches large enough to amortize job pickling; smaller batches —
-    and ``workers=1`` — run serially in-process.
+    and ``workers=1`` — run serially in-process. Estimates never touch
+    the result cache: the report counts them as ``uncached``, not as
+    hits or misses.
     """
     start = time.perf_counter()
+    if workers is None and runtime is not None:
+        workers = runtime.workers
     workers = resolve_workers(workers)
     if workers <= 1 or len(jobs) < _MIN_PARALLEL_ESTIMATES:
         results = tuple(
             estimate_design(job.memory, job.connectivity, job.profile)
             for job in jobs
         )
+    elif runtime is not None or persistent_runtime_enabled():
+        active = runtime or default_runtime(workers)
+        results = tuple(active.map_estimates(jobs))
     else:
         with ProcessPoolExecutor(max_workers=workers) as pool:
             results = tuple(
                 pool.map(
                     _run_estimate,
                     jobs,
-                    chunksize=_chunksize(len(jobs), workers),
+                    chunksize=dispatch_chunksize(len(jobs), workers),
                 )
             )
     return EngineReport(
         results=results,
         workers=workers,
-        cache_misses=len(jobs),
+        uncached=len(jobs),
         seconds=time.perf_counter() - start,
     )

@@ -1,0 +1,304 @@
+"""Persistent execution runtime: one pool, one trace export, many batches.
+
+The engine's original dispatch built a fresh ``ProcessPoolExecutor``
+per ``simulate_many`` batch and shipped the trace to every worker via
+the pool initializer — megabytes of pickling (under spawn) and full
+process start-up paid on *every* batch. An exploration session issues
+many batches (APEX evaluation, ConEx Phase II per memory architecture,
+neighborhood expansion, sweeps), so per-batch setup dominates once the
+simulations themselves are fast.
+
+:class:`ExecutionRuntime` amortizes all of it:
+
+* the worker pool is created once (lazily, on first parallel dispatch)
+  and reused by every subsequent ``simulate_many`` / ``estimate_many``
+  call routed through the runtime;
+* each distinct trace is exported once per (runtime, fingerprint) to
+  shared memory (:meth:`repro.trace.events.Trace.export_shared`);
+  workers attach to the columns zero-copy on first use and keep the
+  attached trace in a per-process registry, so a batch dispatch moves
+  only job specs and a tiny :class:`~repro.trace.events.SharedTraceHandle`;
+* ``close()`` (or the context manager) shuts the pool down and unlinks
+  the shared blocks; a process-wide default runtime
+  (:func:`default_runtime`) is closed automatically at exit.
+
+``workers=1`` keeps the serial in-process fallback: no pool, no
+export, bit-identical results — the determinism contract of
+:mod:`repro.exec.engine` is unchanged because results stay keyed by
+job index and the simulator is deterministic.
+
+Opt-outs: ``REPRO_PERSISTENT_RUNTIME=0`` makes the engine fall back to
+the legacy per-batch pool construction (the pre-runtime behaviour);
+an explicitly passed runtime is always honoured.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import TYPE_CHECKING, Sequence
+
+from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.errors import ExplorationError
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.events import SharedTraceExport, SharedTraceHandle, Trace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.exec.engine import EstimateJob, SimulationJob
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Set to ``0`` to disable the persistent runtime: parallel batches
+#: then rebuild a pool per call, as before the runtime existed.
+RUNTIME_ENV = "REPRO_PERSISTENT_RUNTIME"
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else 1.
+
+    The serial default keeps library behaviour (and golden outputs)
+    identical to the pre-engine code unless a caller or the environment
+    opts into parallelism.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ExplorationError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+    if workers is None:
+        return 1
+    if workers < 1:
+        raise ExplorationError(f"workers must be >= 1, got {workers}")
+    return workers
+
+
+def persistent_runtime_enabled() -> bool:
+    """Is the persistent runtime the default parallel dispatch path?"""
+    return os.environ.get(RUNTIME_ENV, "").strip() != "0"
+
+
+def dispatch_chunksize(pending: int, workers: int) -> int:
+    """Dispatch granularity: ~4 chunks per worker amortizes the IPC."""
+    return max(1, -(-pending // (workers * 4)))
+
+
+# -- worker-process side ----------------------------------------------------
+
+#: Traces this worker has attached, keyed by fingerprint. Entries live
+#: for the worker's lifetime: the exporting runtime unlinks the blocks
+#: only after the pool has shut down, and an attached mapping survives
+#: the unlink anyway (POSIX semantics).
+_ATTACHED_TRACES: dict[str, Trace] = {}
+
+
+def _attached_trace(handle: SharedTraceHandle) -> Trace:
+    """This worker's view of the shared trace, attached on first use."""
+    trace = _ATTACHED_TRACES.get(handle.fingerprint)
+    if trace is None:
+        trace = Trace.attach_shared(handle)
+        _ATTACHED_TRACES[handle.fingerprint] = trace
+    return trace
+
+
+def _run_shared_simulation(
+    item: "tuple[SharedTraceHandle, SimulationJob]",
+) -> SimulationResult:
+    handle, job = item
+    trace = _attached_trace(handle)
+    return simulate(
+        trace,
+        job.memory,
+        job.connectivity,
+        sampling=job.sampling,
+        posted_writes=job.posted_writes,
+    )
+
+
+def _run_pool_estimate(job: "EstimateJob") -> ConnectivityEstimate:
+    return estimate_design(job.memory, job.connectivity, job.profile)
+
+
+# -- the runtime ------------------------------------------------------------
+
+class ExecutionRuntime:
+    """A long-lived worker pool plus its shared trace exports.
+
+    Construct one per exploration session (the CLI does this per
+    command) or rely on :func:`default_runtime`. Thread it through
+    ``simulate_many(..., runtime=...)`` / driver ``runtime=``
+    parameters; every batch then reuses the same pool and the same
+    shared trace blocks.
+
+    Args:
+        workers: process count; ``None`` consults ``REPRO_WORKERS``
+            and falls back to 1 (serial: the runtime stays inert — no
+            pool, no exports).
+        mp_context: optional :mod:`multiprocessing` start-method name
+            (``"fork"``, ``"spawn"``, ``"forkserver"``) or context
+            object; ``None`` uses the platform default.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        mp_context: str | multiprocessing.context.BaseContext | None = None,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self._mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        self._exports: dict[str, SharedTraceExport] = {}
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _ensure_open(self) -> None:
+        if self._closed:
+            raise ExplorationError("execution runtime is closed")
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        self._ensure_open()
+        if self._pool is None:
+            context = self._mp_context
+            if isinstance(context, str):
+                context = multiprocessing.get_context(context)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def share_trace(self, trace: Trace) -> SharedTraceHandle:
+        """The trace's shared handle, exported once per fingerprint."""
+        self._ensure_open()
+        fingerprint = trace.fingerprint()
+        export = self._exports.get(fingerprint)
+        if export is None:
+            export = trace.export_shared()
+            self._exports[fingerprint] = export
+        return export.handle
+
+    def map_simulations(
+        self, trace: Trace, jobs: "Sequence[SimulationJob]"
+    ) -> list[SimulationResult]:
+        """Run every job over ``trace``; results ordered like ``jobs``."""
+        self._ensure_open()
+        if not jobs:
+            return []
+        if self.workers <= 1:
+            return [
+                simulate(
+                    trace,
+                    job.memory,
+                    job.connectivity,
+                    sampling=job.sampling,
+                    posted_writes=job.posted_writes,
+                )
+                for job in jobs
+            ]
+        handle = self.share_trace(trace)
+        pool = self._ensure_pool()
+        return list(
+            pool.map(
+                _run_shared_simulation,
+                [(handle, job) for job in jobs],
+                chunksize=dispatch_chunksize(len(jobs), self.workers),
+            )
+        )
+
+    def map_estimates(
+        self, jobs: "Sequence[EstimateJob]"
+    ) -> list[ConnectivityEstimate]:
+        """Run every Phase-I estimate; results ordered like ``jobs``."""
+        self._ensure_open()
+        if not jobs:
+            return []
+        if self.workers <= 1:
+            return [
+                estimate_design(job.memory, job.connectivity, job.profile)
+                for job in jobs
+            ]
+        pool = self._ensure_pool()
+        return list(
+            pool.map(
+                _run_pool_estimate,
+                jobs,
+                chunksize=dispatch_chunksize(len(jobs), self.workers),
+            )
+        )
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared exports. Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+        exports, self._exports = self._exports, {}
+        for export in exports.values():
+            export.close()
+
+    def __enter__(self) -> "ExecutionRuntime":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else (
+            "pooled" if self._pool is not None else "idle"
+        )
+        return f"<ExecutionRuntime workers={self.workers} ({state})>"
+
+
+# -- the process-wide default ----------------------------------------------
+
+_DEFAULT_RUNTIME: ExecutionRuntime | None = None
+
+
+def default_runtime(workers: int | None = None) -> ExecutionRuntime:
+    """The process-wide runtime, sized for at least ``workers``.
+
+    Created on first use; reused by every subsequent call. Asking for
+    more workers than the current default has closes it and builds a
+    bigger one (a pool cannot grow in place); asking for fewer reuses
+    the existing, larger pool.
+    """
+    global _DEFAULT_RUNTIME
+    workers = resolve_workers(workers)
+    runtime = _DEFAULT_RUNTIME
+    if runtime is not None and not runtime.closed and runtime.workers >= workers:
+        return runtime
+    if runtime is not None and not runtime.closed:
+        runtime.close()
+    runtime = ExecutionRuntime(workers=workers)
+    _DEFAULT_RUNTIME = runtime
+    return runtime
+
+
+def set_default_runtime(
+    runtime: ExecutionRuntime | None,
+) -> ExecutionRuntime | None:
+    """Install ``runtime`` as the process-wide default.
+
+    Returns the previous default (not closed — the caller decides its
+    fate). Pass ``None`` to clear.
+    """
+    global _DEFAULT_RUNTIME
+    previous, _DEFAULT_RUNTIME = _DEFAULT_RUNTIME, runtime
+    return previous
+
+
+@atexit.register
+def _close_default_runtime() -> None:  # pragma: no cover - exit hook
+    if _DEFAULT_RUNTIME is not None:
+        _DEFAULT_RUNTIME.close()

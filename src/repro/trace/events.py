@@ -12,6 +12,8 @@ event-driven simulator.
 from __future__ import annotations
 
 import hashlib
+import os
+import tempfile
 from dataclasses import dataclass
 from enum import IntEnum
 from typing import Iterator, Mapping, Sequence
@@ -19,6 +21,14 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import TraceError
+
+#: Column attributes of a :class:`Trace`, in storage order. The shared
+#: export packs exactly these, and :meth:`Trace.attach_shared` rebuilds
+#: them by name.
+TRACE_COLUMNS = ("addresses", "sizes", "kinds", "struct_ids", "ticks")
+
+#: Byte alignment of each column inside a shared block.
+_COLUMN_ALIGN = 16
 
 
 class AccessKind(IntEnum):
@@ -233,6 +243,120 @@ class Trace:
         counts = np.bincount(self.struct_ids, minlength=len(self.structs))
         return {name: int(c) for name, c in zip(self.structs, counts)}
 
+    def export_shared(self, transport: str = "auto") -> "SharedTraceExport":
+        """Export the trace columns to zero-copy shared storage.
+
+        Returns a :class:`SharedTraceExport` whose picklable
+        :attr:`~SharedTraceExport.handle` lets other processes
+        :meth:`attach_shared` to the same bytes instead of unpickling
+        the trace. The exporter owns the storage: call
+        :meth:`SharedTraceExport.close` (or use it as a context
+        manager) once no consumer needs it anymore.
+
+        ``transport`` selects the backing store: ``"shm"`` for
+        ``multiprocessing.shared_memory``, ``"file"`` for a temporary
+        memory-mapped file, ``"auto"`` (default) for shm with a file
+        fallback when the platform refuses shared memory.
+        """
+        if transport not in ("auto", "shm", "file"):
+            raise TraceError(f"unknown shared-trace transport: {transport!r}")
+        specs: list[tuple[str, str, int, int]] = []
+        offset = 0
+        for column in TRACE_COLUMNS:
+            array = getattr(self, column)
+            offset = -(-offset // _COLUMN_ALIGN) * _COLUMN_ALIGN
+            specs.append((column, str(array.dtype), offset, len(array)))
+            offset += array.nbytes
+        size = max(1, offset)
+
+        block = None
+        if transport in ("auto", "shm"):
+            try:
+                from multiprocessing import shared_memory
+
+                block = shared_memory.SharedMemory(create=True, size=size)
+            except (ImportError, OSError) as error:
+                if transport == "shm":
+                    raise TraceError(
+                        f"cannot create shared memory for trace "
+                        f"'{self.name}': {error}"
+                    ) from error
+        if block is not None:
+            for column, _, start, _ in specs:
+                data = np.ascontiguousarray(getattr(self, column)).tobytes()
+                block.buf[start : start + len(data)] = data
+            handle = SharedTraceHandle(
+                trace_name=self.name,
+                structs=self.structs,
+                fingerprint=self.fingerprint(),
+                transport="shm",
+                block=block.name,
+                size=size,
+                columns=tuple(specs),
+            )
+            return SharedTraceExport(handle, block)
+
+        descriptor, path = tempfile.mkstemp(prefix="repro-trace-", suffix=".bin")
+        try:
+            with os.fdopen(descriptor, "wb") as stream:
+                position = 0
+                for column, _, start, _ in specs:
+                    stream.write(b"\x00" * (start - position))
+                    data = np.ascontiguousarray(getattr(self, column)).tobytes()
+                    stream.write(data)
+                    position = start + len(data)
+                stream.write(b"\x00" * (size - position))
+        except BaseException:
+            os.unlink(path)
+            raise
+        handle = SharedTraceHandle(
+            trace_name=self.name,
+            structs=self.structs,
+            fingerprint=self.fingerprint(),
+            transport="file",
+            block=path,
+            size=size,
+            columns=tuple(specs),
+        )
+        return SharedTraceExport(handle, None)
+
+    @classmethod
+    def attach_shared(cls, handle: "SharedTraceHandle") -> "Trace":
+        """Attach to an exported trace without copying or unpickling.
+
+        The returned trace's columns are read-only views of the shared
+        block; the mapping stays alive for the lifetime of the trace
+        object. The exporter's fingerprint is adopted verbatim, so
+        cache keys match the original trace without re-hashing
+        megabytes of columns.
+        """
+        if handle.transport == "shm":
+            buffer, keeper = _map_shared_block(handle.block, handle.size)
+        elif handle.transport == "file":
+            mapped = np.memmap(
+                handle.block, dtype=np.uint8, mode="r", shape=(handle.size,)
+            )
+            buffer = mapped
+            keeper = mapped
+        else:
+            raise TraceError(
+                f"unknown shared-trace transport: {handle.transport!r}"
+            )
+        arrays = {
+            column: np.frombuffer(
+                buffer, dtype=np.dtype(dtype), count=count, offset=offset
+            )
+            for column, dtype, offset, count in handle.columns
+        }
+        trace = cls(
+            name=handle.trace_name,
+            structs=handle.structs,
+            **arrays,
+        )
+        trace._fingerprint = handle.fingerprint
+        trace._shared_block = keeper  # keep the mapping alive
+        return trace
+
     def slice(self, start: int, stop: int) -> "Trace":
         """A sub-trace of accesses ``[start, stop)``, sharing storage."""
         if not 0 <= start < stop <= len(self):
@@ -248,6 +372,113 @@ class Trace:
             ticks=self.ticks[start:stop],
             structs=self.structs,
         )
+
+
+@dataclass(frozen=True)
+class SharedTraceHandle:
+    """Picklable recipe for attaching to an exported trace.
+
+    Carries everything a worker needs to rebuild a :class:`Trace` from
+    shared storage: identity (name, structure table, fingerprint), the
+    backing block (``transport`` is ``"shm"`` or ``"file"``; ``block``
+    is the shared-memory name or file path), and one
+    ``(column, dtype, offset, count)`` spec per trace column. Handles
+    are tiny — dispatching one per job costs bytes where pickling the
+    trace itself costs megabytes.
+    """
+
+    trace_name: str
+    structs: tuple[str, ...]
+    fingerprint: str
+    transport: str
+    block: str
+    size: int
+    columns: tuple[tuple[str, str, int, int], ...]
+
+
+class SharedTraceExport:
+    """Owner side of one shared trace export.
+
+    Holds the storage the handle points at; :meth:`close` releases and
+    unlinks it. Attached consumers that mapped the block before the
+    unlink keep working (POSIX semantics); new attaches fail.
+    """
+
+    def __init__(self, handle: SharedTraceHandle, block) -> None:
+        self.handle = handle
+        self._block = block
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release the backing storage; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._block is not None:
+            try:
+                self._block.close()
+                self._block.unlink()
+            except (OSError, FileNotFoundError):  # already gone
+                pass
+            self._block = None
+        elif self.handle.transport == "file":
+            try:
+                os.unlink(self.handle.block)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "SharedTraceExport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"<SharedTraceExport {self.handle.trace_name} "
+            f"({self.handle.transport}, {state})>"
+        )
+
+
+def _map_shared_block(name: str, size: int) -> tuple[object, object]:
+    """Read-only mapping of a named shared-memory segment.
+
+    Returns ``(buffer, keeper)``: a buffer exposing ``size`` bytes and
+    the object that must stay referenced for the mapping to stay
+    valid. POSIX platforms map the segment directly so the attach
+    neither registers with the ``multiprocessing`` resource tracker
+    (whose per-attacher bookkeeping would unlink the exporter's block
+    early) nor runs ``SharedMemory``'s close-on-del destructor (which
+    raises ``BufferError`` if array views outlive it). Platforms
+    without ``_posixshmem`` fall back to ``SharedMemory`` attach.
+    """
+    try:
+        import _posixshmem
+        import mmap as mmap_module
+
+        descriptor = _posixshmem.shm_open("/" + name, os.O_RDONLY, mode=0o600)
+        try:
+            mapped = mmap_module.mmap(
+                descriptor, size, access=mmap_module.ACCESS_READ
+            )
+        finally:
+            os.close(descriptor)
+        return mapped, mapped
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        from multiprocessing import shared_memory
+
+        try:
+            block = shared_memory.SharedMemory(
+                name=name, create=False, track=False
+            )
+        except TypeError:  # Python < 3.13: no track parameter
+            block = shared_memory.SharedMemory(name=name, create=False)
+        return block.buf, block
 
 
 def concatenate_traces(traces: "list[Trace] | tuple[Trace, ...]", name: str | None = None) -> Trace:

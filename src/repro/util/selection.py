@@ -86,5 +86,15 @@ def weighted_best(
             for d, w in enumerate(weights)
         )
 
-    best_index = min(range(len(items)), key=lambda i: score(vectors[i]))
+    def weighted_axes(vector: Sequence[float]) -> tuple[float, ...]:
+        # Score ties between distinct vectors can only come from
+        # floating-point degeneracy (e.g. subnormal values underflowing
+        # during normalization); break them on the weighted axes
+        # themselves, falling back to input order for true duplicates.
+        return tuple(vector[d] for d, w in enumerate(weights) if w)
+
+    best_index = min(
+        range(len(items)),
+        key=lambda i: (score(vectors[i]), weighted_axes(vectors[i])),
+    )
     return items[best_index]
