@@ -15,6 +15,13 @@ Two measurements of what this iteration of the execution layer saves:
   the acceptance bar is the cold-pool overhead being >= 3x the
   persistent-pool overhead.
 
+* **Crash recovery** — the fault-tolerant dispatcher's overhead when a
+  worker is SIGKILLed mid-batch (injected via ``REPRO_FAULT_INJECT``):
+  the same batch is timed clean and with one induced crash, asserting
+  bit-identical results and at least one pool rebuild. The recovery
+  cost — tearing down the broken pool, rebuilding it, re-dispatching
+  the unfinished jobs — is reported as seconds over the clean run.
+
 * **Columnar Phase I** — the scalar estimation path materializes every
   candidate ``ConnectivityArchitecture`` and calls
   :func:`estimate_design` per candidate; the columnar
@@ -30,6 +37,7 @@ threshold assertions only fire on full runs. Records land in
 
 import gc
 import os
+import tempfile
 import time
 
 import common
@@ -39,7 +47,11 @@ from repro.conex.clustering import clustering_levels
 from repro.conex.estimator import estimate_design, estimate_plan
 from repro.conex.explorer import ConExConfig
 from repro.exec import NullCache, SimulationJob, simulate_many
-from repro.exec.runtime import RUNTIME_ENV, ExecutionRuntime
+from repro.exec.runtime import (
+    FAULT_INJECT_ENV,
+    RUNTIME_ENV,
+    ExecutionRuntime,
+)
 from repro.sim.sampling import SamplingConfig
 from repro.workloads import get_workload
 
@@ -132,6 +144,44 @@ def _dispatch_overhead(trace):
     )
 
 
+def _crash_recovery(trace):
+    """Time one batch clean vs with a SIGKILLed worker mid-batch."""
+    jobs = _batches(trace)[0] * 4  # enough jobs for several chunks
+
+    with ExecutionRuntime(workers=WORKERS) as runtime:
+        start = time.perf_counter()
+        clean = simulate_many(
+            trace, jobs, cache=NullCache(), runtime=runtime
+        )
+        clean_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        os.environ[FAULT_INJECT_ENV] = f"once:{os.path.join(tmp, 'crash')}"
+        try:
+            with ExecutionRuntime(workers=WORKERS) as runtime:
+                start = time.perf_counter()
+                faulted = simulate_many(
+                    trace, jobs, cache=NullCache(), runtime=runtime
+                )
+                faulted_seconds = time.perf_counter() - start
+        finally:
+            os.environ.pop(FAULT_INJECT_ENV, None)
+
+    assert faulted.results == clean.results, "recovered results diverged"
+    assert faulted.pool_rebuilds >= 1, "no crash was injected"
+    recovery = max(faulted_seconds - clean_seconds, 0.0)
+    return common.record_runtime_timing(
+        "crash_recovery",
+        accesses=len(trace),
+        jobs=len(jobs),
+        workers=WORKERS,
+        clean_seconds=round(clean_seconds, 4),
+        faulted_seconds=round(faulted_seconds, 4),
+        recovery_seconds=round(recovery, 4),
+        pool_rebuilds=faulted.pool_rebuilds,
+    )
+
+
 def _columnar_phase1():
     conex = ConExConfig(max_assignments_per_level=MAX_ASSIGNMENTS)
     apex = common.apex_result("compress")
@@ -207,8 +257,9 @@ def _columnar_phase1():
 def regenerate() -> str:
     trace = get_workload("compress", scale=TRACE_SCALE, seed=1).trace()
     dispatch = _dispatch_overhead(trace)
+    recovery = _crash_recovery(trace)
     columnar = _columnar_phase1()
-    regenerate.records = (dispatch, columnar)
+    regenerate.records = (dispatch, recovery, columnar)
     return (
         f"batch dispatch ({dispatch['batches']} batches x "
         f"{dispatch['jobs_per_batch']} jobs, {dispatch['accesses']} "
@@ -216,6 +267,11 @@ def regenerate() -> str:
         f"cold pools {dispatch['cold_pool_seconds']:.2f}s, "
         f"persistent {dispatch['persistent_seconds']:.2f}s "
         f"(overhead ratio {dispatch['overhead_ratio']}x)\n"
+        f"crash recovery ({recovery['jobs']} jobs, 1 worker SIGKILL): "
+        f"clean {recovery['clean_seconds']:.2f}s, "
+        f"faulted {recovery['faulted_seconds']:.2f}s "
+        f"(+{recovery['recovery_seconds']:.2f}s, "
+        f"{recovery['pool_rebuilds']} rebuild(s), identical results)\n"
         f"columnar Phase I ({columnar['candidates']} candidates): "
         f"scalar {columnar['scalar_seconds']:.2f}s -> "
         f"columnar {columnar['columnar_seconds']:.2f}s "
@@ -226,7 +282,7 @@ def regenerate() -> str:
 def test_runtime_overhead(benchmark):
     text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     common.write_output("runtime_overhead", text)
-    dispatch, columnar = regenerate.records
+    dispatch, recovery, columnar = regenerate.records
     if SMOKE:
         return
     assert dispatch["overhead_ratio"] >= 3.0, dispatch

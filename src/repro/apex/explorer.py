@@ -95,11 +95,19 @@ class EvaluatedMemoryArchitecture:
 
 @dataclass(frozen=True)
 class ApexResult:
-    """All evaluated candidates plus the pareto selection."""
+    """All evaluated candidates plus the pareto selection.
+
+    ``pool_rebuilds`` / ``degraded`` carry the evaluation batch's fault
+    accounting (see :class:`repro.exec.EngineReport`): both stay
+    0/``False`` unless worker crashes or job timeouts forced the engine
+    to rebuild its pool or finish on the serial degraded path.
+    """
 
     trace_name: str
     evaluated: tuple[EvaluatedMemoryArchitecture, ...]
     selected: tuple[EvaluatedMemoryArchitecture, ...]
+    pool_rebuilds: int = 0
+    degraded: bool = False
 
     def architecture_names(self) -> tuple[str, ...]:
         return tuple(e.architecture.name for e in self.selected)
@@ -264,4 +272,6 @@ def explore_memory_architectures(
         trace_name=trace.name,
         evaluated=tuple(evaluated),
         selected=tuple(selected),
+        pool_rebuilds=report.pool_rebuilds,
+        degraded=report.degraded,
     )

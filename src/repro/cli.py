@@ -154,6 +154,29 @@ def _cmd_trace(args: argparse.Namespace) -> None:
         print(f"saved to {args.save}")
 
 
+def _print_runtime_faults(runtime: ExecutionRuntime) -> None:
+    """One stderr line when the batch survived worker faults.
+
+    Silent on a clean run; on a faulted one, makes the recovery
+    visible without disturbing stdout (which scripts parse).
+    """
+    stats = runtime.stats
+    if not stats.pool_rebuilds and not stats.degraded_batches:
+        return
+    degraded = (
+        f", {stats.degraded_batches} batch(es) degraded to serial"
+        if stats.degraded_batches
+        else ""
+    )
+    print(
+        f"[runtime] recovered from worker faults: "
+        f"{stats.pool_rebuilds} pool rebuild(s), "
+        f"{stats.retries} retry round(s), "
+        f"{stats.timeouts} timeout(s){degraded}",
+        file=sys.stderr,
+    )
+
+
 def _cmd_apex(args: argparse.Namespace) -> None:
     workload = get_workload(args.workload, scale=args.scale, seed=args.seed)
     trace = workload.trace()
@@ -166,6 +189,7 @@ def _cmd_apex(args: argparse.Namespace) -> None:
             workers=args.jobs,
             runtime=runtime,
         )
+        _print_runtime_faults(runtime)
     print(
         f"evaluated {len(result.evaluated)} architectures, "
         f"selected {len(result.selected)}:"
@@ -189,6 +213,7 @@ def _cmd_explore(args: argparse.Namespace) -> None:
         result = run_memorex(
             workload, config=config, workers=args.jobs, runtime=runtime
         )
+        _print_runtime_faults(runtime)
     report = render_full_report(result)
     print(report)
     if args.report:
@@ -242,6 +267,7 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
         full = run_full(
             *common, hints=hints, workers=args.jobs, runtime=runtime
         )
+        _print_runtime_faults(runtime)
     rows = []
     for row in coverage_rows(full, [pruned, neighborhood]):
         cost_d, perf_d, energy_d = row.distances

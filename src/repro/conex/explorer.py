@@ -166,10 +166,17 @@ class ConExResult:
     phase1_seconds: float = 0.0
     phase2_seconds: float = 0.0
     #: Phase-II result-cache accounting: hits came for free, misses
-    #: were freshly simulated (by ``workers`` processes).
+    #: were freshly simulated (by ``workers`` processes), duplicates
+    #: inside the batch were relabelled copies of one simulation.
     phase2_cache_hits: int = 0
     phase2_cache_misses: int = 0
+    phase2_deduplicated: int = 0
     workers: int = 1
+    #: Phase-II fault accounting (see :class:`repro.exec.EngineReport`):
+    #: worker pools rebuilt after crashes/timeouts, and whether the
+    #: batch finished on the degraded serial path.
+    phase2_pool_rebuilds: int = 0
+    phase2_degraded: bool = False
 
     @property
     def total_seconds(self) -> float:
@@ -360,5 +367,8 @@ def explore_connectivity(
         phase2_seconds=phase2_seconds,
         phase2_cache_hits=report.cache_hits,
         phase2_cache_misses=report.cache_misses,
+        phase2_deduplicated=report.deduplicated,
         workers=report.workers,
+        phase2_pool_rebuilds=report.pool_rebuilds,
+        phase2_degraded=report.degraded,
     )

@@ -36,5 +36,15 @@ class ExplorationError(ReproError):
     """
 
 
+class ExecutionError(ExplorationError):
+    """The execution runtime failed or was misconfigured.
+
+    Raised eagerly for dispatch through a closed runtime and for
+    unusable fault-tolerance knobs (``REPRO_JOB_TIMEOUT``,
+    ``REPRO_MAX_RETRIES``). Subclasses :class:`ExplorationError` so
+    pre-existing ``except ExplorationError`` handlers keep working.
+    """
+
+
 class TraceError(ReproError):
     """A trace or profile is malformed (negative sizes, unknown kinds...)."""

@@ -12,7 +12,11 @@ connectivity) design points. This package makes that the fast path:
   :class:`ExecutionRuntime`: a long-lived worker pool reused across
   batches, with traces exported once per fingerprint to shared memory
   so workers attach zero-copy instead of unpickling them
-  (``REPRO_PERSISTENT_RUNTIME=0`` opts out).
+  (``REPRO_PERSISTENT_RUNTIME=0`` opts out). Dispatch is fault
+  tolerant: worker deaths and job timeouts (``REPRO_JOB_TIMEOUT``)
+  rebuild the pool and re-dispatch only the unfinished jobs, and
+  after ``REPRO_MAX_RETRIES`` rebuilds the batch degrades to the
+  serial in-process path instead of failing.
 * :mod:`repro.exec.cache` — a content-addressed
   :class:`SimulationCache` keyed by trace fingerprint, architecture
   signatures, sampling config, and write model, with an optional
@@ -40,23 +44,33 @@ from repro.exec.engine import (
     simulate_many,
 )
 from repro.exec.runtime import (
+    JOB_TIMEOUT_ENV,
+    MAX_RETRIES_ENV,
     RUNTIME_ENV,
     WORKERS_ENV,
+    DispatchStats,
     ExecutionRuntime,
+    RuntimeStats,
     default_runtime,
     persistent_runtime_enabled,
+    resolve_job_timeout,
+    resolve_max_retries,
     resolve_workers,
     set_default_runtime,
 )
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "DispatchStats",
     "EngineReport",
     "EstimateJob",
     "ExecutionRuntime",
+    "JOB_TIMEOUT_ENV",
+    "MAX_RETRIES_ENV",
     "NULL_CACHE",
     "NullCache",
     "RUNTIME_ENV",
+    "RuntimeStats",
     "SimulationCache",
     "SimulationJob",
     "WORKERS_ENV",
@@ -65,6 +79,8 @@ __all__ = [
     "estimate_many",
     "key_digest",
     "persistent_runtime_enabled",
+    "resolve_job_timeout",
+    "resolve_max_retries",
     "resolve_workers",
     "sampling_signature",
     "set_default_cache",

@@ -147,6 +147,12 @@ class SimulationCache:
             # Treat any torn/corrupt file as a miss: pickle surfaces
             # garbage as UnpicklingError, ValueError, EOFError,
             # AttributeError, ... — a cache read must never abort a run.
+            # Unlink the carcass so future processes don't re-read and
+            # re-fail on it forever; the next put() rewrites it whole.
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def _store_to_disk(self, key: tuple, result: SimulationResult) -> None:

@@ -41,13 +41,14 @@ from __future__ import annotations
 
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Sequence
 
 from repro.apex.architectures import MemoryArchitecture
 from repro.conex.estimator import ConnectivityEstimate, estimate_design
 from repro.connectivity.architecture import ConnectivityArchitecture
-from repro.errors import ExplorationError
+from repro.errors import ExecutionError, ExplorationError
 from repro.exec.cache import SimulationCache, default_cache, simulation_key
 from repro.exec.runtime import (
     WORKERS_ENV,
@@ -91,19 +92,33 @@ class EngineReport:
     """What one batch produced and what it cost.
 
     ``results[i]`` always corresponds to ``jobs[i]`` of the submitted
-    list. ``cache_hits + cache_misses + uncached == len(results)``:
-    simulation batches split into hits and misses; estimates never
-    consult the cache (they are cheaper than a lookup is interesting)
-    and count as ``uncached``, so summing reports across simulate and
-    estimate batches keeps the aggregate hit rate honest.
+    list. ``cache_hits + cache_misses + deduplicated + uncached ==
+    len(results)``: simulation batches split into hits (served from
+    the cache), misses (actually simulated), and in-batch duplicates
+    (relabelled copies of a miss simulated once — *not* extra
+    simulations); estimates never consult the cache (they are cheaper
+    than a lookup is interesting) and count as ``uncached``, so
+    summing reports across simulate and estimate batches keeps the
+    aggregate hit rate honest.
+
+    ``retries`` / ``pool_rebuilds`` / ``degraded`` surface the fault
+    tolerance of the dispatch (see :class:`repro.exec.runtime.DispatchStats`):
+    how many recovery rounds re-dispatched unfinished jobs, how many
+    worker pools were rebuilt, and whether the batch finished on the
+    serial degraded path after the rebuild budget ran out. All zero /
+    ``False`` on an undisturbed batch.
     """
 
     results: tuple
     workers: int
     cache_hits: int = 0
     cache_misses: int = 0
+    deduplicated: int = 0
     uncached: int = 0
     seconds: float = 0.0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    degraded: bool = False
 
 
 # -- worker-process plumbing ------------------------------------------------
@@ -191,6 +206,12 @@ def simulate_many(
             ``REPRO_PERSISTENT_RUNTIME=0`` reverts to per-batch pools.
     """
     start = time.perf_counter()
+    if runtime is not None and runtime.closed:
+        # Fail eagerly, before cache lookups or pool dispatch: a batch
+        # must never get half-served by a dead runtime.
+        raise ExecutionError(
+            "cannot dispatch simulate_many through a closed runtime"
+        )
     if workers is None and runtime is not None:
         workers = runtime.workers
     workers = resolve_workers(workers)
@@ -210,6 +231,9 @@ def simulate_many(
         else:
             results[index] = _relabel(cached, job)
     hits = len(jobs) - len(pending)
+    simulated = 0
+    retries = pool_rebuilds = 0
+    degraded = False
 
     if pending:
         # Duplicate keys inside one batch run once; later copies reuse.
@@ -220,6 +244,7 @@ def simulate_many(
                 continue
             first_of[keys[index]] = index
             unique.append(index)
+        simulated = len(unique)
 
         if workers <= 1 or len(unique) <= 1:
             for index in unique:
@@ -229,21 +254,36 @@ def simulate_many(
             if runtime is not None or persistent_runtime_enabled():
                 active = runtime or default_runtime(workers)
                 outcomes = active.map_simulations(trace, job_list)
+                dispatch = active.last_dispatch
+                if dispatch is not None:
+                    retries = dispatch.retries
+                    pool_rebuilds = dispatch.pool_rebuilds
+                    degraded = dispatch.degraded
             else:
                 # Legacy path: a fresh pool per batch, the trace shipped
-                # through the initializer.
-                with ProcessPoolExecutor(
-                    max_workers=min(workers, len(unique)),
-                    initializer=_init_worker,
-                    initargs=(trace,),
-                ) as pool:
-                    outcomes = list(
-                        pool.map(
-                            _run_simulation,
-                            job_list,
-                            chunksize=dispatch_chunksize(len(unique), workers),
+                # through the initializer. No rebuild machinery here —
+                # a broken pool degrades straight to the serial path.
+                try:
+                    with ProcessPoolExecutor(
+                        max_workers=min(workers, len(unique)),
+                        initializer=_init_worker,
+                        initargs=(trace,),
+                    ) as pool:
+                        outcomes = list(
+                            pool.map(
+                                _run_simulation,
+                                job_list,
+                                chunksize=dispatch_chunksize(
+                                    len(unique), workers
+                                ),
+                            )
                         )
-                    )
+                except BrokenProcessPool:
+                    outcomes = [
+                        _execute_inline(trace, job) for job in job_list
+                    ]
+                    retries = 1
+                    degraded = True
             for index, result in zip(unique, outcomes):
                 results[index] = result
         for index in unique:
@@ -258,8 +298,12 @@ def simulate_many(
         results=tuple(results),
         workers=workers,
         cache_hits=hits,
-        cache_misses=len(pending),
+        cache_misses=simulated,
+        deduplicated=len(pending) - simulated,
         seconds=time.perf_counter() - start,
+        retries=retries,
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
     )
 
 
@@ -288,9 +332,15 @@ def estimate_many(
     hits or misses.
     """
     start = time.perf_counter()
+    if runtime is not None and runtime.closed:
+        raise ExecutionError(
+            "cannot dispatch estimate_many through a closed runtime"
+        )
     if workers is None and runtime is not None:
         workers = runtime.workers
     workers = resolve_workers(workers)
+    retries = pool_rebuilds = 0
+    degraded = False
     if workers <= 1 or len(jobs) < _MIN_PARALLEL_ESTIMATES:
         results = tuple(
             estimate_design(job.memory, job.connectivity, job.profile)
@@ -299,18 +349,34 @@ def estimate_many(
     elif runtime is not None or persistent_runtime_enabled():
         active = runtime or default_runtime(workers)
         results = tuple(active.map_estimates(jobs))
+        dispatch = active.last_dispatch
+        if dispatch is not None:
+            retries = dispatch.retries
+            pool_rebuilds = dispatch.pool_rebuilds
+            degraded = dispatch.degraded
     else:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            results = tuple(
-                pool.map(
-                    _run_estimate,
-                    jobs,
-                    chunksize=dispatch_chunksize(len(jobs), workers),
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                results = tuple(
+                    pool.map(
+                        _run_estimate,
+                        jobs,
+                        chunksize=dispatch_chunksize(len(jobs), workers),
+                    )
                 )
+        except BrokenProcessPool:
+            results = tuple(
+                estimate_design(job.memory, job.connectivity, job.profile)
+                for job in jobs
             )
+            retries = 1
+            degraded = True
     return EngineReport(
         results=results,
         workers=workers,
         uncached=len(jobs),
         seconds=time.perf_counter() - start,
+        retries=retries,
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
     )

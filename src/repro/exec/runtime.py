@@ -22,6 +22,26 @@ simulations themselves are fast.
   the shared blocks; a process-wide default runtime
   (:func:`default_runtime`) is closed automatically at exit.
 
+**Fault tolerance.** A worker death (OOM kill, segfault, SIGKILL)
+breaks a ``ProcessPoolExecutor`` permanently: every in-flight and
+future submission raises ``BrokenProcessPool``. The runtime survives
+this instead of failing the batch. Dispatch is chunked through
+``pool.submit`` with per-chunk bookkeeping, so when a pool breaks (or
+a chunk exceeds the per-job timeout from ``REPRO_JOB_TIMEOUT``) the
+runtime collects every chunk that already finished, rebuilds the pool,
+and re-dispatches only the unfinished job indices — results stay keyed
+by job index, so a recovered batch is bit-identical to an undisturbed
+one. After ``REPRO_MAX_RETRIES`` pool rebuilds (default 2) the batch
+degrades to the serial in-process path rather than erroring. Per-dispatch accounting lands in
+:attr:`ExecutionRuntime.last_dispatch` (a :class:`DispatchStats`) and
+accumulates in :attr:`ExecutionRuntime.stats`; the engine surfaces it
+as ``EngineReport.retries`` / ``pool_rebuilds`` / ``degraded``.
+
+Shared-memory hygiene is crash-safe too: exported blocks carry
+PID-tagged names and a sidecar manifest (:mod:`repro.trace.shm`),
+SIGTERM/SIGINT unlink whatever is still registered, and runtime
+construction sweeps blocks leaked by dead processes.
+
 ``workers=1`` keeps the serial in-process fallback: no pool, no
 export, bit-identical results — the determinism contract of
 :mod:`repro.exec.engine` is unchanged because results stay keyed by
@@ -37,13 +57,19 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
+import time
 from concurrent.futures import ProcessPoolExecutor
-from typing import TYPE_CHECKING, Sequence
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.conex.estimator import ConnectivityEstimate, estimate_design
-from repro.errors import ExplorationError
+from repro.errors import ExecutionError, ExplorationError
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
+from repro.trace import shm as shm_registry
 from repro.trace.events import SharedTraceExport, SharedTraceHandle, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -55,6 +81,27 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: Set to ``0`` to disable the persistent runtime: parallel batches
 #: then rebuild a pool per call, as before the runtime existed.
 RUNTIME_ENV = "REPRO_PERSISTENT_RUNTIME"
+
+#: Per-job timeout in seconds (float). A dispatched chunk's wait
+#: budget is ``timeout * len(chunk)``; exceeding it counts as a worker
+#: fault: the pool is torn down (stuck workers terminated) and the
+#: unfinished jobs re-dispatched. Unset/empty means no timeout.
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Pool rebuilds allowed per batch before the runtime degrades the
+#: rest of the batch to the serial in-process path.
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+
+#: Default pool rebuilds per batch when ``REPRO_MAX_RETRIES`` is unset.
+DEFAULT_MAX_RETRIES = 2
+
+#: Chaos hook for tests/CI: ``once:<path>`` SIGKILLs the first worker
+#: to claim ``<path>`` (created O_EXCL, so retries succeed);
+#: ``hang:<path>`` makes that worker sleep instead (exercises the job
+#: timeout); ``always`` SIGKILLs every worker invocation (exercises
+#: degraded mode). Only the worker-side chunk runners consult it — the
+#: serial in-process paths never inject faults.
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -80,6 +127,43 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
+def resolve_job_timeout(timeout: float | None = None) -> float | None:
+    """Effective per-job timeout: explicit arg, else ``REPRO_JOB_TIMEOUT``."""
+    if timeout is None:
+        raw = os.environ.get(JOB_TIMEOUT_ENV, "").strip()
+        if raw:
+            try:
+                timeout = float(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{JOB_TIMEOUT_ENV} must be a number of seconds, "
+                    f"got {raw!r}"
+                ) from None
+    if timeout is None:
+        return None
+    if timeout <= 0:
+        raise ExecutionError(f"job timeout must be positive, got {timeout}")
+    return float(timeout)
+
+
+def resolve_max_retries(retries: int | None = None) -> int:
+    """Effective rebuild budget: explicit arg, else ``REPRO_MAX_RETRIES``."""
+    if retries is None:
+        raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
+        if raw:
+            try:
+                retries = int(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{MAX_RETRIES_ENV} must be an integer, got {raw!r}"
+                ) from None
+    if retries is None:
+        return DEFAULT_MAX_RETRIES
+    if retries < 0:
+        raise ExecutionError(f"max retries must be >= 0, got {retries}")
+    return retries
+
+
 def persistent_runtime_enabled() -> bool:
     """Is the persistent runtime the default parallel dispatch path?"""
     return os.environ.get(RUNTIME_ENV, "").strip() != "0"
@@ -88,6 +172,49 @@ def persistent_runtime_enabled() -> bool:
 def dispatch_chunksize(pending: int, workers: int) -> int:
     """Dispatch granularity: ~4 chunks per worker amortizes the IPC."""
     return max(1, -(-pending // (workers * 4)))
+
+
+@dataclass
+class DispatchStats:
+    """Fault accounting for one ``map_simulations``/``map_estimates`` call.
+
+    Attributes:
+        jobs: jobs the call was asked to run.
+        retries: recovery rounds that re-dispatched unfinished jobs to
+            a rebuilt pool.
+        pool_rebuilds: worker pools torn down and rebuilt after a fault
+            (a broken pool or a chunk timeout).
+        timeouts: chunks abandoned because they exceeded the per-job
+            timeout budget.
+        degraded: the rebuild budget ran out and the remaining jobs
+            finished on the serial in-process path.
+    """
+
+    jobs: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    degraded: bool = False
+
+
+@dataclass
+class RuntimeStats:
+    """Cumulative fault accounting across a runtime's lifetime."""
+
+    batches: int = 0
+    jobs: int = 0
+    retries: int = 0
+    pool_rebuilds: int = 0
+    timeouts: int = 0
+    degraded_batches: int = 0
+
+    def absorb(self, dispatch: DispatchStats) -> None:
+        self.batches += 1
+        self.jobs += dispatch.jobs
+        self.retries += dispatch.retries
+        self.pool_rebuilds += dispatch.pool_rebuilds
+        self.timeouts += dispatch.timeouts
+        self.degraded_batches += int(dispatch.degraded)
 
 
 # -- worker-process side ----------------------------------------------------
@@ -108,6 +235,26 @@ def _attached_trace(handle: SharedTraceHandle) -> Trace:
     return trace
 
 
+def _maybe_inject_fault() -> None:
+    """Honour the ``REPRO_FAULT_INJECT`` chaos hook (tests/CI only)."""
+    spec = os.environ.get(FAULT_INJECT_ENV, "").strip()
+    if not spec:
+        return
+    mode, _, path = spec.partition(":")
+    if mode == "always":
+        os.kill(os.getpid(), signal.SIGKILL)
+    if mode not in ("once", "hang") or not path:
+        return
+    try:
+        descriptor = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return  # someone already took the fault
+    os.close(descriptor)
+    if mode == "once":
+        os.kill(os.getpid(), signal.SIGKILL)
+    time.sleep(600.0)  # "hang": park until the timeout reaper kills us
+
+
 def _run_shared_simulation(
     item: "tuple[SharedTraceHandle, SimulationJob]",
 ) -> SimulationResult:
@@ -122,11 +269,46 @@ def _run_shared_simulation(
     )
 
 
+def _run_simulation_chunk(
+    items: "Sequence[tuple[SharedTraceHandle, SimulationJob]]",
+) -> list[SimulationResult]:
+    results = []
+    for item in items:
+        _maybe_inject_fault()
+        results.append(_run_shared_simulation(item))
+    return results
+
+
 def _run_pool_estimate(job: "EstimateJob") -> ConnectivityEstimate:
     return estimate_design(job.memory, job.connectivity, job.profile)
 
 
+def _run_estimate_chunk(
+    jobs: "Sequence[EstimateJob]",
+) -> list[ConnectivityEstimate]:
+    results = []
+    for job in jobs:
+        _maybe_inject_fault()
+        results.append(_run_pool_estimate(job))
+    return results
+
+
 # -- the runtime ------------------------------------------------------------
+
+#: Processes that already swept stale shm blocks (once per process).
+_SWEPT_PIDS: set[int] = set()
+
+
+def _startup_sweep() -> None:
+    pid = os.getpid()
+    if pid in _SWEPT_PIDS:
+        return
+    _SWEPT_PIDS.add(pid)
+    try:
+        shm_registry.sweep_stale()
+    except Exception:  # pragma: no cover - sweep must never fail a run
+        pass
+
 
 class ExecutionRuntime:
     """A long-lived worker pool plus its shared trace exports.
@@ -137,6 +319,11 @@ class ExecutionRuntime:
     parameters; every batch then reuses the same pool and the same
     shared trace blocks.
 
+    Dispatch is fault tolerant: worker deaths and job timeouts rebuild
+    the pool and re-dispatch only the unfinished jobs (see the module
+    docstring); :attr:`stats` and :attr:`last_dispatch` expose the
+    accounting.
+
     Args:
         workers: process count; ``None`` consults ``REPRO_WORKERS``
             and falls back to 1 (serial: the runtime stays inert — no
@@ -144,29 +331,59 @@ class ExecutionRuntime:
         mp_context: optional :mod:`multiprocessing` start-method name
             (``"fork"``, ``"spawn"``, ``"forkserver"``) or context
             object; ``None`` uses the platform default.
+        job_timeout: per-job seconds before a chunk counts as stuck;
+            ``None`` consults ``REPRO_JOB_TIMEOUT`` (unset: no timeout).
+        max_retries: pool rebuilds per batch before degrading to the
+            serial path; ``None`` consults ``REPRO_MAX_RETRIES``
+            (default :data:`DEFAULT_MAX_RETRIES`).
     """
 
     def __init__(
         self,
         workers: int | None = None,
         mp_context: str | multiprocessing.context.BaseContext | None = None,
+        job_timeout: float | None = None,
+        max_retries: int | None = None,
     ) -> None:
         self.workers = resolve_workers(workers)
+        self.job_timeout = resolve_job_timeout(job_timeout)
+        self.max_retries = resolve_max_retries(max_retries)
         self._mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         self._exports: dict[str, SharedTraceExport] = {}
         self._closed = False
+        self.stats = RuntimeStats()
+        self.last_dispatch: DispatchStats | None = None
+        _startup_sweep()
 
     @property
     def closed(self) -> bool:
         return self._closed
 
+    @property
+    def healthy(self) -> bool:
+        """Can this runtime still dispatch work?
+
+        ``False`` once closed, or when the pool was broken *outside*
+        the runtime's own dispatch (which self-heals). Used by
+        :func:`default_runtime` to avoid handing out a dead runtime.
+        """
+        if self._closed:
+            return False
+        pool = self._pool
+        return pool is None or not getattr(pool, "_broken", False)
+
     def _ensure_open(self) -> None:
         if self._closed:
-            raise ExplorationError("execution runtime is closed")
+            raise ExecutionError("execution runtime is closed")
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         self._ensure_open()
+        if self._pool is not None and getattr(self._pool, "_broken", False):
+            # Poisoned between batches (e.g. a worker OOM-killed while
+            # idle, or external dispatch broke it): rebuild silently.
+            self._discard_pool(kill=True)
+            self.stats.pool_rebuilds += 1
         if self._pool is None:
             context = self._mp_context
             if isinstance(context, str):
@@ -175,6 +392,29 @@ class ExecutionRuntime:
                 max_workers=self.workers, mp_context=context
             )
         return self._pool
+
+    def _discard_pool(self, kill: bool = False) -> None:
+        """Tear the current pool down without touching the exports."""
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        process_map = getattr(pool, "_processes", None)
+        processes = (
+            list(process_map.values()) if isinstance(process_map, dict) else []
+        )
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - shutdown must not raise
+            pass
+        if kill:
+            # A stuck or half-dead pool may never drain: terminate the
+            # workers outright so the rebuilt pool has the CPUs.
+            for process in processes:
+                try:
+                    if process.is_alive():
+                        process.terminate()
+                except Exception:  # pragma: no cover - best-effort kill
+                    pass
 
     def share_trace(self, trace: Trace) -> SharedTraceHandle:
         """The trace's shared handle, exported once per fingerprint."""
@@ -186,14 +426,108 @@ class ExecutionRuntime:
             self._exports[fingerprint] = export
         return export.handle
 
+    # -- fault-tolerant dispatch core ----------------------------------
+
+    def _dispatch(
+        self,
+        worker_fn: Callable,
+        items: Sequence,
+        inline_fn: Callable,
+    ) -> list:
+        """Run ``worker_fn`` over chunks of ``items`` with recovery.
+
+        Chunk-level bookkeeping keeps results keyed by item index, so a
+        recovered dispatch returns exactly what an undisturbed one
+        would. Faults (``BrokenProcessPool``, chunk timeouts) rebuild
+        the pool and re-dispatch the unfinished indices; once
+        ``max_retries`` rebuilds are spent, the remainder runs through
+        ``inline_fn`` serially in-process. Job-raised exceptions are
+        not faults — they propagate to the caller unchanged.
+        """
+        stats = DispatchStats(jobs=len(items))
+        results: list = [None] * len(items)
+        finished = [False] * len(items)
+        pending = list(range(len(items)))
+        while pending:
+            if stats.degraded:
+                for index in pending:
+                    results[index] = inline_fn(items[index])
+                    finished[index] = True
+                break
+            size = dispatch_chunksize(len(pending), self.workers)
+            chunks = [
+                pending[i : i + size] for i in range(0, len(pending), size)
+            ]
+            futures: list[tuple] = []
+            fault = False
+            try:
+                pool = self._ensure_pool()
+                for chunk in chunks:
+                    futures.append(
+                        (
+                            pool.submit(
+                                worker_fn, [items[i] for i in chunk]
+                            ),
+                            chunk,
+                        )
+                    )
+            except BrokenProcessPool:
+                fault = True
+            if not fault:
+                for future, chunk in futures:
+                    budget = (
+                        None
+                        if self.job_timeout is None
+                        else self.job_timeout * len(chunk)
+                    )
+                    try:
+                        values = future.result(timeout=budget)
+                    except BrokenProcessPool:
+                        fault = True
+                        break
+                    except FuturesTimeoutError:
+                        stats.timeouts += 1
+                        fault = True
+                        break
+                    for index, value in zip(chunk, values):
+                        results[index] = value
+                        finished[index] = True
+            if fault:
+                # Keep every chunk that did finish before the fault.
+                for future, chunk in futures:
+                    if finished[chunk[0]]:
+                        continue
+                    if (
+                        future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        for index, value in zip(chunk, future.result()):
+                            results[index] = value
+                            finished[index] = True
+                self._discard_pool(kill=True)
+                stats.pool_rebuilds += 1
+                if stats.pool_rebuilds > self.max_retries:
+                    stats.degraded = True
+                else:
+                    stats.retries += 1
+            pending = [i for i in pending if not finished[i]]
+        self.last_dispatch = stats
+        self.stats.absorb(stats)
+        return results
+
+    # -- batch entry points --------------------------------------------
+
     def map_simulations(
         self, trace: Trace, jobs: "Sequence[SimulationJob]"
     ) -> list[SimulationResult]:
         """Run every job over ``trace``; results ordered like ``jobs``."""
         self._ensure_open()
         if not jobs:
+            self.last_dispatch = DispatchStats()
             return []
         if self.workers <= 1:
+            self.last_dispatch = DispatchStats(jobs=len(jobs))
             return [
                 simulate(
                     trace,
@@ -205,13 +539,21 @@ class ExecutionRuntime:
                 for job in jobs
             ]
         handle = self.share_trace(trace)
-        pool = self._ensure_pool()
-        return list(
-            pool.map(
-                _run_shared_simulation,
-                [(handle, job) for job in jobs],
-                chunksize=dispatch_chunksize(len(jobs), self.workers),
+
+        def inline(item: "tuple[SharedTraceHandle, SimulationJob]"):
+            _, job = item
+            return simulate(
+                trace,
+                job.memory,
+                job.connectivity,
+                sampling=job.sampling,
+                posted_writes=job.posted_writes,
             )
+
+        return self._dispatch(
+            _run_simulation_chunk,
+            [(handle, job) for job in jobs],
+            inline,
         )
 
     def map_estimates(
@@ -220,20 +562,15 @@ class ExecutionRuntime:
         """Run every Phase-I estimate; results ordered like ``jobs``."""
         self._ensure_open()
         if not jobs:
+            self.last_dispatch = DispatchStats()
             return []
         if self.workers <= 1:
+            self.last_dispatch = DispatchStats(jobs=len(jobs))
             return [
                 estimate_design(job.memory, job.connectivity, job.profile)
                 for job in jobs
             ]
-        pool = self._ensure_pool()
-        return list(
-            pool.map(
-                _run_pool_estimate,
-                jobs,
-                chunksize=dispatch_chunksize(len(jobs), self.workers),
-            )
-        )
+        return self._dispatch(_run_estimate_chunk, list(jobs), _run_pool_estimate)
 
     def close(self) -> None:
         """Shut the pool down and unlink the shared exports. Idempotent."""
@@ -242,7 +579,10 @@ class ExecutionRuntime:
         self._closed = True
         pool, self._pool = self._pool, None
         if pool is not None:
-            pool.shutdown(wait=True)
+            try:
+                pool.shutdown(wait=True)
+            except Exception:  # pragma: no cover - broken-pool shutdown
+                pass
         exports, self._exports = self._exports, {}
         for export in exports.values():
             export.close()
@@ -271,12 +611,15 @@ def default_runtime(workers: int | None = None) -> ExecutionRuntime:
     Created on first use; reused by every subsequent call. Asking for
     more workers than the current default has closes it and builds a
     bigger one (a pool cannot grow in place); asking for fewer reuses
-    the existing, larger pool.
+    the existing, larger pool. A default whose pool died outside the
+    runtime's own (self-healing) dispatch — :attr:`ExecutionRuntime.healthy`
+    ``False`` — is closed and replaced, so explorers, strategies,
+    sweeps, and the CLI never receive a dead runtime.
     """
     global _DEFAULT_RUNTIME
     workers = resolve_workers(workers)
     runtime = _DEFAULT_RUNTIME
-    if runtime is not None and not runtime.closed and runtime.workers >= workers:
+    if runtime is not None and runtime.healthy and runtime.workers >= workers:
         return runtime
     if runtime is not None and not runtime.closed:
         runtime.close()

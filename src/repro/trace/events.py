@@ -21,6 +21,7 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.errors import TraceError
+from repro.trace import shm as shm_registry
 
 #: Column attributes of a :class:`Trace`, in storage order. The shared
 #: export packs exactly these, and :meth:`Trace.attach_shared` rebuilds
@@ -274,7 +275,20 @@ class Trace:
             try:
                 from multiprocessing import shared_memory
 
-                block = shared_memory.SharedMemory(create=True, size=size)
+                # PID-tagged names let the crash sweep attribute a
+                # block to its (possibly dead) owner; see repro.trace.shm.
+                for _attempt in range(8):
+                    try:
+                        block = shared_memory.SharedMemory(
+                            create=True,
+                            size=size,
+                            name=shm_registry.block_name(),
+                        )
+                        break
+                    except FileExistsError:
+                        continue
+                else:  # pragma: no cover - 8 token collisions
+                    block = shared_memory.SharedMemory(create=True, size=size)
             except (ImportError, OSError) as error:
                 if transport == "shm":
                     raise TraceError(
@@ -282,6 +296,7 @@ class Trace:
                         f"'{self.name}': {error}"
                     ) from error
         if block is not None:
+            shm_registry.register_resource("shm", block.name)
             for column, _, start, _ in specs:
                 data = np.ascontiguousarray(getattr(self, column)).tobytes()
                 block.buf[start : start + len(data)] = data
@@ -309,6 +324,7 @@ class Trace:
         except BaseException:
             os.unlink(path)
             raise
+        shm_registry.register_resource("file", path)
         handle = SharedTraceHandle(
             trace_name=self.name,
             structs=self.structs,
@@ -430,6 +446,7 @@ class SharedTraceExport:
                 os.unlink(self.handle.block)
             except OSError:
                 pass
+        shm_registry.unregister_resource(self.handle.block)
 
     def __enter__(self) -> "SharedTraceExport":
         return self

@@ -164,6 +164,9 @@ class TestSimulationCacheDisk:
         path.write_bytes(garbage)
         fresh = SimulationCache(tmp_path)
         assert fresh.get(key) is None
+        # The corrupt file is evicted so it cannot shadow a later put
+        # or cost a doomed read on every future lookup.
+        assert not path.exists()
 
     def test_clear_removes_files(self, tmp_path):
         cache = SimulationCache(tmp_path)

@@ -115,6 +115,11 @@ class TestEngineCaching:
         report = simulate_many(tiny_trace, [job, job, job], cache=cache)
         assert len(cache) == 1
         assert report.results[0] == report.results[1] == report.results[2]
+        # Only one simulation actually ran; the in-batch duplicates are
+        # accounted separately instead of inflating cache_misses.
+        assert report.cache_misses == 1
+        assert report.deduplicated == 2
+        assert report.cache_hits == 0
 
     def test_content_shared_results_are_relabelled(
         self, tiny_trace, mem_library
