@@ -150,6 +150,27 @@ def record_parallel_timing(
 KERNEL_TIMINGS = OUTPUT_DIR / "BENCH_sim_kernel.json"
 
 
+#: Machine-readable observability-overhead records (same
+#: replace-by-name convention as BENCH_parallel.json).
+OBS_TIMINGS = OUTPUT_DIR / "BENCH_obs.json"
+
+
+def record_obs_timing(stem: str, **fields) -> dict:
+    """Append one observability-overhead record to BENCH_obs.json."""
+    record = {"name": stem, **fields, "cpu_count": os.cpu_count()}
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    records = []
+    if OBS_TIMINGS.exists():
+        try:
+            records = json.loads(OBS_TIMINGS.read_text())
+        except ValueError:
+            records = []
+    records = [r for r in records if r.get("name") != stem]
+    records.append(record)
+    OBS_TIMINGS.write_text(json.dumps(records, indent=2) + "\n")
+    return record
+
+
 #: Machine-readable execution-runtime overhead records (same
 #: replace-by-name convention as BENCH_parallel.json).
 RUNTIME_TIMINGS = OUTPUT_DIR / "BENCH_runtime.json"

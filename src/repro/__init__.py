@@ -34,9 +34,20 @@ Package layout:
   and report rendering.
 * :mod:`repro.exec` — parallel batch evaluation (``simulate_many``)
   and the content-addressed simulation result cache.
+* :mod:`repro.config` — the typed :class:`Settings` snapshot of every
+  ``REPRO_*`` environment variable.
+* :mod:`repro.obs` — spans, counters, gauges, and profiling hooks
+  (``--metrics-json`` / ``REPRO_OBS=1``).
 """
 
+from repro import obs
 from repro.channels import CPU, DRAM, Channel
+from repro.config import (
+    Settings,
+    current_settings,
+    set_settings,
+    use_settings,
+)
 from repro.core.memorex import MemorExConfig, MemorExResult, run_memorex
 from repro.errors import (
     ConfigurationError,
@@ -46,11 +57,13 @@ from repro.errors import (
     SimulationError,
     TraceError,
 )
+from repro.stats import BatchStats, StatsReport
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CPU",
+    "BatchStats",
     "Channel",
     "ConfigurationError",
     "DRAM",
@@ -59,8 +72,14 @@ __all__ = [
     "MemorExConfig",
     "MemorExResult",
     "ReproError",
+    "Settings",
     "SimulationError",
+    "StatsReport",
     "TraceError",
     "__version__",
+    "current_settings",
+    "obs",
     "run_memorex",
+    "set_settings",
+    "use_settings",
 ]

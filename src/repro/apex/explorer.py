@@ -24,6 +24,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.apex.architectures import DRAM, MemoryArchitecture
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache
@@ -34,6 +35,7 @@ from repro.memory.library import MemoryLibrary
 from repro.memory.module import MemoryModule
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
+from repro.stats import BatchStats, StatsReport, deprecated_stat
 from repro.trace.events import Trace
 from repro.trace.patterns import AccessPattern, PatternProfile, profile_patterns
 from repro.util.pareto import pareto_front
@@ -94,20 +96,29 @@ class EvaluatedMemoryArchitecture:
 
 
 @dataclass(frozen=True)
-class ApexResult:
+class ApexResult(StatsReport):
     """All evaluated candidates plus the pareto selection.
 
-    ``pool_rebuilds`` / ``degraded`` carry the evaluation batch's fault
-    accounting (see :class:`repro.exec.EngineReport`): both stay
-    0/``False`` unless worker crashes or job timeouts forced the engine
-    to rebuild its pool or finish on the serial degraded path.
+    ``stats`` bundles the evaluation batch's accounting (cache
+    hits/misses, dedup, retries, pool rebuilds, degraded flag) as a
+    :class:`repro.stats.BatchStats`; the old flat ``pool_rebuilds`` /
+    ``degraded`` attribute names still read, with a
+    :class:`DeprecationWarning`.
     """
 
     trace_name: str
     evaluated: tuple[EvaluatedMemoryArchitecture, ...]
     selected: tuple[EvaluatedMemoryArchitecture, ...]
-    pool_rebuilds: int = 0
-    degraded: bool = False
+    #: Evaluation-batch accounting (see :class:`repro.stats.BatchStats`).
+    stats: BatchStats = field(default_factory=BatchStats)
+
+    _STATS_EXCLUDE = ("evaluated", "selected")
+
+    # Deprecated flat names (pre-1.1) for the bundled batch stats.
+    pool_rebuilds = deprecated_stat(
+        "ApexResult", "pool_rebuilds", "stats.pool_rebuilds"
+    )
+    degraded = deprecated_stat("ApexResult", "degraded", "stats.degraded")
 
     def architecture_names(self) -> tuple[str, ...]:
         return tuple(e.architecture.name for e in self.selected)
@@ -241,37 +252,40 @@ def explore_memory_architectures(
             f"select_count must be >= 1: {config.select_count}"
         )
     profiles = profile_patterns(trace, hints)
-    candidates = enumerate_architectures(trace, library, profiles, config)
-    report = simulate_many(
-        trace,
-        [
-            SimulationJob(
-                memory=architecture,
-                connectivity=None,
-                sampling=config.sampling,
-            )
-            for architecture in candidates
-        ],
-        workers=workers,
-        cache=cache,
-        runtime=runtime,
-    )
-    evaluated = [
-        EvaluatedMemoryArchitecture(
-            architecture=architecture,
-            cost_gates=result.memory_cost_gates,
-            miss_ratio=result.miss_ratio,
-            avg_latency=result.avg_latency,
-            result=result,
+    with obs.span("apex.evaluate"):
+        candidates = enumerate_architectures(trace, library, profiles, config)
+        report = simulate_many(
+            trace,
+            [
+                SimulationJob(
+                    memory=architecture,
+                    connectivity=None,
+                    sampling=config.sampling,
+                )
+                for architecture in candidates
+            ],
+            workers=workers,
+            cache=cache,
+            runtime=runtime,
         )
-        for architecture, result in zip(candidates, report.results)
-    ]
-    front = pareto_front(evaluated, key=lambda e: e.objectives)
-    selected = _thin_selection(front, config.select_count)
+        evaluated = [
+            EvaluatedMemoryArchitecture(
+                architecture=architecture,
+                cost_gates=result.memory_cost_gates,
+                miss_ratio=result.miss_ratio,
+                avg_latency=result.avg_latency,
+                result=result,
+            )
+            for architecture, result in zip(candidates, report.results)
+        ]
+        front = pareto_front(evaluated, key=lambda e: e.objectives)
+        selected = _thin_selection(front, config.select_count)
+    if obs.enabled():
+        obs.incr("apex.candidates", len(candidates))
+        obs.incr("apex.selected", len(selected))
     return ApexResult(
         trace_name=trace.name,
         evaluated=tuple(evaluated),
         selected=tuple(selected),
-        pool_rebuilds=report.pool_rebuilds,
-        degraded=report.degraded,
+        stats=report.stats,
     )

@@ -20,6 +20,7 @@ import argparse
 import sys
 from typing import Sequence
 
+from repro import obs
 from repro.apex.explorer import ApexConfig, explore_memory_architectures
 from repro.conex.explorer import ConExConfig
 from repro.connectivity.library import default_connectivity_library
@@ -65,6 +66,20 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--metrics-json",
+        metavar="FILE.json",
+        default=None,
+        help="enable observability and write spans/counters as JSON",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="enable observability and print a summary to stderr",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -84,6 +99,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(apex_cmd)
     _add_jobs_argument(apex_cmd)
+    _add_metrics_arguments(apex_cmd)
     apex_cmd.add_argument("--select", type=int, default=5)
 
     explore_cmd = commands.add_parser(
@@ -91,6 +107,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(explore_cmd)
     _add_jobs_argument(explore_cmd)
+    _add_metrics_arguments(explore_cmd)
     explore_cmd.add_argument("--select", type=int, default=5)
     explore_cmd.add_argument("--keep", type=int, default=8, help="Phase-I keep")
     explore_cmd.add_argument("--csv", metavar="FILE.csv", default=None)
@@ -106,6 +123,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(coverage_cmd)
     _add_jobs_argument(coverage_cmd)
+    _add_metrics_arguments(coverage_cmd)
     return parser
 
 
@@ -160,21 +178,9 @@ def _print_runtime_faults(runtime: ExecutionRuntime) -> None:
     Silent on a clean run; on a faulted one, makes the recovery
     visible without disturbing stdout (which scripts parse).
     """
-    stats = runtime.stats
-    if not stats.pool_rebuilds and not stats.degraded_batches:
-        return
-    degraded = (
-        f", {stats.degraded_batches} batch(es) degraded to serial"
-        if stats.degraded_batches
-        else ""
-    )
-    print(
-        f"[runtime] recovered from worker faults: "
-        f"{stats.pool_rebuilds} pool rebuild(s), "
-        f"{stats.retries} retry round(s), "
-        f"{stats.timeouts} timeout(s){degraded}",
-        file=sys.stderr,
-    )
+    summary = runtime.stats.fault_summary()
+    if summary is not None:
+        print(f"[runtime] {summary}", file=sys.stderr)
 
 
 def _cmd_apex(args: argparse.Namespace) -> None:
@@ -190,6 +196,7 @@ def _cmd_apex(args: argparse.Namespace) -> None:
             runtime=runtime,
         )
         _print_runtime_faults(runtime)
+        args._runtime_stats = runtime.stats.as_dict()
     print(
         f"evaluated {len(result.evaluated)} architectures, "
         f"selected {len(result.selected)}:"
@@ -214,6 +221,7 @@ def _cmd_explore(args: argparse.Namespace) -> None:
             workload, config=config, workers=args.jobs, runtime=runtime
         )
         _print_runtime_faults(runtime)
+        args._runtime_stats = runtime.stats.as_dict()
     report = render_full_report(result)
     print(report)
     if args.report:
@@ -268,6 +276,7 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
             *common, hints=hints, workers=args.jobs, runtime=runtime
         )
         _print_runtime_faults(runtime)
+        args._runtime_stats = runtime.stats.as_dict()
     rows = []
     for row in coverage_rows(full, [pruned, neighborhood]):
         cost_d, perf_d, energy_d = row.distances
@@ -304,11 +313,26 @@ def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+    metrics_json = getattr(args, "metrics_json", None)
+    metrics_text = getattr(args, "metrics", False)
+    if metrics_json or metrics_text:
+        obs.enable()
     try:
         _COMMANDS[args.command](args)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if metrics_json or metrics_text:
+            runtime_stats = getattr(args, "_runtime_stats", None)
+            extra = (
+                {"runtime": runtime_stats} if runtime_stats is not None else None
+            )
+            if metrics_json:
+                obs.export_json(metrics_json, extra=extra)
+                print(f"metrics written to {metrics_json}", file=sys.stderr)
+            if metrics_text:
+                print(obs.render_text(), file=sys.stderr)
     return 0
 
 

@@ -29,13 +29,14 @@ estimator only has to *rank* candidates well enough to prune
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Mapping, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.apex.architectures import MemoryArchitecture
+from repro.config import current_settings
 from repro.channels import Channel
 from repro.connectivity.architecture import (
     ConnectivityArchitecture,
@@ -60,7 +61,7 @@ REFERENCE_ESTIMATOR_ENV = "REPRO_REFERENCE_ESTIMATOR"
 
 def reference_estimator_enabled() -> bool:
     """Did the environment opt out of the columnar Phase-I estimator?"""
-    return os.environ.get(REFERENCE_ESTIMATOR_ENV, "").strip() == "1"
+    return current_settings().reference_estimator
 
 
 @dataclass(frozen=True)
@@ -190,6 +191,19 @@ def estimate_plan(
     ``indices`` selects a subset of the plan's candidates (defaults to
     all); results are ordered like ``indices``.
     """
+    with obs.span("conex.estimate_plan"):
+        estimates = _estimate_plan(memory, plan, profile, indices)
+    if obs.enabled():
+        obs.incr("estimator.candidates", len(estimates))
+    return estimates
+
+
+def _estimate_plan(
+    memory: MemoryArchitecture,
+    plan: "AssignmentPlan",
+    profile: SimulationResult,
+    indices: Sequence[int] | None,
+) -> list[ConnectivityEstimate]:
     if indices is None:
         indices = range(len(plan))
     index_list = list(indices)

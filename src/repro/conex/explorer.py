@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from functools import partial
 from typing import Callable, Sequence
 
+from repro import obs
 from repro.apex.explorer import EvaluatedMemoryArchitecture
 from repro.conex.allocation import AssignmentPlan, plan_assignments
 from repro.conex.brg import BandwidthRequirementGraph, build_brg
@@ -42,6 +43,7 @@ from repro.exec.engine import (
 from repro.exec.runtime import ExecutionRuntime
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
+from repro.stats import BatchStats, StatsReport, deprecated_stat
 from repro.trace.events import Trace
 from repro.util.pareto import pareto_front
 
@@ -150,12 +152,16 @@ class ConnectivityDesignPoint:
 
 
 @dataclass(frozen=True)
-class ConExResult:
+class ConExResult(StatsReport):
     """Everything the exploration produced.
 
     ``estimated`` holds every Phase-I estimate; ``simulated`` the
     Phase-II simulations of the locally selected designs; ``selected``
-    the global cost/performance/power pareto set.
+    the global cost/performance/power pareto set. ``phase2`` bundles the
+    Phase-II batch accounting (cache hits/misses, dedup, retries, pool
+    rebuilds, degraded flag) as a :class:`repro.stats.BatchStats`; the
+    old flat ``phase2_*`` attribute names still read, with a
+    :class:`DeprecationWarning`.
     """
 
     trace_name: str
@@ -165,18 +171,28 @@ class ConExResult:
     brgs: dict[str, BandwidthRequirementGraph] = field(repr=False)
     phase1_seconds: float = 0.0
     phase2_seconds: float = 0.0
-    #: Phase-II result-cache accounting: hits came for free, misses
-    #: were freshly simulated (by ``workers`` processes), duplicates
-    #: inside the batch were relabelled copies of one simulation.
-    phase2_cache_hits: int = 0
-    phase2_cache_misses: int = 0
-    phase2_deduplicated: int = 0
     workers: int = 1
-    #: Phase-II fault accounting (see :class:`repro.exec.EngineReport`):
-    #: worker pools rebuilt after crashes/timeouts, and whether the
-    #: batch finished on the degraded serial path.
-    phase2_pool_rebuilds: int = 0
-    phase2_degraded: bool = False
+    #: Phase-II batch accounting (see :class:`repro.stats.BatchStats`).
+    phase2: BatchStats = field(default_factory=BatchStats)
+
+    _STATS_EXCLUDE = ("estimated", "simulated", "selected", "brgs")
+
+    # Deprecated flat names (pre-1.1) for the bundled Phase-II stats.
+    phase2_cache_hits = deprecated_stat(
+        "ConExResult", "phase2_cache_hits", "phase2.cache_hits"
+    )
+    phase2_cache_misses = deprecated_stat(
+        "ConExResult", "phase2_cache_misses", "phase2.cache_misses"
+    )
+    phase2_deduplicated = deprecated_stat(
+        "ConExResult", "phase2_deduplicated", "phase2.deduplicated"
+    )
+    phase2_pool_rebuilds = deprecated_stat(
+        "ConExResult", "phase2_pool_rebuilds", "phase2.pool_rebuilds"
+    )
+    phase2_degraded = deprecated_stat(
+        "ConExResult", "phase2_degraded", "phase2.degraded"
+    )
 
     @property
     def total_seconds(self) -> float:
@@ -317,46 +333,53 @@ def explore_connectivity(
     estimated: list[ConnectivityDesignPoint] = []
     carried: list[ConnectivityDesignPoint] = []
     brgs: dict[str, BandwidthRequirementGraph] = {}
-    for memory_eval in selected_memories:
-        brg, points = connectivity_exploration(
-            trace, memory_eval, library, config, workers=workers,
-            runtime=runtime,
-        )
-        brgs[memory_eval.architecture.name] = brg
-        estimated.extend(points)
-        local_front = pareto_front(
-            points, key=lambda p: p.estimated_objectives
-        )
-        carried.extend(_thin_by_latency(local_front, config.phase1_keep))
+    with obs.span("conex.phase1"):
+        for memory_eval in selected_memories:
+            brg, points = connectivity_exploration(
+                trace, memory_eval, library, config, workers=workers,
+                runtime=runtime,
+            )
+            brgs[memory_eval.architecture.name] = brg
+            estimated.extend(points)
+            local_front = pareto_front(
+                points, key=lambda p: p.estimated_objectives
+            )
+            carried.extend(_thin_by_latency(local_front, config.phase1_keep))
     phase1_seconds = time.perf_counter() - phase1_start
 
     phase2_start = time.perf_counter()
-    report = simulate_many(
-        trace,
-        [
-            SimulationJob(
-                memory=point.memory_eval.architecture,
-                connectivity=point.connectivity,
-                sampling=config.phase2_sampling,
-            )
-            for point in carried
-        ],
-        workers=workers,
-        cache=cache,
-        runtime=runtime,
-    )
-    simulated = [
-        ConnectivityDesignPoint(
-            memory_eval=point.memory_eval,
-            connectivity=point.connectivity,
-            estimate=point.estimate,
-            simulation=result,
+    with obs.span("conex.phase2"):
+        report = simulate_many(
+            trace,
+            [
+                SimulationJob(
+                    memory=point.memory_eval.architecture,
+                    connectivity=point.connectivity,
+                    sampling=config.phase2_sampling,
+                )
+                for point in carried
+            ],
+            workers=workers,
+            cache=cache,
+            runtime=runtime,
         )
-        for point, result in zip(carried, report.results)
-    ]
+        simulated = [
+            ConnectivityDesignPoint(
+                memory_eval=point.memory_eval,
+                connectivity=point.connectivity,
+                estimate=point.estimate,
+                simulation=result,
+            )
+            for point, result in zip(carried, report.results)
+        ]
     phase2_seconds = time.perf_counter() - phase2_start
 
     selected = pareto_front(simulated, key=lambda p: p.simulated_objectives)
+    if obs.enabled():
+        obs.incr("conex.memories", len(selected_memories))
+        obs.incr("conex.estimated", len(estimated))
+        obs.incr("conex.carried", len(carried))
+        obs.incr("conex.pareto_survivors", len(selected))
     return ConExResult(
         trace_name=trace.name,
         estimated=tuple(estimated),
@@ -365,10 +388,6 @@ def explore_connectivity(
         brgs=brgs,
         phase1_seconds=phase1_seconds,
         phase2_seconds=phase2_seconds,
-        phase2_cache_hits=report.cache_hits,
-        phase2_cache_misses=report.cache_misses,
-        phase2_deduplicated=report.deduplicated,
         workers=report.workers,
-        phase2_pool_rebuilds=report.pool_rebuilds,
-        phase2_degraded=report.degraded,
+        phase2=report.stats,
     )

@@ -1,0 +1,251 @@
+"""Typed runtime configuration: one object for every ``REPRO_*`` knob.
+
+Four PRs of engine work grew a dozen ``REPRO_*`` environment variables,
+each parsed ad hoc at its point of use (``os.environ.get`` sprinkled
+through :mod:`repro.exec`, :mod:`repro.sim`, :mod:`repro.conex`). This
+module replaces the scatter with one documented, typed snapshot:
+
+* :class:`Settings` — a frozen dataclass holding every knob, built
+  from the environment with :meth:`Settings.from_env` (each field
+  validated with the same error types the old per-site parsers
+  raised) or constructed directly in tests.
+* :func:`current_settings` — what the library consults. When no
+  explicit settings are installed it re-reads the environment on every
+  call, so ``monkeypatch.setenv`` and shell exports keep working
+  exactly as before; environment variables remain the override layer
+  for end users.
+* :func:`set_settings` / :func:`use_settings` — install an explicit
+  :class:`Settings` (tests, embedders). An installed object wins over
+  the environment until removed.
+
+The consumers (``repro.exec.runtime``, ``repro.exec.cache``,
+``repro.sim.kernels``, ``repro.conex.estimator``, ``repro.trace.shm``,
+``repro.obs``) all route through :func:`current_settings`; no library
+code reads a ``REPRO_*`` variable directly anymore.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+from dataclasses import dataclass, fields
+from typing import Iterator, Mapping
+
+from repro.errors import ExecutionError, ExplorationError
+
+#: Worker-process count for simulation/estimation batches.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: ``0`` disables the persistent execution runtime (legacy per-batch pools).
+RUNTIME_ENV = "REPRO_PERSISTENT_RUNTIME"
+
+#: Per-job timeout in seconds for fault-tolerant dispatch.
+JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
+
+#: Pool rebuilds allowed per batch before degrading to serial.
+MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+
+#: Directory enabling the on-disk layer of the default simulation cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Chaos hook for fault-injection tests (``once:<path>`` / ``hang:<path>``
+#: / ``always``); consulted only by pool workers.
+FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
+
+#: Truthy forces the scalar reference simulation loop everywhere.
+REFERENCE_SIM_ENV = "REPRO_REFERENCE_SIM"
+
+#: Truthy reverts Phase-I estimation to the per-candidate scalar path.
+REFERENCE_ESTIMATOR_ENV = "REPRO_REFERENCE_ESTIMATOR"
+
+#: Truthy shrinks benchmark workloads to CI smoke size.
+BENCH_SMOKE_ENV = "REPRO_BENCH_SMOKE"
+
+#: Truthy enables the observability layer (:mod:`repro.obs`) at import.
+OBS_ENV = "REPRO_OBS"
+
+#: Override directory for shared-memory sidecar manifests.
+SHM_MANIFEST_DIR_ENV = "REPRO_SHM_MANIFEST_DIR"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def parse_bool(value: str | None) -> bool:
+    """Shared truthy parse for boolean ``REPRO_*`` variables."""
+    return (value or "").strip().lower() in _TRUTHY
+
+
+def _get(env: Mapping[str, str], name: str) -> str:
+    return (env.get(name) or "").strip()
+
+
+@dataclass(frozen=True)
+class Settings:
+    """One validated snapshot of every ``REPRO_*`` knob.
+
+    Attributes mirror the environment variables one-to-one:
+
+    ==========================  =============================  ==========
+    attribute                   environment variable           default
+    ==========================  =============================  ==========
+    ``workers``                 ``REPRO_WORKERS``              ``1``
+    ``persistent_runtime``      ``REPRO_PERSISTENT_RUNTIME``   ``True``
+    ``job_timeout``             ``REPRO_JOB_TIMEOUT``          ``None``
+    ``max_retries``             ``REPRO_MAX_RETRIES``          ``2``
+    ``cache_dir``               ``REPRO_CACHE_DIR``            ``None``
+    ``fault_inject``            ``REPRO_FAULT_INJECT``         ``""``
+    ``reference_sim``           ``REPRO_REFERENCE_SIM``        ``False``
+    ``reference_estimator``     ``REPRO_REFERENCE_ESTIMATOR``  ``False``
+    ``bench_smoke``             ``REPRO_BENCH_SMOKE``          ``False``
+    ``obs``                     ``REPRO_OBS``                  ``False``
+    ``shm_manifest_dir``        ``REPRO_SHM_MANIFEST_DIR``     ``None``
+    ==========================  =============================  ==========
+
+    Validation happens at construction with the same exception types
+    the historical per-site parsers used (:class:`ExplorationError`
+    for the worker count, :class:`ExecutionError` for the
+    fault-tolerance knobs), so error-handling callers see no change.
+    """
+
+    workers: int = 1
+    persistent_runtime: bool = True
+    job_timeout: float | None = None
+    max_retries: int = 2
+    cache_dir: str | None = None
+    fault_inject: str = ""
+    reference_sim: bool = False
+    reference_estimator: bool = False
+    bench_smoke: bool = False
+    obs: bool = False
+    shm_manifest_dir: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ExplorationError(f"workers must be >= 1, got {self.workers}")
+        if self.job_timeout is not None and self.job_timeout <= 0:
+            raise ExecutionError(
+                f"job timeout must be positive, got {self.job_timeout}"
+            )
+        if self.max_retries < 0:
+            raise ExecutionError(
+                f"max retries must be >= 0, got {self.max_retries}"
+            )
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "Settings":
+        """Snapshot ``env`` (default: ``os.environ``) into a Settings."""
+        env = os.environ if env is None else env
+
+        workers = 1
+        raw = _get(env, WORKERS_ENV)
+        if raw:
+            try:
+                workers = int(raw)
+            except ValueError:
+                raise ExplorationError(
+                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
+                ) from None
+
+        job_timeout: float | None = None
+        raw = _get(env, JOB_TIMEOUT_ENV)
+        if raw:
+            try:
+                job_timeout = float(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{JOB_TIMEOUT_ENV} must be a number of seconds, "
+                    f"got {raw!r}"
+                ) from None
+
+        max_retries = 2
+        raw = _get(env, MAX_RETRIES_ENV)
+        if raw:
+            try:
+                max_retries = int(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{MAX_RETRIES_ENV} must be an integer, got {raw!r}"
+                ) from None
+
+        return cls(
+            workers=workers,
+            persistent_runtime=_get(env, RUNTIME_ENV) != "0",
+            job_timeout=job_timeout,
+            max_retries=max_retries,
+            cache_dir=_get(env, CACHE_DIR_ENV) or None,
+            fault_inject=_get(env, FAULT_INJECT_ENV),
+            reference_sim=parse_bool(env.get(REFERENCE_SIM_ENV)),
+            reference_estimator=parse_bool(env.get(REFERENCE_ESTIMATOR_ENV)),
+            bench_smoke=parse_bool(env.get(BENCH_SMOKE_ENV)),
+            obs=parse_bool(env.get(OBS_ENV)),
+            shm_manifest_dir=_get(env, SHM_MANIFEST_DIR_ENV) or None,
+        )
+
+    def as_env(self) -> dict[str, str]:
+        """The environment-variable form of this snapshot.
+
+        ``Settings.from_env(settings.as_env())`` round-trips to an
+        equal object; ``None``-valued knobs are omitted (unset).
+        Useful for propagating an explicit configuration to a
+        subprocess.
+        """
+        env: dict[str, str] = {
+            WORKERS_ENV: str(self.workers),
+            RUNTIME_ENV: "1" if self.persistent_runtime else "0",
+            MAX_RETRIES_ENV: str(self.max_retries),
+            REFERENCE_SIM_ENV: "1" if self.reference_sim else "0",
+            REFERENCE_ESTIMATOR_ENV: "1" if self.reference_estimator else "0",
+            BENCH_SMOKE_ENV: "1" if self.bench_smoke else "0",
+            OBS_ENV: "1" if self.obs else "0",
+        }
+        if self.job_timeout is not None:
+            env[JOB_TIMEOUT_ENV] = repr(self.job_timeout)
+        if self.cache_dir is not None:
+            env[CACHE_DIR_ENV] = self.cache_dir
+        if self.fault_inject:
+            env[FAULT_INJECT_ENV] = self.fault_inject
+        if self.shm_manifest_dir is not None:
+            env[SHM_MANIFEST_DIR_ENV] = self.shm_manifest_dir
+        return env
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (for the observability JSON export)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+_INSTALLED: Settings | None = None
+
+
+def current_settings() -> Settings:
+    """The settings the library consults.
+
+    The installed override when :func:`set_settings` was called with a
+    non-``None`` object; otherwise a fresh snapshot of the process
+    environment (so env-var changes take effect immediately, as they
+    did before :class:`Settings` existed).
+    """
+    if _INSTALLED is not None:
+        return _INSTALLED
+    return Settings.from_env()
+
+
+def set_settings(settings: Settings | None) -> Settings | None:
+    """Install ``settings`` as the process-wide override.
+
+    Returns the previously installed override (``None`` when the
+    environment layer was active). Pass ``None`` to go back to reading
+    the environment.
+    """
+    global _INSTALLED
+    previous, _INSTALLED = _INSTALLED, settings
+    return previous
+
+
+@contextlib.contextmanager
+def use_settings(settings: Settings) -> Iterator[Settings]:
+    """Context manager installing ``settings`` for the block (tests)."""
+    previous = set_settings(settings)
+    try:
+        yield settings
+    finally:
+        set_settings(previous)

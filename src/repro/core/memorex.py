@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import obs
 from repro.apex.explorer import ApexConfig, ApexResult, explore_memory_architectures
 from repro.conex.explorer import ConExConfig, ConExResult, explore_connectivity
 from repro.connectivity.library import (
@@ -61,15 +62,16 @@ def run_memorex(
     memory_library = memory_library or default_memory_library()
     connectivity_library = connectivity_library or default_connectivity_library()
 
-    trace = workload.trace()
-    apex = explore_memory_architectures(
-        trace, memory_library, config.apex, hints=workload.pattern_hints,
-        workers=workers, cache=cache, runtime=runtime,
-    )
-    conex = explore_connectivity(
-        trace, apex.selected, connectivity_library, config.conex,
-        workers=workers, cache=cache, runtime=runtime,
-    )
+    with obs.span("memorex.run"):
+        trace = workload.trace()
+        apex = explore_memory_architectures(
+            trace, memory_library, config.apex, hints=workload.pattern_hints,
+            workers=workers, cache=cache, runtime=runtime,
+        )
+        conex = explore_connectivity(
+            trace, apex.selected, connectivity_library, config.conex,
+            workers=workers, cache=cache, runtime=runtime,
+        )
     return MemorExResult(
         workload_name=workload.name,
         trace=trace,

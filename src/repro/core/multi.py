@@ -13,6 +13,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
+from repro import obs
 from repro.core.design_point import DesignPointSummary, summarize
 from repro.core.memorex import MemorExConfig, MemorExResult, run_memorex
 from repro.errors import ExplorationError
@@ -52,13 +53,16 @@ def explore_portfolio(
     """
     if not workloads:
         raise ExplorationError("no workloads in portfolio")
-    return [
-        run_memorex(
-            workload, config=config, workers=workers, cache=cache,
-            runtime=runtime,
-        )
-        for workload in workloads
-    ]
+    results = []
+    for workload in workloads:
+        with obs.span("portfolio.workload"):
+            results.append(
+                run_memorex(
+                    workload, config=config, workers=workers, cache=cache,
+                    runtime=runtime,
+                )
+            )
+    return results
 
 
 def compare_workloads(

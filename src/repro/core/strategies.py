@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro import obs
 from repro.apex.explorer import (
     ApexConfig,
     EvaluatedMemoryArchitecture,
@@ -118,14 +119,15 @@ def run_pruned(
     cache = _resolve_cache(cache)
     hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
-    apex = explore_memory_architectures(
-        trace, memory_library, apex_config, hints=hints,
-        workers=workers, cache=cache, runtime=runtime,
-    )
-    conex = explore_connectivity(
-        trace, apex.selected, connectivity_library, conex_config,
-        workers=workers, cache=cache, runtime=runtime,
-    )
+    with obs.span("strategy.pruned"):
+        apex = explore_memory_architectures(
+            trace, memory_library, apex_config, hints=hints,
+            workers=workers, cache=cache, runtime=runtime,
+        )
+        conex = explore_connectivity(
+            trace, apex.selected, connectivity_library, conex_config,
+            workers=workers, cache=cache, runtime=runtime,
+        )
     seconds = time.perf_counter() - start
     return StrategyOutcome(
         name="Pruned",
@@ -166,6 +168,25 @@ def run_neighborhood(
     runtime: ExecutionRuntime | None = None,
 ) -> StrategyOutcome:
     """Pruned plus the neighbourhood of every selected design."""
+    with obs.span("strategy.neighborhood"):
+        return _run_neighborhood(
+            trace, memory_library, connectivity_library, apex_config,
+            conex_config, hints=hints, workers=workers, cache=cache,
+            runtime=runtime,
+        )
+
+
+def _run_neighborhood(
+    trace: Trace,
+    memory_library: MemoryLibrary,
+    connectivity_library: ConnectivityLibrary,
+    apex_config: ApexConfig,
+    conex_config: ConExConfig,
+    hints: dict[str, AccessPattern] | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
+) -> StrategyOutcome:
     cache = _resolve_cache(cache)
     hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
@@ -255,6 +276,25 @@ def run_full(
     single :func:`repro.exec.simulate_many` batch — the largest job
     list in the library and the engine's biggest win.
     """
+    with obs.span("strategy.full"):
+        return _run_full(
+            trace, memory_library, connectivity_library, apex_config,
+            conex_config, hints=hints, workers=workers, cache=cache,
+            runtime=runtime,
+        )
+
+
+def _run_full(
+    trace: Trace,
+    memory_library: MemoryLibrary,
+    connectivity_library: ConnectivityLibrary,
+    apex_config: ApexConfig,
+    conex_config: ConExConfig,
+    hints: dict[str, AccessPattern] | None = None,
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
+) -> StrategyOutcome:
     cache = _resolve_cache(cache)
     hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()

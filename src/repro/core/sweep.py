@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import obs
 from repro.apex.architectures import MemoryArchitecture
 from repro.channels import Channel
 from repro.connectivity.architecture import (
@@ -71,9 +72,12 @@ def _run_sweep(
     runtime: ExecutionRuntime | None = None,
 ) -> list[SweepPoint]:
     """Dispatch one sweep's job list and pair results with settings."""
-    report = simulate_many(
-        trace, jobs, workers=workers, cache=cache, runtime=runtime
-    )
+    with obs.span("sweep.run"):
+        report = simulate_many(
+            trace, jobs, workers=workers, cache=cache, runtime=runtime
+        )
+    if obs.enabled():
+        obs.incr("sweep.points", len(jobs))
     return [
         SweepPoint(setting=setting, result=result)
         for setting, result in zip(settings, report.results)

@@ -32,14 +32,25 @@ import os
 import pathlib
 import pickle
 
+from repro import obs
 from repro.apex.architectures import MemoryArchitecture
+from repro.config import CACHE_DIR_ENV, current_settings
 from repro.connectivity.architecture import ConnectivityArchitecture
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
 from repro.trace.events import Trace
 
-#: Environment variable enabling the on-disk layer of the default cache.
-CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+__all__ = [
+    "CACHE_DIR_ENV",
+    "NULL_CACHE",
+    "NullCache",
+    "SimulationCache",
+    "default_cache",
+    "key_digest",
+    "sampling_signature",
+    "set_default_cache",
+    "simulation_key",
+]
 
 #: Cache file suffix for persisted results.
 _SUFFIX = ".simres.pkl"
@@ -101,10 +112,13 @@ class SimulationCache:
             result = self._load_from_disk(key)
             if result is not None:
                 self._memory[key] = result
+                obs.incr("cache.disk_loads")
         if result is None:
             self.misses += 1
+            obs.incr("cache.misses")
         else:
             self.hits += 1
+            obs.incr("cache.hits")
         return result
 
     def put(self, key: tuple, result: SimulationResult) -> None:
@@ -200,13 +214,13 @@ _default_cache: SimulationCache | None = None
 def default_cache() -> SimulationCache:
     """The process-wide cache used when callers pass ``cache=None``.
 
-    Created lazily; picks up an on-disk layer from ``REPRO_CACHE_DIR``
-    when that variable is set at first use.
+    Created lazily; picks up an on-disk layer from
+    ``Settings.cache_dir`` (the ``REPRO_CACHE_DIR`` variable) when set
+    at first use.
     """
     global _default_cache
     if _default_cache is None:
-        directory = os.environ.get(CACHE_DIR_ENV) or None
-        _default_cache = SimulationCache(directory)
+        _default_cache = SimulationCache(current_settings().cache_dir)
     return _default_cache
 
 

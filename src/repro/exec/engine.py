@@ -45,6 +45,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, replace
 from typing import Sequence
 
+from repro import obs
 from repro.apex.architectures import MemoryArchitecture
 from repro.conex.estimator import ConnectivityEstimate, estimate_design
 from repro.connectivity.architecture import ConnectivityArchitecture
@@ -61,6 +62,7 @@ from repro.exec.runtime import (
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import simulate
+from repro.stats import BatchStats, StatsReport
 from repro.trace.events import Trace
 
 #: Below this many pending estimate jobs a pool costs more than it
@@ -88,7 +90,7 @@ class EstimateJob:
 
 
 @dataclass(frozen=True)
-class EngineReport:
+class EngineReport(StatsReport):
     """What one batch produced and what it cost.
 
     ``results[i]`` always corresponds to ``jobs[i]`` of the submitted
@@ -119,6 +121,24 @@ class EngineReport:
     retries: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
+
+    #: ``as_dict()`` exports the accounting, not the payload.
+    _STATS_EXCLUDE = ("results",)
+
+    @property
+    def stats(self) -> BatchStats:
+        """The batch accounting as the unified :class:`BatchStats` shape."""
+        return BatchStats(
+            workers=self.workers,
+            cache_hits=self.cache_hits,
+            cache_misses=self.cache_misses,
+            deduplicated=self.deduplicated,
+            uncached=self.uncached,
+            seconds=self.seconds,
+            retries=self.retries,
+            pool_rebuilds=self.pool_rebuilds,
+            degraded=self.degraded,
+        )
 
 
 # -- worker-process plumbing ------------------------------------------------
@@ -180,6 +200,23 @@ def _relabel(result: SimulationResult, job: SimulationJob) -> SimulationResult:
 
 # -- public entry points ----------------------------------------------------
 
+def _record_batch(report: EngineReport) -> None:
+    """Fold one batch's accounting into the obs counters.
+
+    Every key is registered even when its value is zero, so a metrics
+    export from an undisturbed serial run still shows the full
+    ``exec.*`` / ``runtime.*`` counter surface.
+    """
+    obs.incr("exec.jobs", len(report.results))
+    obs.incr("exec.cache_hits", report.cache_hits)
+    obs.incr("exec.cache_misses", report.cache_misses)
+    obs.incr("exec.deduplicated", report.deduplicated)
+    obs.incr("exec.uncached", report.uncached)
+    obs.incr("runtime.retries", report.retries)
+    obs.incr("runtime.pool_rebuilds", report.pool_rebuilds)
+    obs.incr("runtime.degraded_batches", int(report.degraded))
+
+
 def simulate_many(
     trace: Trace,
     jobs: Sequence[SimulationJob],
@@ -205,6 +242,20 @@ def simulate_many(
             (:func:`repro.exec.runtime.default_runtime`) unless
             ``REPRO_PERSISTENT_RUNTIME=0`` reverts to per-batch pools.
     """
+    with obs.span("exec.simulate_many"):
+        report = _simulate_many(trace, jobs, workers, cache, runtime)
+    if obs.enabled():
+        _record_batch(report)
+    return report
+
+
+def _simulate_many(
+    trace: Trace,
+    jobs: Sequence[SimulationJob],
+    workers: int | None,
+    cache: SimulationCache | None,
+    runtime: ExecutionRuntime | None,
+) -> EngineReport:
     start = time.perf_counter()
     if runtime is not None and runtime.closed:
         # Fail eagerly, before cache lookups or pool dispatch: a batch
@@ -331,6 +382,18 @@ def estimate_many(
     the result cache: the report counts them as ``uncached``, not as
     hits or misses.
     """
+    with obs.span("exec.estimate_many"):
+        report = _estimate_many(jobs, workers, runtime)
+    if obs.enabled():
+        _record_batch(report)
+    return report
+
+
+def _estimate_many(
+    jobs: Sequence[EstimateJob],
+    workers: int | None,
+    runtime: ExecutionRuntime | None,
+) -> EngineReport:
     start = time.perf_counter()
     if runtime is not None and runtime.closed:
         raise ExecutionError(

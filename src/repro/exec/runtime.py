@@ -65,100 +65,78 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Sequence
 
+from repro import obs
 from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.config import (
+    FAULT_INJECT_ENV,
+    JOB_TIMEOUT_ENV,
+    MAX_RETRIES_ENV,
+    RUNTIME_ENV,
+    WORKERS_ENV,
+    current_settings,
+)
 from repro.errors import ExecutionError, ExplorationError
+from repro.obs.registry import ObsSnapshot
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
+from repro.stats import StatsReport
 from repro.trace import shm as shm_registry
 from repro.trace.events import SharedTraceExport, SharedTraceHandle, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.exec.engine import EstimateJob, SimulationJob
 
-#: Environment variable supplying the default worker count.
-WORKERS_ENV = "REPRO_WORKERS"
-
-#: Set to ``0`` to disable the persistent runtime: parallel batches
-#: then rebuild a pool per call, as before the runtime existed.
-RUNTIME_ENV = "REPRO_PERSISTENT_RUNTIME"
-
-#: Per-job timeout in seconds (float). A dispatched chunk's wait
-#: budget is ``timeout * len(chunk)``; exceeding it counts as a worker
-#: fault: the pool is torn down (stuck workers terminated) and the
-#: unfinished jobs re-dispatched. Unset/empty means no timeout.
-JOB_TIMEOUT_ENV = "REPRO_JOB_TIMEOUT"
-
-#: Pool rebuilds allowed per batch before the runtime degrades the
-#: rest of the batch to the serial in-process path.
-MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
+__all__ = [
+    "FAULT_INJECT_ENV",
+    "JOB_TIMEOUT_ENV",
+    "MAX_RETRIES_ENV",
+    "RUNTIME_ENV",
+    "WORKERS_ENV",
+    "DEFAULT_MAX_RETRIES",
+    "DispatchStats",
+    "ExecutionRuntime",
+    "RuntimeStats",
+    "default_runtime",
+    "dispatch_chunksize",
+    "persistent_runtime_enabled",
+    "resolve_job_timeout",
+    "resolve_max_retries",
+    "resolve_workers",
+    "set_default_runtime",
+]
 
 #: Default pool rebuilds per batch when ``REPRO_MAX_RETRIES`` is unset.
 DEFAULT_MAX_RETRIES = 2
 
-#: Chaos hook for tests/CI: ``once:<path>`` SIGKILLs the first worker
-#: to claim ``<path>`` (created O_EXCL, so retries succeed);
-#: ``hang:<path>`` makes that worker sleep instead (exercises the job
-#: timeout); ``always`` SIGKILLs every worker invocation (exercises
-#: degraded mode). Only the worker-side chunk runners consult it — the
-#: serial in-process paths never inject faults.
-FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
-
 
 def resolve_workers(workers: int | None = None) -> int:
-    """Effective worker count: explicit arg, else ``REPRO_WORKERS``, else 1.
+    """Effective worker count: explicit arg, else ``Settings.workers``.
 
-    The serial default keeps library behaviour (and golden outputs)
-    identical to the pre-engine code unless a caller or the environment
-    opts into parallelism.
+    The settings default (``REPRO_WORKERS`` unset) is 1 — serial — so
+    library behaviour (and golden outputs) stays identical to the
+    pre-engine code unless a caller or the environment opts into
+    parallelism.
     """
     if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if raw:
-            try:
-                workers = int(raw)
-            except ValueError:
-                raise ExplorationError(
-                    f"{WORKERS_ENV} must be an integer, got {raw!r}"
-                ) from None
-    if workers is None:
-        return 1
+        return current_settings().workers
     if workers < 1:
         raise ExplorationError(f"workers must be >= 1, got {workers}")
     return workers
 
 
 def resolve_job_timeout(timeout: float | None = None) -> float | None:
-    """Effective per-job timeout: explicit arg, else ``REPRO_JOB_TIMEOUT``."""
+    """Effective per-job timeout: explicit arg, else ``Settings.job_timeout``."""
     if timeout is None:
-        raw = os.environ.get(JOB_TIMEOUT_ENV, "").strip()
-        if raw:
-            try:
-                timeout = float(raw)
-            except ValueError:
-                raise ExecutionError(
-                    f"{JOB_TIMEOUT_ENV} must be a number of seconds, "
-                    f"got {raw!r}"
-                ) from None
-    if timeout is None:
-        return None
+        return current_settings().job_timeout
     if timeout <= 0:
         raise ExecutionError(f"job timeout must be positive, got {timeout}")
     return float(timeout)
 
 
 def resolve_max_retries(retries: int | None = None) -> int:
-    """Effective rebuild budget: explicit arg, else ``REPRO_MAX_RETRIES``."""
+    """Effective rebuild budget: explicit arg, else ``Settings.max_retries``."""
     if retries is None:
-        raw = os.environ.get(MAX_RETRIES_ENV, "").strip()
-        if raw:
-            try:
-                retries = int(raw)
-            except ValueError:
-                raise ExecutionError(
-                    f"{MAX_RETRIES_ENV} must be an integer, got {raw!r}"
-                ) from None
-    if retries is None:
-        return DEFAULT_MAX_RETRIES
+        return current_settings().max_retries
     if retries < 0:
         raise ExecutionError(f"max retries must be >= 0, got {retries}")
     return retries
@@ -166,7 +144,7 @@ def resolve_max_retries(retries: int | None = None) -> int:
 
 def persistent_runtime_enabled() -> bool:
     """Is the persistent runtime the default parallel dispatch path?"""
-    return os.environ.get(RUNTIME_ENV, "").strip() != "0"
+    return current_settings().persistent_runtime
 
 
 def dispatch_chunksize(pending: int, workers: int) -> int:
@@ -175,7 +153,7 @@ def dispatch_chunksize(pending: int, workers: int) -> int:
 
 
 @dataclass
-class DispatchStats:
+class DispatchStats(StatsReport):
     """Fault accounting for one ``map_simulations``/``map_estimates`` call.
 
     Attributes:
@@ -198,7 +176,7 @@ class DispatchStats:
 
 
 @dataclass
-class RuntimeStats:
+class RuntimeStats(StatsReport):
     """Cumulative fault accounting across a runtime's lifetime."""
 
     batches: int = 0
@@ -215,6 +193,26 @@ class RuntimeStats:
         self.pool_rebuilds += dispatch.pool_rebuilds
         self.timeouts += dispatch.timeouts
         self.degraded_batches += int(dispatch.degraded)
+
+    def fault_summary(self) -> str | None:
+        """One-line fault recap, or ``None`` when the run was clean.
+
+        The CLI prints this to stderr after each command instead of
+        formatting runtime fields itself.
+        """
+        if not self.pool_rebuilds and not self.degraded_batches:
+            return None
+        degraded = (
+            f", {self.degraded_batches} batch(es) degraded to serial"
+            if self.degraded_batches
+            else ""
+        )
+        return (
+            f"recovered from worker faults: "
+            f"{self.pool_rebuilds} pool rebuild(s), "
+            f"{self.retries} retry round(s), "
+            f"{self.timeouts} timeout(s){degraded}"
+        )
 
 
 # -- worker-process side ----------------------------------------------------
@@ -235,11 +233,13 @@ def _attached_trace(handle: SharedTraceHandle) -> Trace:
     return trace
 
 
-def _maybe_inject_fault() -> None:
-    """Honour the ``REPRO_FAULT_INJECT`` chaos hook (tests/CI only)."""
-    spec = os.environ.get(FAULT_INJECT_ENV, "").strip()
-    if not spec:
-        return
+def _maybe_inject_fault(spec: str) -> None:
+    """Honour the ``REPRO_FAULT_INJECT`` chaos hook (tests/CI only).
+
+    ``spec`` is ``Settings.fault_inject``, looked up once per chunk by
+    the callers (estimates are microseconds each — a per-item settings
+    read would dominate them).
+    """
     mode, _, path = spec.partition(":")
     if mode == "always":
         os.kill(os.getpid(), signal.SIGKILL)
@@ -269,14 +269,36 @@ def _run_shared_simulation(
     )
 
 
+def _chunk_observation(collect: bool) -> ObsSnapshot | None:
+    """Worker-side setup for one chunk's obs collection.
+
+    When the dispatching process records metrics (``collect``), the
+    worker turns its own recording on (it may have been spawned before
+    the parent enabled obs, so the import-time ``REPRO_OBS`` check is
+    not enough) and returns the baseline snapshot the post-chunk delta
+    is computed against.
+    """
+    if not collect:
+        return None
+    if not obs.enabled():
+        obs.enable()
+    obs.reset_span_stack()
+    return obs.snapshot()
+
+
 def _run_simulation_chunk(
     items: "Sequence[tuple[SharedTraceHandle, SimulationJob]]",
-) -> list[SimulationResult]:
+    collect: bool = False,
+) -> "tuple[list[SimulationResult], ObsSnapshot | None]":
+    fault_spec = current_settings().fault_inject
+    baseline = _chunk_observation(collect)
     results = []
     for item in items:
-        _maybe_inject_fault()
+        if fault_spec:
+            _maybe_inject_fault(fault_spec)
         results.append(_run_shared_simulation(item))
-    return results
+    delta = obs.snapshot().subtract(baseline) if collect else None
+    return results, delta
 
 
 def _run_pool_estimate(job: "EstimateJob") -> ConnectivityEstimate:
@@ -285,12 +307,17 @@ def _run_pool_estimate(job: "EstimateJob") -> ConnectivityEstimate:
 
 def _run_estimate_chunk(
     jobs: "Sequence[EstimateJob]",
-) -> list[ConnectivityEstimate]:
+    collect: bool = False,
+) -> "tuple[list[ConnectivityEstimate], ObsSnapshot | None]":
+    fault_spec = current_settings().fault_inject
+    baseline = _chunk_observation(collect)
     results = []
     for job in jobs:
-        _maybe_inject_fault()
+        if fault_spec:
+            _maybe_inject_fault(fault_spec)
         results.append(_run_pool_estimate(job))
-    return results
+    delta = obs.snapshot().subtract(baseline) if collect else None
+    return results, delta
 
 
 # -- the runtime ------------------------------------------------------------
@@ -384,6 +411,7 @@ class ExecutionRuntime:
             # idle, or external dispatch broke it): rebuild silently.
             self._discard_pool(kill=True)
             self.stats.pool_rebuilds += 1
+            obs.incr("runtime.pool_rebuilds")
         if self._pool is None:
             context = self._mp_context
             if isinstance(context, str):
@@ -424,11 +452,22 @@ class ExecutionRuntime:
         if export is None:
             export = trace.export_shared()
             self._exports[fingerprint] = export
+            obs.incr("runtime.shm_exports")
         return export.handle
 
     # -- fault-tolerant dispatch core ----------------------------------
 
     def _dispatch(
+        self,
+        worker_fn: Callable,
+        items: Sequence,
+        inline_fn: Callable,
+    ) -> list:
+        """Fault-tolerant dispatch, timed under the ``exec.dispatch`` span."""
+        with obs.span("exec.dispatch"):
+            return self._dispatch_chunks(worker_fn, items, inline_fn)
+
+    def _dispatch_chunks(
         self,
         worker_fn: Callable,
         items: Sequence,
@@ -448,6 +487,16 @@ class ExecutionRuntime:
         results: list = [None] * len(items)
         finished = [False] * len(items)
         pending = list(range(len(items)))
+        collect = obs.enabled()
+
+        def harvest(payload: tuple) -> list:
+            # Chunk runners return (values, obs delta); fold the
+            # worker-side spans/counters into the parent registry so
+            # the export sees one merged view.
+            values, delta = payload
+            obs.merge_snapshot(delta)
+            return values
+
         while pending:
             if stats.degraded:
                 for index in pending:
@@ -466,7 +515,9 @@ class ExecutionRuntime:
                     futures.append(
                         (
                             pool.submit(
-                                worker_fn, [items[i] for i in chunk]
+                                worker_fn,
+                                [items[i] for i in chunk],
+                                collect,
                             ),
                             chunk,
                         )
@@ -481,7 +532,7 @@ class ExecutionRuntime:
                         else self.job_timeout * len(chunk)
                     )
                     try:
-                        values = future.result(timeout=budget)
+                        values = harvest(future.result(timeout=budget))
                     except BrokenProcessPool:
                         fault = True
                         break
@@ -502,7 +553,8 @@ class ExecutionRuntime:
                         and not future.cancelled()
                         and future.exception() is None
                     ):
-                        for index, value in zip(chunk, future.result()):
+                        values = harvest(future.result())
+                        for index, value in zip(chunk, values):
                             results[index] = value
                             finished[index] = True
                 self._discard_pool(kill=True)
@@ -514,6 +566,14 @@ class ExecutionRuntime:
             pending = [i for i in pending if not finished[i]]
         self.last_dispatch = stats
         self.stats.absorb(stats)
+        if collect:
+            # retries / pool_rebuilds / degraded travel on the engine
+            # report and are counted there (covering the serial and
+            # legacy-pool paths too); only dispatch-local facts the
+            # report does not carry are recorded here.
+            obs.incr("runtime.dispatches")
+            obs.incr("runtime.jobs", stats.jobs)
+            obs.incr("runtime.timeouts", stats.timeouts)
         return results
 
     # -- batch entry points --------------------------------------------

@@ -1,0 +1,71 @@
+"""``repro.obs`` — lightweight, dependency-free observability.
+
+The exploration stack's self-measurement layer: hierarchical spans
+with wall/CPU time (``with obs.span("conex.phase1"): ...``), counters
+and gauges (cache hits, pool rebuilds, simulated accesses, pareto
+survivors), and JSON/text exporters the CLI wires to
+``--metrics-json`` / ``--metrics``.
+
+Design constraints (see ``docs/observability.md``):
+
+* **Disabled by default, near-zero when disabled.** ``span()`` hands
+  out a no-op singleton and ``incr()``/``gauge()`` return after one
+  module-global boolean check; hot paths additionally guard with
+  ``if obs.enabled():`` so the disabled cost on the simulation kernel
+  stays within noise (the ``bench_obs_overhead`` benchmark asserts
+  ≤1%).
+* **Thread-safe in-process registry**, with picklable
+  :class:`ObsSnapshot` deltas merged back from pool workers through
+  the existing job-result channel (see
+  :meth:`repro.exec.ExecutionRuntime`).
+* **Enabled** via ``REPRO_OBS=1`` (read at import, like every other
+  knob through :mod:`repro.config`) or programmatically with
+  :func:`enable` — the CLI does the latter for ``--metrics-json``.
+"""
+
+import os as _os
+
+from repro.config import OBS_ENV, parse_bool as _parse_bool
+from repro.obs.export import as_dict, export_json, render_text
+from repro.obs.registry import (
+    ObsSnapshot,
+    Registry,
+    SpanStat,
+    disable,
+    enable,
+    enabled,
+    gauge,
+    incr,
+    merge_snapshot,
+    registry,
+    reset,
+    reset_span_stack,
+    snapshot,
+    span,
+)
+
+# Honour REPRO_OBS at import time. Read leniently (just this one
+# variable, not a full Settings.from_env) so a malformed unrelated
+# REPRO_* value cannot turn importing the library into a crash.
+if _parse_bool(_os.environ.get(OBS_ENV)):
+    enable()
+
+__all__ = [
+    "ObsSnapshot",
+    "Registry",
+    "SpanStat",
+    "as_dict",
+    "disable",
+    "enable",
+    "enabled",
+    "export_json",
+    "gauge",
+    "incr",
+    "merge_snapshot",
+    "registry",
+    "render_text",
+    "reset",
+    "reset_span_stack",
+    "snapshot",
+    "span",
+]

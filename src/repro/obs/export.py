@@ -1,0 +1,93 @@
+"""Exporters: the registry's contents as JSON or aligned text.
+
+The JSON document is the machine-readable form the CLI writes for
+``--metrics-json PATH``::
+
+    {
+      "settings": {...},          # the Settings snapshot of the run
+      "spans":    {"conex.phase1": {"count": 1, "wall_seconds": ...,
+                                    "cpu_seconds": ...}, ...},
+      "counters": {"exec.cache_hits": 12, ...},
+      "gauges":   {"conex.pareto_survivors": 7, ...},
+      ...                          # caller extras (e.g. "runtime")
+    }
+
+The text rendering is the human form printed to stderr for
+``--metrics``: spans sorted by wall time, counters and gauges sorted
+by name.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Mapping
+
+from repro.config import current_settings
+from repro.obs.registry import ObsSnapshot, snapshot
+
+
+def as_dict(
+    snap: ObsSnapshot | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> dict[str, Any]:
+    """The export document for ``snap`` (default: the live registry)."""
+    snap = snap if snap is not None else snapshot()
+    document: dict[str, Any] = {
+        "settings": current_settings().as_dict(),
+        "spans": {
+            name: {
+                "count": count,
+                "wall_seconds": wall,
+                "cpu_seconds": cpu,
+            }
+            for name, (count, wall, cpu) in sorted(snap.spans.items())
+        },
+        "counters": dict(sorted(snap.counters.items())),
+        "gauges": dict(sorted(snap.gauges.items())),
+    }
+    if extra:
+        document.update(extra)
+    return document
+
+
+def export_json(
+    path: str | pathlib.Path,
+    snap: ObsSnapshot | None = None,
+    extra: Mapping[str, Any] | None = None,
+) -> pathlib.Path:
+    """Write the export document to ``path``; returns the path."""
+    path = pathlib.Path(path)
+    path.write_text(json.dumps(as_dict(snap, extra), indent=2) + "\n")
+    return path
+
+
+def render_text(snap: ObsSnapshot | None = None) -> str:
+    """Human-readable summary (spans by wall time, counters by name)."""
+    snap = snap if snap is not None else snapshot()
+    lines = ["== observability =="]
+    if snap.spans:
+        lines.append("spans (by wall time):")
+        ordered = sorted(
+            snap.spans.items(), key=lambda item: item[1][1], reverse=True
+        )
+        width = max(len(name) for name, _ in ordered)
+        for name, (count, wall, cpu) in ordered:
+            lines.append(
+                f"  {name:<{width}}  x{count:<6d} "
+                f"wall {wall:9.4f}s  cpu {cpu:9.4f}s"
+            )
+    if snap.counters:
+        lines.append("counters:")
+        width = max(len(name) for name in snap.counters)
+        for name, value in sorted(snap.counters.items()):
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"  {name:<{width}}  {rendered}")
+    if snap.gauges:
+        lines.append("gauges:")
+        width = max(len(name) for name in snap.gauges)
+        for name, value in sorted(snap.gauges.items()):
+            lines.append(f"  {name:<{width}}  {value:g}")
+    if len(lines) == 1:
+        lines.append("  (nothing recorded)")
+    return "\n".join(lines)

@@ -1,0 +1,274 @@
+"""The in-process observability registry: spans, counters, gauges.
+
+Everything here is dependency-free and cheap by construction:
+
+* **Disabled is the default** and costs one module-global boolean
+  check per call site. :func:`span` returns a shared no-op context
+  manager (a singleton — the zero-allocation guarantee the kernel fast
+  path relies on), and :func:`incr` / :func:`gauge` return before
+  touching the registry.
+* **Enabled** recording goes through one process-wide
+  :class:`Registry` guarded by a lock (explorer code is
+  single-threaded today, but pool callbacks and user threads must not
+  corrupt the dicts). Spans are hierarchical: a thread-local stack
+  joins active span names with ``/``, so a ``sim.run`` opened inside
+  ``conex.phase2`` records as ``conex.phase2/sim.run``.
+* **Worker merge** uses :class:`ObsSnapshot` — a picklable value
+  object of the registry's current totals. Pool workers snapshot
+  before and after a chunk and ship the difference back through the
+  existing job-result channel; the parent merges deltas with
+  :meth:`Registry.merge`, so worker-side counters land in the same
+  registry the exporters read.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpanStat:
+    """Aggregate timing of one span path."""
+
+    count: int = 0
+    wall_seconds: float = 0.0
+    cpu_seconds: float = 0.0
+
+    def add(self, wall: float, cpu: float) -> None:
+        self.count += 1
+        self.wall_seconds += wall
+        self.cpu_seconds += cpu
+
+
+@dataclass(frozen=True)
+class ObsSnapshot:
+    """A picklable copy of a registry's totals at one instant.
+
+    Span values are ``(count, wall_seconds, cpu_seconds)`` triples.
+    ``subtract`` turns two snapshots into a delta (what happened in
+    between — the unit pool workers ship back), and ``Registry.merge``
+    folds a snapshot into the live registry.
+    """
+
+    spans: dict[str, tuple[int, float, float]] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+    gauges: dict[str, float] = field(default_factory=dict)
+
+    def subtract(self, baseline: "ObsSnapshot") -> "ObsSnapshot":
+        """The delta from ``baseline`` to this snapshot."""
+        spans: dict[str, tuple[int, float, float]] = {}
+        for name, (count, wall, cpu) in self.spans.items():
+            base = baseline.spans.get(name, (0, 0.0, 0.0))
+            delta = (count - base[0], wall - base[1], cpu - base[2])
+            if delta[0] or delta[1] or delta[2]:
+                spans[name] = delta
+        counters = {}
+        for name, value in self.counters.items():
+            delta = value - baseline.counters.get(name, 0)
+            if delta or name not in baseline.counters:
+                counters[name] = delta
+        # Gauges are last-write-wins: the newer snapshot's values stand.
+        return ObsSnapshot(
+            spans=spans, counters=counters, gauges=dict(self.gauges)
+        )
+
+    @property
+    def empty(self) -> bool:
+        return not (self.spans or self.counters or self.gauges)
+
+
+class Registry:
+    """Thread-safe store of span stats, counters, and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: dict[str, SpanStat] = {}
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+
+    def record_span(self, path: str, wall: float, cpu: float) -> None:
+        with self._lock:
+            stat = self._spans.get(path)
+            if stat is None:
+                stat = self._spans[path] = SpanStat()
+            stat.add(wall, cpu)
+
+    def incr(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def snapshot(self) -> ObsSnapshot:
+        with self._lock:
+            return ObsSnapshot(
+                spans={
+                    name: (stat.count, stat.wall_seconds, stat.cpu_seconds)
+                    for name, stat in self._spans.items()
+                },
+                counters=dict(self._counters),
+                gauges=dict(self._gauges),
+            )
+
+    def merge(self, delta: ObsSnapshot) -> None:
+        """Fold a (worker) snapshot delta into this registry."""
+        with self._lock:
+            for name, (count, wall, cpu) in delta.spans.items():
+                stat = self._spans.get(name)
+                if stat is None:
+                    stat = self._spans[name] = SpanStat()
+                stat.count += count
+                stat.wall_seconds += wall
+                stat.cpu_seconds += cpu
+            for name, value in delta.counters.items():
+                self._counters[name] = self._counters.get(name, 0) + value
+            self._gauges.update(delta.gauges)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._counters.clear()
+            self._gauges.clear()
+
+
+#: The process-wide registry every recording call lands in.
+_REGISTRY = Registry()
+
+#: Recording switch. Module-global so call sites pay one dict-free
+#: boolean check when observability is off.
+_ENABLED = False
+
+_LOCAL = threading.local()
+
+
+def _span_stack() -> list[str]:
+    stack = getattr(_LOCAL, "stack", None)
+    if stack is None:
+        stack = _LOCAL.stack = []
+    return stack
+
+
+def reset_span_stack() -> None:
+    """Drop this thread's active-span stack.
+
+    Pool workers call this at chunk start: a fork-spawned worker
+    inherits whatever spans the parent thread had open at fork time,
+    and without the reset its recordings would nest under a prefix
+    that depends on fork timing.
+    """
+    _LOCAL.stack = []
+
+
+class _NullSpan:
+    """Shared no-op span handed out while recording is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """A live span: times the block, records under its nested path."""
+
+    __slots__ = ("name", "_path", "_wall0", "_cpu0")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        stack = _span_stack()
+        parent = stack[-1] if stack else ""
+        self._path = f"{parent}/{self.name}" if parent else self.name
+        stack.append(self._path)
+        self._cpu0 = time.process_time()
+        self._wall0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *_exc: object) -> bool:
+        wall = time.perf_counter() - self._wall0
+        cpu = time.process_time() - self._cpu0
+        stack = _span_stack()
+        if stack and stack[-1] == self._path:
+            stack.pop()
+        _REGISTRY.record_span(self._path, wall, cpu)
+        return False
+
+
+# -- public API -------------------------------------------------------------
+
+
+def enabled() -> bool:
+    """Is observability recording on in this process?"""
+    return _ENABLED
+
+
+def enable() -> None:
+    """Turn recording on (process-wide)."""
+    global _ENABLED
+    _ENABLED = True
+
+
+def disable() -> None:
+    """Turn recording off. Recorded data stays until :func:`reset`."""
+    global _ENABLED
+    _ENABLED = False
+
+
+def span(name: str):
+    """A context manager timing ``name`` (no-op singleton when disabled).
+
+    Nested spans record under ``/``-joined paths::
+
+        with obs.span("conex.phase2"):
+            with obs.span("sim.run"):   # records "conex.phase2/sim.run"
+                ...
+    """
+    if not _ENABLED:
+        return _NULL_SPAN
+    return _Span(name)
+
+
+def incr(name: str, amount: float = 1) -> None:
+    """Add ``amount`` to counter ``name`` (registers the key at 0+amount)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.incr(name, amount)
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (last write wins)."""
+    if not _ENABLED:
+        return
+    _REGISTRY.gauge(name, value)
+
+
+def registry() -> Registry:
+    """The process-wide registry (exporters and mergers read this)."""
+    return _REGISTRY
+
+
+def snapshot() -> ObsSnapshot:
+    """A picklable copy of the registry's current totals."""
+    return _REGISTRY.snapshot()
+
+
+def merge_snapshot(delta: ObsSnapshot | None) -> None:
+    """Fold a worker-side delta into the process registry (None: no-op)."""
+    if delta is not None and not delta.empty:
+        _REGISTRY.merge(delta)
+
+
+def reset() -> None:
+    """Drop all recorded spans, counters, and gauges."""
+    _REGISTRY.reset()

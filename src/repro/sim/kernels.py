@@ -41,13 +41,14 @@ debugging escape hatch when bisecting a suspected kernel divergence.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.channels import DRAM
+from repro.config import REFERENCE_SIM_ENV, current_settings
 from repro.errors import SimulationError
 from repro.memory.energy import dram_transaction_energy_nj
 from repro.trace.events import AccessKind
@@ -56,13 +57,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
     from repro.sim.simulator import Simulator, _ChannelState, _RunState
 
 #: Environment variable forcing the scalar reference loop.
-REFERENCE_ENV = "REPRO_REFERENCE_SIM"
+REFERENCE_ENV = REFERENCE_SIM_ENV
 
 #: Shortest off-window span worth dispatching to numpy; shorter runs
 #: execute scalar (identical results, lower constant cost).
 MIN_BATCH_SPAN = 64
-
-_TRUTHY = frozenset({"1", "true", "yes", "on"})
 
 #: AccessKind singletons indexed by trace kind code (no per-access
 #: enum construction).
@@ -73,7 +72,7 @@ _WRITE_CODE = int(AccessKind.WRITE)
 
 def reference_requested() -> bool:
     """Has the environment opted out of the kernel?"""
-    return os.environ.get(REFERENCE_ENV, "").strip().lower() in _TRUTHY
+    return current_settings().reference_sim
 
 
 # -- run plan ---------------------------------------------------------------
@@ -194,14 +193,26 @@ def run_kernel(sim: "Simulator", state: "_RunState") -> None:
         if fast.any():
             spans = _batch_spans(fast)
 
+    # Profiling accumulates in locals and flushes once per run, so the
+    # per-span cost is an integer add and the disabled-mode cost is a
+    # single boolean check after the run — never per-access work.
+    scalar_spans = batched_spans = batched_accesses = 0
     cursor = 0
     for start, stop in spans:
         if cursor < start:
             _scalar_span(sim, state, plan, cursor, start)
+            scalar_spans += 1
         _batch_span(sim, state, struct_group, groups, start, stop)
+        batched_spans += 1
+        batched_accesses += stop - start
         cursor = stop
     if cursor < n:
         _scalar_span(sim, state, plan, cursor, n)
+        scalar_spans += 1
+    if obs.enabled():
+        obs.incr("sim.kernel.scalar_spans", scalar_spans)
+        obs.incr("sim.kernel.batched_spans", batched_spans)
+        obs.incr("sim.kernel.batched_accesses", batched_accesses)
 
 
 # -- scalar spans -----------------------------------------------------------

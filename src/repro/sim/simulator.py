@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.channels import DRAM, Channel
 from repro.connectivity.architecture import ConnectivityArchitecture
 from repro.errors import SimulationError
@@ -281,15 +282,22 @@ class Simulator:
 
         if reference is None:
             reference = reference_requested()
-        self._prime_modules()
-        for channel_state in self._channels:
-            channel_state.reset()
-        state = _RunState(self)
-        if reference:
-            self._reference_loop(state)
-        else:
-            run_kernel(self, state)
-        return self._finalize(state)
+        with obs.span("sim.run"):
+            self._prime_modules()
+            for channel_state in self._channels:
+                channel_state.reset()
+            state = _RunState(self)
+            if reference:
+                self._reference_loop(state)
+            else:
+                run_kernel(self, state)
+            result = self._finalize(state)
+        if obs.enabled():
+            obs.incr("sim.runs")
+            obs.incr("sim.accesses", len(self.trace))
+            obs.incr("sim.measured_accesses", state.measured)
+            obs.incr("sim.misses", state.misses)
+        return result
 
     def _reference_loop(self, state: _RunState) -> None:
         """The original per-access Python loop, kept as ground truth."""

@@ -41,13 +41,13 @@ import signal
 import tempfile
 import threading
 
+from repro.config import SHM_MANIFEST_DIR_ENV as MANIFEST_DIR_ENV
+from repro.config import current_settings
+
 #: Prefix of every shared-memory block exported by this library. The
 #: embedded PID lets the sweep attribute a block to its owner even
 #: when the sidecar manifest never made it to disk.
 SHM_PREFIX = "repro-shm"
-
-#: Override the manifest directory (default: ``<tempdir>/repro-shm``).
-MANIFEST_DIR_ENV = "REPRO_SHM_MANIFEST_DIR"
 
 #: Resources registered by this process: resource name/path -> kind
 #: (``"shm"`` or ``"file"``).
@@ -68,7 +68,7 @@ def block_name() -> str:
 
 def manifest_dir() -> pathlib.Path:
     """Directory holding the per-process shm manifests."""
-    override = os.environ.get(MANIFEST_DIR_ENV, "").strip()
+    override = current_settings().shm_manifest_dir
     if override:
         return pathlib.Path(override)
     return pathlib.Path(tempfile.gettempdir()) / SHM_PREFIX

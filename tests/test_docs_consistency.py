@@ -83,7 +83,8 @@ class TestExperimentsDoc:
 class TestDocsDirectory:
     @pytest.mark.parametrize(
         "name", ["architecture.md", "calibration.md", "extending.md",
-                 "api.md", "limitations.md", "performance.md"]
+                 "api.md", "limitations.md", "performance.md",
+                 "observability.md"]
     )
     def test_docs_exist_and_nonempty(self, name):
         path = ROOT / "docs" / name

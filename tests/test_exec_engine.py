@@ -211,13 +211,13 @@ class TestExplorerIntegration:
         first = explore_connectivity(
             trace, apex.selected, conn_library, config, cache=cache
         )
-        assert first.phase2_cache_misses == len(first.simulated)
-        assert first.phase2_cache_hits == 0
+        assert first.phase2.cache_misses == len(first.simulated)
+        assert first.phase2.cache_hits == 0
         second = explore_connectivity(
             trace, apex.selected, conn_library, config, cache=cache
         )
-        assert second.phase2_cache_hits == len(second.simulated)
-        assert second.phase2_cache_misses == 0
+        assert second.phase2.cache_hits == len(second.simulated)
+        assert second.phase2.cache_misses == 0
         assert [p.simulated_objectives for p in second.simulated] == [
             p.simulated_objectives for p in first.simulated
         ]
