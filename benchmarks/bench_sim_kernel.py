@@ -1,22 +1,30 @@
-"""perf2 — reference-vs-kernel single-process simulation timing.
+"""perf2/perf5 — reference-vs-kernel single-process simulation timing.
 
 Times one ``Simulator.run()`` per workload twice — once through the
 scalar reference loop (``reference=True``) and once through the
 columnar kernel (the default) — on mixed cache/stream/SRAM/uncached
-architectures with the paper's time-sampling configuration, asserting
-exact result equality on every pair. The full run uses million-access
-traces for *compress* and *li*; ``REPRO_BENCH_SMOKE=1`` shrinks the
-scales to CI size (equality still asserted, timing thresholds skipped).
+architectures, asserting exact result equality on every pair. Each
+workload runs with the paper's time-sampling configuration, and
+*compress*, *li*, and *vocoder* add unsampled pairs covering the
+whole-trace regime the batched contention walk (perf5) targets. The
+full run uses million-access traces for *compress* and *li*;
+``REPRO_BENCH_SMOKE=1`` shrinks the scales to CI size (equality still
+asserted, timing thresholds skipped).
 
 Records land in ``benchmarks/out/BENCH_sim_kernel.json`` via
-``common.record_kernel_timing``. The full run asserts the kernel is at
-least 2× faster on one of the million-access sampled workloads and
+``common.record_kernel_timing``, plus one ``summary_sampled`` /
+``summary_unsampled`` aggregate pair via
+``common.record_kernel_summary``. The full run asserts the kernel is
+at least 2× faster on one of the million-access sampled workloads, at
+least 5× faster on the million-access unsampled compress run, and
 slower on none (with a small tolerance for timer noise); see
-docs/performance.md for why sampled runs benefit the most.
+docs/performance.md for the regime-by-regime breakdown.
 """
 
 import os
 import time
+
+import numpy as np
 
 import common
 from repro.connectivity.architecture import (
@@ -48,6 +56,29 @@ SAMPLING = SamplingConfig()
 
 #: Tolerated timer noise on the "no slowdown on any workload" check.
 NOISE_FLOOR = 0.9
+
+
+def _prewarm_memory(budget_bytes: int) -> None:
+    """Touch-and-free ``budget_bytes`` of RAM before timing anything.
+
+    On hosts whose guest RAM is lazily faulted in (microVMs,
+    overcommitted containers), the *first* write to each fresh page
+    costs orders of magnitude more than the arithmetic the kernel does
+    on it, while freed pages are reused cheaply. Faulting the pages in
+    once up front moves that one-time host cost out of the timed
+    region, so the records measure the simulators — the steady state
+    any long-lived search process runs in — rather than the platform's
+    page-fault path.
+    """
+    chunk_words = (64 << 20) // 8
+    blocks = []
+    remaining = budget_bytes
+    while remaining > 0:
+        block = np.empty(chunk_words, dtype=np.float64)
+        block.fill(1.0)
+        blocks.append(block)
+        remaining -= block.nbytes
+    del blocks
 
 
 def _amba_connectivity(memory, trace):
@@ -82,6 +113,7 @@ def _time_pair(stem, trace, memory, connectivity, sampling, **extra):
 
 def regenerate() -> str:
     scales = SMOKE_SCALES if SMOKE else FULL_SCALES
+    _prewarm_memory((128 if SMOKE else 1024) << 20)
     records = []
     for name, scale in scales.items():
         trace = get_workload(name, scale=scale, seed=1).trace()
@@ -90,8 +122,8 @@ def regenerate() -> str:
             _time_pair(name, trace, memory, None, SAMPLING, sampled=True)
         )
         if name == "compress":
-            # One connectivity-loaded pair and one unsampled pair show
-            # the kernel helps beyond the ideal+sampled sweet spot.
+            # One connectivity-loaded pair shows the kernel helps
+            # beyond the ideal+sampled sweet spot.
             records.append(
                 _time_pair(
                     "compress_amba",
@@ -103,13 +135,12 @@ def regenerate() -> str:
                     conn="amba",
                 )
             )
+        if name in ("compress", "li", "vocoder"):
+            # Unsampled pairs: the whole trace runs through the
+            # contention-free columnar path, the regime perf5 targets.
             records.append(
                 _time_pair(
-                    "compress_unsampled",
-                    trace,
-                    memory,
-                    None,
-                    None,
+                    f"{name}_unsampled", trace, memory, None, None,
                     sampled=False,
                 )
             )
@@ -120,6 +151,20 @@ def regenerate() -> str:
         f"kernel {r['kernel_seconds']:.2f}s ({r['speedup']}x)"
         for r in records
     ]
+    for stem, sampled in (("summary_sampled", True), ("summary_unsampled", False)):
+        speedups = [
+            r["speedup"] for r in records if bool(r.get("sampled")) is sampled
+        ]
+        if not speedups:
+            continue
+        summary = common.record_kernel_summary(
+            stem, speedups, mode="sampled" if sampled else "unsampled"
+        )
+        lines.append(
+            f"{summary['name']}: min {summary['min_speedup']}x / "
+            f"mean {summary['mean_speedup']}x / "
+            f"max {summary['max_speedup']}x over {summary['cases']} pairs"
+        )
     return "\n".join(lines)
 
 
@@ -135,5 +180,12 @@ def test_sim_kernel(benchmark):
     ]
     assert sampled_big, "no million-access sampled workload was timed"
     assert max(r["speedup"] for r in sampled_big) >= 2.0, sampled_big
+    unsampled = {
+        r["name"]: r for r in records if not r.get("sampled")
+    }
+    assert "compress_unsampled" in unsampled, unsampled
+    assert unsampled["compress_unsampled"]["speedup"] >= 5.0, (
+        unsampled["compress_unsampled"]
+    )
     slow = [r for r in records if r["speedup"] < NOISE_FLOOR]
     assert not slow, f"kernel slower than reference: {slow}"

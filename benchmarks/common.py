@@ -198,6 +198,21 @@ def record_runtime_timing(stem: str, **fields) -> dict:
     return record
 
 
+def _append_record(path: pathlib.Path, record: dict) -> dict:
+    """Write ``record`` to ``path``, replacing any same-name entry."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    records = []
+    if path.exists():
+        try:
+            records = json.loads(path.read_text())
+        except ValueError:
+            records = []
+    records = [r for r in records if r.get("name") != record["name"]]
+    records.append(record)
+    path.write_text(json.dumps(records, indent=2) + "\n")
+    return record
+
+
 def record_kernel_timing(
     stem: str,
     reference_seconds: float,
@@ -217,14 +232,27 @@ def record_kernel_timing(
         "cpu_count": os.cpu_count(),
         **extra,
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
-    records = []
-    if KERNEL_TIMINGS.exists():
-        try:
-            records = json.loads(KERNEL_TIMINGS.read_text())
-        except ValueError:
-            records = []
-    records = [r for r in records if r.get("name") != stem]
-    records.append(record)
-    KERNEL_TIMINGS.write_text(json.dumps(records, indent=2) + "\n")
-    return record
+    return _append_record(KERNEL_TIMINGS, record)
+
+
+def record_kernel_summary(stem: str, speedups, **extra) -> dict:
+    """Append one aggregate speedup record to BENCH_sim_kernel.json.
+
+    Summarizes a family of reference-vs-kernel pairs (e.g. all sampled
+    or all unsampled cases) as min/mean/max speedup, so a reader gets
+    the regime-level headline without re-deriving it from the
+    per-workload rows.
+    """
+    values = sorted(float(s) for s in speedups)
+    if not values:
+        raise ValueError(f"no speedups to summarize for '{stem}'")
+    record = {
+        "name": stem,
+        "cases": len(values),
+        "min_speedup": round(values[0], 3),
+        "mean_speedup": round(sum(values) / len(values), 3),
+        "max_speedup": round(values[-1], 3),
+        "cpu_count": os.cpu_count(),
+        **extra,
+    }
+    return _append_record(KERNEL_TIMINGS, record)

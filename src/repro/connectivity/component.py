@@ -96,6 +96,18 @@ class ConnectivityComponent(ABC):
             occupancy = latency
         return TransferTiming(latency=latency, occupancy=occupancy)
 
+    def timing_columns(self, sizes) -> tuple:
+        """Vectorized :meth:`timing` over a numpy size column.
+
+        Returns ``(latency, occupancy)`` ``int64`` arrays matching the
+        scalar results element-for-element; the simulation kernel uses
+        this to price whole access columns in one pass. Sizes must be
+        positive, as for :meth:`beats`.
+        """
+        from repro.timing.batch import transfer_timing_columns
+
+        return transfer_timing_columns(self, sizes)
+
     def reservation_table(self, size_bytes: int) -> ReservationTable:
         """RTGEN-style reservation table of one transaction.
 

@@ -113,9 +113,19 @@ class SelfIndirectDma(MemoryModule):
         while len(self._buffer) > self.entries:
             self._buffer.popitem(last=False)
 
-    def access(
+    def access_raw(
         self, address: int, size: int, kind: AccessKind, tick: int
-    ) -> ModuleResponse:
+    ) -> tuple[bool, int, int, int, int]:
+        """:meth:`access` without the response record.
+
+        Returns ``(hit, latency, refill_bytes, writeback_bytes,
+        prefetch_bytes)``. DMA engines are tick-dependent (prefetch
+        timeliness compares the arrival tick against buffered ready
+        times), so they cannot honour the columnar ``access_many``
+        contract; this tuple form is the synchronization-point call the
+        simulation kernel makes between its batched segments, skipping
+        one :class:`ModuleResponse` allocation per access.
+        """
         chunk = address // self.node_size
         position = self._position
         self._position += 1
@@ -131,25 +141,33 @@ class SelfIndirectDma(MemoryModule):
                     prefetch_bytes += self.node_size
                     self._insert(succ, tick + delay + step * 4)
 
+        writeback = size if kind == AccessKind.WRITE else 0
         if chunk in self._buffer:
             ready = self._buffer[chunk]
             self._buffer.move_to_end(chunk)
             stall = max(0, ready - tick)
             self.hits += 1
             self.stall_cycles += stall
-            return ModuleResponse(
-                hit=True,
-                latency=self.hit_latency + stall,
-                prefetch_bytes=prefetch_bytes,
-                writeback_bytes=size if kind == AccessKind.WRITE else 0,
+            return (
+                True, self.hit_latency + stall, 0, writeback, prefetch_bytes,
             )
 
         self.misses += 1
         self._insert(chunk, tick)
+        return (
+            False, self.hit_latency, self.node_size, writeback, prefetch_bytes,
+        )
+
+    def access(
+        self, address: int, size: int, kind: AccessKind, tick: int
+    ) -> ModuleResponse:
+        hit, latency, refill, writeback, prefetch = self.access_raw(
+            address, size, kind, tick
+        )
         return ModuleResponse(
-            hit=False,
-            latency=self.hit_latency,
-            refill_bytes=self.node_size,
-            prefetch_bytes=prefetch_bytes,
-            writeback_bytes=size if kind == AccessKind.WRITE else 0,
+            hit=hit,
+            latency=latency,
+            refill_bytes=refill,
+            writeback_bytes=writeback,
+            prefetch_bytes=prefetch,
         )

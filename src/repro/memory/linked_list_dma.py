@@ -28,7 +28,6 @@ from typing import Sequence
 from repro.errors import ConfigurationError
 from repro.memory.area import GATES_PER_SRAM_BIT
 from repro.memory.dma import SelfIndirectDma
-from repro.memory.module import ModuleResponse
 from repro.trace.events import AccessKind
 
 
@@ -116,9 +115,9 @@ class LinkedListDma(SelfIndirectDma):
             cursor = successor
         return chain
 
-    def access(
+    def access_raw(
         self, address: int, size: int, kind: AccessKind, tick: int
-    ) -> ModuleResponse:
+    ) -> tuple[bool, int, int, int, int]:
         chunk = address // self.node_size
         burst_bytes = 0
         if (
@@ -133,13 +132,7 @@ class LinkedListDma(SelfIndirectDma):
                         burst_bytes += self.node_size
                         self._insert(member, tick + delay + position)
                 self.burst_prefetches += 1
-        response = super().access(address, size, kind, tick)
-        if burst_bytes:
-            return ModuleResponse(
-                hit=response.hit,
-                latency=response.latency,
-                refill_bytes=response.refill_bytes,
-                writeback_bytes=response.writeback_bytes,
-                prefetch_bytes=response.prefetch_bytes + burst_bytes,
-            )
-        return response
+        hit, latency, refill, writeback, prefetch = super().access_raw(
+            address, size, kind, tick
+        )
+        return hit, latency, refill, writeback, prefetch + burst_bytes

@@ -69,10 +69,14 @@ class MemoryModule(ABC):
     kind: str = "module"
 
     #: Whether :meth:`access_many` is a faithful batched equivalent of
-    #: :meth:`access` that the simulation kernel may use on off-window
-    #: spans. A subclass overriding :meth:`access` without keeping
+    #: :meth:`access` that the simulation kernel may batch over. A
+    #: subclass overriding :meth:`access` without keeping
     #: :meth:`access_many` in lockstep MUST set this back to ``False``;
-    #: the kernel falls back to the scalar loop for such modules.
+    #: the kernel then treats the module as tick-dependent and advances
+    #: it access by access at synchronization points (optionally via a
+    #: tuple-returning ``access_raw``, see
+    #: :meth:`repro.memory.dma.SelfIndirectDma.access_raw`), batching
+    #: only the modules around it.
     supports_batch: bool = False
 
     #: Whether the module sits on-chip (drives wire models and the
@@ -139,6 +143,12 @@ class MemoryModule(ABC):
         kinds: np.ndarray,
     ) -> BatchResponse | None:
         """Present a contiguous batch of accesses; return the columns.
+
+        The kernel batches aggressively: for an architecture whose
+        modules all advertise :attr:`supports_batch` it presents each
+        module its *entire* per-run access subsequence in one call, so
+        the contract below must hold for arbitrarily long batches, not
+        just sampling-window-sized ones.
 
         Semantics contract: calling this on ``n`` accesses must leave
         the module in exactly the state ``n`` sequential :meth:`access`

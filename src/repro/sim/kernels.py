@@ -3,33 +3,42 @@
 :meth:`repro.sim.simulator.Simulator.run` dispatches here by default.
 The kernel produces **bit-identical** :class:`SimulationResult`\\ s to
 the scalar reference loop (``run(reference=True)``) by exploiting the
-structure time-sampling creates in the per-access recurrence:
+structure of the per-access recurrence. Two engines share the work:
 
-* **On-window accesses** model contention — bus arbitration waits,
-  DRAM banking against ``dram_free``, busy-cycle accounting — which
-  serializes on the ``lag``/``cluster_free`` state. Those spans run a
-  scalar loop, but one stripped of per-iteration overhead: trace
-  columns converted to plain Python lists once (no numpy scalar
-  boxing, no ``int()`` casts), ``AccessKind`` singletons indexed
-  instead of constructed, sampling predicates materialized to masks,
-  and attribute lookups hoisted to locals.
-* **Off-window accesses** skip contention and statistics entirely, so
-  an access's latency depends only on per-access columns and module
-  state — not on ``lag`` or any channel timeline. Spans whose
-  structures all route to batch-capable modules (direct-DRAM routes,
-  SRAMs, stream buffers, caches — see
-  :attr:`repro.memory.module.MemoryModule.supports_batch`) are
-  evaluated columnar: one ``access_many`` call per module, DRAM
-  open-row latencies for the merged refill/uncached stream in one
-  vectorized pass, and the whole span's ``lag`` contribution reduced
-  with one sum. Spans containing tick-dependent modules (the DMA
-  engines model prefetch timeliness against issue time) fall back to
-  the scalar loop, which keeps their state exact.
+* **Columnar engine** (:func:`_run_columnar`) — when every routing
+  target is batch-capable (direct-DRAM routes, SRAMs, stream buffers,
+  caches — see :attr:`repro.memory.module.MemoryModule.supports_batch`)
+  the whole run is evaluated as column passes: one ``access_many``
+  call per module over its entire access subsequence, reservation-table
+  transfer timing for whole size columns
+  (:func:`repro.timing.batch.transfer_timing_columns`), and a single
+  merged :meth:`~repro.memory.dram.Dram.open_row_latencies` pass over
+  every DRAM transaction of the run in trace order. Under ideal
+  connectivity no access ever touches shared timelines, so latency,
+  ``lag``, per-struct statistics and the energy accounting all reduce
+  to vector arithmetic — including unsampled million-access runs.
+  With a connectivity architecture, contention (arbitration waits,
+  ``cluster_free``/``dram_free`` timelines, busy cycles) is inherently
+  serial for on-window accesses; those run a lean integer loop over
+  the precomputed columns while everything around them stays batched.
+* **Segmented engine** (:func:`_run_segmented`) — when a
+  tick-dependent module is present (the DMA engines model prefetch
+  timeliness against issue time) the run is advanced in chunked
+  segments between synchronization points: batch-capable modules are
+  still presented their whole access subsequence up front (their state
+  cannot depend on the DMA's accesses), off-window spans free of
+  tick-dependent routes are evaluated columnar, and the scalar residue
+  walks the remaining accesses, advancing the DMA at its
+  synchronization ticks through the allocation-free ``access_raw``
+  tuple path while reading the batch-capable columns instead of
+  re-simulating them.
 
 Because measured windows are a subset of on windows, off-window spans
-never touch the energy or latency statistics — the batched work is
-pure integer arithmetic and counter sums, which is why equality with
-the reference loop is exact rather than approximate. The
+never touch the energy or latency statistics; where energy *is*
+accumulated columnar, the vector expressions replicate the reference
+loop's float accumulation order term by term (``np.cumsum`` is a
+sequential left fold, and adding an exact ``0.0`` is the identity), so
+equality with the reference loop is exact rather than approximate. The
 golden-equivalence suite (``tests/test_sim_kernel_equivalence.py``)
 asserts it across workloads, sampling, write models, and connectivity
 modes.
@@ -50,7 +59,13 @@ from repro import obs
 from repro.channels import DRAM
 from repro.config import REFERENCE_SIM_ENV, current_settings
 from repro.errors import SimulationError
-from repro.memory.energy import dram_transaction_energy_nj
+from repro.memory.energy import (
+    DRAM_ACTIVATE_NJ,
+    DRAM_PAGE_ACCESS_NJ,
+    DRAM_PER_BYTE_NJ,
+    dram_transaction_energy_nj,
+)
+from repro.timing.batch import transfer_timing_columns
 from repro.trace.events import AccessKind
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
@@ -87,15 +102,17 @@ class _Group:
     cpu_state: "_ChannelState"
     backing_state: "_ChannelState | None"
     batchable: bool
-    # Size→latency memo for the CPU-side component, private to this
-    # run (a global id()-keyed cache would go stale when component
-    # objects die and their ids are reused).
-    timing_memo: dict
 
 
 @dataclass
 class _Plan:
-    """Precomputed per-run columns shared by every span handler."""
+    """Per-run Python-list columns backing the scalar residue loop.
+
+    Built lazily on the first scalar span (:func:`_ensure_plan`) and
+    cached on :attr:`repro.sim.simulator._RunState.plan`, so the
+    trace-column→list conversion happens at most once per run — and
+    not at all for runs the columnar engine covers entirely.
+    """
 
     addresses: list
     sizes: list
@@ -104,6 +121,37 @@ class _Plan:
     ticks: list
     on_list: list | None
     counted_list: list | None
+    gid: list
+    mlat: list
+    refill: list
+    offpath: list
+    conn: list
+    occ: list
+    ginfo: list
+
+
+class _Columns:
+    """Whole-run per-access columns for batch-capable routing groups.
+
+    Rows routed to tick-dependent modules stay zero with
+    ``row_batchable`` false; the scalar residue simulates them inline.
+    """
+
+    __slots__ = (
+        "gid",
+        "row_batchable",
+        "uncached",
+        "mlat",
+        "refill",
+        "offpath",
+        "conn",
+        "occ",
+        "dbeats",
+        "docc",
+        "bgocc",
+        "dram_mask",
+        "u_partial",
+    )
 
 
 def _build_groups(
@@ -139,7 +187,6 @@ def _build_groups(
                         else None
                     ),
                     batchable=batchable,
-                    timing_memo={},
                 )
             )
         struct_group[struct_id] = gid
@@ -163,14 +210,658 @@ def _batch_spans(fast: np.ndarray) -> list[tuple[int, int]]:
 
 def run_kernel(sim: "Simulator", state: "_RunState") -> None:
     """Execute the whole trace into ``state`` (kernel engine)."""
+    if not len(sim.trace):
+        return
+    groups, struct_group, struct_batchable = _build_groups(sim)
+    dram_batchable = bool(
+        getattr(type(sim.memory.dram), "supports_batch", False)
+    )
+    if dram_batchable and all(group.batchable for group in groups):
+        _run_columnar(sim, state, groups, struct_group)
+    else:
+        _run_segmented(sim, state, groups, struct_group, dram_batchable)
+
+
+# -- whole-run columns ------------------------------------------------------
+
+
+def _build_columns(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    struct_group: np.ndarray,
+) -> tuple[_Columns, dict[int, np.ndarray]]:
+    """Evaluate every batch-capable group over the whole run.
+
+    Advances each batch-capable module with one ``access_many`` call
+    over its entire access subsequence (exact by the
+    :attr:`~repro.memory.module.MemoryModule.supports_batch` contract:
+    modules only observe their own accesses, and their outcomes are
+    tick-independent), prices CPU-side and backing transfers with the
+    columnar reservation-table timing, and folds the
+    timing-independent accounting — module hit/miss counts, channel
+    bytes/transaction counters — into ``state`` immediately. Returns
+    the columns plus each group's row positions.
+    """
+    trace = sim.trace
+    n = len(trace)
+    gid_col = struct_group[trace.struct_ids]
+    sizes64 = trace.sizes.astype(np.int64)
+    addresses = trace.addresses
+    kinds = trace.kinds
+
+    cols = _Columns()
+    cols.gid = gid_col
+    cols.row_batchable = np.zeros(n, dtype=bool)
+    cols.uncached = np.zeros(n, dtype=bool)
+    mlat = np.zeros(n, dtype=np.int64)
+    refill = np.zeros(n, dtype=np.int64)
+    offpath = np.zeros(n, dtype=np.int64)
+    conn = np.zeros(n, dtype=np.int64)
+    occ = np.zeros(n, dtype=np.int64)
+    dbase = np.zeros(n, dtype=np.int64)
+    dbeats = np.zeros(n, dtype=np.int64)
+    docc = np.zeros(n, dtype=np.int64)
+    bgocc = np.zeros(n, dtype=np.int64)
+    group_positions: dict[int, np.ndarray] = {}
+
+    for gid, group in enumerate(groups):
+        if not group.batchable:
+            continue
+        positions = np.flatnonzero(gid_col == gid)
+        if not len(positions):
+            continue
+        group_positions[gid] = positions
+        g_sizes = sizes64[positions]
+        count = len(positions)
+        cpu_state = group.cpu_state
+        component = cpu_state.component
+        cols.row_batchable[positions] = True
+
+        if group.module is None:
+            # Uncached: straight to DRAM over the off-chip connection.
+            cols.uncached[positions] = True
+            if component is not None:
+                lat_col, occ_col = transfer_timing_columns(
+                    component, g_sizes
+                )
+                dbase[positions] = component.base_latency
+                dbeats[positions] = lat_col - component.base_latency
+                occ[positions] = occ_col
+            counts = state.module_counts[DRAM]
+            counts[0] += count
+            counts[2] += count
+            state.misses += count
+        else:
+            outcome = group.module.access_many(
+                addresses[positions], g_sizes, kinds[positions]
+            )
+            mlat[positions] = outcome.latency
+            hits = int(np.count_nonzero(outcome.hit))
+            counts = state.module_counts[group.target]
+            counts[0] += count
+            counts[1] += hits
+            counts[2] += count - hits
+            state.misses += count - hits
+            if component is not None:
+                conn_col, occ_col = transfer_timing_columns(
+                    component, g_sizes
+                )
+                conn[positions] = conn_col
+                occ[positions] = occ_col
+
+            back_state = group.backing_state
+            if back_state is not None:
+                refill_col = outcome.refill_bytes
+                if refill_col is not None and refill_col.any():
+                    refill[positions] = refill_col
+                    r_local = np.flatnonzero(refill_col)
+                    r_pos = positions[r_local]
+                    r_bytes = refill_col[r_local].astype(
+                        np.int64, copy=False
+                    )
+                    back_component = back_state.component
+                    if back_component is not None:
+                        lat_col, occ_col = transfer_timing_columns(
+                            back_component, r_bytes
+                        )
+                        dbase[r_pos] = back_component.base_latency
+                        dbeats[r_pos] = (
+                            lat_col - back_component.base_latency
+                        )
+                        docc[r_pos] = occ_col
+                    back_state.bytes_moved += int(r_bytes.sum())
+                    back_state.transactions += len(r_pos)
+                writeback = outcome.writeback_bytes
+                prefetch = outcome.prefetch_bytes
+                if writeback is None:
+                    off = prefetch
+                elif prefetch is None:
+                    off = writeback
+                else:
+                    off = writeback + prefetch
+                if off is not None and off.any():
+                    offpath[positions] = off
+                    bg_local = np.flatnonzero(off)
+                    back_component = back_state.component
+                    if back_component is not None:
+                        _, occ_col = transfer_timing_columns(
+                            back_component,
+                            off[bg_local].astype(np.int64, copy=False),
+                        )
+                        bgocc[positions[bg_local]] = occ_col
+                    back_state.bytes_moved += int(off.sum())
+                    back_state.background_transactions += len(bg_local)
+
+        cpu_state.bytes_moved += int(g_sizes.sum())
+        cpu_state.transactions += count
+
+    cols.mlat = mlat
+    cols.refill = refill
+    cols.offpath = offpath
+    cols.conn = conn
+    cols.occ = occ
+    cols.dbeats = dbeats
+    cols.docc = docc
+    cols.bgocc = bgocc
+    cols.dram_mask = cols.uncached | (refill > 0)
+    # Contention-free latency: connection transfer + module latency +
+    # backing command/data cycles. Adding the per-transaction DRAM core
+    # latency (the merged open-row pass) completes it.
+    cols.u_partial = conn + mlat + dbase + dbeats
+    return cols, group_positions
+
+
+# -- columnar engine --------------------------------------------------------
+
+
+def _run_columnar(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    struct_group: np.ndarray,
+) -> None:
+    """Whole-run columnar evaluation (every target batch-capable)."""
+    trace = sim.trace
+    n = len(trace)
+    dram = sim.memory.dram
+    sampling = sim.sampling
+    posted = sim.posted_writes
+
+    cols, group_positions = _build_columns(sim, state, groups, struct_group)
+
+    # One merged open-row pass: each access produces at most one DRAM
+    # transaction (an uncached access or a refill), and background
+    # bursts never touch row state, so the run's DRAM stream is exactly
+    # the masked rows in trace order.
+    core = np.zeros(n, dtype=np.int64)
+    dram_idx = np.flatnonzero(cols.dram_mask)
+    if len(dram_idx):
+        core[dram_idx] = dram.open_row_latencies(trace.addresses[dram_idx])
+    u = cols.u_partial + core
+    write_mask = trace.kinds == _WRITE_CODE
+
+    if sim.connectivity is None:
+        # Ideal connectivity: no channel ever has a component, so the
+        # reference loop never touches cluster_free/dram_free or the
+        # wait/busy counters — on- and off-window accesses both
+        # complete in exactly their contention-free latency.
+        latency = u
+        if int(latency.min()) < 1:
+            bad = int(np.argmax(latency < 1))
+            raise SimulationError(
+                f"access {bad} completed in {int(latency[bad])} cycles"
+            )
+        eff = np.where(write_mask, np.int64(1), latency) if posted else latency
+        state.lag += int(eff.sum()) - n
+    else:
+        latency = u.copy()
+        spans = (
+            [(0, n, True)] if sampling is None else sampling.windows(n)
+        )
+        _contended_pass(
+            sim, state, groups, cols, core, u, latency, spans, write_mask
+        )
+        eff = np.where(write_mask, np.int64(1), latency) if posted else latency
+
+    if sampling is None:
+        counted = None
+        measured = n
+    else:
+        _, counted_mask = sampling.masks(n)
+        counted = counted_mask
+        measured = int(np.count_nonzero(counted_mask))
+    state.measured += measured
+    if measured:
+        eff_counted = eff if counted is None else eff[counted]
+        state.latency_sum += int(eff_counted.sum())
+        struct_col = (
+            trace.struct_ids if counted is None else trace.struct_ids[counted]
+        )
+        n_structs = len(sim._routes)
+        counts = np.bincount(struct_col, minlength=n_structs)
+        # float64 bincount weights stay exact below 2**53.
+        totals = np.bincount(
+            struct_col, weights=eff_counted, minlength=n_structs
+        ).astype(np.int64)
+        struct_counts = state.struct_counts
+        struct_latency = state.struct_latency
+        for struct_id, count in enumerate(counts.tolist()):
+            if count:
+                struct_counts[struct_id] += count
+                struct_latency[struct_id] += int(totals[struct_id])
+        _accumulate_energy(
+            sim, state, groups, group_positions, cols, core, counted, sizes64=trace.sizes.astype(np.int64)
+        )
+
+    if obs.enabled():
+        if len(dram_idx):
+            obs.incr("sim.kernel.openrow_merged_passes")
+            obs.incr("sim.kernel.openrow_merged_accesses", int(len(dram_idx)))
+        n_on = n if sampling is None else int(
+            np.count_nonzero(sampling.masks(n)[0])
+        )
+        obs.incr("sim.kernel.onwindow_batched", n_on)
+        if sampling is None and sim.connectivity is None:
+            obs.incr("sim.kernel.unsampled_batched_spans")
+
+
+def _contended_pass(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    cols: _Columns,
+    core: np.ndarray,
+    u: np.ndarray,
+    latency: np.ndarray,
+    spans: list[tuple[int, int, bool]],
+    write_mask: np.ndarray,
+) -> None:
+    """Serial contention walk over the on-window accesses.
+
+    Off-window spans reduce to slice sums of the contention-free
+    latency column; on-window spans run a lean integer loop that
+    replays the reference recurrence's state updates in the exact
+    reference order over the precomputed columns (no ``timing()``
+    calls, no module calls, no response allocations). Writes the
+    on-window latencies into ``latency`` and the wait/busy sums into
+    the channel states.
+    """
+    trace = sim.trace
+    channels = sim._channels
+    posted = sim.posted_writes
+    page_hit_latency = sim.memory.dram.page_hit_latency
+
+    channel_of = {id(channel): i for i, channel in enumerate(channels)}
+    ginfo = []
+    for group in groups:
+        cpu = group.cpu_state
+        component = cpu.component
+        back = group.backing_state
+        back_component = back.component if back is not None else None
+        ginfo.append(
+            (
+                group.module is None,
+                cpu.cluster_index,
+                channel_of[id(cpu)],
+                bool(component.split_transactions),
+                component.base_latency,
+                back.cluster_index if back is not None else 0,
+                channel_of[id(back)] if back is not None else 0,
+                (
+                    bool(back_component.split_transactions)
+                    if back_component is not None
+                    else False
+                ),
+                (
+                    back_component.base_latency
+                    if back_component is not None
+                    else 0
+                ),
+            )
+        )
+
+    if len(spans) == 1 and spans[0][2]:
+        on_idx = None
+        sel: slice | np.ndarray = slice(None)
+    else:
+        on_mask = np.zeros(len(u), dtype=bool)
+        for span_start, span_stop, on in spans:
+            if on:
+                on_mask[span_start:span_stop] = True
+        on_idx = np.flatnonzero(on_mask)
+        sel = on_idx
+
+    ticks_l = trace.ticks[sel].tolist()
+    gid_l = cols.gid[sel].tolist()
+    conn_l = cols.conn[sel].tolist()
+    occ_l = cols.occ[sel].tolist()
+    mlat_l = cols.mlat[sel].tolist()
+    refill_l = (cols.refill[sel] > 0).tolist()
+    core_l = core[sel].tolist()
+    dbeats_l = cols.dbeats[sel].tolist()
+    docc_l = cols.docc[sel].tolist()
+    bg_l = (cols.offpath[sel] > 0).tolist()
+    bgocc_l = cols.bgocc[sel].tolist()
+    write_l = write_mask[sel].tolist() if posted else None
+    lat_out = [0] * len(ticks_l)
+
+    cluster_free = state.cluster_free
+    dram_free = state.dram_free
+    lag = state.lag
+    waits = [0] * len(channels)
+    busys = [0] * len(channels)
+
+    k = 0
+    for span_start, span_stop, on in spans:
+        if not on:
+            segment = u[span_start:span_stop]
+            if int(segment.min()) < 1:
+                bad = int(np.argmax(segment < 1))
+                raise SimulationError(
+                    f"access {span_start + bad} completed in "
+                    f"{int(segment[bad])} cycles"
+                )
+            if posted:
+                eff = np.where(
+                    write_mask[span_start:span_stop],
+                    np.int64(1),
+                    segment,
+                )
+                lag += int(eff.sum()) - (span_stop - span_start)
+            else:
+                lag += int(segment.sum()) - (span_stop - span_start)
+            continue
+        for _ in range(span_stop - span_start):
+            (
+                is_uncached,
+                ci,
+                cch,
+                csplit,
+                cbase,
+                bci,
+                bch,
+                bsplit,
+                bbase,
+            ) = ginfo[gid_l[k]]
+            issue = ticks_l[k] + lag
+            if is_uncached:
+                free = cluster_free[ci]
+                start = issue if issue >= free else free
+                waits[cch] += start - issue
+                command_done = start + cbase
+                dram_start = (
+                    command_done if command_done >= dram_free else dram_free
+                )
+                core_k = core_l[k]
+                completion = dram_start + core_k + dbeats_l[k]
+                dram_free = dram_start + core_k
+                busy_until = start + occ_l[k] if csplit else completion
+                delta = busy_until - start
+                if delta > 0:
+                    busys[cch] += delta
+                if busy_until > cluster_free[ci]:
+                    cluster_free[ci] = busy_until
+            else:
+                free = cluster_free[ci]
+                start = issue if issue >= free else free
+                wait = start - issue
+                served = start + conn_l[k] + mlat_l[k]
+                completion = served
+                has_refill = refill_l[k]
+                if has_refill:
+                    free = cluster_free[bci]
+                    back_start = served if served >= free else free
+                    waits[bch] += back_start - served
+                    command_done = back_start + bbase
+                    dram_start = (
+                        command_done
+                        if command_done >= dram_free
+                        else dram_free
+                    )
+                    core_k = core_l[k]
+                    completion = dram_start + core_k + dbeats_l[k]
+                    dram_free = dram_start + core_k
+                    busy_until = (
+                        back_start + docc_l[k] if bsplit else completion
+                    )
+                    delta = busy_until - back_start
+                    if delta > 0:
+                        busys[bch] += delta
+                    if busy_until > cluster_free[bci]:
+                        cluster_free[bci] = busy_until
+                if bg_l[k]:
+                    free = cluster_free[bci]
+                    bg_start = served if served >= free else free
+                    occupancy = bgocc_l[k]
+                    busys[bch] += occupancy
+                    cluster_free[bci] = bg_start + occupancy
+                    dram_start = bg_start + bbase
+                    if dram_start < dram_free:
+                        dram_start = dram_free
+                    dram_free = dram_start + page_hit_latency
+                # Non-split bus held for the whole miss (the reference
+                # busy rule: completion == served exactly when there
+                # was no refill).
+                if csplit or not has_refill:
+                    busy_until = start + occ_l[k]
+                else:
+                    busy_until = completion
+                delta = busy_until - start
+                if delta > 0:
+                    busys[cch] += delta
+                if busy_until > cluster_free[ci]:
+                    cluster_free[ci] = busy_until
+                waits[cch] += wait
+
+            lat = completion - issue
+            if lat < 1:
+                index = k if on_idx is None else int(on_idx[k])
+                raise SimulationError(
+                    f"access {index} completed in {lat} cycles"
+                )
+            lat_out[k] = lat
+            if posted and write_l[k]:
+                lat = 1
+            lag += lat - 1
+            k += 1
+
+    state.lag = lag
+    state.dram_free = dram_free
+    for i, wait in enumerate(waits):
+        if wait:
+            channels[i].wait_cycles += wait
+    for i, busy in enumerate(busys):
+        if busy:
+            channels[i].busy_cycles += busy
+    lat_column = np.array(lat_out, dtype=np.int64)
+    if on_idx is None:
+        latency[:] = lat_column
+    else:
+        latency[on_idx] = lat_column
+
+
+def _accumulate_energy(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    group_positions: dict[int, np.ndarray],
+    cols: _Columns,
+    core: np.ndarray,
+    counted: np.ndarray | None,
+    sizes64: np.ndarray,
+) -> None:
+    """Vectorized energy accounting over the measured accesses.
+
+    Replicates the reference loop's accumulation order exactly: each
+    access's energy is the reference's nested pair sums (absent terms
+    contribute an exact ``0.0``, the float identity), and the running
+    totals are sequential left folds (``np.cumsum``) over the counted
+    rows, with the per-transaction DRAM/wire terms interleaved in
+    reference order via row-major ravels.
+    """
+    n = len(core)
+    cpu_epb = np.zeros(n, dtype=np.float64)
+    back_epb = np.zeros(n, dtype=np.float64)
+    module_nj = np.zeros(n, dtype=np.float64)
+    for gid, positions in group_positions.items():
+        group = groups[gid]
+        cpu_epb[positions] = group.cpu_state.energy_per_byte
+        if group.backing_state is not None:
+            back_epb[positions] = group.backing_state.energy_per_byte
+        if group.module is not None:
+            module_nj[positions] = group.module.access_energy_nj
+
+    page_hit = core == sim.memory.dram.page_hit_latency
+    dram_bytes = np.where(cols.uncached, sizes64, cols.refill)
+    e_dram1 = DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * dram_bytes
+    e_dram1 = np.where(page_hit, e_dram1, e_dram1 + DRAM_ACTIVATE_NJ)
+    e_dram1 = np.where(cols.dram_mask, e_dram1, 0.0)
+    e_wire1 = dram_bytes * np.where(cols.uncached, cpu_epb, back_epb)
+    background = cols.offpath > 0
+    e_dram2 = np.where(
+        background,
+        DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * cols.offpath,
+        0.0,
+    )
+    e_wire2 = cols.offpath * back_epb
+    e_wire3 = np.where(cols.uncached, 0.0, sizes64 * cpu_epb)
+    e_module = np.where(cols.uncached, 0.0, module_nj)
+    # Reference per-access order: (refill-or-uncached DRAM + wire) then
+    # (background DRAM + wire) then (module + CPU wire); zero terms are
+    # exact identities, so one expression covers every path.
+    energy = ((e_dram1 + e_wire1) + (e_dram2 + e_wire2)) + (
+        e_module + e_wire3
+    )
+
+    dram_pairs = np.column_stack((e_dram1, e_dram2))
+    wire_triples = np.column_stack((e_wire1, e_wire2, e_wire3))
+    if counted is not None:
+        energy = energy[counted]
+        e_module = e_module[counted]
+        dram_pairs = dram_pairs[counted]
+        wire_triples = wire_triples[counted]
+    state.energy_sum += float(np.cumsum(energy)[-1])
+    state.energy_modules += float(np.cumsum(e_module)[-1])
+    state.energy_dram += float(np.cumsum(dram_pairs.ravel())[-1])
+    state.energy_wires += float(np.cumsum(wire_triples.ravel())[-1])
+
+
+# -- segmented engine -------------------------------------------------------
+
+
+def _run_segmented(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    struct_group: np.ndarray,
+    dram_batchable: bool,
+) -> None:
+    """Chunked advance around tick-dependent modules.
+
+    Batch-capable modules are still evaluated whole-run
+    (:func:`_build_columns`); the trace is then walked in order,
+    dispatching off-window spans free of tick-dependent routes to the
+    columnar :func:`_batch_span` and everything else to the scalar
+    residue, which advances the tick-dependent modules at their
+    synchronization points.
+    """
     trace = sim.trace
     n = len(trace)
     sampling = sim.sampling
-
     on_mask = counted_mask = None
     if sampling is not None:
         on_mask, counted_mask = sampling.masks(n)
 
+    cols, _ = _build_columns(sim, state, groups, struct_group)
+
+    spans: list[tuple[int, int]] = []
+    if on_mask is not None and dram_batchable:
+        fast = ~on_mask & cols.row_batchable
+        if fast.any():
+            spans = _batch_spans(fast)
+
+    # Profiling accumulates in locals and flushes once per run, so the
+    # per-span cost is an integer add and the disabled-mode cost is a
+    # single boolean check after the run — never per-access work.
+    scalar_spans = batched_spans = batched_accesses = merged_dram = 0
+    cursor = 0
+    for start, stop in spans:
+        if cursor < start:
+            plan = _ensure_plan(sim, state, cols, groups, on_mask, counted_mask)
+            _scalar_span(sim, state, plan, cursor, start)
+            scalar_spans += 1
+        merged_dram += _batch_span(sim, state, cols, start, stop)
+        batched_spans += 1
+        batched_accesses += stop - start
+        cursor = stop
+    if cursor < n:
+        plan = _ensure_plan(sim, state, cols, groups, on_mask, counted_mask)
+        _scalar_span(sim, state, plan, cursor, n)
+        scalar_spans += 1
+    if obs.enabled():
+        obs.incr("sim.kernel.scalar_spans", scalar_spans)
+        obs.incr("sim.kernel.batched_spans", batched_spans)
+        obs.incr("sim.kernel.batched_accesses", batched_accesses)
+        if batched_spans:
+            obs.incr("sim.kernel.openrow_merged_passes", batched_spans)
+            obs.incr("sim.kernel.openrow_merged_accesses", merged_dram)
+        if on_mask is None:
+            onwindow = int(np.count_nonzero(cols.row_batchable))
+        else:
+            onwindow = int(np.count_nonzero(on_mask & cols.row_batchable))
+        obs.incr("sim.kernel.onwindow_batched", onwindow)
+
+
+def _raw_adapter(module):
+    """``access_raw``-shaped wrapper for modules without the tuple path."""
+
+    def call(address, size, kind, tick):
+        response = module.access(address, size, kind, tick)
+        return (
+            response.hit,
+            response.latency,
+            response.refill_bytes,
+            response.writeback_bytes,
+            response.prefetch_bytes,
+        )
+
+    return call
+
+
+def _ensure_plan(
+    sim: "Simulator",
+    state: "_RunState",
+    cols: _Columns,
+    groups: list[_Group],
+    on_mask: np.ndarray | None,
+    counted_mask: np.ndarray | None,
+) -> _Plan:
+    """The scalar residue's list columns, built once per run."""
+    plan = state.plan
+    if plan is not None:
+        return plan
+    trace = sim.trace
+    ginfo = []
+    for group in groups:
+        module = group.module
+        if module is None or group.batchable:
+            access_call = None
+        else:
+            access_call = getattr(module, "access_raw", None)
+            if access_call is None:
+                access_call = _raw_adapter(module)
+        ginfo.append(
+            (
+                module is None,
+                group.batchable,
+                group.cpu_state,
+                group.backing_state,
+                access_call,
+                0.0 if module is None else module.access_energy_nj,
+                state.module_counts[group.target],
+            )
+        )
     plan = _Plan(
         addresses=trace.addresses.tolist(),
         sizes=trace.sizes.tolist(),
@@ -179,43 +870,16 @@ def run_kernel(sim: "Simulator", state: "_RunState") -> None:
         ticks=trace.ticks.tolist(),
         on_list=None if on_mask is None else on_mask.tolist(),
         counted_list=None if counted_mask is None else counted_mask.tolist(),
+        gid=cols.gid.tolist(),
+        mlat=cols.mlat.tolist(),
+        refill=cols.refill.tolist(),
+        offpath=cols.offpath.tolist(),
+        conn=cols.conn.tolist(),
+        occ=cols.occ.tolist(),
+        ginfo=ginfo,
     )
-
-    spans: list[tuple[int, int]] = []
-    groups: list[_Group] = []
-    struct_group: np.ndarray | None = None
-    dram_batchable = bool(
-        getattr(type(sim.memory.dram), "supports_batch", False)
-    )
-    if on_mask is not None and dram_batchable:
-        groups, struct_group, struct_batchable = _build_groups(sim)
-        fast = ~on_mask & struct_batchable[trace.struct_ids]
-        if fast.any():
-            spans = _batch_spans(fast)
-
-    # Profiling accumulates in locals and flushes once per run, so the
-    # per-span cost is an integer add and the disabled-mode cost is a
-    # single boolean check after the run — never per-access work.
-    scalar_spans = batched_spans = batched_accesses = 0
-    cursor = 0
-    for start, stop in spans:
-        if cursor < start:
-            _scalar_span(sim, state, plan, cursor, start)
-            scalar_spans += 1
-        _batch_span(sim, state, struct_group, groups, start, stop)
-        batched_spans += 1
-        batched_accesses += stop - start
-        cursor = stop
-    if cursor < n:
-        _scalar_span(sim, state, plan, cursor, n)
-        scalar_spans += 1
-    if obs.enabled():
-        obs.incr("sim.kernel.scalar_spans", scalar_spans)
-        obs.incr("sim.kernel.batched_spans", batched_spans)
-        obs.incr("sim.kernel.batched_accesses", batched_accesses)
-
-
-# -- scalar spans -----------------------------------------------------------
+    state.plan = plan
+    return plan
 
 
 def _scalar_span(
@@ -230,16 +894,21 @@ def _scalar_span(
     Operation-for-operation the loop of
     :meth:`Simulator._reference_loop` (same integer updates, same float
     accumulation order), re-expressed over the plan's pre-converted
-    Python-list columns with per-iteration allocations removed.
+    Python-list columns. Rows routed to batch-capable modules read
+    their module outcome and transfer timing from the whole-run
+    columns (their counters were folded in by
+    :func:`_build_columns`); rows routed to tick-dependent modules are
+    the synchronization points — they advance the module inline
+    through the allocation-free ``access_raw`` tuple path with full
+    reference accounting.
     """
-    channels = sim._channels
-    routes = sim._routes
     posted_writes = sim.posted_writes
     dram_transaction = sim._dram_transaction
     background_traffic = sim._background_traffic
+    background_contention = sim._background_contention
     transaction_energy = dram_transaction_energy_nj
     kind_table = _KINDS
-    write_kind = AccessKind.WRITE
+    write_code = _WRITE_CODE
 
     addresses = plan.addresses
     sizes = plan.sizes
@@ -249,6 +918,13 @@ def _scalar_span(
     on_list = plan.on_list
     counted_list = plan.counted_list
     no_sampling = on_list is None
+    gid_l = plan.gid
+    mlat_l = plan.mlat
+    refill_l = plan.refill
+    offpath_l = plan.offpath
+    conn_l = plan.conn
+    occ_l = plan.occ
+    ginfo = plan.ginfo
 
     cluster_free = state.cluster_free
     dram_free = state.dram_free
@@ -260,16 +936,12 @@ def _scalar_span(
     energy_dram = state.energy_dram
     energy_wires = state.energy_wires
     misses = state.misses
-    module_counts = state.module_counts
     struct_counts = state.struct_counts
     struct_latency = state.struct_latency
 
     for i in range(span_start, span_stop):
-        address = addresses[i]
         size = sizes[i]
-        kind = kind_table[kinds[i]]
         struct_id = struct_ids[i]
-        route = routes[struct_id]
         issue = ticks[i] + lag
         if no_sampling:
             on_window = True
@@ -277,30 +949,91 @@ def _scalar_span(
         else:
             on_window = on_list[i]
             counted = counted_list[i]
-
-        cpu_state = channels[route.cpu_channel]
+        (
+            is_uncached,
+            is_batchable,
+            cpu_state,
+            back_state,
+            access_call,
+            module_nj,
+            counts,
+        ) = ginfo[gid_l[i]]
         energy = 0.0
 
-        if route.module is None:
-            # Uncached: straight to DRAM over the off-chip connection.
+        if is_uncached:
+            # Uncached: straight to DRAM over the off-chip connection
+            # (counts and traffic totals already folded in columnar).
             completion, wait, dram_free, page_hit = dram_transaction(
-                cpu_state, issue, address, size, cluster_free, dram_free,
-                on_window,
+                cpu_state, issue, addresses[i], size, cluster_free,
+                dram_free, on_window,
             )
-            misses += 1
-            counts = module_counts[DRAM]
-            counts[0] += 1
-            counts[2] += 1
             if counted:
                 dram_nj = transaction_energy(size, page_hit)
                 wire_nj = size * cpu_state.energy_per_byte
                 energy += dram_nj + wire_nj
                 energy_dram += dram_nj
                 energy_wires += wire_nj
-            cpu_state.bytes_moved += size
-            cpu_state.transactions += 1
             cpu_state.wait_cycles += wait
+        elif is_batchable:
+            component = cpu_state.component
+            if component is None:
+                start = issue
+                wait = 0
+            else:
+                free = cluster_free[cpu_state.cluster_index]
+                start = issue if issue >= free else free
+                if not on_window:
+                    start = issue
+                wait = start - issue
+            served = start + conn_l[i] + mlat_l[i]
+            completion = served
+            refill = refill_l[i]
+            if refill:
+                completion, back_wait, dram_free, page_hit = (
+                    dram_transaction(
+                        back_state, served, addresses[i], refill,
+                        cluster_free, dram_free, on_window,
+                    )
+                )
+                back_state.wait_cycles += back_wait
+                if counted:
+                    dram_nj = transaction_energy(refill, page_hit)
+                    wire_nj = refill * back_state.energy_per_byte
+                    energy += dram_nj + wire_nj
+                    energy_dram += dram_nj
+                    energy_wires += wire_nj
+            off_path = offpath_l[i]
+            if off_path:
+                dram_free = background_contention(
+                    back_state, served, off_path, cluster_free,
+                    dram_free, on_window,
+                )
+                if counted:
+                    # Background prefetch/writeback bursts run in
+                    # page mode.
+                    dram_nj = transaction_energy(off_path, True)
+                    wire_nj = off_path * back_state.energy_per_byte
+                    energy += dram_nj + wire_nj
+                    energy_dram += dram_nj
+                    energy_wires += wire_nj
+            if component is not None and on_window:
+                cluster = cpu_state.cluster_index
+                if component.split_transactions or completion == served:
+                    busy_until = start + occ_l[i]
+                else:
+                    # Non-split bus held for the whole miss.
+                    busy_until = completion
+                cpu_state.busy_cycles += max(0, busy_until - start)
+                if busy_until > cluster_free[cluster]:
+                    cluster_free[cluster] = busy_until
+            cpu_state.wait_cycles += wait
+            if counted:
+                wire_nj = size * cpu_state.energy_per_byte
+                energy += module_nj + wire_nj
+                energy_modules += module_nj
+                energy_wires += wire_nj
         else:
+            # Tick-dependent module: synchronization point.
             component = cpu_state.component
             if component is None:
                 start = issue
@@ -318,42 +1051,38 @@ def _scalar_span(
                 occupancy = timing.occupancy
 
             arrival = start + conn_latency
-            response = route.module.access(address, size, kind, arrival)
-            served = arrival + response.latency
-            counts = module_counts[route.target]
+            hit, response_latency, refill, writeback, prefetch = (
+                access_call(
+                    addresses[i], size, kind_table[kinds[i]], arrival
+                )
+            )
+            served = arrival + response_latency
             counts[0] += 1
-            if response.hit:
+            if hit:
                 counts[1] += 1
             else:
                 counts[2] += 1
                 misses += 1
 
             completion = served
-            backing = route.backing_channel
-            if backing >= 0:
-                back_state = channels[backing]
-                if response.refill_bytes:
+            if back_state is not None:
+                if refill:
                     completion, back_wait, dram_free, page_hit = (
                         dram_transaction(
-                            back_state, served, address,
-                            response.refill_bytes, cluster_free,
-                            dram_free, on_window,
+                            back_state, served, addresses[i], refill,
+                            cluster_free, dram_free, on_window,
                         )
                     )
-                    back_state.bytes_moved += response.refill_bytes
+                    back_state.bytes_moved += refill
                     back_state.transactions += 1
                     back_state.wait_cycles += back_wait
                     if counted:
-                        dram_nj = transaction_energy(
-                            response.refill_bytes, page_hit
-                        )
-                        wire_nj = (
-                            response.refill_bytes * back_state.energy_per_byte
-                        )
+                        dram_nj = transaction_energy(refill, page_hit)
+                        wire_nj = refill * back_state.energy_per_byte
                         energy += dram_nj + wire_nj
                         energy_dram += dram_nj
                         energy_wires += wire_nj
-                off_path = response.writeback_bytes + response.prefetch_bytes
+                off_path = writeback + prefetch
                 if off_path:
                     dram_free = background_traffic(
                         back_state, served, off_path, cluster_free,
@@ -382,7 +1111,6 @@ def _scalar_span(
             cpu_state.transactions += 1
             cpu_state.wait_cycles += wait
             if counted:
-                module_nj = route.module.access_energy_nj
                 wire_nj = size * cpu_state.energy_per_byte
                 energy += module_nj + wire_nj
                 energy_modules += module_nj
@@ -393,7 +1121,7 @@ def _scalar_span(
             raise SimulationError(
                 f"access {i} completed in {latency} cycles"
             )
-        if posted_writes and kind == write_kind:
+        if posted_writes and kinds[i] == write_code:
             # Posted write: the CPU moves on after one issue slot;
             # the transfer still happened on the channels above.
             latency = 1
@@ -416,151 +1144,29 @@ def _scalar_span(
     state.misses = misses
 
 
-# -- batched spans ----------------------------------------------------------
-
-
-def _size_column(
-    component, sizes: np.ndarray, attribute_cache: dict
-) -> np.ndarray:
-    """Per-access connection latencies over ``component`` (vectorized).
-
-    Sizes take a handful of distinct values (1/2/4/8 plus line sizes),
-    so the ``component.timing`` results are memoized per size and
-    painted over the column by equality mask.
-    """
-    out = np.zeros(len(sizes), dtype=np.int64)
-    for value in np.unique(sizes).tolist():
-        latency = attribute_cache.get(value)
-        if latency is None:
-            latency = component.timing(value).latency
-            attribute_cache[value] = latency
-        out[sizes == value] = latency
-    return out
-
-
-def _beats_cycles(component, sizes: np.ndarray) -> np.ndarray:
-    """Vectorized ``component.beats(size) * cycles_per_beat``."""
-    sizes = sizes.astype(np.int64, copy=False)
-    return (
-        -(-sizes // component.width_bytes) * component.cycles_per_beat
-    )
-
-
 def _batch_span(
     sim: "Simulator",
     state: "_RunState",
-    struct_group: np.ndarray,
-    groups: list[_Group],
+    cols: _Columns,
     span_start: int,
     span_stop: int,
-) -> None:
-    """One off-window span, evaluated columnar.
+) -> int:
+    """One off-window span of batch-capable rows, evaluated columnar.
 
     Every access in the span is off-window (no contention, no energy,
-    no measured statistics) and routes to a batch-capable target, so
-    the span reduces to: per-module ``access_many`` calls, one merged
-    DRAM open-row pass for refills and uncached accesses in trace
-    order, counter sums, and a single ``lag`` update.
+    no measured statistics) and its module outcome is already in the
+    whole-run columns, so the span reduces to one DRAM open-row pass
+    over its transactions (already in trace order — each access makes
+    at most one) and a single ``lag`` update. Returns the number of
+    DRAM transactions for the profiling counters.
     """
-    trace = sim.trace
-    addresses = trace.addresses[span_start:span_stop]
-    sizes = trace.sizes[span_start:span_stop]
-    kinds = trace.kinds[span_start:span_stop]
-    group_col = struct_group[trace.struct_ids[span_start:span_stop]]
-    span_n = span_stop - span_start
-
-    latencies = np.zeros(span_n, dtype=np.int64)
-    dram_positions: list[np.ndarray] = []
-    dram_addresses: list[np.ndarray] = []
-
-    for gid in np.unique(group_col).tolist():
-        group = groups[gid]
-        positions = np.flatnonzero(group_col == gid)
-        g_addresses = addresses[positions]
-        g_sizes = sizes[positions]
-        count = len(positions)
-        cpu_state = group.cpu_state
-        component = cpu_state.component
-
-        if group.module is None:
-            # Uncached: straight to DRAM over the off-chip connection.
-            if component is None:
-                base = np.zeros(count, dtype=np.int64)
-            else:
-                base = component.base_latency + _beats_cycles(
-                    component, g_sizes
-                )
-            latencies[positions] = base
-            dram_positions.append(positions)
-            dram_addresses.append(g_addresses)
-            counts = state.module_counts[DRAM]
-            counts[0] += count
-            counts[2] += count
-            state.misses += count
-        else:
-            outcome = group.module.access_many(
-                g_addresses, g_sizes, kinds[positions]
-            )
-            if component is None:
-                lat = outcome.latency.astype(np.int64, copy=True)
-            else:
-                lat = outcome.latency + _size_column(
-                    component, g_sizes, group.timing_memo
-                )
-            hits = int(np.count_nonzero(outcome.hit))
-            counts = state.module_counts[group.target]
-            counts[0] += count
-            counts[1] += hits
-            counts[2] += count - hits
-            state.misses += count - hits
-
-            back_state = group.backing_state
-            if back_state is not None:
-                refill = outcome.refill_bytes
-                if refill is not None and refill.any():
-                    refill_at = np.flatnonzero(refill)
-                    refill_bytes = refill[refill_at]
-                    back_component = back_state.component
-                    if back_component is None:
-                        extra = np.zeros(len(refill_at), dtype=np.int64)
-                    else:
-                        extra = back_component.base_latency + _beats_cycles(
-                            back_component, refill_bytes
-                        )
-                    lat[refill_at] += extra
-                    dram_positions.append(positions[refill_at])
-                    dram_addresses.append(g_addresses[refill_at])
-                    back_state.bytes_moved += int(refill_bytes.sum())
-                    back_state.transactions += len(refill_at)
-                writeback = outcome.writeback_bytes
-                prefetch = outcome.prefetch_bytes
-                if writeback is None:
-                    off_path = prefetch
-                elif prefetch is None:
-                    off_path = writeback
-                else:
-                    off_path = writeback + prefetch
-                if off_path is not None:
-                    background = int(np.count_nonzero(off_path))
-                    if background:
-                        back_state.bytes_moved += int(off_path.sum())
-                        back_state.background_transactions += background
-            latencies[positions] = lat
-
-        cpu_state.bytes_moved += int(g_sizes.sum())
-        cpu_state.transactions += count
-
-    if dram_positions:
-        # One open-row pass over every DRAM transaction, in trace order
-        # (module state only sees its own accesses, but the DRAM row
-        # registers see the merged stream).
-        merged_positions = np.concatenate(dram_positions)
-        merged_addresses = np.concatenate(dram_addresses)
-        order = np.argsort(merged_positions, kind="stable")
-        core = sim.memory.dram.open_row_latencies(merged_addresses[order])
-        latencies[merged_positions[order]] += core
-
-    if latencies.min() < 1:
+    latencies = cols.u_partial[span_start:span_stop].copy()
+    dram_rows = np.flatnonzero(cols.dram_mask[span_start:span_stop])
+    if len(dram_rows):
+        latencies[dram_rows] += sim.memory.dram.open_row_latencies(
+            sim.trace.addresses[span_start + dram_rows]
+        )
+    if int(latencies.min()) < 1:
         # Match the reference loop: report the first offending access.
         bad = int(np.argmax(latencies < 1))
         raise SimulationError(
@@ -568,7 +1174,9 @@ def _batch_span(
             f"{int(latencies[bad])} cycles"
         )
     if sim.posted_writes:
+        kinds = sim.trace.kinds[span_start:span_stop]
         lag_deltas = np.where(kinds == _WRITE_CODE, 0, latencies - 1)
+        state.lag += int(lag_deltas.sum())
     else:
-        lag_deltas = latencies - 1
-    state.lag += int(lag_deltas.sum())
+        state.lag += int(latencies.sum()) - (span_stop - span_start)
+    return len(dram_rows)

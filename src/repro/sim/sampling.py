@@ -58,6 +58,25 @@ class SamplingConfig:
         position = index % self.period
         return self.warmup <= position < self.on_window
 
+    def windows(self, length: int) -> list[tuple[int, int, bool]]:
+        """Alternating ``(start, stop, on)`` spans covering ``[0, length)``.
+
+        The span boundaries follow directly from the period arithmetic
+        (no mask materialization), so the simulation kernel can walk
+        on/off segments of a million-access trace without scanning a
+        boolean column for edges. Concatenating the spans reproduces
+        :meth:`masks`'s ``on`` column exactly.
+        """
+        spans: list[tuple[int, int, bool]] = []
+        period = self.period
+        for period_start in range(0, length, period):
+            on_stop = min(period_start + self.on_window, length)
+            spans.append((period_start, on_stop, True))
+            off_stop = min(period_start + period, length)
+            if off_stop > on_stop:
+                spans.append((on_stop, off_stop, False))
+        return spans
+
     def masks(self, length: int) -> tuple[np.ndarray, np.ndarray]:
         """Materialized ``(on, measured)`` boolean masks.
 

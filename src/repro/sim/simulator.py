@@ -115,6 +115,7 @@ class _RunState:
         "module_counts",
         "struct_counts",
         "struct_latency",
+        "plan",
     )
 
     def __init__(self, simulator: "Simulator") -> None:
@@ -134,6 +135,9 @@ class _RunState:
         }
         self.struct_counts = [0] * len(simulator._routes)
         self.struct_latency = [0] * len(simulator._routes)
+        #: Lazily-built per-run Python-list trace columns (the kernel's
+        #: scalar residue builds them once per run, not once per span).
+        self.plan = None
 
 
 class Simulator:
@@ -613,6 +617,25 @@ class Simulator:
         """Off-critical-path traffic: occupies connection + DRAM only."""
         state.bytes_moved += size
         state.background_transactions += 1
+        return self._background_contention(
+            state, ready, size, cluster_free, dram_free, on_window
+        )
+
+    def _background_contention(
+        self,
+        state: _ChannelState,
+        ready: int,
+        size: int,
+        cluster_free: list[int],
+        dram_free: int,
+        on_window: bool,
+    ) -> int:
+        """The contention half of :meth:`_background_traffic`.
+
+        The kernel counts background bytes/transactions columnar once
+        per run, so its loops need the occupancy/timeline updates
+        without re-touching the traffic counters.
+        """
         component = state.component
         if component is None or not on_window:
             return dram_free

@@ -9,6 +9,7 @@ and composition of module + bus tables into end-to-end transaction
 tables.
 """
 
+from repro.timing.batch import beats_cycles_column, transfer_timing_columns
 from repro.timing.diagrams import (
     SignalWaveform,
     TimingDiagram,
@@ -36,9 +37,11 @@ __all__ = [
     "TransactionPipeline",
     "ahb_read_diagram",
     "apb_read_diagram",
+    "beats_cycles_column",
     "bus_transfer_description",
     "compose_operation_tables",
     "diagram_to_table",
     "generate_table",
     "memory_access_description",
+    "transfer_timing_columns",
 ]

@@ -1,0 +1,45 @@
+"""Batched (columnar) reservation-table timing.
+
+The scalar timing entry point is
+:meth:`repro.connectivity.component.ConnectivityComponent.timing`: one
+:class:`TransferTiming` per transaction. The simulation kernel instead
+evaluates whole *columns* of transactions at once, so this module
+provides the vectorized equivalents. They are exact — integer ceiling
+division and the pipelined-occupancy rule reproduce the scalar results
+bit for bit, which the kernel's golden-equivalence suite relies on.
+
+Only the closed-form component timing is vectorized here; the full
+:class:`~repro.timing.reservation.ReservationTable` algebra (forbidden
+latencies, initiation intervals) stays scalar — the ConEx estimator
+evaluates it per component configuration, not per access.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def beats_cycles_column(component, sizes: np.ndarray) -> np.ndarray:
+    """Vectorized ``component.beats(size) * cycles_per_beat``.
+
+    ``sizes`` must be positive (the scalar :meth:`beats` raises on
+    non-positive sizes; callers filter zero-byte transfers out before
+    batching).
+    """
+    sizes = sizes.astype(np.int64, copy=False)
+    return -(-sizes // component.width_bytes) * component.cycles_per_beat
+
+
+def transfer_timing_columns(
+    component, sizes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :meth:`ConnectivityComponent.timing` over a size column.
+
+    Returns ``(latency, occupancy)`` ``int64`` columns equal,
+    element-for-element, to the scalar
+    :class:`~repro.connectivity.component.TransferTiming` fields.
+    """
+    data_cycles = beats_cycles_column(component, sizes)
+    latency = component.base_latency + data_cycles
+    occupancy = data_cycles if component.pipelined else latency
+    return latency, occupancy

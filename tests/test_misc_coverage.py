@@ -1,5 +1,6 @@
 """Coverage tests for smaller behaviours across the library."""
 
+import numpy as np
 import pytest
 
 from repro.apex.architectures import MemoryArchitecture
@@ -121,15 +122,32 @@ class TestArchitectureEdges:
         assert result.modules["sram_a"].accesses == 64
         assert result.modules["sram_b"].accesses == 64
 
-    def test_negative_latency_guard(self, mem_library, tiny_trace):
-        """Modules returning nonsense latencies are caught."""
+    @pytest.mark.parametrize("batch", [False, True])
+    def test_negative_latency_guard(self, mem_library, tiny_trace, batch):
+        """Modules returning nonsense latencies are caught.
+
+        Covered for both kernel paths: ``batch=True`` keeps the broken
+        scalar/batched pair in lockstep (the columnar engine's
+        vectorized guard fires), ``batch=False`` honours the
+        ``supports_batch`` contract for a scalar-only override (the
+        scalar residue's guard fires).
+        """
         from repro.errors import SimulationError
         from repro.memory.sram import Sram
 
         class BrokenSram(Sram):
+            supports_batch = batch
+
             def access(self, address, size, kind, tick):
                 response = super().access(address, size, kind, tick)
                 return type(response)(hit=True, latency=-5)
+
+            def access_many(self, addresses, sizes, kinds):
+                response = super().access_many(addresses, sizes, kinds)
+                return type(response)(
+                    hit=response.hit,
+                    latency=np.full(len(addresses), -5, dtype=np.int64),
+                )
 
         broken = BrokenSram("bad", 4096)
         dram = mem_library.get("dram").instantiate()

@@ -17,7 +17,10 @@ import itertools
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.apex.architectures import MemoryArchitecture
 from repro.connectivity.architecture import (
     ConnectivityArchitecture,
     build_cluster,
@@ -30,7 +33,7 @@ from repro.memory.stream_buffer import StreamBuffer
 from repro.sim.kernels import MIN_BATCH_SPAN, _batch_spans, reference_requested
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import simulate
-from repro.trace.events import AccessKind
+from repro.trace.events import AccessKind, TraceBuilder
 from repro.workloads import get_workload
 
 #: Scales chosen so every workload's trace spans multiple sampling
@@ -116,12 +119,35 @@ def test_kernel_matches_reference(workload, sampling_mode, posted, conn_mode):
     assert kernel == reference
 
 
-def test_kernel_matches_reference_with_dma_fallback():
-    """DMA-mapped structures force scalar spans; results stay exact."""
+#: DMA-heavy grid: tick-dependent modules force the segmented engine,
+#: crossed with sampling, posted writes, and connectivity so the
+#: synchronization-point walk is exercised against every contention
+#: regime (including whole-trace scalar residues when unsampled).
+DMA_GRID = list(
+    itertools.product(
+        ("unsampled", "sampled"),
+        (False, True),
+        CONNECTIVITY_MODES,
+        ("si_dma_32", "ll_dma_32"),
+    )
+)
+
+
+@pytest.mark.parametrize("sampling_mode,posted,conn_mode,dma_preset", DMA_GRID)
+def test_kernel_matches_reference_with_dma(
+    sampling_mode, posted, conn_mode, dma_preset
+):
+    """DMA-mapped structures run segmented; results stay exact."""
     trace = _trace("li")
-    memory = mixed_architecture(trace, MEM_LIBRARY, dma_preset="si_dma_32")
-    reference = simulate(trace, memory, None, SAMPLING, reference=True)
-    kernel = simulate(trace, memory, None, SAMPLING, reference=False)
+    memory = mixed_architecture(trace, MEM_LIBRARY, dma_preset=dma_preset)
+    connectivity = _connectivity(memory, trace, conn_mode)
+    sampling = SAMPLING if sampling_mode == "sampled" else None
+    reference = simulate(
+        trace, memory, connectivity, sampling, posted, reference=True
+    )
+    kernel = simulate(
+        trace, memory, connectivity, sampling, posted, reference=False
+    )
     assert kernel == reference
 
 
@@ -139,8 +165,12 @@ def test_environment_opt_out(monkeypatch):
     memory = _architecture("matmul")
     monkeypatch.setenv("REPRO_REFERENCE_SIM", "1")
     via_env = simulate(trace, memory, None, SAMPLING)
+    via_env_unsampled = simulate(trace, memory, None, None)
     monkeypatch.delenv("REPRO_REFERENCE_SIM")
     assert simulate(trace, memory, None, SAMPLING) == via_env
+    # Unsampled cross-check: the env-routed reference equals the
+    # default kernel on a whole-trace run too.
+    assert simulate(trace, memory, None, None) == via_env_unsampled
 
 
 def test_batch_span_segmentation():
@@ -250,6 +280,117 @@ def test_stream_buffer_access_many_matches_access(seed, depth):
     _assert_batch_matches(
         lambda: StreamBuffer("s", depth=depth, line_size=32), seed
     )
+
+
+# -- property tests: random traces vs the reference -------------------------
+#
+# Hypothesis drives randomly shaped traces through both engines. Two
+# properties matter most to the batched kernel: (a) tick-dependent
+# modules (DMA engines) advanced in chunked segments between
+# synchronization points must land in exactly the state the
+# access-by-access reference leaves them in, and (b) the compacted
+# on-window contention walk must reproduce every per-channel wait/busy
+# counter. ``SimulationResult`` equality covers both, but the channel
+# counters are also asserted explicitly so a regression names the
+# broken accounting rather than just "results differ".
+
+
+@st.composite
+def _random_traces(draw):
+    seed = draw(st.integers(min_value=0, max_value=1 << 20))
+    n = draw(st.integers(min_value=64, max_value=320))
+    max_gap = draw(st.integers(min_value=0, max_value=3))
+    rng = np.random.default_rng(seed)
+    builder = TraceBuilder(f"prop_{seed}_{n}_{max_gap}")
+    # A fixed cyclic pointer chain: re-traversals make the linked-list
+    # DMA's stable-pointer recovery (and its burst path) actually fire.
+    chain = [int(c) * 16 for c in rng.permutation(24)]
+    cursor = 0
+    for _ in range(n):
+        choice = int(rng.integers(0, 4))
+        if choice == 0:
+            builder.read(chain[cursor % len(chain)], 4, "chain")
+            cursor += 1
+        elif choice == 1:
+            builder.read(int(rng.integers(0, 1 << 9)) * 4, 4, "stream")
+        elif choice == 2:
+            builder.write(int(rng.integers(0, 1 << 12)), 8, "table")
+        else:
+            builder.read(
+                int(rng.integers(0, 1 << 12)),
+                int(rng.choice([1, 2, 4, 8])),
+                "table",
+            )
+        if max_gap:
+            builder.compute(int(rng.integers(0, max_gap + 1)))
+    return builder.build()
+
+
+#: Tight windows relative to the 64–320-access traces above, so every
+#: example crosses several on/off boundaries.
+_PROP_SAMPLING = SamplingConfig(on_window=32, off_ratio=3, warmup=8)
+
+_PROP_SETTINGS = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@_PROP_SETTINGS
+@given(
+    trace=_random_traces(),
+    dma_preset=st.sampled_from(["si_dma_32", "ll_dma_32"]),
+    posted=st.booleans(),
+    sampled=st.booleans(),
+)
+def test_property_tick_dependent_modules_match_reference(
+    trace, dma_preset, posted, sampled
+):
+    """Chunked segment advancement equals access-by-access stepping."""
+    memory = MemoryArchitecture(
+        "prop_dma",
+        [
+            MEM_LIBRARY.get(dma_preset).instantiate("dma"),
+            MEM_LIBRARY.get("cache_4k_16b_1w").instantiate("cache"),
+        ],
+        MEM_LIBRARY.get("dram_4bank").instantiate(),
+        {"chain": "dma", "stream": "cache"},
+        "dram",
+    )
+    sampling = _PROP_SAMPLING if sampled else None
+    reference = simulate(trace, memory, None, sampling, posted, reference=True)
+    kernel = simulate(trace, memory, None, sampling, posted, reference=False)
+    assert kernel == reference
+
+
+@_PROP_SETTINGS
+@given(
+    trace=_random_traces(),
+    conn_mode=st.sampled_from(["amba", "mux"]),
+    posted=st.booleans(),
+    sampled=st.booleans(),
+)
+def test_property_channel_contention_matches_reference(
+    trace, conn_mode, posted, sampled
+):
+    """The vectorized contention pass reproduces every channel counter."""
+    memory = mixed_architecture(trace, MEM_LIBRARY)
+    connectivity = _connectivity(memory, trace, conn_mode)
+    sampling = _PROP_SAMPLING if sampled else None
+    reference = simulate(
+        trace, memory, connectivity, sampling, posted, reference=True
+    )
+    kernel = simulate(
+        trace, memory, connectivity, sampling, posted, reference=False
+    )
+    assert kernel == reference
+    assert set(kernel.channels) == set(reference.channels)
+    for name, channel in kernel.channels.items():
+        mirror = reference.channels[name]
+        assert channel.total_wait_cycles == mirror.total_wait_cycles, name
+        assert channel.busy_cycles == mirror.busy_cycles, name
+        assert channel.transactions == mirror.transactions, name
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
