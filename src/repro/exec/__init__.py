@@ -27,6 +27,7 @@ See ``docs/performance.md`` for the knobs and invalidation rules.
 
 from repro.exec.cache import (
     CACHE_DIR_ENV,
+    KERNEL_PLAN_VERSION,
     NULL_CACHE,
     NullCache,
     SimulationCache,
@@ -41,6 +42,7 @@ from repro.exec.engine import (
     EstimateJob,
     SimulationJob,
     estimate_many,
+    simulate_batch,
     simulate_many,
 )
 from repro.exec.runtime import (
@@ -66,6 +68,7 @@ __all__ = [
     "EstimateJob",
     "ExecutionRuntime",
     "JOB_TIMEOUT_ENV",
+    "KERNEL_PLAN_VERSION",
     "MAX_RETRIES_ENV",
     "NULL_CACHE",
     "NullCache",
@@ -85,6 +88,7 @@ __all__ = [
     "sampling_signature",
     "set_default_cache",
     "set_default_runtime",
+    "simulate_batch",
     "simulate_many",
     "simulation_key",
 ]

@@ -42,6 +42,7 @@ from repro.trace.events import Trace
 
 __all__ = [
     "CACHE_DIR_ENV",
+    "KERNEL_PLAN_VERSION",
     "NULL_CACHE",
     "NullCache",
     "SimulationCache",
@@ -54,6 +55,14 @@ __all__ = [
 
 #: Cache file suffix for persisted results.
 _SUFFIX = ".simres.pkl"
+
+#: Version of the simulation kernel / trace-plan pipeline. Part of every
+#: simulation key (so a kernel change orphans stale in-memory and disk
+#: entries by construction) and stamped into the on-disk payload (so a
+#: stale or foreign file is evicted when encountered rather than
+#: deserialized into a result produced by different kernel code).
+#: Bump on any change that could alter simulation results.
+KERNEL_PLAN_VERSION = 7
 
 
 def sampling_signature(sampling: SamplingConfig | None) -> tuple | None:
@@ -77,6 +86,7 @@ def simulation_key(
         None if connectivity is None else connectivity.full_signature(),
         sampling_signature(sampling),
         bool(posted_writes),
+        KERNEL_PLAN_VERSION,
     )
 
 
@@ -156,7 +166,20 @@ class SimulationCache:
             return None
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                payload = pickle.load(handle)
+            if (
+                not isinstance(payload, dict)
+                or payload.get("version") != KERNEL_PLAN_VERSION
+            ):
+                # A file written by a different kernel generation (or a
+                # pre-versioning one): evict rather than trust it.
+                obs.incr("cache.version_evictions")
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                return None
+            return payload["result"]
         except Exception:
             # Treat any torn/corrupt file as a miss: pickle surfaces
             # garbage as UnpicklingError, ValueError, EOFError,
@@ -174,8 +197,9 @@ class SimulationCache:
         self.directory.mkdir(parents=True, exist_ok=True)
         path = self._disk_path(key)
         temp = path.with_suffix(path.suffix + ".tmp")
+        payload = {"version": KERNEL_PLAN_VERSION, "result": result}
         with open(temp, "wb") as handle:
-            pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
         os.replace(temp, path)  # atomic: readers never see a torn file
 
     def __repr__(self) -> str:

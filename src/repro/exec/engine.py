@@ -59,6 +59,7 @@ from repro.exec.runtime import (
     persistent_runtime_enabled,
     resolve_workers,
 )
+from repro.sim import batch as sim_batch
 from repro.sim.metrics import SimulationResult
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import simulate
@@ -109,6 +110,12 @@ class EngineReport(StatsReport):
     worker pools were rebuilt, and whether the batch finished on the
     serial degraded path after the rebuild budget ran out. All zero /
     ``False`` on an undisturbed batch.
+
+    ``batch_groups`` / ``delta_pass_candidates`` are filled only by
+    :func:`simulate_batch`: how many same-memory-signature groups the
+    simulated misses were partitioned into, and how many of those
+    candidates ran the shared-column delta pass (as opposed to falling
+    back to independent full runs).
     """
 
     results: tuple
@@ -121,6 +128,8 @@ class EngineReport(StatsReport):
     retries: int = 0
     pool_rebuilds: int = 0
     degraded: bool = False
+    batch_groups: int = 0
+    delta_pass_candidates: int = 0
 
     #: ``as_dict()`` exports the accounting, not the payload.
     _STATS_EXCLUDE = ("results",)
@@ -162,6 +171,14 @@ def _run_simulation(job: SimulationJob) -> SimulationResult:
         sampling=job.sampling,
         posted_writes=job.posted_writes,
     )
+
+
+def _run_group(
+    jobs: "tuple[SimulationJob, ...]",
+) -> "tuple[list[SimulationResult], int]":
+    """Legacy-pool twin of the runtime's group worker."""
+    assert _WORKER_TRACE is not None, "worker used before initialization"
+    return sim_batch.evaluate_group(_WORKER_TRACE, jobs)
 
 
 def _run_estimate(job: EstimateJob) -> ConnectivityEstimate:
@@ -212,6 +229,8 @@ def _record_batch(report: EngineReport) -> None:
     obs.incr("exec.cache_misses", report.cache_misses)
     obs.incr("exec.deduplicated", report.deduplicated)
     obs.incr("exec.uncached", report.uncached)
+    obs.incr("exec.batch_groups", report.batch_groups)
+    obs.incr("exec.delta_pass_candidates", report.delta_pass_candidates)
     obs.incr("runtime.retries", report.retries)
     obs.incr("runtime.pool_rebuilds", report.pool_rebuilds)
     obs.incr("runtime.degraded_batches", int(report.degraded))
@@ -355,6 +374,165 @@ def _simulate_many(
         retries=retries,
         pool_rebuilds=pool_rebuilds,
         degraded=degraded,
+    )
+
+
+def simulate_batch(
+    trace: Trace,
+    jobs: Sequence[SimulationJob],
+    workers: int | None = None,
+    cache: SimulationCache | None = None,
+    runtime: ExecutionRuntime | None = None,
+) -> EngineReport:
+    """Simulate every job over ``trace`` with cross-candidate sharing.
+
+    The drop-in batch-evaluating sibling of :func:`simulate_many`:
+    identical signature, identical determinism contract (``results[i]``
+    corresponds to ``jobs[i]``, bit-identical to independent
+    :func:`~repro.sim.simulator.simulate` calls), identical cache and
+    dedup behaviour. The difference is *how* the cache misses run:
+    they are partitioned into same-memory-signature groups and each
+    group is evaluated through :func:`repro.sim.batch.evaluate_group`,
+    which shares the trace plan, module outcome columns, and the merged
+    DRAM open-row pass across the group's candidates so each candidate
+    pays only its connectivity/sampling delta pass. Parallel dispatch
+    ships whole groups to workers (a group is never split — splitting
+    would forfeit the sharing).
+    """
+    with obs.span("exec.simulate_batch"):
+        report = _simulate_batch(trace, jobs, workers, cache, runtime)
+    if obs.enabled():
+        _record_batch(report)
+    return report
+
+
+def _simulate_batch(
+    trace: Trace,
+    jobs: Sequence[SimulationJob],
+    workers: int | None,
+    cache: SimulationCache | None,
+    runtime: ExecutionRuntime | None,
+) -> EngineReport:
+    start = time.perf_counter()
+    if runtime is not None and runtime.closed:
+        raise ExecutionError(
+            "cannot dispatch simulate_batch through a closed runtime"
+        )
+    if workers is None and runtime is not None:
+        workers = runtime.workers
+    workers = resolve_workers(workers)
+    cache = cache if cache is not None else default_cache()
+    results: list[SimulationResult | None] = [None] * len(jobs)
+    pending: list[int] = []
+    keys: list[tuple] = []
+    for index, job in enumerate(jobs):
+        key = simulation_key(
+            trace, job.memory, job.connectivity, job.sampling,
+            job.posted_writes,
+        )
+        keys.append(key)
+        cached = cache.get(key)
+        if cached is None:
+            pending.append(index)
+        else:
+            results[index] = _relabel(cached, job)
+    hits = len(jobs) - len(pending)
+    simulated = 0
+    retries = pool_rebuilds = 0
+    degraded = False
+    batch_groups = 0
+    delta_candidates = 0
+
+    if pending:
+        first_of: dict[tuple, int] = {}
+        unique: list[int] = []
+        for index in pending:
+            if keys[index] in first_of:
+                continue
+            first_of[keys[index]] = index
+            unique.append(index)
+        simulated = len(unique)
+
+        # Partition the misses by memory-architecture signature — the
+        # grouping under which module columns are shareable — keeping
+        # first-appearance order for deterministic dispatch.
+        group_of: dict = {}
+        groups: list[list[int]] = []
+        for index in unique:
+            signature = keys[index][1]
+            slot = group_of.get(signature)
+            if slot is None:
+                group_of[signature] = len(groups)
+                groups.append([index])
+            else:
+                groups[slot].append(index)
+        batch_groups = len(groups)
+        group_jobs = [[jobs[i] for i in group] for group in groups]
+
+        if workers <= 1 or len(groups) <= 1:
+            plan = sim_batch.trace_plan(trace)
+            outcomes = [
+                sim_batch.evaluate_group(trace, members, plan)
+                for members in group_jobs
+            ]
+        elif runtime is not None or persistent_runtime_enabled():
+            active = runtime or default_runtime(workers)
+            outcomes = active.map_simulation_groups(trace, group_jobs)
+            dispatch = active.last_dispatch
+            if dispatch is not None:
+                retries = dispatch.retries
+                pool_rebuilds = dispatch.pool_rebuilds
+                degraded = dispatch.degraded
+        else:
+            # Legacy path: fresh pool, trace via initializer, whole
+            # groups as map items. A broken pool degrades to serial.
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(workers, len(groups)),
+                    initializer=_init_worker,
+                    initargs=(trace,),
+                ) as pool:
+                    outcomes = list(
+                        pool.map(
+                            _run_group,
+                            [tuple(members) for members in group_jobs],
+                            chunksize=dispatch_chunksize(
+                                len(groups), workers
+                            ),
+                        )
+                    )
+            except BrokenProcessPool:
+                plan = sim_batch.trace_plan(trace)
+                outcomes = [
+                    sim_batch.evaluate_group(trace, members, plan)
+                    for members in group_jobs
+                ]
+                retries = 1
+                degraded = True
+        for group, (group_results, delta) in zip(groups, outcomes):
+            delta_candidates += delta
+            for index, result in zip(group, group_results):
+                results[index] = result
+        for index in unique:
+            cache.put(keys[index], results[index])
+        for index in pending:
+            if results[index] is None:
+                results[index] = _relabel(
+                    results[first_of[keys[index]]], jobs[index]
+                )
+
+    return EngineReport(
+        results=tuple(results),
+        workers=workers,
+        cache_hits=hits,
+        cache_misses=simulated,
+        deduplicated=len(pending) - simulated,
+        seconds=time.perf_counter() - start,
+        retries=retries,
+        pool_rebuilds=pool_rebuilds,
+        degraded=degraded,
+        batch_groups=batch_groups,
+        delta_pass_candidates=delta_candidates,
     )
 
 

@@ -77,6 +77,7 @@ from repro.config import (
 )
 from repro.errors import ExecutionError, ExplorationError
 from repro.obs.registry import ObsSnapshot
+from repro.sim import batch
 from repro.sim.metrics import SimulationResult
 from repro.sim.simulator import simulate
 from repro.stats import StatsReport
@@ -297,6 +298,29 @@ def _run_simulation_chunk(
         if fault_spec:
             _maybe_inject_fault(fault_spec)
         results.append(_run_shared_simulation(item))
+    delta = obs.snapshot().subtract(baseline) if collect else None
+    return results, delta
+
+
+def _run_shared_group(
+    item: "tuple[SharedTraceHandle, tuple[SimulationJob, ...]]",
+) -> "tuple[list[SimulationResult], int]":
+    handle, jobs = item
+    trace = _attached_trace(handle)
+    return batch.evaluate_group(trace, jobs)
+
+
+def _run_group_chunk(
+    items: "Sequence[tuple[SharedTraceHandle, tuple[SimulationJob, ...]]]",
+    collect: bool = False,
+) -> "tuple[list[tuple[list[SimulationResult], int]], ObsSnapshot | None]":
+    fault_spec = current_settings().fault_inject
+    baseline = _chunk_observation(collect)
+    results = []
+    for item in items:
+        if fault_spec:
+            _maybe_inject_fault(fault_spec)
+        results.append(_run_shared_group(item))
     delta = obs.snapshot().subtract(baseline) if collect else None
     return results, delta
 
@@ -613,6 +637,45 @@ class ExecutionRuntime:
         return self._dispatch(
             _run_simulation_chunk,
             [(handle, job) for job in jobs],
+            inline,
+        )
+
+    def map_simulation_groups(
+        self,
+        trace: Trace,
+        groups: "Sequence[Sequence[SimulationJob]]",
+    ) -> "list[tuple[list[SimulationResult], int]]":
+        """Run every same-signature candidate group over ``trace``.
+
+        Each group is one :func:`repro.sim.batch.evaluate_group` unit of
+        work — the granularity at which trace plans and module columns
+        are shared — and is never split across workers. Returns one
+        ``(results, delta_candidates)`` pair per group, ordered like
+        ``groups``, inner result lists ordered like each group's jobs.
+        """
+        self._ensure_open()
+        if not groups:
+            self.last_dispatch = DispatchStats()
+            return []
+        total = sum(len(group) for group in groups)
+        if self.workers <= 1:
+            self.last_dispatch = DispatchStats(jobs=total)
+            plan = batch.trace_plan(trace)
+            return [
+                batch.evaluate_group(trace, group, plan)
+                for group in groups
+            ]
+        handle = self.share_trace(trace)
+
+        def inline(
+            item: "tuple[SharedTraceHandle, tuple[SimulationJob, ...]]",
+        ) -> "tuple[list[SimulationResult], int]":
+            _, jobs = item
+            return batch.evaluate_group(trace, jobs)
+
+        return self._dispatch(
+            _run_group_chunk,
+            [(handle, tuple(group)) for group in groups],
             inline,
         )
 

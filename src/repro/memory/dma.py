@@ -21,10 +21,12 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.memory.area import prefetch_buffer_area_gates
 from repro.memory.energy import sram_access_energy_nj
-from repro.memory.module import MemoryModule, ModuleResponse
+from repro.memory.module import MemoryModule, ModuleResponse, ReplayTrace
 from repro.trace.events import AccessKind
 
 
@@ -40,6 +42,13 @@ class SelfIndirectDma(MemoryModule):
     """
 
     kind = "self_indirect_dma"
+
+    #: Buffer membership (hit/miss outcomes, refill/prefetch amounts,
+    #: LRU order) depends only on the primed chunk sequence; only the
+    #: hit latency is tick-dependent, and in the affine stall form
+    #: :meth:`record_replay` captures — so the cross-candidate batch
+    #: evaluator can record this module once per memory architecture.
+    supports_replay = True
 
     def __init__(
         self,
@@ -156,6 +165,96 @@ class SelfIndirectDma(MemoryModule):
         self._insert(chunk, tick)
         return (
             False, self.hit_latency, self.node_size, writeback, prefetch_bytes,
+        )
+
+    # -- symbolic replay ------------------------------------------------
+
+    @staticmethod
+    def _shadow_insert(
+        buffer: "OrderedDict[int, tuple[int, int, int]]",
+        entries: int,
+        chunk: int,
+        term: tuple[int, int, int],
+    ) -> None:
+        """The recording twin of :meth:`_insert`.
+
+        Every live :meth:`_insert` call site guards on the chunk being
+        absent, so a buffer entry always carries exactly the one
+        ``(src, alpha, beta)`` ready-time term from its insertion —
+        ``min``-merging of concurrent terms never happens in practice
+        and the shadow mirrors only the reachable branch.
+        """
+        buffer[chunk] = term
+        while len(buffer) > entries:
+            buffer.popitem(last=False)
+
+    def _record_burst(
+        self,
+        buffer: "OrderedDict[int, tuple[int, int, int]]",
+        position: int,
+        chunk: int,
+    ) -> int:
+        """Hook for burst engines (:class:`LinkedListDma`); bytes added."""
+        return 0
+
+    def record_replay(self, sizes, kinds) -> ReplayTrace:
+        """Record the primed sequence without mutating module state.
+
+        A structural twin of :meth:`access_raw` driven over
+        :attr:`_sequence` with symbolic ticks: every buffered ready
+        time is kept as its affine ``(src, alpha, beta)`` term
+        (``arrival[src] + alpha * backing_latency_hint + beta``)
+        instead of a number. Membership, replacement, and the byte
+        amounts never read the stored ticks, so the recorded columns
+        are exact for any arrival column and any backing delay; a hit's
+        stall is reconstructed from its entry's single term.
+        """
+        sequence = self._sequence
+        n = len(sequence)
+        hit = np.zeros(n, dtype=bool)
+        refill = np.zeros(n, dtype=np.int64)
+        prefetch = np.zeros(n, dtype=np.int64)
+        stall_src = np.full(n, -1, dtype=np.int64)
+        stall_alpha = np.zeros(n, dtype=np.int64)
+        stall_beta = np.zeros(n, dtype=np.int64)
+        buffer: OrderedDict[int, tuple[int, int, int]] = OrderedDict()
+        entries = self.entries
+        node_size = self.node_size
+        lookahead = self.lookahead
+        shadow_insert = self._shadow_insert
+
+        for position, chunk in enumerate(sequence):
+            prefetch_bytes = self._record_burst(buffer, position, chunk)
+            upcoming = sequence[position + 1 : position + 1 + lookahead]
+            for step, succ in enumerate(upcoming):
+                if succ != chunk and succ not in buffer:
+                    prefetch_bytes += node_size
+                    shadow_insert(buffer, entries, succ, (position, 1, step * 4))
+            prefetch[position] = prefetch_bytes
+            term = buffer.get(chunk)
+            if term is not None:
+                buffer.move_to_end(chunk)
+                hit[position] = True
+                stall_src[position] = term[0]
+                stall_alpha[position] = term[1]
+                stall_beta[position] = term[2]
+            else:
+                refill[position] = node_size
+                shadow_insert(buffer, entries, chunk, (position, 0, 0))
+
+        write_mask = np.asarray(kinds) == int(AccessKind.WRITE)
+        writeback = np.where(
+            write_mask, np.asarray(sizes, dtype=np.int64), np.int64(0)
+        )
+        return ReplayTrace(
+            hit=hit,
+            latency=np.full(n, self.hit_latency, dtype=np.int64),
+            refill_bytes=refill,
+            writeback_bytes=writeback,
+            prefetch_bytes=prefetch,
+            stall_src=stall_src,
+            stall_alpha=stall_alpha,
+            stall_beta=stall_beta,
         )
 
     def access(

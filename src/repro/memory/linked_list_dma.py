@@ -115,6 +115,29 @@ class LinkedListDma(SelfIndirectDma):
             cursor = successor
         return chain
 
+    def _record_burst(self, buffer, position, chunk) -> int:
+        """Recording twin of the burst block in :meth:`access_raw`.
+
+        A burst member's ready time is ``tick + delay + position`` —
+        the affine term ``(src=position_of_this_access, alpha=1,
+        beta=chain_position)`` — and membership only consults the
+        shadow buffer, so the symbolic form is exact.
+        """
+        burst_bytes = 0
+        if chunk not in buffer and chunk in self._stable_next:
+            chain = self._chain_from(chunk)
+            if len(chain) > 1:
+                for chain_position, member in enumerate(chain):
+                    if member not in buffer:
+                        burst_bytes += self.node_size
+                        self._shadow_insert(
+                            buffer,
+                            self.entries,
+                            member,
+                            (position, 1, chain_position),
+                        )
+        return burst_bytes
+
     def access_raw(
         self, address: int, size: int, kind: AccessKind, tick: int
     ) -> tuple[bool, int, int, int, int]:

@@ -55,6 +55,40 @@ class BatchResponse:
     prefetch_bytes: np.ndarray | None = None
 
 
+@dataclass(frozen=True, slots=True)
+class ReplayTrace:
+    """Symbolic outcome recording of a tick-*affine* module's run.
+
+    Produced by :meth:`MemoryModule.record_replay` for modules whose
+    internal state evolution (buffer membership, replacement order,
+    refill/writeback/prefetch amounts) is independent of the access
+    ticks, while the *latency* of access ``j`` may carry a stall of the
+    affine form::
+
+        stall_j = max(0, arrival[stall_src[j]]
+                         + stall_alpha[j] * delay
+                         + stall_beta[j]
+                         - arrival[j])          # when stall_src[j] >= 0
+
+    where ``arrival[i]`` is the tick passed to the ``i``-th access of
+    the recorded subsequence and ``delay`` is the module's
+    ``backing_latency_hint`` at run time. All columns are indexed by
+    position within the module's access subsequence, in presentation
+    order; ``stall_src`` holds the (strictly earlier) local index whose
+    arrival the stall references, or ``-1`` for accesses that can never
+    stall. ``latency`` is the stall-free base latency.
+    """
+
+    hit: np.ndarray
+    latency: np.ndarray
+    refill_bytes: np.ndarray
+    writeback_bytes: np.ndarray
+    prefetch_bytes: np.ndarray
+    stall_src: np.ndarray
+    stall_alpha: np.ndarray
+    stall_beta: np.ndarray
+
+
 class MemoryModule(ABC):
     """A component of the memory architecture.
 
@@ -78,6 +112,18 @@ class MemoryModule(ABC):
     #: :meth:`repro.memory.dma.SelfIndirectDma.access_raw`), batching
     #: only the modules around it.
     supports_batch: bool = False
+
+    #: Whether :meth:`record_replay` is a faithful symbolic recording
+    #: of the module's (tick-affine) behaviour that the cross-candidate
+    #: batch evaluator may share between design points. Orthogonal to
+    #: :attr:`supports_batch`: a tick-*dependent* module can still be
+    #: replayable when only its latency — never its state evolution —
+    #: depends on the ticks, and in the affine form
+    #: :class:`ReplayTrace` captures. A subclass changing ``access``
+    #: without keeping ``record_replay`` in lockstep MUST set this back
+    #: to ``False``; the batch evaluator then falls back to independent
+    #: per-candidate runs.
+    supports_replay: bool = False
 
     #: Whether the module sits on-chip (drives wire models and the
     #: paper's hit/miss accounting: on-chip accesses are hits).
@@ -158,6 +204,25 @@ class MemoryModule(ABC):
         that contract (the issue tick is unknown mid-batch); those
         modules advertise :attr:`supports_batch`. The default
         implementation returns ``None`` (no batched path).
+        """
+        return None
+
+    def record_replay(
+        self, sizes: np.ndarray, kinds: np.ndarray
+    ) -> ReplayTrace | None:
+        """Symbolically record the module's primed access subsequence.
+
+        ``sizes``/``kinds`` are the per-access columns of the module's
+        subsequence in presentation order (the same sequence a prior
+        ``prime`` installed, where applicable). The recording must not
+        mutate module state, and must satisfy the :class:`ReplayTrace`
+        contract: for *any* arrival column and any backing delay, the
+        sequential scalar ``access`` stream over those arrivals returns
+        exactly ``hit[j]``, ``latency[j] + stall_j``,
+        ``refill_bytes[j]``, ``writeback_bytes[j]``,
+        ``prefetch_bytes[j]``. Only modules advertising
+        :attr:`supports_replay` implement it; the default returns
+        ``None``.
         """
         return None
 

@@ -1,0 +1,948 @@
+"""Cross-candidate batch evaluation: shared trace plans + module columns.
+
+Phase II explorations simulate *many candidates over one trace*, and
+most of those candidates share the identical memory-module architecture,
+differing only in connectivity assignment. A single
+:meth:`~repro.sim.simulator.Simulator.run` re-derives from scratch, per
+candidate, work that is invariant across the whole sweep:
+
+* **per-trace** — sampling masks and window lists, tick/write columns,
+  the list conversions backing the contention walks. Hoisted into a
+  :class:`TracePlan`, built once per trace fingerprint and reused by
+  every candidate (an LRU registry keeps the few live traces).
+* **per memory signature** — module outcomes. For batch-capable
+  modules, the whole-run ``access_many`` columns; for the tick-affine
+  DMA engines, a symbolic :class:`~repro.memory.module.ReplayTrace`
+  recording (:meth:`~repro.memory.module.MemoryModule.record_replay`)
+  whose stall terms are re-priced per candidate against its arrivals
+  and backing delay. Module state evolution is tick-independent
+  (membership, replacement, byte amounts), so one merged DRAM open-row
+  pass is also shared. All of it lives in a :class:`GroupPlan`, built
+  once per (trace, memory-architecture signature) group by a
+  connectivity-free *lead* simulation.
+
+Each candidate then runs only its **delta pass**: connectivity-priced
+transfer columns, the contention/stall walk (or the pure vector fold
+when the architecture has no replay modules), and the measured-window
+statistics — exactly the parts that depend on the candidate's
+connectivity, sampling, and write model. Results are **bit-identical**
+to independent :meth:`Simulator.run` calls (and to the scalar
+reference loop): the walk replicates the reference recurrence's update
+order over the shared columns, and the shared columns equal what the
+candidate's own modules would have produced, by the
+``supports_batch`` / ``supports_replay`` contracts.
+
+Safety valves: when ``REPRO_REFERENCE_SIM=1`` requests the reference
+loop, or when a group contains a module that is neither batch-capable
+nor replay-recordable (or a non-batchable DRAM), the group falls back
+to independent per-candidate runs — correctness never depends on a
+module opting in.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.channels import DRAM
+from repro.errors import SimulationError
+from repro.sim.kernels import (
+    _WRITE_CODE,
+    _Columns,
+    _build_columns,
+    _build_groups,
+    _evaluate_columns,
+    _fold_measured,
+    _openrow_core,
+    reference_requested,
+)
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import Simulator, _RunState
+from repro.timing.batch import transfer_timing_columns
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.apex.architectures import MemoryArchitecture
+    from repro.sim.sampling import SamplingConfig
+    from repro.trace.events import Trace
+
+__all__ = [
+    "GroupPlan",
+    "TracePlan",
+    "clear_plan_registry",
+    "evaluate_group",
+    "trace_plan",
+]
+
+
+class _JobLike(Protocol):
+    """What :func:`evaluate_group` needs from a work item.
+
+    Structurally matched by :class:`repro.exec.engine.SimulationJob`
+    (the sim layer does not import the exec layer).
+    """
+
+    memory: "MemoryArchitecture"
+    connectivity: object | None
+    sampling: "SamplingConfig | None"
+    posted_writes: bool
+
+
+#: Group plans retained per trace plan (distinct memory signatures).
+_GROUP_PLAN_LIMIT = 32
+
+#: Trace plans retained process-wide (distinct trace fingerprints).
+_TRACE_PLAN_LIMIT = 4
+
+
+class TracePlan:
+    """Reusable per-trace planning state shared across candidates.
+
+    Holds the columns every candidate evaluation needs but no candidate
+    changes: tick/write lists for the walks, sampling masks per
+    distinct :meth:`~repro.sim.sampling.SamplingConfig.key`, and the
+    :class:`GroupPlan` cache keyed by memory-architecture signature.
+    """
+
+    def __init__(self, trace: "Trace") -> None:
+        self.trace = trace
+        self.fingerprint = trace.fingerprint()
+        self.ticks_l = trace.ticks.tolist()
+        self.write_mask = trace.kinds == _WRITE_CODE
+        self._write_l: list | None = None
+        self._sampling: dict = {}
+        self._groups: OrderedDict = OrderedDict()
+
+    def write_list(self) -> list:
+        """Posted-write column as a Python list (built on first use)."""
+        if self._write_l is None:
+            self._write_l = self.write_mask.tolist()
+        return self._write_l
+
+    def sampling_columns(
+        self, sampling: "SamplingConfig | None"
+    ) -> tuple[list | None, np.ndarray | None, int]:
+        """``(on_list, counted_mask, measured)`` for one schedule.
+
+        ``(None, None, n)`` for unsampled runs; cached per
+        :meth:`SamplingConfig.key` so candidates sharing a schedule
+        share the mask materialization.
+        """
+        key = None if sampling is None else sampling.key()
+        columns = self._sampling.get(key)
+        if columns is None:
+            n = len(self.trace)
+            if sampling is None:
+                columns = (None, None, n)
+            else:
+                on_mask, counted = sampling.masks(n)
+                columns = (
+                    on_mask.tolist(),
+                    counted,
+                    int(np.count_nonzero(counted)),
+                )
+            self._sampling[key] = columns
+        return columns
+
+    def group_plan(self, memory: "MemoryArchitecture") -> "GroupPlan":
+        """The memory architecture's :class:`GroupPlan`, built on demand.
+
+        Keyed by :meth:`~repro.apex.architectures.MemoryArchitecture.signature`,
+        so signature-equal architectures (however many instances) share
+        one recording; a small LRU bounds retention when a sweep visits
+        many distinct signatures.
+        """
+        signature = memory.signature()
+        plan = self._groups.get(signature)
+        if plan is not None:
+            self._groups.move_to_end(signature)
+            if obs.enabled():
+                obs.incr("sim.batch.groupplan_hits")
+            return plan
+        with obs.span("sim.batch.build_group_plan"):
+            plan = GroupPlan(self, memory)
+        self._groups[signature] = plan
+        while len(self._groups) > _GROUP_PLAN_LIMIT:
+            self._groups.popitem(last=False)
+        return plan
+
+
+class GroupPlan:
+    """Shared module outcomes for one (trace, memory signature) group.
+
+    Built by a connectivity-free *lead* :class:`Simulator` over the
+    group's first candidate: module behaviour (state evolution, hit and
+    byte columns) is memory-determined, and architectures with equal
+    signatures have identical module names, routes, and channel sets,
+    so the recording transfers to every member verbatim. Only the
+    stall *latency* of a replay module depends on the candidate — kept
+    symbolic in the recording and re-priced per member.
+    """
+
+    def __init__(self, plan: TracePlan, memory: "MemoryArchitecture") -> None:
+        trace = plan.trace
+        lead = Simulator(trace, memory)  # validates once per group
+        lead._prime_modules()
+        groups, struct_group, _ = _build_groups(lead)
+        gid_col = struct_group[trace.struct_ids]
+        sizes64 = trace.sizes.astype(np.int64)
+
+        self.signature = memory.signature()
+        self.targets = [group.target for group in groups]
+        #: gid -> (latency, refill, offpath, hits) outcome columns.
+        self.outcomes: dict[int, tuple] = {}
+        #: gid -> ReplayTrace for the tick-affine modules.
+        self.replay: dict[int, object] = {}
+        self.node_sizes: dict[int, int] = {}
+        self.positions_of: dict[int, np.ndarray] = {}
+        replay_ok = bool(
+            getattr(type(memory.dram), "supports_batch", False)
+        )
+
+        for gid, group in enumerate(groups):
+            positions = np.flatnonzero(gid_col == gid)
+            if not len(positions):
+                continue
+            self.positions_of[gid] = positions
+            module = group.module
+            if module is None:
+                continue
+            g_sizes = sizes64[positions]
+            g_kinds = trace.kinds[positions]
+            if group.batchable:
+                outcome = module.access_many(
+                    trace.addresses[positions], g_sizes, g_kinds
+                )
+                writeback = outcome.writeback_bytes
+                prefetch = outcome.prefetch_bytes
+                if writeback is None:
+                    off = prefetch
+                elif prefetch is None:
+                    off = writeback
+                else:
+                    off = writeback + prefetch
+                self.outcomes[gid] = (
+                    outcome.latency,
+                    outcome.refill_bytes,
+                    off,
+                    int(np.count_nonzero(outcome.hit)),
+                )
+            elif getattr(type(module), "supports_replay", False):
+                recording = module.record_replay(g_sizes, g_kinds)
+                if recording is None:
+                    replay_ok = False
+                    continue
+                self.outcomes[gid] = (
+                    recording.latency,
+                    recording.refill_bytes,
+                    recording.writeback_bytes + recording.prefetch_bytes,
+                    int(np.count_nonzero(recording.hit)),
+                )
+                self.replay[gid] = recording
+                self.node_sizes[gid] = int(getattr(module, "node_size", 0))
+            else:
+                replay_ok = False
+
+        self.replay_ok = replay_ok
+        if not replay_ok:
+            return
+
+        # Shared whole-run columns: build them through the kernel's own
+        # column pass on the lead (counter folds go to a throwaway
+        # state), then keep every candidate-independent column by
+        # reference — members read but never mutate them.
+        throwaway = _RunState(lead)
+        cols, _ = _build_columns(
+            lead, throwaway, groups, struct_group, shared=self
+        )
+        core, merged = _openrow_core(lead, cols)
+        self.core = core
+        self.merged_dram = merged
+        self.cols_gid = cols.gid
+        self.cols_row_batchable = cols.row_batchable
+        self.cols_row_replay = cols.row_replay
+        self.cols_uncached = cols.uncached
+        self.cols_mlat = cols.mlat
+        self.cols_refill = cols.refill
+        self.cols_offpath = cols.offpath
+        self.cols_dram_mask = cols.dram_mask
+
+        # Per-gid fold amounts: everything _build_columns adds to the
+        # run state and channel counters, minus the connectivity-priced
+        # transfer columns that stay per member.
+        fold = []
+        for gid in sorted(self.positions_of):
+            positions = self.positions_of[gid]
+            group = groups[gid]
+            g_sizes = sizes64[positions]
+            count = len(positions)
+            size_sum = int(g_sizes.sum())
+            if group.module is None:
+                fold.append(
+                    (gid, True, count, 0, size_sum, g_sizes,
+                     None, None, 0, None, None, 0, 0)
+                )
+                continue
+            _, refill_col, off, hits = self.outcomes[gid]
+            r_pos = r_bytes = None
+            r_sum = 0
+            if refill_col is not None and refill_col.any():
+                r_local = np.flatnonzero(refill_col)
+                r_pos = positions[r_local]
+                r_bytes = refill_col[r_local].astype(np.int64, copy=False)
+                r_sum = int(r_bytes.sum())
+            bg_pos = bg_bytes = None
+            off_sum = bg_count = 0
+            if off is not None and off.any():
+                bg_local = np.flatnonzero(off)
+                bg_pos = positions[bg_local]
+                bg_bytes = off[bg_local].astype(np.int64, copy=False)
+                off_sum = int(off.sum())
+                bg_count = len(bg_local)
+            fold.append(
+                (gid, False, count, hits, size_sum, g_sizes,
+                 r_pos, r_bytes, r_sum, bg_pos, bg_bytes, off_sum,
+                 bg_count)
+            )
+        self.fold = fold
+
+        # Flat per-row lists for the contention walk (plain list
+        # indexing beats any per-row tuple machinery in CPython; the
+        # rarely-read columns are only indexed on the rows needing
+        # them). Tick and write columns are shared from the trace plan.
+        n = len(trace)
+        stall_src = np.full(n, -1, dtype=np.int64)
+        stall_alpha = np.zeros(n, dtype=np.int64)
+        stall_beta = np.zeros(n, dtype=np.int64)
+        for gid, recording in self.replay.items():
+            positions = self.positions_of[gid]
+            stall_src[positions] = recording.stall_src
+            stall_alpha[positions] = recording.stall_alpha
+            stall_beta[positions] = recording.stall_beta
+        self.ticks_l = plan.ticks_l
+        self.write_l = plan.write_list()
+        self.gid_l = cols.gid.tolist()
+        self.mlat_l = cols.mlat.tolist()
+        self.refill_l = (cols.refill > 0).tolist()
+        self.bg_l = (cols.offpath > 0).tolist()
+        self.core_l = core.tolist()
+        self.rsrc_l = stall_src.tolist()
+        self.ralpha_l = stall_alpha.tolist()
+        self.rbeta_l = stall_beta.tolist()
+        self.has_replay = bool(self.replay)
+        self.write_mask = plan.write_mask
+        #: Candidate-independent energy terms, memoized by the kernel's
+        #: :func:`~repro.sim.kernels._accumulate_energy` on first use.
+        self.energy_statics: dict = {}
+
+
+# -- trace-plan registry ----------------------------------------------------
+
+_PLANS: "OrderedDict[str, TracePlan]" = OrderedDict()
+
+
+def trace_plan(trace: "Trace") -> TracePlan:
+    """The trace's :class:`TracePlan`, from the process-wide registry."""
+    fingerprint = trace.fingerprint()
+    plan = _PLANS.get(fingerprint)
+    if plan is not None:
+        _PLANS.move_to_end(fingerprint)
+        if obs.enabled():
+            obs.incr("sim.batch.traceplan_hits")
+        return plan
+    plan = TracePlan(trace)
+    _PLANS[fingerprint] = plan
+    while len(_PLANS) > _TRACE_PLAN_LIMIT:
+        _PLANS.popitem(last=False)
+    if obs.enabled():
+        obs.incr("sim.batch.traceplan_builds")
+    return plan
+
+
+def clear_plan_registry() -> None:
+    """Drop every cached trace plan (tests and benchmarks)."""
+    _PLANS.clear()
+
+
+# -- group evaluation -------------------------------------------------------
+
+
+def evaluate_group(
+    trace: "Trace",
+    jobs: "Sequence[_JobLike]",
+    plan: TracePlan | None = None,
+) -> tuple[list[SimulationResult], int]:
+    """Evaluate one same-memory-signature candidate group.
+
+    Every job must carry a memory architecture whose
+    :meth:`~repro.apex.architectures.MemoryArchitecture.signature`
+    equals the first job's (the callers group by exactly that key).
+    Returns ``(results, delta_candidates)`` with ``results[i]``
+    bit-identical to ``Simulator(trace, ...).run()`` of ``jobs[i]``;
+    ``delta_candidates`` counts members served by the shared-column
+    delta pass — 0 when the group fell back to independent runs (the
+    reference engine was requested, or a member module neither batches
+    nor replays).
+    """
+    jobs = list(jobs)
+    if not jobs:
+        return [], 0
+    if plan is None:
+        plan = trace_plan(trace)
+    if reference_requested():
+        return [_fallback_run(trace, job) for job in jobs], 0
+    gplan = plan.group_plan(jobs[0].memory)
+    if not gplan.replay_ok:
+        return [_fallback_run(trace, job) for job in jobs], 0
+    with obs.span("sim.batch.group"):
+        results = [_evaluate_member(plan, gplan, job) for job in jobs]
+    if obs.enabled():
+        obs.incr("sim.batch.groups")
+        obs.incr("sim.batch.module_column_group_size", len(jobs))
+        obs.incr("sim.batch.delta_pass_candidates", len(jobs))
+    return results, len(jobs)
+
+
+def _fallback_run(trace: "Trace", job: "_JobLike") -> SimulationResult:
+    """Independent per-candidate run (reference engine or opt-outs)."""
+    return Simulator(
+        trace,
+        job.memory,
+        job.connectivity,
+        job.sampling,
+        job.posted_writes,
+    ).run()
+
+
+def _evaluate_member(
+    plan: TracePlan, gplan: GroupPlan, job: "_JobLike"
+) -> SimulationResult:
+    """One candidate's delta pass against the group's shared columns."""
+    trace = plan.trace
+    sim = Simulator(
+        trace,
+        job.memory,
+        job.connectivity,
+        job.sampling,
+        job.posted_writes,
+        validated=True,
+    )
+    groups, struct_group, _ = _build_groups(sim)
+    if [group.target for group in groups] != gplan.targets:
+        raise SimulationError(
+            "batch group plan does not match the candidate's routing"
+        )
+    state = _RunState(sim)
+    cols = _member_columns(sim, state, gplan, groups)
+    group_positions = gplan.positions_of
+    if not gplan.has_replay:
+        _evaluate_columns(
+            sim, state, groups, group_positions, cols, gplan.core,
+            gplan.merged_dram, shared=gplan,
+        )
+        return sim._finalize(state)
+    on_l, counted, measured = plan.sampling_columns(sim.sampling)
+    latencies = _replay_pass(sim, state, groups, gplan, cols, on_l)
+    if sim.posted_writes:
+        eff = np.where(plan.write_mask, np.int64(1), latencies)
+    else:
+        eff = latencies
+    _fold_measured(
+        sim, state, groups, group_positions, cols, gplan.core, eff,
+        counted, measured, shared=gplan,
+    )
+    if obs.enabled() and gplan.merged_dram:
+        obs.incr("sim.kernel.openrow_merged_passes")
+        obs.incr("sim.kernel.openrow_merged_accesses", gplan.merged_dram)
+    return sim._finalize(state)
+
+
+def _member_columns(
+    sim: Simulator, state: "_RunState", gplan: GroupPlan, groups: list
+) -> _Columns:
+    """One member's column set over the group's shared arrays.
+
+    The per-member remainder of :func:`_build_columns`: the shared,
+    candidate-independent columns are taken from the group plan by
+    reference, the counter folds replay the plan's precomputed per-gid
+    amounts into this member's state, and only the connectivity-priced
+    transfer columns are computed fresh.
+    """
+    cols = _Columns()
+    cols.gid = gplan.cols_gid
+    cols.row_batchable = gplan.cols_row_batchable
+    cols.row_replay = gplan.cols_row_replay
+    cols.uncached = gplan.cols_uncached
+    cols.mlat = gplan.cols_mlat
+    cols.refill = gplan.cols_refill
+    cols.offpath = gplan.cols_offpath
+    cols.dram_mask = gplan.cols_dram_mask
+
+    n = len(gplan.cols_gid)
+    conn = np.zeros(n, dtype=np.int64)
+    occ = np.zeros(n, dtype=np.int64)
+    dbase = np.zeros(n, dtype=np.int64)
+    dbeats = np.zeros(n, dtype=np.int64)
+    docc = np.zeros(n, dtype=np.int64)
+    bgocc = np.zeros(n, dtype=np.int64)
+
+    for (gid, uncached, count, hits, size_sum, g_sizes,
+         r_pos, r_bytes, r_sum, bg_pos, bg_bytes, off_sum,
+         bg_count) in gplan.fold:
+        group = groups[gid]
+        positions = gplan.positions_of[gid]
+        cpu_state = group.cpu_state
+        component = cpu_state.component
+        if uncached:
+            if component is not None:
+                lat_col, occ_col = transfer_timing_columns(
+                    component, g_sizes
+                )
+                dbase[positions] = component.base_latency
+                dbeats[positions] = lat_col - component.base_latency
+                occ[positions] = occ_col
+            counts = state.module_counts[DRAM]
+            counts[0] += count
+            counts[2] += count
+            state.misses += count
+        else:
+            counts = state.module_counts[group.target]
+            counts[0] += count
+            counts[1] += hits
+            counts[2] += count - hits
+            state.misses += count - hits
+            if component is not None:
+                conn_col, occ_col = transfer_timing_columns(
+                    component, g_sizes
+                )
+                conn[positions] = conn_col
+                occ[positions] = occ_col
+            back_state = group.backing_state
+            if back_state is not None:
+                if r_pos is not None:
+                    back_component = back_state.component
+                    if back_component is not None:
+                        lat_col, occ_col = transfer_timing_columns(
+                            back_component, r_bytes
+                        )
+                        dbase[r_pos] = back_component.base_latency
+                        dbeats[r_pos] = lat_col - back_component.base_latency
+                        docc[r_pos] = occ_col
+                    back_state.bytes_moved += r_sum
+                    back_state.transactions += len(r_pos)
+                if bg_pos is not None:
+                    back_component = back_state.component
+                    if back_component is not None:
+                        _, occ_col = transfer_timing_columns(
+                            back_component, bg_bytes
+                        )
+                        bgocc[bg_pos] = occ_col
+                    back_state.bytes_moved += off_sum
+                    back_state.background_transactions += bg_count
+        cpu_state.bytes_moved += size_sum
+        cpu_state.transactions += count
+
+    cols.conn = conn
+    cols.occ = occ
+    cols.dbeats = dbeats
+    cols.docc = docc
+    cols.bgocc = bgocc
+    if not gplan.has_replay:
+        # Only the columnar tail reads the contention-free partial sum;
+        # the replay walk rebuilds latencies row by row.
+        cols.u_partial = conn + cols.mlat + dbase + dbeats
+    return cols
+
+
+def _replay_pass(
+    sim: Simulator,
+    state: "_RunState",
+    groups: list,
+    gplan: GroupPlan,
+    cols,
+    on_l: list | None,
+) -> np.ndarray:
+    """The candidate's contention/stall walk over the shared columns.
+
+    Replicates the reference recurrence's update order for every row —
+    uncached, batch-column, and replay rows alike, on- and off-window —
+    reading module outcomes from the group plan and pricing each replay
+    hit's stall from its affine term against this candidate's arrivals
+    and backing delay. Returns the raw latency column (pre
+    posted-write folding) and leaves ``state``/channel counters exactly
+    as the reference loop would.
+    """
+    channels = sim._channels
+    page_hit_latency = sim.memory.dram.page_hit_latency
+    channel_of = {id(channel): i for i, channel in enumerate(channels)}
+    ginfo = []
+    binfo = []
+    for gid, group in enumerate(groups):
+        cpu = group.cpu_state
+        component = cpu.component
+        back = group.backing_state
+        back_component = back.component if back is not None else None
+        if group.module is None:
+            kind = 0
+        elif group.batchable:
+            kind = 1
+        else:
+            kind = 2
+        delay = (
+            sim._dma_backing_delay(group.target, gplan.node_sizes.get(gid, 0))
+            if kind == 2
+            else 0
+        )
+        ginfo.append(
+            (
+                kind,
+                component is not None,
+                cpu.cluster_index,
+                channel_of[id(cpu)],
+                (
+                    bool(component.split_transactions)
+                    if component is not None
+                    else False
+                ),
+                component.base_latency if component is not None else 0,
+                (
+                    0
+                    if back is None
+                    else (2 if back_component is not None else 1)
+                ),
+                delay,
+            )
+        )
+        binfo.append(
+            (
+                back.cluster_index if back is not None else 0,
+                channel_of[id(back)] if back is not None else 0,
+                (
+                    bool(back_component.split_transactions)
+                    if back_component is not None
+                    else False
+                ),
+                (
+                    back_component.base_latency
+                    if back_component is not None
+                    else 0
+                ),
+            )
+        )
+
+    conn_l = cols.conn.tolist()
+    occ_l = cols.occ.tolist()
+    dbeats_l = cols.dbeats.tolist()
+    docc_l = cols.docc.tolist()
+    bgocc_l = cols.bgocc.tolist()
+    ticks_l = gplan.ticks_l
+    gid_l = gplan.gid_l
+    mlat_l = gplan.mlat_l
+    refill_l = gplan.refill_l
+    bg_l = gplan.bg_l
+    core_l = gplan.core_l
+    rsrc_l = gplan.rsrc_l
+    ralpha_l = gplan.ralpha_l
+    rbeta_l = gplan.rbeta_l
+    posted = sim.posted_writes
+    write_l = gplan.write_l if posted else None
+
+    n = len(conn_l)
+    lat_out = [0] * n
+    arrivals: list[list[int]] = [[] for _ in groups]
+    cluster_free = state.cluster_free
+    dram_free = state.dram_free
+    lag = state.lag
+    waits = [0] * len(channels)
+    busys = [0] * len(channels)
+    cch = wait_acc = busy_acc = 0
+
+    last_gid = -1
+    if on_l is None:
+        # Unsampled fast path: every access is on-window, so the
+        # off-window branches (and the mask lookups) drop out entirely.
+        for k in range(n):
+            gid = gid_l[k]
+            if gid != last_gid:
+                # Routing constants change only on a group switch;
+                # traces run the same structure for long stretches, so
+                # the CPU channel's wait/busy sums also accumulate in
+                # locals and flush on the switch.
+                if wait_acc:
+                    waits[cch] += wait_acc
+                    wait_acc = 0
+                if busy_acc:
+                    busys[cch] += busy_acc
+                    busy_acc = 0
+                (
+                    kind, has_comp, ci, cch, csplit, cbase, back_kind,
+                    delay,
+                ) = ginfo[gid]
+                last_gid = gid
+            issue = ticks_l[k] + lag
+            if kind == 0:
+                # Uncached: straight to DRAM over the off-chip wire.
+                if not has_comp:
+                    completion = issue + core_l[k]
+                else:
+                    free = cluster_free[ci]
+                    start = issue if issue >= free else free
+                    wait_acc += start - issue
+                    command_done = start + cbase
+                    dram_start = (
+                        command_done
+                        if command_done >= dram_free
+                        else dram_free
+                    )
+                    core_k = core_l[k]
+                    completion = dram_start + core_k + dbeats_l[k]
+                    dram_free = dram_start + core_k
+                    busy_until = (
+                        start + occ_l[k] if csplit else completion
+                    )
+                    busy_acc += busy_until - start
+                    if busy_until > cluster_free[ci]:
+                        cluster_free[ci] = busy_until
+            else:
+                if has_comp:
+                    free = cluster_free[ci]
+                    start = issue if issue >= free else free
+                    wait = start - issue
+                else:
+                    start = issue
+                    wait = 0
+                arrival = start + conn_l[k]
+                response_latency = mlat_l[k]
+                if kind == 2:
+                    arr_list = arrivals[gid]
+                    arr_list.append(arrival)
+                    src = rsrc_l[k]
+                    if src >= 0:
+                        ready = (
+                            arr_list[src]
+                            + ralpha_l[k] * delay
+                            + rbeta_l[k]
+                        )
+                        if ready > arrival:
+                            response_latency += ready - arrival
+                served = arrival + response_latency
+                completion = served
+                if back_kind and refill_l[k]:
+                    if back_kind == 2:
+                        bci, bch, bsplit, bbase = binfo[gid]
+                        free = cluster_free[bci]
+                        back_start = served if served >= free else free
+                        waits[bch] += back_start - served
+                        command_done = back_start + bbase
+                        dram_start = (
+                            command_done
+                            if command_done >= dram_free
+                            else dram_free
+                        )
+                        core_k = core_l[k]
+                        completion = dram_start + core_k + dbeats_l[k]
+                        dram_free = dram_start + core_k
+                        busy_until = (
+                            back_start + docc_l[k]
+                            if bsplit
+                            else completion
+                        )
+                        delta = busy_until - back_start
+                        if delta > 0:
+                            busys[bch] += delta
+                        if busy_until > cluster_free[bci]:
+                            cluster_free[bci] = busy_until
+                    else:
+                        completion = served + core_l[k]
+                if back_kind == 2 and bg_l[k]:
+                    bci, bch, bsplit, bbase = binfo[gid]
+                    free = cluster_free[bci]
+                    bg_start = served if served >= free else free
+                    occupancy = bgocc_l[k]
+                    busys[bch] += occupancy
+                    cluster_free[bci] = bg_start + occupancy
+                    dram_start = bg_start + bbase
+                    if dram_start < dram_free:
+                        dram_start = dram_free
+                    dram_free = dram_start + page_hit_latency
+                if has_comp:
+                    # Reference busy rule: the bus is released after its
+                    # occupancy on a split bus or a refill-free access,
+                    # and held for the whole miss otherwise.
+                    if csplit or completion == served:
+                        busy_until = start + occ_l[k]
+                    else:
+                        busy_until = completion
+                    busy_acc += busy_until - start
+                    if busy_until > cluster_free[ci]:
+                        cluster_free[ci] = busy_until
+                wait_acc += wait
+
+            lat = completion - issue
+            if lat < 1:
+                raise SimulationError(
+                    f"access {k} completed in {lat} cycles"
+                )
+            lat_out[k] = lat
+            if posted and write_l[k]:
+                lat = 1
+            lag += lat - 1
+    else:
+        for k in range(n):
+            gid = gid_l[k]
+            if gid != last_gid:
+                if wait_acc:
+                    waits[cch] += wait_acc
+                    wait_acc = 0
+                if busy_acc:
+                    busys[cch] += busy_acc
+                    busy_acc = 0
+                (
+                    kind, has_comp, ci, cch, csplit, cbase, back_kind,
+                    delay,
+                ) = ginfo[gid]
+                last_gid = gid
+            issue = ticks_l[k] + lag
+            on = on_l[k]
+            if kind == 0:
+                # Uncached: straight to DRAM over the off-chip wire.
+                if not has_comp:
+                    completion = issue + core_l[k]
+                else:
+                    if on:
+                        free = cluster_free[ci]
+                        start = issue if issue >= free else free
+                    else:
+                        start = issue
+                    wait_acc += start - issue
+                    command_done = start + cbase
+                    if on:
+                        dram_start = (
+                            command_done
+                            if command_done >= dram_free
+                            else dram_free
+                        )
+                    else:
+                        dram_start = command_done
+                    core_k = core_l[k]
+                    completion = dram_start + core_k + dbeats_l[k]
+                    if on:
+                        dram_free = dram_start + core_k
+                        busy_until = (
+                            start + occ_l[k] if csplit else completion
+                        )
+                        busy_acc += busy_until - start
+                        if busy_until > cluster_free[ci]:
+                            cluster_free[ci] = busy_until
+            else:
+                if has_comp:
+                    if on:
+                        free = cluster_free[ci]
+                        start = issue if issue >= free else free
+                    else:
+                        start = issue
+                    wait = start - issue
+                else:
+                    start = issue
+                    wait = 0
+                arrival = start + conn_l[k]
+                response_latency = mlat_l[k]
+                if kind == 2:
+                    arr_list = arrivals[gid]
+                    arr_list.append(arrival)
+                    src = rsrc_l[k]
+                    if src >= 0:
+                        ready = (
+                            arr_list[src]
+                            + ralpha_l[k] * delay
+                            + rbeta_l[k]
+                        )
+                        if ready > arrival:
+                            response_latency += ready - arrival
+                served = arrival + response_latency
+                completion = served
+                if back_kind and refill_l[k]:
+                    if back_kind == 2:
+                        bci, bch, bsplit, bbase = binfo[gid]
+                        if on:
+                            free = cluster_free[bci]
+                            back_start = (
+                                served if served >= free else free
+                            )
+                        else:
+                            back_start = served
+                        waits[bch] += back_start - served
+                        command_done = back_start + bbase
+                        if on:
+                            dram_start = (
+                                command_done
+                                if command_done >= dram_free
+                                else dram_free
+                            )
+                        else:
+                            dram_start = command_done
+                        core_k = core_l[k]
+                        completion = dram_start + core_k + dbeats_l[k]
+                        if on:
+                            dram_free = dram_start + core_k
+                            busy_until = (
+                                back_start + docc_l[k]
+                                if bsplit
+                                else completion
+                            )
+                            delta = busy_until - back_start
+                            if delta > 0:
+                                busys[bch] += delta
+                            if busy_until > cluster_free[bci]:
+                                cluster_free[bci] = busy_until
+                    else:
+                        completion = served + core_l[k]
+                if back_kind == 2 and bg_l[k] and on:
+                    bci, bch, bsplit, bbase = binfo[gid]
+                    free = cluster_free[bci]
+                    bg_start = served if served >= free else free
+                    occupancy = bgocc_l[k]
+                    busys[bch] += occupancy
+                    cluster_free[bci] = bg_start + occupancy
+                    dram_start = bg_start + bbase
+                    if dram_start < dram_free:
+                        dram_start = dram_free
+                    dram_free = dram_start + page_hit_latency
+                if has_comp and on:
+                    # Reference busy rule: the bus is released after its
+                    # occupancy on a split bus or a refill-free access,
+                    # and held for the whole miss otherwise.
+                    if csplit or completion == served:
+                        busy_until = start + occ_l[k]
+                    else:
+                        busy_until = completion
+                    busy_acc += busy_until - start
+                    if busy_until > cluster_free[ci]:
+                        cluster_free[ci] = busy_until
+                wait_acc += wait
+
+            lat = completion - issue
+            if lat < 1:
+                raise SimulationError(
+                    f"access {k} completed in {lat} cycles"
+                )
+            lat_out[k] = lat
+            if posted and write_l[k]:
+                lat = 1
+            lag += lat - 1
+
+    if wait_acc:
+        waits[cch] += wait_acc
+    if busy_acc:
+        busys[cch] += busy_acc
+    state.lag = lag
+    state.dram_free = dram_free
+    for index, wait in enumerate(waits):
+        if wait:
+            channels[index].wait_cycles += wait
+    for index, busy in enumerate(busys):
+        if busy:
+            channels[index].busy_cycles += busy
+    return np.array(lat_out, dtype=np.int64)

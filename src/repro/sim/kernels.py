@@ -140,6 +140,7 @@ class _Columns:
     __slots__ = (
         "gid",
         "row_batchable",
+        "row_replay",
         "uncached",
         "mlat",
         "refill",
@@ -230,6 +231,7 @@ def _build_columns(
     state: "_RunState",
     groups: list[_Group],
     struct_group: np.ndarray,
+    shared=None,
 ) -> tuple[_Columns, dict[int, np.ndarray]]:
     """Evaluate every batch-capable group over the whole run.
 
@@ -242,6 +244,13 @@ def _build_columns(
     timing-independent accounting — module hit/miss counts, channel
     bytes/transaction counters — into ``state`` immediately. Returns
     the columns plus each group's row positions.
+
+    ``shared`` (a :class:`repro.sim.batch.GroupPlan`) supplies each
+    module gid's outcome columns recorded once per candidate group, so
+    no module is advanced here at all; replay-recorded gids are
+    additionally flagged ``row_replay`` for the batch evaluator's
+    contention walk (their latency column is the stall-free base — the
+    walk adds each candidate's arrival-dependent stalls).
     """
     trace = sim.trace
     n = len(trace)
@@ -253,6 +262,7 @@ def _build_columns(
     cols = _Columns()
     cols.gid = gid_col
     cols.row_batchable = np.zeros(n, dtype=bool)
+    cols.row_replay = np.zeros(n, dtype=bool)
     cols.uncached = np.zeros(n, dtype=bool)
     mlat = np.zeros(n, dtype=np.int64)
     refill = np.zeros(n, dtype=np.int64)
@@ -266,7 +276,8 @@ def _build_columns(
     group_positions: dict[int, np.ndarray] = {}
 
     for gid, group in enumerate(groups):
-        if not group.batchable:
+        from_shared = shared is not None and gid in shared.outcomes
+        if not group.batchable and not from_shared:
             continue
         positions = np.flatnonzero(gid_col == gid)
         if not len(positions):
@@ -276,7 +287,9 @@ def _build_columns(
         count = len(positions)
         cpu_state = group.cpu_state
         component = cpu_state.component
-        cols.row_batchable[positions] = True
+        cols.row_batchable[positions] = group.batchable
+        if not group.batchable:
+            cols.row_replay[positions] = True
 
         if group.module is None:
             # Uncached: straight to DRAM over the off-chip connection.
@@ -293,11 +306,24 @@ def _build_columns(
             counts[2] += count
             state.misses += count
         else:
-            outcome = group.module.access_many(
-                addresses[positions], g_sizes, kinds[positions]
-            )
-            mlat[positions] = outcome.latency
-            hits = int(np.count_nonzero(outcome.hit))
+            if from_shared:
+                lat_col, refill_col, off, hits = shared.outcomes[gid]
+            else:
+                outcome = group.module.access_many(
+                    addresses[positions], g_sizes, kinds[positions]
+                )
+                lat_col = outcome.latency
+                hits = int(np.count_nonzero(outcome.hit))
+                refill_col = outcome.refill_bytes
+                writeback = outcome.writeback_bytes
+                prefetch = outcome.prefetch_bytes
+                if writeback is None:
+                    off = prefetch
+                elif prefetch is None:
+                    off = writeback
+                else:
+                    off = writeback + prefetch
+            mlat[positions] = lat_col
             counts = state.module_counts[group.target]
             counts[0] += count
             counts[1] += hits
@@ -312,7 +338,6 @@ def _build_columns(
 
             back_state = group.backing_state
             if back_state is not None:
-                refill_col = outcome.refill_bytes
                 if refill_col is not None and refill_col.any():
                     refill[positions] = refill_col
                     r_local = np.flatnonzero(refill_col)
@@ -332,14 +357,6 @@ def _build_columns(
                         docc[r_pos] = occ_col
                     back_state.bytes_moved += int(r_bytes.sum())
                     back_state.transactions += len(r_pos)
-                writeback = outcome.writeback_bytes
-                prefetch = outcome.prefetch_bytes
-                if writeback is None:
-                    off = prefetch
-                elif prefetch is None:
-                    off = writeback
-                else:
-                    off = writeback + prefetch
                 if off is not None and off.any():
                     offpath[positions] = off
                     bg_local = np.flatnonzero(off)
@@ -375,6 +392,27 @@ def _build_columns(
 # -- columnar engine --------------------------------------------------------
 
 
+def _openrow_core(
+    sim: "Simulator", cols: _Columns
+) -> tuple[np.ndarray, int]:
+    """The merged open-row pass: per-access DRAM core latency column.
+
+    Each access produces at most one DRAM transaction (an uncached
+    access or a refill), and background bursts never touch row state,
+    so the run's DRAM stream is exactly the masked rows in trace order.
+    Returns ``(core, transaction_count)``. The column depends only on
+    the address column and the (memory-determined) transaction mask, so
+    the batch evaluator shares one pass per candidate group.
+    """
+    core = np.zeros(len(cols.gid), dtype=np.int64)
+    dram_idx = np.flatnonzero(cols.dram_mask)
+    if len(dram_idx):
+        core[dram_idx] = sim.memory.dram.open_row_latencies(
+            sim.trace.addresses[dram_idx]
+        )
+    return core, int(len(dram_idx))
+
+
 def _run_columnar(
     sim: "Simulator",
     state: "_RunState",
@@ -382,24 +420,41 @@ def _run_columnar(
     struct_group: np.ndarray,
 ) -> None:
     """Whole-run columnar evaluation (every target batch-capable)."""
+    cols, group_positions = _build_columns(sim, state, groups, struct_group)
+    core, merged_dram = _openrow_core(sim, cols)
+    _evaluate_columns(
+        sim, state, groups, group_positions, cols, core, merged_dram
+    )
+
+
+def _evaluate_columns(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    group_positions: dict[int, np.ndarray],
+    cols: _Columns,
+    core: np.ndarray,
+    merged_dram: int,
+    shared=None,
+) -> None:
+    """Fold prebuilt whole-run columns into ``state`` (no replay rows).
+
+    The tail of the columnar engine after :func:`_build_columns` and
+    the merged open-row pass — shared verbatim with the batch
+    evaluator, whose candidates arrive here with group-shared columns
+    and the group plan as ``shared`` (prebuilt walk lists and the
+    candidate-independent energy terms).
+    """
     trace = sim.trace
     n = len(trace)
-    dram = sim.memory.dram
     sampling = sim.sampling
     posted = sim.posted_writes
 
-    cols, group_positions = _build_columns(sim, state, groups, struct_group)
-
-    # One merged open-row pass: each access produces at most one DRAM
-    # transaction (an uncached access or a refill), and background
-    # bursts never touch row state, so the run's DRAM stream is exactly
-    # the masked rows in trace order.
-    core = np.zeros(n, dtype=np.int64)
-    dram_idx = np.flatnonzero(cols.dram_mask)
-    if len(dram_idx):
-        core[dram_idx] = dram.open_row_latencies(trace.addresses[dram_idx])
     u = cols.u_partial + core
-    write_mask = trace.kinds == _WRITE_CODE
+    write_mask = (
+        shared.write_mask if shared is not None
+        else trace.kinds == _WRITE_CODE
+    )
 
     if sim.connectivity is None:
         # Ideal connectivity: no channel ever has a component, so the
@@ -420,7 +475,8 @@ def _run_columnar(
             [(0, n, True)] if sampling is None else sampling.windows(n)
         )
         _contended_pass(
-            sim, state, groups, cols, core, u, latency, spans, write_mask
+            sim, state, groups, cols, core, u, latency, spans, write_mask,
+            shared=shared,
         )
         eff = np.where(write_mask, np.int64(1), latency) if posted else latency
 
@@ -431,39 +487,71 @@ def _run_columnar(
         _, counted_mask = sampling.masks(n)
         counted = counted_mask
         measured = int(np.count_nonzero(counted_mask))
-    state.measured += measured
-    if measured:
-        eff_counted = eff if counted is None else eff[counted]
-        state.latency_sum += int(eff_counted.sum())
-        struct_col = (
-            trace.struct_ids if counted is None else trace.struct_ids[counted]
-        )
-        n_structs = len(sim._routes)
-        counts = np.bincount(struct_col, minlength=n_structs)
-        # float64 bincount weights stay exact below 2**53.
-        totals = np.bincount(
-            struct_col, weights=eff_counted, minlength=n_structs
-        ).astype(np.int64)
-        struct_counts = state.struct_counts
-        struct_latency = state.struct_latency
-        for struct_id, count in enumerate(counts.tolist()):
-            if count:
-                struct_counts[struct_id] += count
-                struct_latency[struct_id] += int(totals[struct_id])
-        _accumulate_energy(
-            sim, state, groups, group_positions, cols, core, counted, sizes64=trace.sizes.astype(np.int64)
-        )
+    _fold_measured(
+        sim, state, groups, group_positions, cols, core, eff, counted,
+        measured, shared=shared,
+    )
 
     if obs.enabled():
-        if len(dram_idx):
+        if merged_dram:
             obs.incr("sim.kernel.openrow_merged_passes")
-            obs.incr("sim.kernel.openrow_merged_accesses", int(len(dram_idx)))
+            obs.incr("sim.kernel.openrow_merged_accesses", merged_dram)
         n_on = n if sampling is None else int(
             np.count_nonzero(sampling.masks(n)[0])
         )
         obs.incr("sim.kernel.onwindow_batched", n_on)
         if sampling is None and sim.connectivity is None:
             obs.incr("sim.kernel.unsampled_batched_spans")
+
+
+def _fold_measured(
+    sim: "Simulator",
+    state: "_RunState",
+    groups: list[_Group],
+    group_positions: dict[int, np.ndarray],
+    cols: _Columns,
+    core: np.ndarray,
+    eff: np.ndarray,
+    counted: np.ndarray | None,
+    measured: int,
+    shared=None,
+) -> None:
+    """Fold the measured-window statistics of an effective-latency column.
+
+    The latency/struct/energy accounting tail shared by the columnar
+    engine and the batch evaluator: ``eff`` is the whole-run effective
+    (post-posted-write) latency column, ``counted`` the measured mask
+    (``None`` for unsampled runs) and ``measured`` its popcount.
+    ``shared`` is the batch evaluator's group plan, whose
+    ``energy_statics`` dict memoizes the candidate-independent energy
+    terms across the group's members.
+    """
+    trace = sim.trace
+    state.measured += measured
+    if not measured:
+        return
+    eff_counted = eff if counted is None else eff[counted]
+    state.latency_sum += int(eff_counted.sum())
+    struct_col = (
+        trace.struct_ids if counted is None else trace.struct_ids[counted]
+    )
+    n_structs = len(sim._routes)
+    counts = np.bincount(struct_col, minlength=n_structs)
+    # float64 bincount weights stay exact below 2**53.
+    totals = np.bincount(
+        struct_col, weights=eff_counted, minlength=n_structs
+    ).astype(np.int64)
+    struct_counts = state.struct_counts
+    struct_latency = state.struct_latency
+    for struct_id, count in enumerate(counts.tolist()):
+        if count:
+            struct_counts[struct_id] += count
+            struct_latency[struct_id] += int(totals[struct_id])
+    _accumulate_energy(
+        sim, state, groups, group_positions, cols, core, counted,
+        sizes64=trace.sizes.astype(np.int64),
+        statics=None if shared is None else shared.energy_statics,
+    )
 
 
 def _contended_pass(
@@ -476,6 +564,7 @@ def _contended_pass(
     latency: np.ndarray,
     spans: list[tuple[int, int, bool]],
     write_mask: np.ndarray,
+    shared=None,
 ) -> None:
     """Serial contention walk over the on-window accesses.
 
@@ -485,7 +574,10 @@ def _contended_pass(
     reference order over the precomputed columns (no ``timing()``
     calls, no module calls, no response allocations). Writes the
     on-window latencies into ``latency`` and the wait/busy sums into
-    the channel states.
+    the channel states. On an unsampled whole-run walk, ``shared`` (a
+    batch group plan) supplies the candidate-independent row lists
+    prebuilt once per group, leaving only the connectivity-priced
+    columns to convert per member.
     """
     trace = sim.trace
     channels = sim._channels
@@ -532,18 +624,27 @@ def _contended_pass(
         on_idx = np.flatnonzero(on_mask)
         sel = on_idx
 
-    ticks_l = trace.ticks[sel].tolist()
-    gid_l = cols.gid[sel].tolist()
-    conn_l = cols.conn[sel].tolist()
+    # No replay rows here, so a hit's arrival tick is never needed on
+    # its own — the wire and module latencies fold into one column.
+    serve_l = (cols.conn + cols.mlat)[sel].tolist()
     occ_l = cols.occ[sel].tolist()
-    mlat_l = cols.mlat[sel].tolist()
-    refill_l = (cols.refill[sel] > 0).tolist()
-    core_l = core[sel].tolist()
     dbeats_l = cols.dbeats[sel].tolist()
     docc_l = cols.docc[sel].tolist()
-    bg_l = (cols.offpath[sel] > 0).tolist()
     bgocc_l = cols.bgocc[sel].tolist()
-    write_l = write_mask[sel].tolist() if posted else None
+    if on_idx is None and shared is not None:
+        ticks_l = shared.ticks_l
+        gid_l = shared.gid_l
+        refill_l = shared.refill_l
+        core_l = shared.core_l
+        bg_l = shared.bg_l
+        write_l = shared.write_l if posted else None
+    else:
+        ticks_l = trace.ticks[sel].tolist()
+        gid_l = cols.gid[sel].tolist()
+        refill_l = (cols.refill[sel] > 0).tolist()
+        core_l = core[sel].tolist()
+        bg_l = (cols.offpath[sel] > 0).tolist()
+        write_l = write_mask[sel].tolist() if posted else None
     lat_out = [0] * len(ticks_l)
 
     cluster_free = state.cluster_free
@@ -551,8 +652,10 @@ def _contended_pass(
     lag = state.lag
     waits = [0] * len(channels)
     busys = [0] * len(channels)
+    cch = wait_acc = busy_acc = 0
 
     k = 0
+    last_gid = -1
     for span_start, span_stop, on in spans:
         if not on:
             segment = u[span_start:span_stop]
@@ -572,23 +675,37 @@ def _contended_pass(
             else:
                 lag += int(segment.sum()) - (span_stop - span_start)
             continue
-        for _ in range(span_stop - span_start):
-            (
-                is_uncached,
-                ci,
-                cch,
-                csplit,
-                cbase,
-                bci,
-                bch,
-                bsplit,
-                bbase,
-            ) = ginfo[gid_l[k]]
+        stop_k = k + (span_stop - span_start)
+        for k in range(k, stop_k):
+            gid = gid_l[k]
+            if gid != last_gid:
+                # Routing constants change only on a group switch;
+                # traces run the same structure for long stretches, so
+                # the CPU channel's wait/busy sums also accumulate in
+                # locals and flush on the switch.
+                if wait_acc:
+                    waits[cch] += wait_acc
+                    wait_acc = 0
+                if busy_acc:
+                    busys[cch] += busy_acc
+                    busy_acc = 0
+                (
+                    is_uncached,
+                    ci,
+                    cch,
+                    csplit,
+                    cbase,
+                    bci,
+                    bch,
+                    bsplit,
+                    bbase,
+                ) = ginfo[gid]
+                last_gid = gid
             issue = ticks_l[k] + lag
             if is_uncached:
                 free = cluster_free[ci]
                 start = issue if issue >= free else free
-                waits[cch] += start - issue
+                wait_acc += start - issue
                 command_done = start + cbase
                 dram_start = (
                     command_done if command_done >= dram_free else dram_free
@@ -597,16 +714,14 @@ def _contended_pass(
                 completion = dram_start + core_k + dbeats_l[k]
                 dram_free = dram_start + core_k
                 busy_until = start + occ_l[k] if csplit else completion
-                delta = busy_until - start
-                if delta > 0:
-                    busys[cch] += delta
+                busy_acc += busy_until - start
                 if busy_until > cluster_free[ci]:
                     cluster_free[ci] = busy_until
             else:
                 free = cluster_free[ci]
                 start = issue if issue >= free else free
                 wait = start - issue
-                served = start + conn_l[k] + mlat_l[k]
+                served = start + serve_l[k]
                 completion = served
                 has_refill = refill_l[k]
                 if has_refill:
@@ -647,12 +762,10 @@ def _contended_pass(
                     busy_until = start + occ_l[k]
                 else:
                     busy_until = completion
-                delta = busy_until - start
-                if delta > 0:
-                    busys[cch] += delta
+                busy_acc += busy_until - start
                 if busy_until > cluster_free[ci]:
                     cluster_free[ci] = busy_until
-                waits[cch] += wait
+                wait_acc += wait
 
             lat = completion - issue
             if lat < 1:
@@ -664,8 +777,12 @@ def _contended_pass(
             if posted and write_l[k]:
                 lat = 1
             lag += lat - 1
-            k += 1
+        k = stop_k
 
+    if wait_acc:
+        waits[cch] += wait_acc
+    if busy_acc:
+        busys[cch] += busy_acc
     state.lag = lag
     state.dram_free = dram_free
     for i, wait in enumerate(waits):
@@ -690,6 +807,7 @@ def _accumulate_energy(
     core: np.ndarray,
     counted: np.ndarray | None,
     sizes64: np.ndarray,
+    statics: dict | None = None,
 ) -> None:
     """Vectorized energy accounting over the measured accesses.
 
@@ -699,34 +817,56 @@ def _accumulate_energy(
     totals are sequential left folds (``np.cumsum``) over the counted
     rows, with the per-transaction DRAM/wire terms interleaved in
     reference order via row-major ravels.
+
+    Only the wire terms depend on the candidate (per-byte channel
+    energies follow the connectivity assignment); the DRAM and module
+    terms follow the memory architecture alone, so the batch evaluator
+    passes a per-group ``statics`` dict that memoizes them — same
+    expressions, same floats — across the group's members.
     """
     n = len(core)
     cpu_epb = np.zeros(n, dtype=np.float64)
     back_epb = np.zeros(n, dtype=np.float64)
-    module_nj = np.zeros(n, dtype=np.float64)
-    for gid, positions in group_positions.items():
-        group = groups[gid]
-        cpu_epb[positions] = group.cpu_state.energy_per_byte
-        if group.backing_state is not None:
-            back_epb[positions] = group.backing_state.energy_per_byte
-        if group.module is not None:
-            module_nj[positions] = group.module.access_energy_nj
+    if statics is not None and "e_dram1" in statics:
+        for gid, positions in group_positions.items():
+            group = groups[gid]
+            cpu_epb[positions] = group.cpu_state.energy_per_byte
+            if group.backing_state is not None:
+                back_epb[positions] = group.backing_state.energy_per_byte
+        dram_bytes = statics["dram_bytes"]
+        e_dram1 = statics["e_dram1"]
+        e_dram2 = statics["e_dram2"]
+        e_module = statics["e_module"]
+    else:
+        module_nj = np.zeros(n, dtype=np.float64)
+        for gid, positions in group_positions.items():
+            group = groups[gid]
+            cpu_epb[positions] = group.cpu_state.energy_per_byte
+            if group.backing_state is not None:
+                back_epb[positions] = group.backing_state.energy_per_byte
+            if group.module is not None:
+                module_nj[positions] = group.module.access_energy_nj
+        page_hit = core == sim.memory.dram.page_hit_latency
+        dram_bytes = np.where(cols.uncached, sizes64, cols.refill)
+        e_dram1 = DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * dram_bytes
+        e_dram1 = np.where(page_hit, e_dram1, e_dram1 + DRAM_ACTIVATE_NJ)
+        e_dram1 = np.where(cols.dram_mask, e_dram1, 0.0)
+        background = cols.offpath > 0
+        e_dram2 = np.where(
+            background,
+            DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * cols.offpath,
+            0.0,
+        )
+        e_module = np.where(cols.uncached, 0.0, module_nj)
+        if statics is not None:
+            statics["dram_bytes"] = dram_bytes
+            statics["e_dram1"] = e_dram1
+            statics["e_dram2"] = e_dram2
+            statics["e_module"] = e_module
 
-    page_hit = core == sim.memory.dram.page_hit_latency
-    dram_bytes = np.where(cols.uncached, sizes64, cols.refill)
-    e_dram1 = DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * dram_bytes
-    e_dram1 = np.where(page_hit, e_dram1, e_dram1 + DRAM_ACTIVATE_NJ)
-    e_dram1 = np.where(cols.dram_mask, e_dram1, 0.0)
     e_wire1 = dram_bytes * np.where(cols.uncached, cpu_epb, back_epb)
-    background = cols.offpath > 0
-    e_dram2 = np.where(
-        background,
-        DRAM_PAGE_ACCESS_NJ + DRAM_PER_BYTE_NJ * cols.offpath,
-        0.0,
-    )
     e_wire2 = cols.offpath * back_epb
     e_wire3 = np.where(cols.uncached, 0.0, sizes64 * cpu_epb)
-    e_module = np.where(cols.uncached, 0.0, module_nj)
     # Reference per-access order: (refill-or-uncached DRAM + wire) then
     # (background DRAM + wire) then (module + CPU wire); zero terms are
     # exact identities, so one expression covers every path.
@@ -734,16 +874,31 @@ def _accumulate_energy(
         e_module + e_wire3
     )
 
-    dram_pairs = np.column_stack((e_dram1, e_dram2))
     wire_triples = np.column_stack((e_wire1, e_wire2, e_wire3))
     if counted is not None:
         energy = energy[counted]
         e_module = e_module[counted]
-        dram_pairs = dram_pairs[counted]
+        dram_pairs = np.column_stack((e_dram1, e_dram2))[counted]
         wire_triples = wire_triples[counted]
+        state.energy_sum += float(np.cumsum(energy)[-1])
+        state.energy_modules += float(np.cumsum(e_module)[-1])
+        state.energy_dram += float(np.cumsum(dram_pairs.ravel())[-1])
+        state.energy_wires += float(np.cumsum(wire_triples.ravel())[-1])
+        return
     state.energy_sum += float(np.cumsum(energy)[-1])
-    state.energy_modules += float(np.cumsum(e_module)[-1])
-    state.energy_dram += float(np.cumsum(dram_pairs.ravel())[-1])
+    if statics is not None and "module_sum" in statics:
+        state.energy_modules += statics["module_sum"]
+        state.energy_dram += statics["dram_sum"]
+    else:
+        module_sum = float(np.cumsum(e_module)[-1])
+        dram_sum = float(
+            np.cumsum(np.column_stack((e_dram1, e_dram2)).ravel())[-1]
+        )
+        if statics is not None:
+            statics["module_sum"] = module_sum
+            statics["dram_sum"] = dram_sum
+        state.energy_modules += module_sum
+        state.energy_dram += dram_sum
     state.energy_wires += float(np.cumsum(wire_triples.ravel())[-1])
 
 

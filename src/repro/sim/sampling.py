@@ -49,6 +49,16 @@ class SamplingConfig:
         """Accesses per full on+off period."""
         return self.on_window * (1 + self.off_ratio)
 
+    def key(self) -> tuple[int, int, int]:
+        """Hashable identity of the sampling schedule.
+
+        Two configs with equal keys produce identical
+        :meth:`windows`/:meth:`masks` for every length, so shared trace
+        plans (:mod:`repro.sim.batch`) and the :mod:`repro.exec` result
+        cache can use the key interchangeably with the config itself.
+        """
+        return (self.on_window, self.off_ratio, self.warmup)
+
     def is_on(self, index: int) -> bool:
         """Is access ``index`` inside an on-window?"""
         return index % self.period < self.on_window

@@ -152,6 +152,9 @@ class Simulator:
             infinite bandwidth, zero energy) so module behaviour can be
             studied in isolation.
         sampling: optional time-sampling configuration.
+        validated: skip the ``memory.validate(trace)`` pass; only for
+            callers that already validated this (memory, trace) pair —
+            the batch evaluator validates once per candidate group.
     """
 
     def __init__(
@@ -161,13 +164,16 @@ class Simulator:
         connectivity: ConnectivityArchitecture | None = None,
         sampling: SamplingConfig | None = None,
         posted_writes: bool = False,
+        *,
+        validated: bool = False,
     ) -> None:
         self.trace = trace
         self.memory = memory
         self.connectivity = connectivity
         self.sampling = sampling
         self.posted_writes = posted_writes
-        memory.validate(trace)
+        if not validated:
+            memory.validate(trace)
         self._channels: list[_ChannelState] = []
         self._channel_index: dict[Channel, int] = {}
         self._routes: list[_Route] = []
@@ -260,15 +266,25 @@ class Simulator:
                 module = self.memory.modules[name]
                 assert isinstance(module, SelfIndirectDma)
                 module.prime(sequence)
-                backing = Channel(name, DRAM)
-                if self.connectivity is not None and backing in self._channel_index:
-                    component = self.connectivity.component_for(backing)
-                    module.backing_latency_hint = (
-                        component.timing(module.node_size).latency
-                        + self.memory.dram.core_latency
-                    )
-                else:
-                    module.backing_latency_hint = self.memory.dram.core_latency + 2
+                module.backing_latency_hint = self._dma_backing_delay(
+                    name, module.node_size
+                )
+
+    def _dma_backing_delay(self, target: str, node_size: int) -> int:
+        """The prefetch-timeliness round trip for a DMA at ``target``.
+
+        Exactly the ``backing_latency_hint`` :meth:`_prime_modules`
+        installs; exposed separately so the batch evaluator can price a
+        shared replay recording under each candidate's connectivity.
+        """
+        backing = Channel(target, DRAM)
+        if self.connectivity is not None and backing in self._channel_index:
+            component = self.connectivity.component_for(backing)
+            return (
+                component.timing(node_size).latency
+                + self.memory.dram.core_latency
+            )
+        return self.memory.dram.core_latency + 2
 
     # -- main loop -------------------------------------------------------
 

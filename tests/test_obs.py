@@ -428,7 +428,14 @@ class TestCliMetrics:
         assert any(name.endswith("conex.phase1") for name in spans)
         assert any(name.endswith("conex.phase2") for name in spans)
         assert any("apex.evaluate" in name for name in spans)
-        assert any("sim.run" in name for name in spans)
+        # Candidate evaluation routes through the batch evaluator, so
+        # the simulation layer shows up as signature-group spans (a
+        # plain ``sim.run`` span appears only on batch-ineligible runs).
+        assert any(
+            "sim.batch.group" in name or "sim.run" in name for name in spans
+        )
+        assert counters["exec.batch_groups"] >= 1
+        assert counters["sim.batch.delta_pass_candidates"] >= 1
         assert counters["exec.jobs"] > 0
         assert "exec.cache_hits" in counters
         assert "exec.cache_misses" in counters

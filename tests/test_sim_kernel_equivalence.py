@@ -8,6 +8,12 @@ stats dict, and per-channel counter) to ``run(reference=True)``. This
 suite asserts it across all five workloads × sampling on/off × posted
 writes on/off × {ideal, AMBA, mux} connectivity, plus module-level
 batch-vs-scalar property checks for each ``supports_batch`` module.
+
+The cross-candidate batch evaluator (:func:`repro.exec.simulate_batch`)
+inherits the same contract: its per-candidate results must be
+bit-identical to independent runs and to the reference, for pure
+columnar groups, DMA (replay-walk) members, and singleton groups alike,
+under any ordering of the submitted job list.
 """
 
 from __future__ import annotations
@@ -26,10 +32,12 @@ from repro.connectivity.architecture import (
     build_cluster,
 )
 from repro.connectivity.library import default_connectivity_library
+from repro.exec import NullCache, SimulationJob, simulate_batch
 from repro.memory.cache import Cache, WritePolicy
 from repro.memory.dram import Dram
 from repro.memory.library import default_memory_library, mixed_architecture
 from repro.memory.stream_buffer import StreamBuffer
+from repro.sim.batch import clear_plan_registry
 from repro.sim.kernels import MIN_BATCH_SPAN, _batch_spans, reference_requested
 from repro.sim.sampling import SamplingConfig
 from repro.sim.simulator import simulate
@@ -391,6 +399,158 @@ def test_property_channel_contention_matches_reference(
         assert channel.total_wait_cycles == mirror.total_wait_cycles, name
         assert channel.busy_cycles == mirror.busy_cycles, name
         assert channel.transactions == mirror.transactions, name
+
+
+# -- cross-candidate batch evaluation (perf6) -------------------------------
+#
+# :func:`repro.exec.simulate_batch` evaluates same-memory-signature
+# candidates as one planned job, sharing the trace plan and module
+# outcome columns across the group. Its contract is the same exactness
+# as the kernel itself: every per-candidate result must equal an
+# independent ``simulate()`` call bit for bit — and, transitively, the
+# scalar reference. The grid below asserts both directly; the
+# mixed-group test adds DMA (replay-walk) members and a singleton
+# group; the Hypothesis property pins the signature partitioning as
+# order-independent (``results[i]`` tracks ``jobs[i]`` under any
+# permutation of the submitted list).
+
+BATCH_GRID = list(
+    itertools.product(("li", "dct"), ("unsampled", "sampled"), (False, True))
+)
+
+
+@pytest.mark.parametrize("workload,sampling_mode,posted", BATCH_GRID)
+def test_simulate_batch_matches_run_and_reference(
+    workload, sampling_mode, posted
+):
+    trace = _trace(workload)
+    memory = _architecture(workload)
+    sampling = SAMPLING if sampling_mode == "sampled" else None
+    jobs = [
+        SimulationJob(
+            memory=memory,
+            connectivity=_connectivity(memory, trace, mode),
+            sampling=sampling,
+            posted_writes=posted,
+        )
+        for mode in CONNECTIVITY_MODES
+    ]
+    report = simulate_batch(trace, jobs, workers=1, cache=NullCache())
+    assert report.batch_groups == 1  # one memory signature → one group
+    assert len(report.results) == len(jobs)
+    for job, result in zip(jobs, report.results):
+        independent = simulate(
+            trace, memory, job.connectivity, sampling, posted
+        )
+        assert result == independent
+        reference = simulate(
+            trace, memory, job.connectivity, sampling, posted, reference=True
+        )
+        assert result == reference
+
+
+def test_simulate_batch_mixed_groups_and_dma_members():
+    """DMA members, varied sampling/posted, and a singleton group."""
+    trace = _trace("li")
+    plain = _architecture("li")
+    si_dma = mixed_architecture(trace, MEM_LIBRARY, dma_preset="si_dma_32")
+    ll_dma = mixed_architecture(trace, MEM_LIBRARY, dma_preset="ll_dma_32")
+    jobs = []
+    # Group 1: the plain architecture with per-member sampling and
+    # posted-write deltas — sharing is keyed on memory signature only,
+    # so members of one group may disagree on everything else.
+    for mode in CONNECTIVITY_MODES:
+        jobs.append(
+            SimulationJob(
+                memory=plain,
+                connectivity=_connectivity(plain, trace, mode),
+                sampling=None if mode == "amba" else SAMPLING,
+                posted_writes=(mode == "mux"),
+            )
+        )
+    # Group 2: DMA-mapped structures route through the replay walk.
+    for mode in ("ideal", "amba"):
+        jobs.append(
+            SimulationJob(
+                memory=si_dma,
+                connectivity=_connectivity(si_dma, trace, mode),
+                sampling=SAMPLING,
+            )
+        )
+    # Group 3: a single-member group still round-trips the batch path.
+    jobs.append(
+        SimulationJob(
+            memory=ll_dma,
+            connectivity=_connectivity(ll_dma, trace, "mux"),
+            posted_writes=True,
+        )
+    )
+    clear_plan_registry()  # cover the cold plan build too
+    report = simulate_batch(trace, jobs, workers=1, cache=NullCache())
+    assert report.batch_groups == 3
+    assert len(report.results) == len(jobs)
+    for job, result in zip(jobs, report.results):
+        independent = simulate(
+            trace,
+            job.memory,
+            job.connectivity,
+            job.sampling,
+            job.posted_writes,
+        )
+        assert result == independent
+        reference = simulate(
+            trace,
+            job.memory,
+            job.connectivity,
+            job.sampling,
+            job.posted_writes,
+            reference=True,
+        )
+        assert result == reference
+
+
+@functools.lru_cache(maxsize=None)
+def _permutation_pool():
+    """Fixed six-job pool spanning two memory signatures, plus each
+    job's expected result (computed once via independent simulation)."""
+    trace = _trace("li")
+    pool = []
+    for memory in (
+        _architecture("li"),
+        mixed_architecture(trace, MEM_LIBRARY, dma_preset="si_dma_32"),
+    ):
+        for mode in CONNECTIVITY_MODES:
+            pool.append(
+                SimulationJob(
+                    memory=memory,
+                    connectivity=_connectivity(memory, trace, mode),
+                    sampling=_PROP_SAMPLING,
+                    posted_writes=(mode == "mux"),
+                )
+            )
+    expected = tuple(
+        simulate(
+            trace,
+            job.memory,
+            job.connectivity,
+            job.sampling,
+            job.posted_writes,
+        )
+        for job in pool
+    )
+    return tuple(pool), expected
+
+
+@_PROP_SETTINGS
+@given(order=st.permutations(list(range(6))))
+def test_property_batch_partitioning_order_independent(order):
+    """``results[i]`` tracks ``jobs[i]`` whatever order groups arrive in."""
+    pool, expected = _permutation_pool()
+    jobs = [pool[i] for i in order]
+    report = simulate_batch(_trace("li"), jobs, workers=1, cache=NullCache())
+    assert report.batch_groups == 2
+    for position, original in enumerate(order):
+        assert report.results[position] == expected[original]
 
 
 @pytest.mark.parametrize("seed", [0, 1, 2])
