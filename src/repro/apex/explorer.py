@@ -235,6 +235,7 @@ def explore_memory_architectures(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> ApexResult:
     """Run the APEX exploration on ``trace``.
 
@@ -244,7 +245,9 @@ def explore_memory_architectures(
     through :func:`repro.exec.simulate_batch` — parallel when
     ``workers`` (or ``REPRO_WORKERS``) asks for it, cached so the
     strategy comparisons re-profile each architecture only once, and
-    dispatched through ``runtime`` when a persistent pool is supplied.
+    dispatched through ``runtime`` when a persistent pool is supplied
+    or through ``backend`` when an execution backend (or
+    ``REPRO_BACKEND``) selects one.
     """
     config = config or ApexConfig()
     if config.select_count < 1:
@@ -267,6 +270,7 @@ def explore_memory_architectures(
             workers=workers,
             cache=cache,
             runtime=runtime,
+            backend=backend,
         )
         evaluated = [
             EvaluatedMemoryArchitecture(

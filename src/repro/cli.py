@@ -12,6 +12,9 @@ Commands:
   report; optionally export the pareto set to CSV/JSON.
 * ``coverage`` — compare the Pruned / Neighborhood / Full strategies
   on a reduced design space (the Table 2 experiment).
+* ``worker`` — serve simulate/estimate jobs and cache traffic over a
+  socket; the exploration commands dispatch to workers with
+  ``--backend remote`` (addresses from ``REPRO_WORKER_ADDRS``).
 """
 
 from __future__ import annotations
@@ -66,6 +69,17 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "pool", "remote"),
+        default=None,
+        help="execution backend for simulation batches (default: "
+        "REPRO_BACKEND, else the classic workers dispatch; 'remote' "
+        "shards over the REPRO_WORKER_ADDRS socket workers)",
+    )
+
+
 def _add_metrics_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--metrics-json",
@@ -99,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(apex_cmd)
     _add_jobs_argument(apex_cmd)
+    _add_backend_argument(apex_cmd)
     _add_metrics_arguments(apex_cmd)
     apex_cmd.add_argument("--select", type=int, default=5)
 
@@ -107,6 +122,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(explore_cmd)
     _add_jobs_argument(explore_cmd)
+    _add_backend_argument(explore_cmd)
     _add_metrics_arguments(explore_cmd)
     explore_cmd.add_argument("--select", type=int, default=5)
     explore_cmd.add_argument("--keep", type=int, default=8, help="Phase-I keep")
@@ -123,7 +139,26 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(coverage_cmd)
     _add_jobs_argument(coverage_cmd)
+    _add_backend_argument(coverage_cmd)
     _add_metrics_arguments(coverage_cmd)
+
+    worker_cmd = commands.add_parser(
+        "worker",
+        help="serve simulate/estimate jobs and cache traffic over a socket",
+    )
+    worker_cmd.add_argument(
+        "--host", default="127.0.0.1",
+        help="interface to bind (default loopback)",
+    )
+    worker_cmd.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port; 0 lets the OS pick (printed on stdout)",
+    )
+    worker_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persist served cache entries to DIR "
+        "(share one REPRO_CACHE_DIR across workers to pool results)",
+    )
     return parser
 
 
@@ -194,6 +229,7 @@ def _cmd_apex(args: argparse.Namespace) -> None:
             hints=workload.pattern_hints,
             workers=args.jobs,
             runtime=runtime,
+            backend=args.backend,
         )
         _print_runtime_faults(runtime)
         args._runtime_stats = runtime.stats.as_dict()
@@ -218,7 +254,8 @@ def _cmd_explore(args: argparse.Namespace) -> None:
     )
     with ExecutionRuntime(workers=args.jobs) as runtime:
         result = run_memorex(
-            workload, config=config, workers=args.jobs, runtime=runtime
+            workload, config=config, workers=args.jobs, runtime=runtime,
+            backend=args.backend,
         )
         _print_runtime_faults(runtime)
         args._runtime_stats = runtime.stats.as_dict()
@@ -267,13 +304,16 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
     # built once and the trace is exported to shared memory once.
     with ExecutionRuntime(workers=args.jobs) as runtime:
         pruned = run_pruned(
-            *common, hints=hints, workers=args.jobs, runtime=runtime
+            *common, hints=hints, workers=args.jobs, runtime=runtime,
+            backend=args.backend,
         )
         neighborhood = run_neighborhood(
-            *common, hints=hints, workers=args.jobs, runtime=runtime
+            *common, hints=hints, workers=args.jobs, runtime=runtime,
+            backend=args.backend,
         )
         full = run_full(
-            *common, hints=hints, workers=args.jobs, runtime=runtime
+            *common, hints=hints, workers=args.jobs, runtime=runtime,
+            backend=args.backend,
         )
         _print_runtime_faults(runtime)
         args._runtime_stats = runtime.stats.as_dict()
@@ -299,6 +339,12 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
     )
 
 
+def _cmd_worker(args: argparse.Namespace) -> None:
+    from repro.exec.worker import serve
+
+    serve(host=args.host, port=args.port, cache_dir=args.cache_dir)
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "libraries": _cmd_libraries,
@@ -306,6 +352,7 @@ _COMMANDS = {
     "apex": _cmd_apex,
     "explore": _cmd_explore,
     "coverage": _cmd_coverage,
+    "worker": _cmd_worker,
 }
 
 

@@ -206,6 +206,7 @@ def connectivity_exploration(
     config: ConExConfig,
     workers: int | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> tuple[BandwidthRequirementGraph, list[ConnectivityDesignPoint]]:
     """The paper's ``Procedure ConnectivityExploration`` for one arch.
 
@@ -263,6 +264,7 @@ def connectivity_exploration(
             ],
             workers=workers,
             runtime=runtime,
+            backend=backend,
         )
         points = [
             ConnectivityDesignPoint(
@@ -314,6 +316,7 @@ def explore_connectivity(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> ConExResult:
     """Run the full ConEx algorithm (Phases I and II).
 
@@ -339,7 +342,7 @@ def explore_connectivity(
         for memory_eval in selected_memories:
             brg, points = connectivity_exploration(
                 trace, memory_eval, library, config, workers=workers,
-                runtime=runtime,
+                runtime=runtime, backend=backend,
             )
             brgs[memory_eval.architecture.name] = brg
             estimated.extend(points)
@@ -364,6 +367,7 @@ def explore_connectivity(
             workers=workers,
             cache=cache,
             runtime=runtime,
+            backend=backend,
         )
         simulated = [
             ConnectivityDesignPoint(

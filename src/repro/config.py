@@ -48,6 +48,24 @@ MAX_RETRIES_ENV = "REPRO_MAX_RETRIES"
 #: Directory enabling the on-disk layer of the default simulation cache.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Execution backend for simulation/estimate batches: ``serial``,
+#: ``pool``, or ``remote`` (unset keeps the engine's built-in dispatch).
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Comma-separated ``host:port`` list of remote ``repro worker``
+#: processes used by the ``remote`` backend.
+WORKER_ADDRS_ENV = "REPRO_WORKER_ADDRS"
+
+#: ``host:port`` of a networked simulation-cache server (any
+#: ``repro worker`` serves the cache protocol).
+CACHE_URL_ENV = "REPRO_CACHE_URL"
+
+#: Size cap in megabytes for the on-disk cache layer (LRU by mtime).
+CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+#: ``0`` disables capping pool sizes at ``os.cpu_count()``.
+WORKERS_CAP_ENV = "REPRO_WORKERS_CAP"
+
 #: Chaos hook for fault-injection tests (``once:<path>`` / ``hang:<path>``
 #: / ``always``); consulted only by pool workers.
 FAULT_INJECT_ENV = "REPRO_FAULT_INJECT"
@@ -93,6 +111,11 @@ class Settings:
     ``job_timeout``             ``REPRO_JOB_TIMEOUT``          ``None``
     ``max_retries``             ``REPRO_MAX_RETRIES``          ``2``
     ``cache_dir``               ``REPRO_CACHE_DIR``            ``None``
+    ``backend``                 ``REPRO_BACKEND``              ``""``
+    ``worker_addrs``            ``REPRO_WORKER_ADDRS``         ``()``
+    ``cache_url``               ``REPRO_CACHE_URL``            ``None``
+    ``cache_max_mb``            ``REPRO_CACHE_MAX_MB``         ``None``
+    ``workers_cap``             ``REPRO_WORKERS_CAP``          ``True``
     ``fault_inject``            ``REPRO_FAULT_INJECT``         ``""``
     ``reference_sim``           ``REPRO_REFERENCE_SIM``        ``False``
     ``reference_estimator``     ``REPRO_REFERENCE_ESTIMATOR``  ``False``
@@ -112,6 +135,11 @@ class Settings:
     job_timeout: float | None = None
     max_retries: int = 2
     cache_dir: str | None = None
+    backend: str = ""
+    worker_addrs: tuple[str, ...] = ()
+    cache_url: str | None = None
+    cache_max_mb: float | None = None
+    workers_cap: bool = True
     fault_inject: str = ""
     reference_sim: bool = False
     reference_estimator: bool = False
@@ -129,6 +157,15 @@ class Settings:
         if self.max_retries < 0:
             raise ExecutionError(
                 f"max retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backend not in ("", "serial", "pool", "remote"):
+            raise ExecutionError(
+                f"unknown execution backend {self.backend!r} "
+                f"(expected serial, pool, or remote)"
+            )
+        if self.cache_max_mb is not None and self.cache_max_mb <= 0:
+            raise ExecutionError(
+                f"cache size cap must be positive, got {self.cache_max_mb}"
             )
 
     @classmethod
@@ -167,12 +204,34 @@ class Settings:
                     f"{MAX_RETRIES_ENV} must be an integer, got {raw!r}"
                 ) from None
 
+        cache_max_mb: float | None = None
+        raw = _get(env, CACHE_MAX_MB_ENV)
+        if raw:
+            try:
+                cache_max_mb = float(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{CACHE_MAX_MB_ENV} must be a number of megabytes, "
+                    f"got {raw!r}"
+                ) from None
+
+        worker_addrs = tuple(
+            part.strip()
+            for part in _get(env, WORKER_ADDRS_ENV).split(",")
+            if part.strip()
+        )
+
         return cls(
             workers=workers,
             persistent_runtime=_get(env, RUNTIME_ENV) != "0",
             job_timeout=job_timeout,
             max_retries=max_retries,
             cache_dir=_get(env, CACHE_DIR_ENV) or None,
+            backend=_get(env, BACKEND_ENV),
+            worker_addrs=worker_addrs,
+            cache_url=_get(env, CACHE_URL_ENV) or None,
+            cache_max_mb=cache_max_mb,
+            workers_cap=_get(env, WORKERS_CAP_ENV) != "0",
             fault_inject=_get(env, FAULT_INJECT_ENV),
             reference_sim=parse_bool(env.get(REFERENCE_SIM_ENV)),
             reference_estimator=parse_bool(env.get(REFERENCE_ESTIMATOR_ENV)),
@@ -193,6 +252,7 @@ class Settings:
             WORKERS_ENV: str(self.workers),
             RUNTIME_ENV: "1" if self.persistent_runtime else "0",
             MAX_RETRIES_ENV: str(self.max_retries),
+            WORKERS_CAP_ENV: "1" if self.workers_cap else "0",
             REFERENCE_SIM_ENV: "1" if self.reference_sim else "0",
             REFERENCE_ESTIMATOR_ENV: "1" if self.reference_estimator else "0",
             BENCH_SMOKE_ENV: "1" if self.bench_smoke else "0",
@@ -202,6 +262,14 @@ class Settings:
             env[JOB_TIMEOUT_ENV] = repr(self.job_timeout)
         if self.cache_dir is not None:
             env[CACHE_DIR_ENV] = self.cache_dir
+        if self.backend:
+            env[BACKEND_ENV] = self.backend
+        if self.worker_addrs:
+            env[WORKER_ADDRS_ENV] = ",".join(self.worker_addrs)
+        if self.cache_url is not None:
+            env[CACHE_URL_ENV] = self.cache_url
+        if self.cache_max_mb is not None:
+            env[CACHE_MAX_MB_ENV] = repr(self.cache_max_mb)
         if self.fault_inject:
             env[FAULT_INJECT_ENV] = self.fault_inject
         if self.shm_manifest_dir is not None:

@@ -49,6 +49,7 @@ def run_memorex(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> MemorExResult:
     """Run the full exploration on one workload.
 
@@ -66,11 +67,11 @@ def run_memorex(
         trace = workload.trace()
         apex = explore_memory_architectures(
             trace, memory_library, config.apex, hints=workload.pattern_hints,
-            workers=workers, cache=cache, runtime=runtime,
+            workers=workers, cache=cache, runtime=runtime, backend=backend,
         )
         conex = explore_connectivity(
             trace, apex.selected, connectivity_library, config.conex,
-            workers=workers, cache=cache, runtime=runtime,
+            workers=workers, cache=cache, runtime=runtime, backend=backend,
         )
     return MemorExResult(
         workload_name=workload.name,

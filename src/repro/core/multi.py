@@ -43,6 +43,7 @@ def explore_portfolio(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[MemorExResult]:
     """Run MemorEx over a workload portfolio with a shared engine setup.
 
@@ -60,6 +61,7 @@ def explore_portfolio(
                 run_memorex(
                     workload, config=config, workers=workers, cache=cache,
                     runtime=runtime,
+                    backend=backend,
                 )
             )
     return results

@@ -114,6 +114,7 @@ def run_pruned(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> StrategyOutcome:
     """The paper's pruned exploration (the MemorEx default)."""
     cache = _resolve_cache(cache)
@@ -122,11 +123,11 @@ def run_pruned(
     with obs.span("strategy.pruned"):
         apex = explore_memory_architectures(
             trace, memory_library, apex_config, hints=hints,
-            workers=workers, cache=cache, runtime=runtime,
+            workers=workers, cache=cache, runtime=runtime, backend=backend,
         )
         conex = explore_connectivity(
             trace, apex.selected, connectivity_library, conex_config,
-            workers=workers, cache=cache, runtime=runtime,
+            workers=workers, cache=cache, runtime=runtime, backend=backend,
         )
     seconds = time.perf_counter() - start
     return StrategyOutcome(
@@ -166,13 +167,14 @@ def run_neighborhood(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> StrategyOutcome:
     """Pruned plus the neighbourhood of every selected design."""
     with obs.span("strategy.neighborhood"):
         return _run_neighborhood(
             trace, memory_library, connectivity_library, apex_config,
             conex_config, hints=hints, workers=workers, cache=cache,
-            runtime=runtime,
+            runtime=runtime, backend=backend,
         )
 
 
@@ -186,19 +188,20 @@ def _run_neighborhood(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> StrategyOutcome:
     cache = _resolve_cache(cache)
     hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
     apex = explore_memory_architectures(
         trace, memory_library, apex_config, hints=hints,
-        workers=workers, cache=cache, runtime=runtime,
+        workers=workers, cache=cache, runtime=runtime, backend=backend,
     )
     expanded = _expand_neighborhood(apex.selected, apex.evaluated)
     widened = replace(conex_config, phase1_keep=2 * conex_config.phase1_keep)
     conex = explore_connectivity(
         trace, expanded, connectivity_library, widened,
-        workers=workers, cache=cache, runtime=runtime,
+        workers=workers, cache=cache, runtime=runtime, backend=backend,
     )
     # One-swap connectivity neighbors of every simulated design,
     # estimated inline and simulated as one batch.
@@ -236,7 +239,7 @@ def _run_neighborhood(
         ],
         workers=workers,
         cache=cache,
-        runtime=runtime,
+        runtime=runtime, backend=backend,
     )
     simulated.extend(
         ConnectivityDesignPoint(
@@ -269,6 +272,7 @@ def run_full(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> StrategyOutcome:
     """Brute force: fully simulate every design point in the space.
 
@@ -282,7 +286,7 @@ def run_full(
         return _run_full(
             trace, memory_library, connectivity_library, apex_config,
             conex_config, hints=hints, workers=workers, cache=cache,
-            runtime=runtime,
+            runtime=runtime, backend=backend,
         )
 
 
@@ -296,19 +300,20 @@ def _run_full(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> StrategyOutcome:
     cache = _resolve_cache(cache)
     hits0, misses0 = cache.hits, cache.misses
     start = time.perf_counter()
     apex = explore_memory_architectures(
         trace, memory_library, apex_config, hints=hints,
-        workers=workers, cache=cache, runtime=runtime,
+        workers=workers, cache=cache, runtime=runtime, backend=backend,
     )
     candidates: list[ConnectivityDesignPoint] = []
     for memory_eval in apex.evaluated:
         _, points = connectivity_exploration(
             trace, memory_eval, connectivity_library, conex_config,
-            workers=workers, runtime=runtime,
+            workers=workers, runtime=runtime, backend=backend,
         )
         candidates.extend(points)
     report = simulate_batch(
@@ -322,7 +327,7 @@ def _run_full(
         ],
         workers=workers,
         cache=cache,
-        runtime=runtime,
+        runtime=runtime, backend=backend,
     )
     simulated = [
         ConnectivityDesignPoint(

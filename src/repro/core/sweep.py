@@ -70,11 +70,13 @@ def _run_sweep(
     workers: int | None,
     cache: SimulationCache | None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[SweepPoint]:
     """Dispatch one sweep's job list and pair results with settings."""
     with obs.span("sweep.run"):
         report = simulate_many(
-            trace, jobs, workers=workers, cache=cache, runtime=runtime
+            trace, jobs, workers=workers, cache=cache, runtime=runtime,
+            backend=backend,
         )
     if obs.enabled():
         obs.incr("sweep.points", len(jobs))
@@ -94,6 +96,7 @@ def sweep_cache_size(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[SweepPoint]:
     """Simulate cache-only architectures across ``cache_presets``.
 
@@ -115,7 +118,7 @@ def sweep_cache_size(
         )
         jobs.append(SimulationJob(memory=memory, connectivity=connectivity))
     return _run_sweep(
-        trace, list(cache_presets), jobs, workers, cache, runtime=runtime
+        trace, list(cache_presets), jobs, workers, cache, runtime=runtime, backend=backend
     )
 
 
@@ -128,6 +131,7 @@ def sweep_cpu_bus(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[SweepPoint]:
     """Simulate ``memory`` under each CPU-side connection preset.
 
@@ -148,7 +152,7 @@ def sweep_cpu_bus(
         for preset_name in cpu_presets
     ]
     return _run_sweep(
-        trace, list(cpu_presets), jobs, workers, cache, runtime=runtime
+        trace, list(cpu_presets), jobs, workers, cache, runtime=runtime, backend=backend
     )
 
 
@@ -161,6 +165,7 @@ def sweep_offchip_bus(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> list[SweepPoint]:
     """Simulate ``memory`` under each off-chip bus preset."""
     if not offchip_presets:
@@ -175,7 +180,7 @@ def sweep_offchip_bus(
         for preset_name in offchip_presets
     ]
     return _run_sweep(
-        trace, list(offchip_presets), jobs, workers, cache, runtime=runtime
+        trace, list(offchip_presets), jobs, workers, cache, runtime=runtime, backend=backend
     )
 
 

@@ -16,19 +16,43 @@ connectivity) design points. This package makes that the fast path:
   tolerant: worker deaths and job timeouts (``REPRO_JOB_TIMEOUT``)
   rebuild the pool and re-dispatch only the unfinished jobs, and
   after ``REPRO_MAX_RETRIES`` rebuilds the batch degrades to the
-  serial in-process path instead of failing.
+  serial in-process path instead of failing. Pools are capped at the
+  machine's CPU count (``REPRO_WORKERS_CAP=0`` opts out).
+* :mod:`repro.exec.backend` — the pluggable
+  :class:`ExecutionBackend` interface behind the engine:
+  :class:`SerialBackend`, :class:`PoolBackend` (the runtime),
+  :class:`RemoteBackend` (one socket worker), and
+  :class:`ShardedBackend` (N backends with fault-tolerant re-dispatch
+  of memory-signature groups). Select with ``backend=`` or
+  ``REPRO_BACKEND`` / ``REPRO_WORKER_ADDRS``.
+* :mod:`repro.exec.net` / :mod:`repro.exec.worker` — the
+  dependency-free length-prefixed socket protocol and the ``repro
+  worker`` server that serves simulate/estimate jobs and networked
+  cache traffic over it.
 * :mod:`repro.exec.cache` — a content-addressed
   :class:`SimulationCache` keyed by trace fingerprint, architecture
-  signatures, sampling config, and write model, with an optional
-  on-disk layer (``REPRO_CACHE_DIR``).
+  signatures, sampling config, and write model, layered as memory →
+  optional size-capped disk (``REPRO_CACHE_DIR`` /
+  ``REPRO_CACHE_MAX_MB``) → optional networked peer
+  (``REPRO_CACHE_URL``).
 
 See ``docs/performance.md`` for the knobs and invalidation rules.
 """
 
+from repro.exec.backend import (
+    ExecutionBackend,
+    PoolBackend,
+    RemoteBackend,
+    SerialBackend,
+    ShardedBackend,
+    resolve_backend,
+)
 from repro.exec.cache import (
     CACHE_DIR_ENV,
+    CACHE_URL_ENV,
     KERNEL_PLAN_VERSION,
     NULL_CACHE,
+    CacheClient,
     NullCache,
     SimulationCache,
     default_cache,
@@ -45,6 +69,7 @@ from repro.exec.engine import (
     simulate_batch,
     simulate_many,
 )
+from repro.exec.net import BackendUnavailable, Connection
 from repro.exec.runtime import (
     JOB_TIMEOUT_ENV,
     MAX_RETRIES_ENV,
@@ -54,34 +79,48 @@ from repro.exec.runtime import (
     ExecutionRuntime,
     RuntimeStats,
     default_runtime,
+    effective_pool_workers,
     persistent_runtime_enabled,
     resolve_job_timeout,
     resolve_max_retries,
     resolve_workers,
     set_default_runtime,
 )
+from repro.exec.worker import WorkerServer
 
 __all__ = [
+    "BackendUnavailable",
     "CACHE_DIR_ENV",
+    "CACHE_URL_ENV",
+    "CacheClient",
+    "Connection",
     "DispatchStats",
     "EngineReport",
     "EstimateJob",
+    "ExecutionBackend",
     "ExecutionRuntime",
     "JOB_TIMEOUT_ENV",
     "KERNEL_PLAN_VERSION",
     "MAX_RETRIES_ENV",
     "NULL_CACHE",
     "NullCache",
+    "PoolBackend",
     "RUNTIME_ENV",
+    "RemoteBackend",
     "RuntimeStats",
+    "SerialBackend",
+    "ShardedBackend",
     "SimulationCache",
     "SimulationJob",
     "WORKERS_ENV",
+    "WorkerServer",
     "default_cache",
     "default_runtime",
+    "effective_pool_workers",
     "estimate_many",
     "key_digest",
     "persistent_runtime_enabled",
+    "resolve_backend",
     "resolve_job_timeout",
     "resolve_max_retries",
     "resolve_workers",

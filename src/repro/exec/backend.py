@@ -1,0 +1,544 @@
+"""Pluggable execution backends: where a batch's misses actually run.
+
+The engine (:mod:`repro.exec.engine`) owns *what* to run — cache
+lookups, dedup, memory-signature grouping, job-index-keyed merge. A
+backend owns *where*: the three ``run_*`` methods of
+:class:`ExecutionBackend` each take an ordered work list and return
+results in the same order, so every backend is interchangeable and a
+run is bit-identical whichever one dispatches it (the simulator is
+deterministic and results are keyed by index, never by completion
+order).
+
+Implementations:
+
+* :class:`SerialBackend` — in-process loops; the reference semantics.
+* :class:`PoolBackend` — wraps the persistent
+  :class:`~repro.exec.runtime.ExecutionRuntime` (one process pool,
+  shared-memory trace exports, fault-tolerant chunk dispatch).
+* :class:`RemoteBackend` — one socket worker
+  (:mod:`repro.exec.worker`) over the :mod:`repro.exec.net` frame
+  protocol. The trace ships at most once per (worker, fingerprint);
+  job batches then reference the fingerprint alone.
+* :class:`ShardedBackend` — composes N backends, sharding the work
+  list round-robin by index. Fault tolerance mirrors the runtime's
+  (PR 4) semantics: a :class:`~repro.exec.net.BackendUnavailable`
+  marks the shard dead and re-dispatches only its unfinished items to
+  the survivors; after ``max_retries`` recovery rounds (or when no
+  shard survives) the remainder degrades to a local
+  :class:`SerialBackend`. Job-raised errors are *not* faults and
+  propagate unchanged.
+
+Selection: pass ``backend=`` to an engine entry point (an instance or
+one of the names ``"serial"``/``"pool"``/``"remote"``), or set
+``REPRO_BACKEND`` — ``"remote"`` builds a :class:`ShardedBackend` of
+one :class:`RemoteBackend` per ``REPRO_WORKER_ADDRS`` address. Unset
+(the default) keeps the engine's classic dispatch paths untouched.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from repro import obs
+from repro.conex.estimator import ConnectivityEstimate, estimate_design
+from repro.config import WORKER_ADDRS_ENV, current_settings
+from repro.errors import ExecutionError
+from repro.exec import net
+from repro.exec.cache import KERNEL_PLAN_VERSION
+from repro.exec.runtime import (
+    DispatchStats,
+    ExecutionRuntime,
+    default_runtime,
+    resolve_max_retries,
+)
+from repro.sim import batch as sim_batch
+from repro.sim.metrics import SimulationResult
+from repro.sim.simulator import simulate
+from repro.trace.events import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.exec.engine import EstimateJob, SimulationJob
+
+__all__ = [
+    "ExecutionBackend",
+    "PoolBackend",
+    "RemoteBackend",
+    "SerialBackend",
+    "ShardedBackend",
+    "resolve_backend",
+]
+
+GroupOutcome = "tuple[list[SimulationResult], int]"
+
+
+class ExecutionBackend:
+    """Interface: run ordered work lists, return results in order.
+
+    Subclasses implement the three ``run_*`` methods and keep
+    :attr:`last_dispatch` current; :attr:`bytes_sent` /
+    :attr:`bytes_received` stay zero for local backends.
+    """
+
+    #: Short name surfaced as ``EngineReport.backend``.
+    name = "base"
+
+    #: Fault accounting for the most recent ``run_*`` call.
+    last_dispatch: DispatchStats | None = None
+
+    @property
+    def bytes_sent(self) -> int:
+        return 0
+
+    @property
+    def bytes_received(self) -> int:
+        return 0
+
+    def run_simulations(
+        self, trace: Trace, jobs: "Sequence[SimulationJob]"
+    ) -> list[SimulationResult]:
+        """Simulate every job over ``trace``, ordered like ``jobs``."""
+        raise NotImplementedError
+
+    def run_groups(
+        self, trace: Trace, groups: "Sequence[Sequence[SimulationJob]]"
+    ) -> list:
+        """Evaluate whole same-signature groups, ordered like ``groups``.
+
+        Returns one ``(results, delta_candidates)`` pair per group —
+        the :func:`repro.sim.batch.evaluate_group` contract. Groups
+        are never split: splitting would forfeit the shared trace
+        plan and module columns.
+        """
+        raise NotImplementedError
+
+    def run_estimates(
+        self, jobs: "Sequence[EstimateJob]"
+    ) -> list[ConnectivityEstimate]:
+        """Run every Phase-I estimate, ordered like ``jobs``."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pools/sockets. Idempotent; safe on unused backends."""
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class SerialBackend(ExecutionBackend):
+    """In-process loops — the reference every other backend must match."""
+
+    name = "serial"
+
+    def run_simulations(self, trace, jobs):
+        self.last_dispatch = DispatchStats(jobs=len(jobs))
+        return [
+            simulate(
+                trace,
+                job.memory,
+                job.connectivity,
+                sampling=job.sampling,
+                posted_writes=job.posted_writes,
+            )
+            for job in jobs
+        ]
+
+    def run_groups(self, trace, groups):
+        self.last_dispatch = DispatchStats(
+            jobs=sum(len(group) for group in groups)
+        )
+        plan = sim_batch.trace_plan(trace)
+        return [
+            sim_batch.evaluate_group(trace, group, plan) for group in groups
+        ]
+
+    def run_estimates(self, jobs):
+        self.last_dispatch = DispatchStats(jobs=len(jobs))
+        return [
+            estimate_design(job.memory, job.connectivity, job.profile)
+            for job in jobs
+        ]
+
+
+class PoolBackend(ExecutionBackend):
+    """The persistent process-pool runtime behind the backend interface.
+
+    Args:
+        runtime: an :class:`~repro.exec.runtime.ExecutionRuntime` to
+            dispatch through (not closed by this backend — ownership
+            stays with whoever built it); ``None`` takes the
+            process-wide default sized for ``workers``.
+        workers: pool size when no runtime is given.
+    """
+
+    name = "pool"
+
+    def __init__(
+        self,
+        runtime: ExecutionRuntime | None = None,
+        workers: int | None = None,
+    ) -> None:
+        self._runtime = runtime if runtime is not None else default_runtime(workers)
+
+    @property
+    def runtime(self) -> ExecutionRuntime:
+        return self._runtime
+
+    def _delegate(self, call: Callable) -> list:
+        results = call()
+        self.last_dispatch = self._runtime.last_dispatch
+        return results
+
+    def run_simulations(self, trace, jobs):
+        return self._delegate(
+            lambda: self._runtime.map_simulations(trace, jobs)
+        )
+
+    def run_groups(self, trace, groups):
+        return self._delegate(
+            lambda: self._runtime.map_simulation_groups(trace, groups)
+        )
+
+    def run_estimates(self, jobs):
+        return self._delegate(lambda: self._runtime.map_estimates(jobs))
+
+    def __repr__(self) -> str:
+        return f"<PoolBackend runtime={self._runtime!r}>"
+
+
+class RemoteBackend(ExecutionBackend):
+    """One socket worker, addressed as ``host:port``.
+
+    The connection is opened lazily (handshake checks protocol and
+    :data:`~repro.exec.cache.KERNEL_PLAN_VERSION`) and re-opened after
+    a fault; the per-connection pushed-trace set is dropped with the
+    connection, since a replacement worker process starts blank. All
+    connection-level failures surface as
+    :class:`~repro.exec.net.BackendUnavailable` for the sharding layer
+    to recover from.
+    """
+
+    name = "remote"
+
+    def __init__(self, address: str, timeout: float | None = None) -> None:
+        self.address = address
+        self.timeout = (
+            timeout
+            if timeout is not None
+            else current_settings().job_timeout
+        )
+        self._conn: net.Connection | None = None
+        self._pushed: set[str] = set()
+        self._closed_sent = 0
+        self._closed_received = 0
+
+    @property
+    def bytes_sent(self) -> int:
+        conn = self._conn
+        return self._closed_sent + (conn.bytes_sent if conn else 0)
+
+    @property
+    def bytes_received(self) -> int:
+        conn = self._conn
+        return self._closed_received + (conn.bytes_received if conn else 0)
+
+    def _connection(self) -> net.Connection:
+        if self._conn is None:
+            conn = net.Connection.connect(self.address, timeout=self.timeout)
+            try:
+                conn.request_pickled(
+                    net.MSG_HELLO,
+                    {
+                        "protocol": net.PROTOCOL_VERSION,
+                        "kernel_plan_version": KERNEL_PLAN_VERSION,
+                    },
+                )
+            except Exception:
+                conn.close()
+                raise
+            self._conn = conn
+            self._pushed = set()
+        return self._conn
+
+    def _drop_connection(self) -> None:
+        conn, self._conn = self._conn, None
+        self._pushed = set()
+        if conn is not None:
+            self._closed_sent += conn.bytes_sent
+            self._closed_received += conn.bytes_received
+            conn.close()
+
+    def _request(self, kind: int, value) -> net.Frame:
+        try:
+            return self._connection().request_pickled(kind, value)
+        except net.BackendUnavailable:
+            self._drop_connection()
+            raise
+
+    def ping(self) -> bool:
+        """Is the worker reachable right now?"""
+        try:
+            return self._request(net.MSG_PING, None).kind == net.MSG_PONG
+        except net.BackendUnavailable:
+            return False
+
+    def ensure_trace(self, trace: Trace) -> None:
+        """Ship the trace unless this worker already holds it."""
+        fingerprint = trace.fingerprint()
+        if fingerprint in self._pushed:
+            return
+        reply = self._request(net.MSG_TRACE_QUERY, fingerprint)
+        if not reply.unpickle().get("have"):
+            with obs.span("backend.trace_push"):
+                connection = self._connection()
+                try:
+                    connection.request(
+                        net.MSG_TRACE_PUSH, net.encode_trace(trace)
+                    )
+                except net.BackendUnavailable:
+                    self._drop_connection()
+                    raise
+            obs.incr("backend.trace_pushes")
+        self._pushed.add(fingerprint)
+
+    def _run_remote(self, kind: int, request: dict, jobs: int) -> list:
+        request["collect"] = obs.enabled()
+        with obs.span("backend.remote_dispatch"):
+            reply = self._request(kind, request)
+        data = reply.unpickle()
+        obs.merge_snapshot(data.get("obs"))
+        self.last_dispatch = DispatchStats(jobs=jobs)
+        return data["values"]
+
+    def run_simulations(self, trace, jobs):
+        self.ensure_trace(trace)
+        return self._run_remote(
+            net.MSG_SIM_JOBS,
+            {"fingerprint": trace.fingerprint(), "jobs": list(jobs)},
+            len(jobs),
+        )
+
+    def run_groups(self, trace, groups):
+        self.ensure_trace(trace)
+        return self._run_remote(
+            net.MSG_SIM_GROUPS,
+            {
+                "fingerprint": trace.fingerprint(),
+                "groups": [tuple(group) for group in groups],
+            },
+            sum(len(group) for group in groups),
+        )
+
+    def run_estimates(self, jobs):
+        return self._run_remote(
+            net.MSG_ESTIMATES, {"jobs": list(jobs)}, len(jobs)
+        )
+
+    def close(self) -> None:
+        self._drop_connection()
+
+    def __repr__(self) -> str:
+        state = "connected" if self._conn is not None else "idle"
+        return f"<RemoteBackend {self.address} ({state})>"
+
+
+class ShardedBackend(ExecutionBackend):
+    """Shard ordered work across N backends; merge by original index.
+
+    Sharding is deterministic — item ``i`` of a round goes to healthy
+    shard ``i % len(healthy)`` — but determinism of *results* never
+    depends on placement: every backend returns results keyed to the
+    indices it was handed, so the merged list is bit-identical to a
+    serial run regardless of which shard (or which recovery round)
+    produced each entry.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        backends: Sequence[ExecutionBackend],
+        fallback: ExecutionBackend | None = None,
+        max_retries: int | None = None,
+    ) -> None:
+        if not backends:
+            raise ExecutionError("ShardedBackend needs at least one backend")
+        self.backends = list(backends)
+        self.fallback = fallback if fallback is not None else SerialBackend()
+        self.max_retries = resolve_max_retries(max_retries)
+        self._alive = [True] * len(self.backends)
+
+    @property
+    def healthy_backends(self) -> list[ExecutionBackend]:
+        return [
+            backend
+            for backend, alive in zip(self.backends, self._alive)
+            if alive
+        ]
+
+    @property
+    def bytes_sent(self) -> int:
+        return sum(backend.bytes_sent for backend in self.backends)
+
+    @property
+    def bytes_received(self) -> int:
+        return sum(backend.bytes_received for backend in self.backends)
+
+    # -- fault-tolerant sharded dispatch -------------------------------
+
+    def _run_sharded(
+        self,
+        items: Sequence,
+        run: Callable[[ExecutionBackend, list], list],
+        run_fallback: Callable[[list], list],
+        jobs: int,
+    ) -> list:
+        """The sharding core shared by all three ``run_*`` methods.
+
+        ``run(backend, subset)`` executes a shard's item subset;
+        ``run_fallback(subset)`` is the local degraded path. Mirrors
+        :meth:`repro.exec.runtime.ExecutionRuntime._dispatch_chunks`:
+        per-round bookkeeping keyed by item index, dead shards detected
+        via :class:`~repro.exec.net.BackendUnavailable`, unfinished
+        items re-dispatched to survivors, serial degradation after the
+        retry budget. Item-raised errors propagate unchanged.
+        """
+        stats = DispatchStats(jobs=jobs)
+        results: list = [None] * len(items)
+        finished = [False] * len(items)
+        pending = list(range(len(items)))
+        while pending:
+            shards = [
+                index
+                for index, alive in enumerate(self._alive)
+                if alive
+            ]
+            if not shards or stats.degraded:
+                stats.degraded = True
+                values = run_fallback([items[i] for i in pending])
+                for index, value in zip(pending, values):
+                    results[index] = value
+                break
+            # Deterministic round-robin by position in the pending list.
+            assignments: dict[int, list[int]] = {s: [] for s in shards}
+            for position, index in enumerate(pending):
+                assignments[shards[position % len(shards)]].append(index)
+            errors: list[BaseException] = []
+
+            def dispatch(shard: int, indices: list[int]) -> None:
+                try:
+                    values = run(
+                        self.backends[shard], [items[i] for i in indices]
+                    )
+                except net.BackendUnavailable:
+                    # Dead socket: mark the shard down; its indices
+                    # stay pending for the next recovery round.
+                    self._alive[shard] = False
+                    obs.incr("backend.shard_deaths")
+                except BaseException as error:  # job error: propagate
+                    errors.append(error)
+                else:
+                    for index, value in zip(indices, values):
+                        results[index] = value
+                        finished[index] = True
+
+            threads = [
+                threading.Thread(target=dispatch, args=(shard, indices))
+                for shard, indices in assignments.items()
+                if indices
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+            pending = [i for i in pending if not finished[i]]
+            if pending:
+                if stats.retries >= self.max_retries:
+                    stats.degraded = True
+                else:
+                    stats.retries += 1
+                obs.incr("backend.redispatches")
+        self.last_dispatch = stats
+        return results
+
+    def run_simulations(self, trace, jobs):
+        return self._run_sharded(
+            list(jobs),
+            lambda backend, subset: backend.run_simulations(trace, subset),
+            lambda subset: self.fallback.run_simulations(trace, subset),
+            len(jobs),
+        )
+
+    def run_groups(self, trace, groups):
+        return self._run_sharded(
+            [tuple(group) for group in groups],
+            lambda backend, subset: backend.run_groups(trace, subset),
+            lambda subset: self.fallback.run_groups(trace, subset),
+            sum(len(group) for group in groups),
+        )
+
+    def run_estimates(self, jobs):
+        return self._run_sharded(
+            list(jobs),
+            lambda backend, subset: backend.run_estimates(subset),
+            lambda subset: self.fallback.run_estimates(subset),
+            len(jobs),
+        )
+
+    def close(self) -> None:
+        for backend in self.backends:
+            backend.close()
+        self.fallback.close()
+
+    def __repr__(self) -> str:
+        alive = sum(self._alive)
+        return (
+            f"<ShardedBackend {alive}/{len(self.backends)} shards alive>"
+        )
+
+
+def resolve_backend(
+    backend: "ExecutionBackend | str | None" = None,
+    workers: int | None = None,
+) -> ExecutionBackend | None:
+    """Turn a backend spec into an instance, or ``None`` for the classic paths.
+
+    ``None`` consults ``Settings.backend`` (``REPRO_BACKEND``); the
+    empty default keeps the engine's pre-backend dispatch exactly as
+    it was. ``"remote"`` shards across one :class:`RemoteBackend` per
+    ``REPRO_WORKER_ADDRS`` address, with the runtime's retry budget
+    and a serial local fallback.
+    """
+    if backend is None:
+        spec = current_settings().backend
+        if not spec:
+            return None
+        backend = spec
+    if isinstance(backend, ExecutionBackend):
+        return backend
+    if backend == "serial":
+        return SerialBackend()
+    if backend == "pool":
+        return PoolBackend(workers=workers)
+    if backend == "remote":
+        addresses = current_settings().worker_addrs
+        if not addresses:
+            raise ExecutionError(
+                f"backend 'remote' needs worker addresses: set "
+                f"{WORKER_ADDRS_ENV} to a comma-separated host:port list"
+            )
+        return ShardedBackend(
+            [RemoteBackend(address) for address in addresses]
+        )
+    raise ExecutionError(
+        f"unknown backend {backend!r}: expected 'serial', 'pool', 'remote', "
+        f"or an ExecutionBackend instance"
+    )

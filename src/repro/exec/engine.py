@@ -50,12 +50,14 @@ from repro.apex.architectures import MemoryArchitecture
 from repro.conex.estimator import ConnectivityEstimate, estimate_design
 from repro.connectivity.architecture import ConnectivityArchitecture
 from repro.errors import ExecutionError, ExplorationError
+from repro.exec.backend import ExecutionBackend, resolve_backend
 from repro.exec.cache import SimulationCache, default_cache, simulation_key
 from repro.exec.runtime import (
     WORKERS_ENV,
     ExecutionRuntime,
     default_runtime,
     dispatch_chunksize,
+    effective_pool_workers,
     persistent_runtime_enabled,
     resolve_workers,
 )
@@ -116,6 +118,16 @@ class EngineReport(StatsReport):
     simulated misses were partitioned into, and how many of those
     candidates ran the shared-column delta pass (as opposed to falling
     back to independent full runs).
+
+    ``backend`` names what dispatched the misses — ``"local"`` for the
+    classic serial/runtime/legacy-pool paths, else the
+    :attr:`~repro.exec.backend.ExecutionBackend.name` of the backend
+    used — and ``bytes_sent`` / ``bytes_received`` count its wire
+    traffic (zero for local backends). ``cache_memory_hits`` /
+    ``cache_disk_hits`` / ``cache_net_hits`` split ``cache_hits`` by
+    the :class:`~repro.exec.cache.SimulationCache` layer that served
+    each hit (all three stay zero for cache objects that predate the
+    layering).
     """
 
     results: tuple
@@ -130,6 +142,12 @@ class EngineReport(StatsReport):
     degraded: bool = False
     batch_groups: int = 0
     delta_pass_candidates: int = 0
+    backend: str = "local"
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    cache_memory_hits: int = 0
+    cache_disk_hits: int = 0
+    cache_net_hits: int = 0
 
     #: ``as_dict()`` exports the accounting, not the payload.
     _STATS_EXCLUDE = ("results",)
@@ -231,9 +249,27 @@ def _record_batch(report: EngineReport) -> None:
     obs.incr("exec.uncached", report.uncached)
     obs.incr("exec.batch_groups", report.batch_groups)
     obs.incr("exec.delta_pass_candidates", report.delta_pass_candidates)
+    obs.incr("exec.cache_memory_hits", report.cache_memory_hits)
+    obs.incr("exec.cache_disk_hits", report.cache_disk_hits)
+    obs.incr("exec.cache_net_hits", report.cache_net_hits)
+    obs.incr("backend.bytes_sent", report.bytes_sent)
+    obs.incr("backend.bytes_received", report.bytes_received)
     obs.incr("runtime.retries", report.retries)
     obs.incr("runtime.pool_rebuilds", report.pool_rebuilds)
     obs.incr("runtime.degraded_batches", int(report.degraded))
+
+
+def _cache_layers(cache: SimulationCache) -> tuple[int, int, int]:
+    """Per-layer hit counters, zero for pre-layering cache objects."""
+    return (
+        getattr(cache, "memory_hits", 0),
+        getattr(cache, "disk_hits", 0),
+        getattr(cache, "net_hits", 0),
+    )
+
+
+def _backend_traffic(backend: ExecutionBackend) -> tuple[int, int]:
+    return (backend.bytes_sent, backend.bytes_received)
 
 
 def simulate_many(
@@ -242,6 +278,7 @@ def simulate_many(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> EngineReport:
     """Simulate every job over ``trace``; results ordered like ``jobs``.
 
@@ -260,9 +297,14 @@ def simulate_many(
             ``None`` uses the process-wide default
             (:func:`repro.exec.runtime.default_runtime`) unless
             ``REPRO_PERSISTENT_RUNTIME=0`` reverts to per-batch pools.
+        backend: an :class:`~repro.exec.backend.ExecutionBackend`
+            instance or name (``"serial"``/``"pool"``/``"remote"``)
+            that dispatches the cache misses instead of the classic
+            paths; ``None`` consults ``REPRO_BACKEND`` (unset: the
+            classic workers/runtime dispatch above).
     """
     with obs.span("exec.simulate_many"):
-        report = _simulate_many(trace, jobs, workers, cache, runtime)
+        report = _simulate_many(trace, jobs, workers, cache, runtime, backend)
     if obs.enabled():
         _record_batch(report)
     return report
@@ -274,6 +316,7 @@ def _simulate_many(
     workers: int | None,
     cache: SimulationCache | None,
     runtime: ExecutionRuntime | None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> EngineReport:
     start = time.perf_counter()
     if runtime is not None and runtime.closed:
@@ -285,7 +328,9 @@ def _simulate_many(
     if workers is None and runtime is not None:
         workers = runtime.workers
     workers = resolve_workers(workers)
+    active_backend = resolve_backend(backend, workers)
     cache = cache if cache is not None else default_cache()
+    layers_before = _cache_layers(cache)
     results: list[SimulationResult | None] = [None] * len(jobs)
     pending: list[int] = []
     keys: list[tuple] = []
@@ -301,9 +346,14 @@ def _simulate_many(
         else:
             results[index] = _relabel(cached, job)
     hits = len(jobs) - len(pending)
+    memory_hits, disk_hits, net_hits = (
+        after - before
+        for after, before in zip(_cache_layers(cache), layers_before)
+    )
     simulated = 0
     retries = pool_rebuilds = 0
     degraded = False
+    bytes_sent = bytes_received = 0
 
     if pending:
         # Duplicate keys inside one batch run once; later copies reuse.
@@ -316,7 +366,22 @@ def _simulate_many(
             unique.append(index)
         simulated = len(unique)
 
-        if workers <= 1 or len(unique) <= 1:
+        if active_backend is not None:
+            traffic_before = _backend_traffic(active_backend)
+            outcomes = active_backend.run_simulations(
+                trace, [jobs[i] for i in unique]
+            )
+            dispatch = active_backend.last_dispatch
+            if dispatch is not None:
+                retries = dispatch.retries
+                pool_rebuilds = dispatch.pool_rebuilds
+                degraded = dispatch.degraded
+            traffic_after = _backend_traffic(active_backend)
+            bytes_sent = traffic_after[0] - traffic_before[0]
+            bytes_received = traffic_after[1] - traffic_before[1]
+            for index, result in zip(unique, outcomes):
+                results[index] = result
+        elif workers <= 1 or len(unique) <= 1:
             for index in unique:
                 results[index] = _execute_inline(trace, jobs[index])
         else:
@@ -335,7 +400,9 @@ def _simulate_many(
                 # a broken pool degrades straight to the serial path.
                 try:
                     with ProcessPoolExecutor(
-                        max_workers=min(workers, len(unique)),
+                        max_workers=min(
+                            effective_pool_workers(workers), len(unique)
+                        ),
                         initializer=_init_worker,
                         initargs=(trace,),
                     ) as pool:
@@ -374,6 +441,12 @@ def _simulate_many(
         retries=retries,
         pool_rebuilds=pool_rebuilds,
         degraded=degraded,
+        backend="local" if active_backend is None else active_backend.name,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+        cache_memory_hits=memory_hits,
+        cache_disk_hits=disk_hits,
+        cache_net_hits=net_hits,
     )
 
 
@@ -383,6 +456,7 @@ def simulate_batch(
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> EngineReport:
     """Simulate every job over ``trace`` with cross-candidate sharing.
 
@@ -397,10 +471,12 @@ def simulate_batch(
     DRAM open-row pass across the group's candidates so each candidate
     pays only its connectivity/sampling delta pass. Parallel dispatch
     ships whole groups to workers (a group is never split — splitting
-    would forfeit the sharing).
+    would forfeit the sharing); a ``backend`` (or ``REPRO_BACKEND``)
+    receives the same whole groups, which makes the memory-signature
+    group the unit of distribution for :class:`~repro.exec.backend.ShardedBackend`.
     """
     with obs.span("exec.simulate_batch"):
-        report = _simulate_batch(trace, jobs, workers, cache, runtime)
+        report = _simulate_batch(trace, jobs, workers, cache, runtime, backend)
     if obs.enabled():
         _record_batch(report)
     return report
@@ -412,6 +488,7 @@ def _simulate_batch(
     workers: int | None,
     cache: SimulationCache | None,
     runtime: ExecutionRuntime | None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> EngineReport:
     start = time.perf_counter()
     if runtime is not None and runtime.closed:
@@ -421,7 +498,9 @@ def _simulate_batch(
     if workers is None and runtime is not None:
         workers = runtime.workers
     workers = resolve_workers(workers)
+    active_backend = resolve_backend(backend, workers)
     cache = cache if cache is not None else default_cache()
+    layers_before = _cache_layers(cache)
     results: list[SimulationResult | None] = [None] * len(jobs)
     pending: list[int] = []
     keys: list[tuple] = []
@@ -437,11 +516,16 @@ def _simulate_batch(
         else:
             results[index] = _relabel(cached, job)
     hits = len(jobs) - len(pending)
+    memory_hits, disk_hits, net_hits = (
+        after - before
+        for after, before in zip(_cache_layers(cache), layers_before)
+    )
     simulated = 0
     retries = pool_rebuilds = 0
     degraded = False
     batch_groups = 0
     delta_candidates = 0
+    bytes_sent = bytes_received = 0
 
     if pending:
         first_of: dict[tuple, int] = {}
@@ -469,7 +553,18 @@ def _simulate_batch(
         batch_groups = len(groups)
         group_jobs = [[jobs[i] for i in group] for group in groups]
 
-        if workers <= 1 or len(groups) <= 1:
+        if active_backend is not None:
+            traffic_before = _backend_traffic(active_backend)
+            outcomes = active_backend.run_groups(trace, group_jobs)
+            dispatch = active_backend.last_dispatch
+            if dispatch is not None:
+                retries = dispatch.retries
+                pool_rebuilds = dispatch.pool_rebuilds
+                degraded = dispatch.degraded
+            traffic_after = _backend_traffic(active_backend)
+            bytes_sent = traffic_after[0] - traffic_before[0]
+            bytes_received = traffic_after[1] - traffic_before[1]
+        elif workers <= 1 or len(groups) <= 1:
             plan = sim_batch.trace_plan(trace)
             outcomes = [
                 sim_batch.evaluate_group(trace, members, plan)
@@ -488,7 +583,9 @@ def _simulate_batch(
             # groups as map items. A broken pool degrades to serial.
             try:
                 with ProcessPoolExecutor(
-                    max_workers=min(workers, len(groups)),
+                    max_workers=min(
+                        effective_pool_workers(workers), len(groups)
+                    ),
                     initializer=_init_worker,
                     initargs=(trace,),
                 ) as pool:
@@ -533,6 +630,12 @@ def _simulate_batch(
         degraded=degraded,
         batch_groups=batch_groups,
         delta_pass_candidates=delta_candidates,
+        backend="local" if active_backend is None else active_backend.name,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
+        cache_memory_hits=memory_hits,
+        cache_disk_hits=disk_hits,
+        cache_net_hits=net_hits,
     )
 
 
@@ -551,17 +654,19 @@ def estimate_many(
     jobs: Sequence[EstimateJob],
     workers: int | None = None,
     runtime: ExecutionRuntime | None = None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> EngineReport:
     """Run Phase-I estimates for every job; results ordered like ``jobs``.
 
     Estimates are analytic (microseconds each), so the pool only engages
     for batches large enough to amortize job pickling; smaller batches —
-    and ``workers=1`` — run serially in-process. Estimates never touch
-    the result cache: the report counts them as ``uncached``, not as
-    hits or misses.
+    and ``workers=1`` — run serially in-process (an explicit ``backend``
+    obeys the same size floor: shipping microsecond jobs over a socket
+    is never a win). Estimates never touch the result cache: the report
+    counts them as ``uncached``, not as hits or misses.
     """
     with obs.span("exec.estimate_many"):
-        report = _estimate_many(jobs, workers, runtime)
+        report = _estimate_many(jobs, workers, runtime, backend)
     if obs.enabled():
         _record_batch(report)
     return report
@@ -571,6 +676,7 @@ def _estimate_many(
     jobs: Sequence[EstimateJob],
     workers: int | None,
     runtime: ExecutionRuntime | None,
+    backend: "ExecutionBackend | str | None" = None,
 ) -> EngineReport:
     start = time.perf_counter()
     if runtime is not None and runtime.closed:
@@ -580,9 +686,24 @@ def _estimate_many(
     if workers is None and runtime is not None:
         workers = runtime.workers
     workers = resolve_workers(workers)
+    active_backend = resolve_backend(backend, workers)
     retries = pool_rebuilds = 0
     degraded = False
-    if workers <= 1 or len(jobs) < _MIN_PARALLEL_ESTIMATES:
+    bytes_sent = bytes_received = 0
+    backend_name = "local"
+    if active_backend is not None and len(jobs) >= _MIN_PARALLEL_ESTIMATES:
+        backend_name = active_backend.name
+        traffic_before = _backend_traffic(active_backend)
+        results = tuple(active_backend.run_estimates(jobs))
+        dispatch = active_backend.last_dispatch
+        if dispatch is not None:
+            retries = dispatch.retries
+            pool_rebuilds = dispatch.pool_rebuilds
+            degraded = dispatch.degraded
+        traffic_after = _backend_traffic(active_backend)
+        bytes_sent = traffic_after[0] - traffic_before[0]
+        bytes_received = traffic_after[1] - traffic_before[1]
+    elif workers <= 1 or len(jobs) < _MIN_PARALLEL_ESTIMATES:
         results = tuple(
             estimate_design(job.memory, job.connectivity, job.profile)
             for job in jobs
@@ -620,4 +741,7 @@ def _estimate_many(
         retries=retries,
         pool_rebuilds=pool_rebuilds,
         degraded=degraded,
+        backend=backend_name,
+        bytes_sent=bytes_sent,
+        bytes_received=bytes_received,
     )

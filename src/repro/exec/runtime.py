@@ -99,6 +99,7 @@ __all__ = [
     "RuntimeStats",
     "default_runtime",
     "dispatch_chunksize",
+    "effective_pool_workers",
     "persistent_runtime_enabled",
     "resolve_job_timeout",
     "resolve_max_retries",
@@ -108,6 +109,42 @@ __all__ = [
 
 #: Default pool rebuilds per batch when ``REPRO_MAX_RETRIES`` is unset.
 DEFAULT_MAX_RETRIES = 2
+
+#: Processes that already warned about an over-provisioned pool.
+_CAP_WARNED: set[int] = set()
+
+
+def effective_pool_workers(workers: int) -> int:
+    """Pool size for a requested worker count, capped at the CPU count.
+
+    ``BENCH_parallel.json`` records speedup 0.98 at ``workers=4`` on a
+    one-CPU host: processes beyond the core count only add scheduling
+    and pickling overhead. The cap applies to the *pool size only* —
+    dispatch accounting, chunk sizing, and the ``workers<=1`` serial
+    short-circuit all keep the requested count, so capped and uncapped
+    runs stay bit-identical (results are keyed by job index either
+    way). Warns once per process; ``REPRO_WORKERS_CAP=0`` disables the
+    cap for oversubscription experiments.
+    """
+    if workers <= 1 or not current_settings().workers_cap:
+        return workers
+    cap = os.cpu_count() or 1
+    if workers <= cap:
+        return workers
+    pid = os.getpid()
+    if pid not in _CAP_WARNED:
+        _CAP_WARNED.add(pid)
+        import warnings
+
+        warnings.warn(
+            f"requested {workers} pool workers on a {cap}-CPU host; "
+            f"capping the pool at {cap} processes "
+            f"(set REPRO_WORKERS_CAP=0 to oversubscribe anyway)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        obs.incr("runtime.workers_capped")
+    return cap
 
 
 def resolve_workers(workers: int | None = None) -> int:
@@ -441,7 +478,8 @@ class ExecutionRuntime:
             if isinstance(context, str):
                 context = multiprocessing.get_context(context)
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=effective_pool_workers(self.workers),
+                mp_context=context,
             )
         return self._pool
 

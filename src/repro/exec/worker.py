@@ -1,0 +1,319 @@
+"""Socket worker: serves simulate/estimate jobs and cache traffic.
+
+``python -m repro worker`` (see :mod:`repro.cli`) runs one
+:class:`WorkerServer`: a thread-per-connection TCP server speaking the
+:mod:`repro.exec.net` frame protocol. A worker is the unit of
+horizontal sharding — :class:`repro.exec.backend.ShardedBackend` runs
+one :class:`~repro.exec.backend.RemoteBackend` client per worker
+process and shards memory-signature groups across them.
+
+State held per worker process:
+
+* **traces**, keyed by fingerprint. A client pushes each trace at most
+  once per (worker, fingerprint) — :data:`~repro.exec.net.MSG_TRACE_QUERY`
+  first, :data:`~repro.exec.net.MSG_TRACE_PUSH` only on "don't have
+  it" — and every subsequent job batch references the fingerprint
+  alone. Pushed columns are attached zero-copy from the frame payload
+  (:func:`repro.exec.net.decode_trace`).
+* **trace plans** come from the process-wide plan registry
+  (:func:`repro.sim.batch.trace_plan`), so repeated group batches over
+  one trace share the plan exactly like a local runtime worker does.
+* **cache blobs**, keyed by content digest. The worker doubles as the
+  networked layer of :class:`repro.exec.cache.SimulationCache`:
+  ``CACHE_GET``/``CACHE_PUT`` move opaque payload bytes (the client
+  owns the pickle format and its version stamp), held in memory and —
+  when the worker was started with a cache directory — mirrored to the
+  same ``<digest>.simres.pkl`` files the local disk layer reads, so a
+  worker pointed at a shared ``REPRO_CACHE_DIR`` persists what the
+  fleet deduplicates.
+
+The handshake (:data:`~repro.exec.net.MSG_HELLO`) rejects clients
+whose protocol or ``KERNEL_PLAN_VERSION`` differs: a version-skewed
+worker must fail loudly at connect time, not return results computed
+by different kernel code.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import pathlib
+import socket
+import threading
+
+from repro import obs
+from repro.exec import net
+from repro.exec.cache import KERNEL_PLAN_VERSION, _SUFFIX
+from repro.exec.runtime import _chunk_observation
+from repro.sim import batch as sim_batch
+from repro.sim.simulator import simulate
+from repro.trace.events import Trace
+
+__all__ = ["WorkerServer", "serve"]
+
+
+class WorkerServer:
+    """One socket worker process's server state and accept loop.
+
+    Args:
+        host: interface to bind (default loopback).
+        port: TCP port; 0 (the default) lets the OS pick — read the
+            chosen one back from :attr:`address`.
+        cache_dir: optional directory for persisting served cache
+            blobs (shared-``REPRO_CACHE_DIR`` deployments).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir: str | os.PathLike | None = None,
+    ) -> None:
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.address = f"{self.host}:{self.port}"
+        self.cache_dir = (
+            pathlib.Path(cache_dir) if cache_dir is not None else None
+        )
+        self._traces: dict[str, Trace] = {}
+        self._blobs: dict[str, bytes] = {}
+        self._lock = threading.Lock()
+        self._stopped = threading.Event()
+        self._threads: list[threading.Thread] = []
+        self.connections_served = 0
+        self.requests_served = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def serve_forever(self) -> None:
+        """Accept connections until :meth:`stop` (or the socket dies)."""
+        while not self._stopped.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            self.connections_served += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(net.Connection(sock),),
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def start(self) -> threading.Thread:
+        """Run the accept loop on a background thread (tests, benches)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+    def stop(self) -> None:
+        """Stop accepting; in-flight connections finish their request."""
+        self._stopped.set()
+        with contextlib.suppress(OSError):
+            self._listener.close()
+
+    def __enter__(self) -> "WorkerServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- connection handling -------------------------------------------
+
+    def _serve_connection(self, connection: net.Connection) -> None:
+        try:
+            while not self._stopped.is_set():
+                try:
+                    frame = connection.recv()
+                except net.BackendUnavailable:
+                    return  # client hung up
+                self.requests_served += 1
+                try:
+                    kind, payload = self._dispatch(frame)
+                except Exception as error:
+                    # A failed request must not take the worker down:
+                    # report it to the requesting client and keep
+                    # serving. The client re-raises it as a job error.
+                    connection.send_pickled(
+                        net.MSG_ERROR,
+                        {"error": f"{type(error).__name__}: {error}"},
+                    )
+                else:
+                    connection.send(kind, payload)
+        except net.BackendUnavailable:
+            return  # client vanished mid-reply
+        finally:
+            connection.close()
+
+    def _dispatch(self, frame: net.Frame) -> tuple[int, bytes]:
+        kind = frame.kind
+        if kind == net.MSG_PING:
+            return net.MSG_PONG, b""
+        if kind == net.MSG_HELLO:
+            return self._handle_hello(frame)
+        if kind == net.MSG_TRACE_QUERY:
+            fingerprint = frame.unpickle()
+            have = fingerprint in self._traces
+            return net.MSG_OK, _pickled({"have": have})
+        if kind == net.MSG_TRACE_PUSH:
+            trace = net.decode_trace(frame.payload)
+            with self._lock:
+                self._traces[trace.fingerprint()] = trace
+            obs.incr("worker.trace_pushes")
+            return net.MSG_OK, b""
+        if kind == net.MSG_SIM_JOBS:
+            return self._handle_simulations(frame.unpickle())
+        if kind == net.MSG_SIM_GROUPS:
+            return self._handle_groups(frame.unpickle())
+        if kind == net.MSG_ESTIMATES:
+            return self._handle_estimates(frame.unpickle())
+        if kind == net.MSG_CACHE_GET:
+            return self._handle_cache_get(frame.unpickle())
+        if kind == net.MSG_CACHE_PUT:
+            digest, blob = frame.unpickle()
+            with self._lock:
+                self._blobs[digest] = blob
+            self._persist_blob(digest, blob)
+            obs.incr("worker.cache_puts")
+            return net.MSG_OK, b""
+        raise ValueError(f"unknown message kind {kind}")
+
+    def _handle_hello(self, frame: net.Frame) -> tuple[int, bytes]:
+        hello = frame.unpickle()
+        protocol = hello.get("protocol")
+        kernel = hello.get("kernel_plan_version")
+        if protocol != net.PROTOCOL_VERSION or kernel != KERNEL_PLAN_VERSION:
+            return net.MSG_ERROR, _pickled(
+                {
+                    "error": (
+                        f"version skew: worker speaks protocol "
+                        f"{net.PROTOCOL_VERSION} / kernel "
+                        f"{KERNEL_PLAN_VERSION}, client sent "
+                        f"{protocol} / {kernel}"
+                    )
+                }
+            )
+        return net.MSG_OK, _pickled(
+            {
+                "protocol": net.PROTOCOL_VERSION,
+                "kernel_plan_version": KERNEL_PLAN_VERSION,
+            }
+        )
+
+    def _trace(self, fingerprint: str) -> Trace:
+        trace = self._traces.get(fingerprint)
+        if trace is None:
+            raise KeyError(
+                f"trace {fingerprint[:12]}… was never pushed to this worker"
+            )
+        return trace
+
+    # -- job execution -------------------------------------------------
+
+    def _handle_simulations(self, request: dict) -> tuple[int, bytes]:
+        trace = self._trace(request["fingerprint"])
+        baseline = _chunk_observation(request.get("collect", False))
+        values = [
+            simulate(
+                trace,
+                job.memory,
+                job.connectivity,
+                sampling=job.sampling,
+                posted_writes=job.posted_writes,
+            )
+            for job in request["jobs"]
+        ]
+        obs.incr("worker.jobs", len(values))
+        return net.MSG_RESULT, _pickled(
+            {"values": values, "obs": _obs_delta(baseline)}
+        )
+
+    def _handle_groups(self, request: dict) -> tuple[int, bytes]:
+        trace = self._trace(request["fingerprint"])
+        baseline = _chunk_observation(request.get("collect", False))
+        plan = sim_batch.trace_plan(trace)
+        values = [
+            sim_batch.evaluate_group(trace, group, plan)
+            for group in request["groups"]
+        ]
+        obs.incr("worker.jobs", sum(len(g) for g in request["groups"]))
+        return net.MSG_RESULT, _pickled(
+            {"values": values, "obs": _obs_delta(baseline)}
+        )
+
+    def _handle_estimates(self, request: dict) -> tuple[int, bytes]:
+        from repro.conex.estimator import estimate_design
+
+        baseline = _chunk_observation(request.get("collect", False))
+        values = [
+            estimate_design(job.memory, job.connectivity, job.profile)
+            for job in request["jobs"]
+        ]
+        obs.incr("worker.jobs", len(values))
+        return net.MSG_RESULT, _pickled(
+            {"values": values, "obs": _obs_delta(baseline)}
+        )
+
+    # -- cache serving -------------------------------------------------
+
+    def _handle_cache_get(self, digest: str) -> tuple[int, bytes]:
+        blob = self._blobs.get(digest)
+        if blob is None and self.cache_dir is not None:
+            path = self.cache_dir / f"{digest}{_SUFFIX}"
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                blob = None
+            if blob is not None:
+                with self._lock:
+                    self._blobs[digest] = blob
+        if blob is None:
+            obs.incr("worker.cache_misses")
+            return net.MSG_CACHE_MISS, b""
+        obs.incr("worker.cache_hits")
+        return net.MSG_CACHE_HIT, blob
+
+    def _persist_blob(self, digest: str, blob: bytes) -> None:
+        if self.cache_dir is None:
+            return
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self.cache_dir / f"{digest}{_SUFFIX}"
+        temp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        try:
+            temp.write_bytes(blob)
+            os.replace(temp, path)  # atomic, same as the local disk layer
+        except OSError:
+            with contextlib.suppress(OSError):
+                temp.unlink()
+
+
+def _pickled(value) -> bytes:
+    import pickle
+
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _obs_delta(baseline):
+    return obs.snapshot().subtract(baseline) if baseline is not None else None
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    cache_dir: str | None = None,
+) -> None:
+    """Blocking entry point used by the ``repro worker`` CLI command.
+
+    Prints the bound address (``listening on host:port``) before
+    serving so launchers that requested port 0 can read the chosen
+    port back from stdout.
+    """
+    server = WorkerServer(host=host, port=port, cache_dir=cache_dir)
+    print(f"listening on {server.address}", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        pass
+    finally:
+        server.stop()

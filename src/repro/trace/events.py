@@ -244,6 +244,59 @@ class Trace:
         counts = np.bincount(self.struct_ids, minlength=len(self.structs))
         return {name: int(c) for name, c in zip(self.structs, counts)}
 
+    def _column_specs(self) -> tuple[list[tuple[str, str, int, int]], int]:
+        """Aligned ``(column, dtype, offset, count)`` packing plan."""
+        specs: list[tuple[str, str, int, int]] = []
+        offset = 0
+        for column in TRACE_COLUMNS:
+            array = getattr(self, column)
+            offset = -(-offset // _COLUMN_ALIGN) * _COLUMN_ALIGN
+            specs.append((column, str(array.dtype), offset, len(array)))
+            offset += array.nbytes
+        return specs, max(1, offset)
+
+    def pack_columns(self) -> "tuple[tuple[tuple[str, str, int, int], ...], bytes]":
+        """The trace columns as one contiguous buffer plus its layout.
+
+        The byte layout is exactly the one :meth:`export_shared` writes
+        into a shared block, so network transports (the ``repro
+        worker`` protocol) and shared memory describe traces with the
+        same ``(column, dtype, offset, count)`` specs. The receiver
+        rebuilds the trace with :meth:`from_packed` — zero-copy views
+        over the received buffer.
+        """
+        specs, size = self._column_specs()
+        buffer = bytearray(size)
+        for column, _, start, _ in specs:
+            data = np.ascontiguousarray(getattr(self, column)).tobytes()
+            buffer[start : start + len(data)] = data
+        return tuple(specs), bytes(buffer)
+
+    @classmethod
+    def from_packed(
+        cls,
+        name: str,
+        structs: Sequence[str],
+        fingerprint: str,
+        specs: "Sequence[tuple[str, str, int, int]]",
+        buffer: bytes,
+    ) -> "Trace":
+        """Rebuild a trace from :meth:`pack_columns` output.
+
+        Columns are read-only views of ``buffer`` (no copy); the
+        sender's fingerprint is adopted verbatim so cache keys match
+        without re-hashing the columns.
+        """
+        arrays = {
+            column: np.frombuffer(
+                buffer, dtype=np.dtype(dtype), count=count, offset=offset
+            )
+            for column, dtype, offset, count in specs
+        }
+        trace = cls(name=name, structs=tuple(structs), **arrays)
+        trace._fingerprint = fingerprint
+        return trace
+
     def export_shared(self, transport: str = "auto") -> "SharedTraceExport":
         """Export the trace columns to zero-copy shared storage.
 
@@ -261,14 +314,7 @@ class Trace:
         """
         if transport not in ("auto", "shm", "file"):
             raise TraceError(f"unknown shared-trace transport: {transport!r}")
-        specs: list[tuple[str, str, int, int]] = []
-        offset = 0
-        for column in TRACE_COLUMNS:
-            array = getattr(self, column)
-            offset = -(-offset // _COLUMN_ALIGN) * _COLUMN_ALIGN
-            specs.append((column, str(array.dtype), offset, len(array)))
-            offset += array.nbytes
-        size = max(1, offset)
+        specs, size = self._column_specs()
 
         block = None
         if transport in ("auto", "shm"):
