@@ -15,6 +15,11 @@ Commands:
 * ``worker`` — serve simulate/estimate jobs and cache traffic over a
   socket; the exploration commands dispatch to workers with
   ``--backend remote`` (addresses from ``REPRO_WORKER_ADDRS``).
+* ``serve`` — run the exploration service daemon: an HTTP/JSON API
+  where clients submit apex/explore jobs, poll progress, and fetch
+  pareto results (see ``docs/service.md``).
+* ``submit`` / ``status`` / ``result`` / ``cancel`` — client commands
+  against a running daemon (``--url`` or ``REPRO_SERVICE_URL``).
 """
 
 from __future__ import annotations
@@ -159,6 +164,97 @@ def _build_parser() -> argparse.ArgumentParser:
         help="persist served cache entries to DIR "
         "(share one REPRO_CACHE_DIR across workers to pool results)",
     )
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the exploration service daemon (HTTP/JSON)"
+    )
+    serve_cmd.add_argument(
+        "--host", default=None,
+        help="interface to bind (default: REPRO_SERVICE_HOST or loopback)",
+    )
+    serve_cmd.add_argument(
+        "--port", type=int, default=None,
+        help="TCP port (default: REPRO_SERVICE_PORT; 0 lets the OS pick, "
+        "printed on stdout)",
+    )
+    serve_cmd.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="concurrent exploration jobs (default: REPRO_SERVICE_JOBS)",
+    )
+    serve_cmd.add_argument(
+        "--queue-max", type=int, default=None, metavar="N",
+        help="pending-job bound before submissions get 429 "
+        "(default: REPRO_SERVICE_QUEUE_MAX)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="base directory for per-tenant cache namespaces "
+        "(default: REPRO_CACHE_DIR; unset keeps caches in memory)",
+    )
+    serve_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="simulation workers per job runner (default: REPRO_WORKERS)",
+    )
+    _add_backend_argument(serve_cmd)
+    serve_cmd.add_argument(
+        "--cache-worker-port", type=int, default=None, metavar="PORT",
+        help="also serve the shared-cache socket protocol on PORT "
+        "(point worker fleets' REPRO_CACHE_URL here)",
+    )
+
+    def _add_client_arguments(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url", default=None,
+            help="daemon base URL (default: REPRO_SERVICE_URL or the "
+            "configured service host/port)",
+        )
+        sub.add_argument(
+            "--tenant", default=None,
+            help="tenant slug (scheduling fairness + cache namespace)",
+        )
+
+    submit_cmd = commands.add_parser(
+        "submit", help="submit an exploration job to a running daemon"
+    )
+    _add_client_arguments(submit_cmd)
+    submit_cmd.add_argument("workload", choices=workload_names())
+    submit_cmd.add_argument(
+        "--kind", choices=("apex", "explore"), default="explore"
+    )
+    submit_cmd.add_argument("--scale", type=float, default=0.25)
+    submit_cmd.add_argument("--seed", type=int, default=0)
+    submit_cmd.add_argument("--select", type=int, default=5)
+    submit_cmd.add_argument("--keep", type=int, default=8)
+    submit_cmd.add_argument("--priority", type=int, default=0)
+    submit_cmd.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="simulation workers for this job",
+    )
+    _add_backend_argument(submit_cmd)
+    submit_cmd.add_argument(
+        "--wait", action="store_true",
+        help="stream progress events and block until the job finishes",
+    )
+
+    status_cmd = commands.add_parser(
+        "status", help="show a job (or, with no id, every job)"
+    )
+    _add_client_arguments(status_cmd)
+    status_cmd.add_argument("job_id", nargs="?", default=None)
+
+    result_cmd = commands.add_parser(
+        "result", help="fetch a finished job's result as JSON"
+    )
+    _add_client_arguments(result_cmd)
+    result_cmd.add_argument("job_id")
+    result_cmd.add_argument(
+        "--wait", action="store_true",
+        help="block until the job finishes before fetching",
+    )
+
+    cancel_cmd = commands.add_parser("cancel", help="cancel a job")
+    _add_client_arguments(cancel_cmd)
+    cancel_cmd.add_argument("job_id")
     return parser
 
 
@@ -345,6 +441,101 @@ def _cmd_worker(args: argparse.Namespace) -> None:
     serve(host=args.host, port=args.port, cache_dir=args.cache_dir)
 
 
+def _cmd_serve(args: argparse.Namespace) -> None:
+    from repro.service.server import serve
+
+    serve(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_max=args.queue_max,
+        cache_dir=args.cache_dir,
+        workers=args.workers,
+        backend=args.backend,
+        cache_worker_port=args.cache_worker_port,
+    )
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(base_url=args.url, tenant=args.tenant)
+
+
+def _print_event(event: dict) -> None:
+    detail = ", ".join(
+        f"{key}={value}"
+        for key, value in event.items()
+        if key not in ("seq", "ts", "stage")
+    )
+    line = f"[{event['seq']:3d}] {event['stage']}"
+    print(f"{line}  {detail}" if detail else line, file=sys.stderr)
+
+
+def _cmd_submit(args: argparse.Namespace) -> None:
+    import json
+
+    client = _service_client(args)
+    spec = {
+        "kind": args.kind,
+        "workload": args.workload,
+        "scale": args.scale,
+        "seed": args.seed,
+        "select": args.select,
+        "keep": args.keep,
+        "priority": args.priority,
+    }
+    if args.backend is not None:
+        spec["backend"] = args.backend
+    if args.workers is not None:
+        spec["workers"] = args.workers
+    job = client.submit(spec)
+    print(
+        f"job {job['id']} queued "
+        f"(tenant {job['tenant']}, position {job.get('queue_position')})",
+        file=sys.stderr,
+    )
+    if not args.wait:
+        print(job["id"])
+        return
+    final = client.wait(job["id"], on_event=_print_event)
+    if final["state"] != "done":
+        reason = final.get("error") or final.get("note") or final["state"]
+        raise ReproError(f"job {job['id']} {final['state']}: {reason}")
+    print(json.dumps(client.result(job["id"])["result"], indent=2))
+
+
+def _cmd_status(args: argparse.Namespace) -> None:
+    import json
+
+    client = _service_client(args)
+    if args.job_id is not None:
+        print(json.dumps(client.status(args.job_id), indent=2))
+        return
+    for job in client.jobs(tenant=args.tenant):
+        position = job.get("queue_position")
+        queue = f" queue={position}" if position is not None else ""
+        print(
+            f"{job['id']}  {job['state']:9s} {job['tenant']:12s} "
+            f"{job['spec']['kind']}/{job['spec']['workload']}{queue}"
+        )
+
+
+def _cmd_result(args: argparse.Namespace) -> None:
+    import json
+
+    client = _service_client(args)
+    if args.wait:
+        client.wait(args.job_id, on_event=_print_event)
+    print(json.dumps(client.result(args.job_id)["result"], indent=2))
+
+
+def _cmd_cancel(args: argparse.Namespace) -> None:
+    client = _service_client(args)
+    job = client.cancel(args.job_id)
+    print(f"job {job['id']} {job['state']}", file=sys.stderr)
+
+
 _COMMANDS = {
     "workloads": _cmd_workloads,
     "libraries": _cmd_libraries,
@@ -353,6 +544,11 @@ _COMMANDS = {
     "explore": _cmd_explore,
     "coverage": _cmd_coverage,
     "worker": _cmd_worker,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
+    "status": _cmd_status,
+    "result": _cmd_result,
+    "cancel": _cmd_cancel,
 }
 
 

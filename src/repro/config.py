@@ -61,7 +61,31 @@ WORKER_ADDRS_ENV = "REPRO_WORKER_ADDRS"
 CACHE_URL_ENV = "REPRO_CACHE_URL"
 
 #: Size cap in megabytes for the on-disk cache layer (LRU by mtime).
+#: Socket workers also honour it as the byte cap of their in-memory
+#: blob/trace stores.
 CACHE_MAX_MB_ENV = "REPRO_CACHE_MAX_MB"
+
+#: Largest frame (megabytes) a socket peer may declare; oversized
+#: frames are rejected as a dead-peer fault instead of allocated.
+MAX_FRAME_MB_ENV = "REPRO_MAX_FRAME_MB"
+
+#: Interface the exploration service daemon binds.
+SERVICE_HOST_ENV = "REPRO_SERVICE_HOST"
+
+#: TCP port of the exploration service daemon (0 lets the OS pick).
+SERVICE_PORT_ENV = "REPRO_SERVICE_PORT"
+
+#: Exploration jobs the service runs concurrently.
+SERVICE_JOBS_ENV = "REPRO_SERVICE_JOBS"
+
+#: Queued-job bound of the service; submissions beyond it are rejected.
+SERVICE_QUEUE_MAX_ENV = "REPRO_SERVICE_QUEUE_MAX"
+
+#: Seconds the service's graceful drain waits for running jobs.
+SERVICE_DRAIN_TIMEOUT_ENV = "REPRO_SERVICE_DRAIN_TIMEOUT"
+
+#: Base URL the service client commands talk to.
+SERVICE_URL_ENV = "REPRO_SERVICE_URL"
 
 #: ``0`` disables capping pool sizes at ``os.cpu_count()``.
 WORKERS_CAP_ENV = "REPRO_WORKERS_CAP"
@@ -116,6 +140,13 @@ class Settings:
     ``cache_url``               ``REPRO_CACHE_URL``            ``None``
     ``cache_max_mb``            ``REPRO_CACHE_MAX_MB``         ``None``
     ``workers_cap``             ``REPRO_WORKERS_CAP``          ``True``
+    ``max_frame_mb``            ``REPRO_MAX_FRAME_MB``         ``256.0``
+    ``service_host``            ``REPRO_SERVICE_HOST``         ``"127.0.0.1"``
+    ``service_port``            ``REPRO_SERVICE_PORT``         ``8753``
+    ``service_jobs``            ``REPRO_SERVICE_JOBS``         ``1``
+    ``service_queue_max``       ``REPRO_SERVICE_QUEUE_MAX``    ``64``
+    ``service_drain_timeout``   ``REPRO_SERVICE_DRAIN_TIMEOUT``  ``30.0``
+    ``service_url``             ``REPRO_SERVICE_URL``          ``None``
     ``fault_inject``            ``REPRO_FAULT_INJECT``         ``""``
     ``reference_sim``           ``REPRO_REFERENCE_SIM``        ``False``
     ``reference_estimator``     ``REPRO_REFERENCE_ESTIMATOR``  ``False``
@@ -140,6 +171,13 @@ class Settings:
     cache_url: str | None = None
     cache_max_mb: float | None = None
     workers_cap: bool = True
+    max_frame_mb: float = 256.0
+    service_host: str = "127.0.0.1"
+    service_port: int = 8753
+    service_jobs: int = 1
+    service_queue_max: int = 64
+    service_drain_timeout: float = 30.0
+    service_url: str | None = None
     fault_inject: str = ""
     reference_sim: bool = False
     reference_estimator: bool = False
@@ -166,6 +204,28 @@ class Settings:
         if self.cache_max_mb is not None and self.cache_max_mb <= 0:
             raise ExecutionError(
                 f"cache size cap must be positive, got {self.cache_max_mb}"
+            )
+        if self.max_frame_mb <= 0:
+            raise ExecutionError(
+                f"max frame size must be positive, got {self.max_frame_mb}"
+            )
+        if not 0 <= self.service_port <= 65535:
+            raise ExecutionError(
+                f"service port must be 0..65535, got {self.service_port}"
+            )
+        if self.service_jobs < 1:
+            raise ExecutionError(
+                f"service jobs must be >= 1, got {self.service_jobs}"
+            )
+        if self.service_queue_max < 1:
+            raise ExecutionError(
+                f"service queue bound must be >= 1, "
+                f"got {self.service_queue_max}"
+            )
+        if self.service_drain_timeout <= 0:
+            raise ExecutionError(
+                f"service drain timeout must be positive, "
+                f"got {self.service_drain_timeout}"
             )
 
     @classmethod
@@ -221,6 +281,28 @@ class Settings:
             if part.strip()
         )
 
+        def _int_knob(name: str, default: int) -> int:
+            raw = _get(env, name)
+            if not raw:
+                return default
+            try:
+                return int(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{name} must be an integer, got {raw!r}"
+                ) from None
+
+        def _float_knob(name: str, default: float) -> float:
+            raw = _get(env, name)
+            if not raw:
+                return default
+            try:
+                return float(raw)
+            except ValueError:
+                raise ExecutionError(
+                    f"{name} must be a number, got {raw!r}"
+                ) from None
+
         return cls(
             workers=workers,
             persistent_runtime=_get(env, RUNTIME_ENV) != "0",
@@ -232,6 +314,13 @@ class Settings:
             cache_url=_get(env, CACHE_URL_ENV) or None,
             cache_max_mb=cache_max_mb,
             workers_cap=_get(env, WORKERS_CAP_ENV) != "0",
+            max_frame_mb=_float_knob(MAX_FRAME_MB_ENV, 256.0),
+            service_host=_get(env, SERVICE_HOST_ENV) or "127.0.0.1",
+            service_port=_int_knob(SERVICE_PORT_ENV, 8753),
+            service_jobs=_int_knob(SERVICE_JOBS_ENV, 1),
+            service_queue_max=_int_knob(SERVICE_QUEUE_MAX_ENV, 64),
+            service_drain_timeout=_float_knob(SERVICE_DRAIN_TIMEOUT_ENV, 30.0),
+            service_url=_get(env, SERVICE_URL_ENV) or None,
             fault_inject=_get(env, FAULT_INJECT_ENV),
             reference_sim=parse_bool(env.get(REFERENCE_SIM_ENV)),
             reference_estimator=parse_bool(env.get(REFERENCE_ESTIMATOR_ENV)),
@@ -253,6 +342,12 @@ class Settings:
             RUNTIME_ENV: "1" if self.persistent_runtime else "0",
             MAX_RETRIES_ENV: str(self.max_retries),
             WORKERS_CAP_ENV: "1" if self.workers_cap else "0",
+            MAX_FRAME_MB_ENV: repr(self.max_frame_mb),
+            SERVICE_HOST_ENV: self.service_host,
+            SERVICE_PORT_ENV: str(self.service_port),
+            SERVICE_JOBS_ENV: str(self.service_jobs),
+            SERVICE_QUEUE_MAX_ENV: str(self.service_queue_max),
+            SERVICE_DRAIN_TIMEOUT_ENV: repr(self.service_drain_timeout),
             REFERENCE_SIM_ENV: "1" if self.reference_sim else "0",
             REFERENCE_ESTIMATOR_ENV: "1" if self.reference_estimator else "0",
             BENCH_SMOKE_ENV: "1" if self.bench_smoke else "0",
@@ -270,6 +365,8 @@ class Settings:
             env[CACHE_URL_ENV] = self.cache_url
         if self.cache_max_mb is not None:
             env[CACHE_MAX_MB_ENV] = repr(self.cache_max_mb)
+        if self.service_url is not None:
+            env[SERVICE_URL_ENV] = self.service_url
         if self.fault_inject:
             env[FAULT_INJECT_ENV] = self.fault_inject
         if self.shm_manifest_dir is not None:

@@ -46,5 +46,18 @@ class ExecutionError(ExplorationError):
     """
 
 
+class ServiceError(ReproError):
+    """An exploration-service request failed.
+
+    Carries an HTTP-ish status code so the daemon can map validation
+    failures, unknown jobs, full queues, and drain rejections to
+    distinct wire statuses while the CLI client re-raises one type.
+    """
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
 class TraceError(ReproError):
     """A trace or profile is malformed (negative sizes, unknown kinds...)."""

@@ -316,17 +316,39 @@ class RemoteBackend(ExecutionBackend):
         self.last_dispatch = DispatchStats(jobs=jobs)
         return data["values"]
 
-    def run_simulations(self, trace, jobs):
+    def _run_traced(
+        self, trace: Trace, kind: int, request: dict, jobs: int
+    ) -> list:
+        """Dispatch a trace-referencing batch, re-pushing on eviction.
+
+        A long-lived worker's trace store is a byte-capped LRU, so the
+        trace this connection pushed earlier may have been evicted by
+        other tenants' traffic. The worker reports that as a job error
+        carrying a recognizable marker; one re-push plus retry makes
+        eviction invisible to callers instead of failing the batch.
+        """
         self.ensure_trace(trace)
-        return self._run_remote(
+        try:
+            return self._run_remote(kind, request, jobs)
+        except ExecutionError as error:
+            if "was never pushed" not in str(error):
+                raise
+            self._pushed.discard(trace.fingerprint())
+            obs.incr("backend.trace_repushes")
+            self.ensure_trace(trace)
+            return self._run_remote(kind, request, jobs)
+
+    def run_simulations(self, trace, jobs):
+        return self._run_traced(
+            trace,
             net.MSG_SIM_JOBS,
             {"fingerprint": trace.fingerprint(), "jobs": list(jobs)},
             len(jobs),
         )
 
     def run_groups(self, trace, groups):
-        self.ensure_trace(trace)
-        return self._run_remote(
+        return self._run_traced(
+            trace,
             net.MSG_SIM_GROUPS,
             {
                 "fingerprint": trace.fingerprint(),

@@ -29,6 +29,7 @@ import pickle
 import socket
 import struct
 
+from repro.config import current_settings
 from repro.errors import ExecutionError
 
 __all__ = [
@@ -53,6 +54,7 @@ __all__ = [
     "MSG_PONG",
     "decode_trace",
     "encode_trace",
+    "max_frame_bytes",
     "parse_address",
 ]
 
@@ -60,6 +62,18 @@ __all__ = [
 PROTOCOL_VERSION = 1
 
 _HEADER = struct.Struct("!BI")
+
+
+def max_frame_bytes() -> int:
+    """The configured frame-size ceiling (``REPRO_MAX_FRAME_MB``).
+
+    The 32-bit length header lets any peer declare a frame of up to
+    ~4 GiB; without a ceiling, one garbage or malicious header drives
+    the receiver into a multi-gigabyte allocation loop. Frames beyond
+    the ceiling are treated as a dead peer (:class:`BackendUnavailable`)
+    before any payload byte is read.
+    """
+    return int(current_settings().max_frame_mb * 1024 * 1024)
 
 # Message kinds. Requests and replies share one numbering space; the
 # worker answers every request with exactly one frame.
@@ -108,11 +122,28 @@ class Frame:
 
 
 def parse_address(address: str) -> tuple[str, int]:
-    """Split a ``host:port`` worker/cache address string."""
+    """Split a ``host:port`` worker/cache address string.
+
+    IPv6 literals use the standard bracketed form (``[::1]:9000``);
+    the brackets are stripped so the host feeds straight into
+    ``socket.create_connection``. A bare-colon IPv6 host without
+    brackets is ambiguous with the port separator and rejected.
+    """
     host, separator, port = address.rpartition(":")
     if not separator or not host:
         raise ExecutionError(
             f"worker address must be host:port, got {address!r}"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+        if not host:
+            raise ExecutionError(
+                f"worker address has an empty IPv6 host: {address!r}"
+            )
+    elif ":" in host:
+        raise ExecutionError(
+            f"IPv6 worker addresses need brackets ([host]:port), "
+            f"got {address!r}"
         )
     try:
         return host, int(port)
@@ -174,8 +205,11 @@ class Connection:
     callers have one fault type to recover from.
     """
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(
+        self, sock: socket.socket, max_frame: int | None = None
+    ) -> None:
         self._sock = sock
+        self.max_frame = max_frame if max_frame is not None else max_frame_bytes()
         self.bytes_sent = 0
         self.bytes_received = 0
 
@@ -228,6 +262,14 @@ class Connection:
 
     def recv(self) -> Frame:
         kind, length = _HEADER.unpack(self._recv_exact(_HEADER.size))
+        if length > self.max_frame:
+            # A header this large is garbage or hostile, never a real
+            # message; drop the peer before allocating anything.
+            self.close()
+            raise BackendUnavailable(
+                f"peer declared a {length}-byte frame "
+                f"(max {self.max_frame}); closing the connection"
+            )
         payload = self._recv_exact(length) if length else b""
         return Frame(kind, payload)
 
@@ -250,7 +292,24 @@ class Connection:
             kind, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
         )
 
+    def shutdown_read(self) -> None:
+        """Half-close the receive side (drain signal).
+
+        A thread blocked in :meth:`recv` wakes with EOF — a plain
+        ``close()`` from another thread does not reliably interrupt a
+        blocked ``recv`` — while the send side stays open, so a reply
+        already being written still reaches the peer.
+        """
+        try:
+            self._sock.shutdown(socket.SHUT_RD)
+        except OSError:
+            pass  # already disconnected
+
     def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass  # never connected, or the peer already hung up
         try:
             self._sock.close()
         except OSError:  # pragma: no cover - close must not raise

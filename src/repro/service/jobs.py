@@ -1,0 +1,192 @@
+"""Job records and the thread-safe job store.
+
+A :class:`Job` is the unit the daemon tracks end to end: a validated
+:class:`~repro.service.schemas.JobSpec` plus scheduling state, a
+monotonically numbered progress-event log (what the poll and long-poll
+endpoints read), the result payload, and a cooperative cancel flag the
+runner checks between exploration phases.
+
+The :class:`JobStore` holds every job the daemon has seen (bounded —
+finished jobs beyond a retention cap are forgotten oldest-first) and
+owns the condition variable long-pollers block on: appending an event
+wakes every waiter, which re-checks its own job/sequence filter.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from repro.errors import ServiceError
+from repro.service.schemas import JobSpec, spec_payload
+
+__all__ = [
+    "Job",
+    "JobStore",
+    "QUEUED",
+    "RUNNING",
+    "DONE",
+    "FAILED",
+    "CANCELLED",
+    "TERMINAL_STATES",
+]
+
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+TERMINAL_STATES = frozenset({DONE, FAILED, CANCELLED})
+
+#: Finished jobs kept for result pickup before the store forgets them.
+_RETAIN_FINISHED = 256
+
+#: Progress events kept per job (oldest dropped first).
+_MAX_EVENTS = 200
+
+_SEQ = itertools.count(1)
+
+
+@dataclass
+class Job:
+    """One exploration job's full lifecycle record."""
+
+    spec: JobSpec
+    id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    #: Global admission order; the queue's FIFO axis.
+    seq: int = field(default_factory=lambda: next(_SEQ))
+    state: str = QUEUED
+    created: float = field(default_factory=time.time)
+    started: float | None = None
+    finished: float | None = None
+    result: dict | None = None
+    error: str | None = None
+    #: Why the job left the queue without running ("cancelled by
+    #: client", "service draining", ...) — the "clear status" drain
+    #: and cancel report.
+    note: str | None = None
+    events: list[dict] = field(default_factory=list)
+    _event_seq: int = 0
+    cancel_event: threading.Event = field(default_factory=threading.Event)
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in TERMINAL_STATES
+
+    def payload(self, queue_position: int | None = None) -> dict:
+        """The JSON status form of this job."""
+        data = {
+            "id": self.id,
+            "state": self.state,
+            "tenant": self.spec.tenant,
+            "priority": self.spec.priority,
+            "spec": spec_payload(self.spec),
+            "created": self.created,
+            "started": self.started,
+            "finished": self.finished,
+            "events_seq": self._event_seq,
+            "cancel_requested": self.cancel_event.is_set(),
+        }
+        if queue_position is not None:
+            data["queue_position"] = queue_position
+        if self.error is not None:
+            data["error"] = self.error
+        if self.note is not None:
+            data["note"] = self.note
+        if self.events:
+            data["progress"] = self.events[-1]["stage"]
+        return data
+
+
+class JobStore:
+    """Thread-safe registry of every job plus the long-poll condition."""
+
+    def __init__(self, retain_finished: int = _RETAIN_FINISHED) -> None:
+        self._jobs: "OrderedDict[str, Job]" = OrderedDict()
+        self._condition = threading.Condition()
+        self._retain_finished = retain_finished
+
+    def add(self, job: Job) -> None:
+        with self._condition:
+            self._jobs[job.id] = job
+            self._prune()
+
+    def get(self, job_id: str) -> Job:
+        with self._condition:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise ServiceError(f"unknown job {job_id!r}", status=404)
+        return job
+
+    def jobs(self, tenant: str | None = None) -> list[Job]:
+        with self._condition:
+            jobs = list(self._jobs.values())
+        if tenant is not None:
+            jobs = [job for job in jobs if job.spec.tenant == tenant]
+        return jobs
+
+    def _prune(self) -> None:
+        """Forget the oldest finished jobs beyond the retention cap."""
+        finished = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.terminal
+        ]
+        for job_id in finished[: max(0, len(finished) - self._retain_finished)]:
+            del self._jobs[job_id]
+
+    # -- state transitions (all notify long-pollers) -------------------
+
+    def record_event(self, job: Job, stage: str, **data) -> dict:
+        """Append one progress event and wake every long-poller."""
+        with self._condition:
+            job._event_seq += 1
+            event = {"seq": job._event_seq, "ts": time.time(), "stage": stage}
+            event.update(data)
+            job.events.append(event)
+            del job.events[:-_MAX_EVENTS]
+            self._condition.notify_all()
+        return event
+
+    def transition(self, job: Job, state: str, **event_data) -> None:
+        """Move ``job`` to ``state`` and log it as a progress event."""
+        with self._condition:
+            job.state = state
+            now = time.time()
+            if state == RUNNING and job.started is None:
+                job.started = now
+            if state in TERMINAL_STATES:
+                job.finished = now
+            self._prune()
+        self.record_event(job, state, **event_data)
+
+    def events_since(
+        self, job: Job, since: int = 0, wait: float | None = None
+    ) -> list[dict]:
+        """Events of ``job`` with ``seq > since``; optionally long-poll.
+
+        With ``wait``, blocks up to that many seconds for a new event
+        (or a terminal state) before returning what exists — the
+        long-poll primitive behind ``GET /v1/jobs/<id>/events``.
+        """
+
+        def fresh() -> list[dict]:
+            return [event for event in job.events if event["seq"] > since]
+
+        with self._condition:
+            events = fresh()
+            if events or not wait or job.terminal:
+                return events
+            deadline = time.monotonic() + wait
+            while not events and not job.terminal:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._condition.wait(remaining)
+                events = fresh()
+            return events

@@ -1,0 +1,163 @@
+"""The multi-tenant job queue: FIFO with priority and tenant fairness.
+
+Ordering rules, in precedence order:
+
+1. **Priority** — higher ``spec.priority`` pops first, full stop.
+2. **Tenant fairness** — within one priority band, the next pop goes
+   to the eligible tenant served least recently (a tenant never served
+   ranks first, by the age of its oldest job). A tenant that queues a
+   hundred jobs cannot starve a tenant that queues one: after each of
+   the flood's pops, the other tenant's oldest job outranks the rest
+   of the flood.
+3. **FIFO** — within one tenant and priority, admission order.
+
+The queue is bounded (:class:`~repro.errors.ServiceError` status 429
+once ``max_pending`` jobs wait) and supports removal by id (cancel)
+and wholesale drain; consumers block on :meth:`pop` with a timeout.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from repro.errors import ServiceError
+from repro.service.jobs import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Bounded priority queue with per-tenant round-robin fairness."""
+
+    def __init__(self, max_pending: int | None = None) -> None:
+        self.max_pending = max_pending
+        #: priority -> tenant -> FIFO of jobs.
+        self._pending: dict[int, dict[str, deque[Job]]] = {}
+        #: tenant -> serve counter at its last pop (fairness clock).
+        self._last_served: dict[str, int] = {}
+        self._serve_clock = 0
+        self._count = 0
+        self._condition = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._condition:
+            return self._count
+
+    def push(self, job: Job) -> int:
+        """Enqueue ``job``; returns its 0-based queue position."""
+        with self._condition:
+            if (
+                self.max_pending is not None
+                and self._count >= self.max_pending
+            ):
+                raise ServiceError(
+                    f"job queue is full ({self._count} pending); retry later",
+                    status=429,
+                )
+            band = self._pending.setdefault(job.spec.priority, {})
+            band.setdefault(job.spec.tenant, deque()).append(job)
+            self._count += 1
+            self._condition.notify()
+            return self._position_locked(job.id)
+
+    def pop(self, timeout: float | None = None) -> Job | None:
+        """The next job by the ordering rules; ``None`` on timeout."""
+        with self._condition:
+            if self._count == 0 and not self._condition.wait_for(
+                lambda: self._count > 0, timeout
+            ):
+                return None
+            priority = max(
+                p for p, band in self._pending.items() if any(band.values())
+            )
+            band = self._pending[priority]
+            tenant = min(
+                (t for t, jobs in band.items() if jobs),
+                key=lambda t: (self._last_served.get(t, -1), band[t][0].seq),
+            )
+            job = band[tenant].popleft()
+            self._serve_clock += 1
+            self._last_served[tenant] = self._serve_clock
+            self._count -= 1
+            self._gc_locked()
+            return job
+
+    def remove(self, job_id: str) -> Job | None:
+        """Remove a pending job by id (cancel); ``None`` if not queued."""
+        with self._condition:
+            for band in self._pending.values():
+                for jobs in band.values():
+                    for job in jobs:
+                        if job.id == job_id:
+                            jobs.remove(job)
+                            self._count -= 1
+                            self._gc_locked()
+                            return job
+            return None
+
+    def drain(self) -> list[Job]:
+        """Remove and return every pending job (service shutdown)."""
+        with self._condition:
+            drained = sorted(
+                (
+                    job
+                    for band in self._pending.values()
+                    for jobs in band.values()
+                    for job in jobs
+                ),
+                key=lambda job: job.seq,
+            )
+            self._pending.clear()
+            self._count = 0
+            return drained
+
+    def position(self, job_id: str) -> int | None:
+        """0-based pops-before-this-job estimate; ``None`` if absent.
+
+        Exact on priority and FIFO; tenant fairness can reorder jobs
+        inside one priority band, so within a band this is the
+        admission-order index, an upper bound on the wait.
+        """
+        with self._condition:
+            return self._position_locked(job_id)
+
+    def _position_locked(self, job_id: str) -> int | None:
+        ordered = sorted(
+            (
+                job
+                for band in self._pending.values()
+                for jobs in band.values()
+                for job in jobs
+            ),
+            key=lambda job: (-job.spec.priority, job.seq),
+        )
+        for index, job in enumerate(ordered):
+            if job.id == job_id:
+                return index
+        return None
+
+    def _gc_locked(self) -> None:
+        """Drop empty tenants/bands so the dicts don't accrete keys."""
+        for priority in [p for p, band in self._pending.items()]:
+            band = self._pending[priority]
+            for tenant in [t for t, jobs in band.items() if not jobs]:
+                del band[tenant]
+            if not band:
+                del self._pending[priority]
+        # The fairness clock keeps one int per tenant ever served; in a
+        # many-tenant deployment that too must stay bounded. Idle
+        # tenants pruned here just rank as "never served" again.
+        if len(self._last_served) > 4096:
+            active = {
+                tenant
+                for band in self._pending.values()
+                for tenant in band
+            }
+            recent = dict(
+                sorted(self._last_served.items(), key=lambda kv: -kv[1])[:1024]
+            )
+            for tenant in active:
+                if tenant in self._last_served:
+                    recent[tenant] = self._last_served[tenant]
+            self._last_served = recent

@@ -84,7 +84,7 @@ class TestDocsDirectory:
     @pytest.mark.parametrize(
         "name", ["architecture.md", "calibration.md", "extending.md",
                  "api.md", "limitations.md", "performance.md",
-                 "observability.md"]
+                 "observability.md", "service.md"]
     )
     def test_docs_exist_and_nonempty(self, name):
         path = ROOT / "docs" / name
