@@ -31,7 +31,12 @@ REDUCED_APEX = ApexConfig(
     cache_options=(None, "cache_4k_16b_1w", "cache_16k_32b_2w"),
     stream_buffer_options=(None, "stream_buffer_4"),
     dma_options=(None, "si_dma_32"),
-    map_indexed_to_sram=(False,),
+    map_indexed_to_sram=(False, True),
+    # The PR-10 families join the enumerated space: the DRAM becomes a
+    # per-candidate axis (single vs 2-channel) and the scratchpad pool
+    # includes the arbitrated multi-port variant.
+    dram_options=("dram", "mcdram_2ch"),
+    sram_kinds=("multiport_sram",),
     select_count=5,
 )
 
@@ -65,14 +70,15 @@ def run_benchmark(name):
         *args, hints=hints, cache=SimulationCache()
     )
     full = run_full(*args, hints=hints, cache=SimulationCache())
-    return coverage_rows(full, [pruned, neighborhood])
+    return coverage_rows(full, [pruned, neighborhood]), full
 
 
 def regenerate() -> str:
     rows = []
     results = {}
+    fronts = {}
     for name in BENCH_SCALES:
-        results[name] = run_benchmark(name)
+        results[name], fronts[name] = run_benchmark(name)
         for row in results[name]:
             cost_d, perf_d, energy_d = row.distances
             rows.append(
@@ -100,6 +106,7 @@ def regenerate() -> str:
         title="Table 2 — pareto coverage results",
     )
     regenerate.results = results
+    regenerate.fronts = fronts
     return table
 
 
@@ -116,8 +123,10 @@ def test_table2_coverage(benchmark):
         assert full.coverage_percent == 100.0
         # Pruned is much faster than Full.
         assert pruned.seconds < full.seconds / 2, name
-        # Pruned finds a substantial share of the pareto curve.
-        assert pruned.coverage_percent > 20.0, name
+        # Pruned finds a non-trivial share of the pareto curve. (The
+        # PR-10 DRAM/scratchpad axes grew the true front, so the floor
+        # is lower than the paper's single-DRAM space would suggest.)
+        assert pruned.coverage_percent > 10.0, name
         # (No Neighborhood-vs-Full time assertion: in this deliberately
         # reduced space Full is cheap enough that Neighborhood's
         # one-swap simulations can rival it; the paper's ordering holds
@@ -128,3 +137,24 @@ def test_table2_coverage(benchmark):
         ), name
         # Missed points are approximated by close designs.
         assert all(d < 60.0 for d in pruned.distances), name
+
+    # The PR-10 families are not just enumerated — they earn spots on
+    # the true (Full-strategy) pareto front: the 2-channel DRAM trades
+    # no on-chip gates for lower latency, and the arbitrated multi-port
+    # scratchpad is the space's only local-structure mapping.
+    def _front_architectures(front):
+        return [point.memory_eval.architecture for point in front.pareto]
+
+    assert any(
+        getattr(arch.dram, "channels", 1) > 1
+        for name in regenerate.fronts
+        for arch in _front_architectures(regenerate.fronts[name])
+    ), "no multi-channel DRAM design on any Full pareto front"
+    assert any(
+        any(
+            module.kind == "multiport_sram"
+            for module in arch.modules.values()
+        )
+        for name in regenerate.fronts
+        for arch in _front_architectures(regenerate.fronts[name])
+    ), "no multi-port scratchpad design on any Full pareto front"

@@ -223,6 +223,22 @@ def record_runtime_timing(stem: str, **fields) -> dict:
     return record
 
 
+#: Machine-readable DRAM channel-scaling records (same replace-by-name
+#: convention as BENCH_parallel.json).
+CHANNEL_TIMINGS = OUTPUT_DIR / "BENCH_channels.json"
+
+
+def record_channel_scaling(stem: str, **fields) -> dict:
+    """Append one channel-scaling record to BENCH_channels.json.
+
+    Fields are benchmark-specific (per-channel-count cycles and
+    speedups); ``cpu_count`` is stamped for parity with the other
+    timing files even though the measurement is deterministic.
+    """
+    record = {"name": stem, **fields, "cpu_count": os.cpu_count()}
+    return _append_record(CHANNEL_TIMINGS, record)
+
+
 def _append_record(path: pathlib.Path, record: dict) -> dict:
     """Write ``record`` to ``path``, replacing any same-name entry."""
     OUTPUT_DIR.mkdir(exist_ok=True)

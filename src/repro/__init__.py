@@ -40,7 +40,7 @@ Package layout:
   (``--metrics-json`` / ``REPRO_OBS=1``).
 """
 
-from repro import obs
+from repro import obs, registry
 from repro.channels import CPU, DRAM, Channel
 from repro.config import (
     Settings,
@@ -56,6 +56,7 @@ from repro.errors import (
     ReproError,
     SimulationError,
     TraceError,
+    UnknownPresetError,
 )
 from repro.stats import BatchStats, StatsReport
 
@@ -76,9 +77,11 @@ __all__ = [
     "SimulationError",
     "StatsReport",
     "TraceError",
+    "UnknownPresetError",
     "__version__",
     "current_settings",
     "obs",
+    "registry",
     "run_memorex",
     "set_settings",
     "use_settings",

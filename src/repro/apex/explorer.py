@@ -75,6 +75,15 @@ class ApexConfig:
     #: Off-chip DRAM preset used by every candidate (DRAM banking is a
     #: board-level choice, not a per-candidate exploration axis).
     dram_preset: str = "dram"
+    #: When non-empty, the DRAM *is* a per-candidate exploration axis:
+    #: each named preset (e.g. ``mcdram_2ch``) multiplies the product
+    #: and ``dram_preset`` is ignored. Empty keeps the single-preset
+    #: behaviour above.
+    dram_options: tuple[str, ...] = ()
+    #: Module kinds eligible as the local-structure scratchpad. The
+    #: smallest fitting preset of each kind becomes one enumeration
+    #: option (``multiport_sram`` adds the arbitrated variants).
+    sram_kinds: tuple[str, ...] = ("sram",)
     select_count: int = 5
     sampling: SamplingConfig | None = None
 
@@ -125,12 +134,12 @@ class ApexResult(StatsReport):
 
 
 def _sram_preset_for(
-    library: MemoryLibrary, footprint: int
+    library: MemoryLibrary, footprint: int, kind: str = "sram"
 ) -> str | None:
-    """Smallest SRAM preset holding ``footprint`` bytes, if any."""
+    """Smallest ``kind`` preset holding ``footprint`` bytes, if any."""
     best_name: str | None = None
     best_capacity: int | None = None
-    for preset in library.of_kind("sram"):
+    for preset in library.of_kind(kind):
         sram = preset.build()
         capacity = getattr(sram, "capacity", 0)
         if capacity >= footprint and (
@@ -162,20 +171,40 @@ def enumerate_architectures(
         if p.pattern in (AccessPattern.INDEXED, AccessPattern.SCALAR)
     ]
     local_footprint = sum(profiles[s].footprint for s in local_structs)
-    sram_preset = (
-        _sram_preset_for(library, local_footprint) if local_structs else None
-    )
+    sram_presets: tuple[str, ...] = ()
+    if local_structs:
+        sram_presets = tuple(
+            name
+            for kind in config.sram_kinds
+            for name in (_sram_preset_for(library, local_footprint, kind),)
+            if name is not None
+        )
 
     stream_options = config.stream_buffer_options if stream_structs else (None,)
     dma_options = config.dma_options if si_structs else (None,)
-    sram_options = (
-        config.map_indexed_to_sram if sram_preset is not None else (False,)
-    )
+    # The scratchpad axis enumerates concrete presets (one per eligible
+    # kind); ``map_indexed_to_sram`` keeps its historical booleans, so
+    # (False, True) with one kind is exactly the old (no-sram, sram)
+    # pair in the old order.
+    sram_options: tuple[str | None, ...] = (None,)
+    if sram_presets:
+        sram_options = tuple(
+            name
+            for flag in config.map_indexed_to_sram
+            for name in ((sram_presets if flag else (None,)))
+        )
+    dram_axis = config.dram_options or (config.dram_preset,)
 
     architectures: list[MemoryArchitecture] = []
     index = 0
-    for cache_name, stream_name, dma_name, use_sram in itertools.product(
-        config.cache_options, stream_options, dma_options, sram_options
+    for cache_name, stream_name, dma_name, sram_name, dram_name in (
+        itertools.product(
+            config.cache_options,
+            stream_options,
+            dma_options,
+            sram_options,
+            dram_axis,
+        )
     ):
         modules: list[MemoryModule] = []
         mapping: dict[str, str] = {}
@@ -192,11 +221,11 @@ def enumerate_architectures(
             modules.append(library.get(dma_name).instantiate("si_dma"))
             for struct in si_structs:
                 mapping[struct] = "si_dma"
-        if use_sram and sram_preset is not None:
-            modules.append(library.get(sram_preset).instantiate("sram"))
+        if sram_name is not None:
+            modules.append(library.get(sram_name).instantiate("sram"))
             for struct in local_structs:
                 mapping[struct] = "sram"
-        dram = library.get(config.dram_preset).instantiate()
+        dram = library.get(dram_name).instantiate()
         assert isinstance(dram, Dram)
         default = "cache" if cache_name is not None else DRAM
         architecture = MemoryArchitecture(

@@ -28,7 +28,7 @@ import argparse
 import sys
 from typing import Sequence
 
-from repro import obs
+from repro import obs, registry
 from repro.apex.explorer import ApexConfig, explore_memory_architectures
 from repro.conex.explorer import ConExConfig
 from repro.connectivity.library import default_connectivity_library
@@ -71,6 +71,22 @@ def _add_jobs_argument(parser: argparse.ArgumentParser) -> None:
         metavar="N",
         help="worker processes for simulation batches "
         "(default: REPRO_WORKERS or serial)",
+    )
+
+
+def _add_library_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memory-lib",
+        default=None,
+        metavar="NAME",
+        help="registered memory IP library (default: 'default'; "
+        "see repro.registry)",
+    )
+    parser.add_argument(
+        "--conn-lib",
+        default=None,
+        metavar="NAME",
+        help="registered connectivity IP library (default: 'default')",
     )
 
 
@@ -118,6 +134,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(apex_cmd)
     _add_jobs_argument(apex_cmd)
+    _add_library_arguments(apex_cmd)
     _add_backend_argument(apex_cmd)
     _add_metrics_arguments(apex_cmd)
     apex_cmd.add_argument("--select", type=int, default=5)
@@ -127,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(explore_cmd)
     _add_jobs_argument(explore_cmd)
+    _add_library_arguments(explore_cmd)
     _add_backend_argument(explore_cmd)
     _add_metrics_arguments(explore_cmd)
     explore_cmd.add_argument("--select", type=int, default=5)
@@ -144,6 +162,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_arguments(coverage_cmd)
     _add_jobs_argument(coverage_cmd)
+    _add_library_arguments(coverage_cmd)
     _add_backend_argument(coverage_cmd)
     _add_metrics_arguments(coverage_cmd)
 
@@ -227,6 +246,10 @@ def _build_parser() -> argparse.ArgumentParser:
     submit_cmd.add_argument("--keep", type=int, default=8)
     submit_cmd.add_argument("--priority", type=int, default=0)
     submit_cmd.add_argument(
+        "--library", default=None, metavar="NAME",
+        help="registered IP-library pair for the job (repro.registry)",
+    )
+    submit_cmd.add_argument(
         "--workers", type=int, default=None, metavar="N",
         help="simulation workers for this job",
     )
@@ -269,8 +292,20 @@ def _cmd_workloads(_: argparse.Namespace) -> None:
 
 
 def _cmd_libraries(_: argparse.Namespace) -> None:
+    from repro.connectivity.library import component_families
+    from repro.memory.library import module_types
+
+    print(f"registered libraries: {', '.join(registry.library_names())}")
+    print(
+        "module families: "
+        + ", ".join(entry.name for entry in module_types())
+    )
+    print(
+        "connectivity families: "
+        + ", ".join(entry.name for entry in component_families())
+    )
     memory = default_memory_library()
-    print(f"memory IP library ({len(memory)} presets):")
+    print(f"\nmemory IP library ({len(memory)} presets):")
     for name in memory.names():
         module = memory.get(name).instantiate()
         print(
@@ -320,7 +355,7 @@ def _cmd_apex(args: argparse.Namespace) -> None:
     with ExecutionRuntime(workers=args.jobs) as runtime:
         result = explore_memory_architectures(
             trace,
-            default_memory_library(),
+            registry.memory_library(args.memory_lib),
             ApexConfig(select_count=args.select),
             hints=workload.pattern_hints,
             workers=args.jobs,
@@ -350,7 +385,10 @@ def _cmd_explore(args: argparse.Namespace) -> None:
     )
     with ExecutionRuntime(workers=args.jobs) as runtime:
         result = run_memorex(
-            workload, config=config, workers=args.jobs, runtime=runtime,
+            workload,
+            memory_library=args.memory_lib,
+            connectivity_library=args.conn_lib,
+            config=config, workers=args.jobs, runtime=runtime,
             backend=args.backend,
         )
         _print_runtime_faults(runtime)
@@ -391,8 +429,8 @@ def _cmd_coverage(args: argparse.Namespace) -> None:
     )
     common = (
         trace,
-        default_memory_library(),
-        default_connectivity_library(),
+        registry.memory_library(args.memory_lib),
+        registry.connectivity_library(args.conn_lib),
         apex_config,
         conex_config,
     )
@@ -485,6 +523,8 @@ def _cmd_submit(args: argparse.Namespace) -> None:
         "keep": args.keep,
         "priority": args.priority,
     }
+    if args.library is not None:
+        spec["library"] = args.library
     if args.backend is not None:
         spec["backend"] = args.backend
     if args.workers is not None:

@@ -21,7 +21,7 @@ constraint" guard on the number of logical connections.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
 
@@ -29,20 +29,31 @@ from repro.conex.clustering import ClusteringLevel, LogicalConnection
 from repro.connectivity.architecture import (
     ClusterAssignment,
     ConnectivityArchitecture,
+    cluster_ports,
 )
 from repro.connectivity.library import ConnectivityLibrary, ConnectivityPreset
 from repro.errors import ExplorationError
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.apex.architectures import MemoryArchitecture
+
 
 def compatible_presets(
-    cluster: LogicalConnection, library: ConnectivityLibrary
+    cluster: LogicalConnection,
+    library: ConnectivityLibrary,
+    memory: "MemoryArchitecture | None" = None,
 ) -> list[ConnectivityPreset]:
-    """Library presets able to implement ``cluster``."""
+    """Library presets able to implement ``cluster``.
+
+    With ``memory``, port demand weighs multi-port modules by their
+    port count (:func:`repro.connectivity.architecture.cluster_ports`);
+    without it, each endpoint counts one port.
+    """
     if cluster.crosses_chip:
         pool = library.off_chip_choices()
     else:
         pool = library.on_chip_choices()
-    ports = len(cluster.endpoints)
+    ports = cluster_ports(cluster.endpoints, memory)
     return [preset for preset in pool if preset.max_ports >= ports]
 
 
@@ -161,11 +172,13 @@ def plan_assignments(
     library: ConnectivityLibrary,
     name_prefix: str = "conn",
     max_assignments: int = 4096,
+    memory: "MemoryArchitecture | None" = None,
 ) -> AssignmentPlan:
     """The feasible assignments for one level, as an index plan.
 
     Raises :class:`ExplorationError` when some cluster has no
     compatible preset (the level is infeasible with this library).
+    ``memory`` refines port feasibility for multi-port modules.
     """
     if max_assignments < 1:
         raise ExplorationError(
@@ -173,7 +186,7 @@ def plan_assignments(
         )
     per_cluster: list[tuple[ConnectivityPreset, ...]] = []
     for cluster in level.clusters:
-        presets = compatible_presets(cluster, library)
+        presets = compatible_presets(cluster, library, memory)
         if not presets:
             raise ExplorationError(
                 f"no library preset can implement cluster with endpoints "
@@ -201,6 +214,7 @@ def plan_assignments(
 def assignment_neighbors(
     connectivity: ConnectivityArchitecture,
     library: ConnectivityLibrary,
+    memory: "MemoryArchitecture | None" = None,
 ) -> list[ConnectivityArchitecture]:
     """One-swap neighbors: each cluster re-mapped to each alternative.
 
@@ -216,7 +230,7 @@ def assignment_neighbors(
             bandwidth=0.0,
             crosses_chip=cluster.crosses_chip,
         )
-        for preset in compatible_presets(logical, library):
+        for preset in compatible_presets(logical, library, memory):
             if preset.name == cluster.preset_name:
                 continue
             clusters = list(connectivity.clusters)
@@ -239,6 +253,7 @@ def enumerate_assignments(
     library: ConnectivityLibrary,
     name_prefix: str = "conn",
     max_assignments: int = 4096,
+    memory: "MemoryArchitecture | None" = None,
 ) -> list[ConnectivityArchitecture]:
     """All feasible connectivity architectures for one clustering level.
 
@@ -247,6 +262,6 @@ def enumerate_assignments(
     """
     plan = plan_assignments(
         level, library, name_prefix=name_prefix,
-        max_assignments=max_assignments,
+        max_assignments=max_assignments, memory=memory,
     )
     return [plan.materialize(index) for index in range(len(plan))]

@@ -41,6 +41,7 @@ from repro.channels import Channel
 from repro.connectivity.architecture import (
     ConnectivityArchitecture,
     attached_area_gates,
+    cluster_ports,
 )
 from repro.errors import ExplorationError
 from repro.sim.metrics import SimulationResult
@@ -52,6 +53,19 @@ if TYPE_CHECKING:  # pragma: no cover - annotation-only import
 #: blocking master cannot queue more deeply than a few in-flight
 #: services' worth of backlog (background prefetch/writeback traffic).
 CLOSED_LOOP_WAIT_CAP = 3.0
+
+#: Fraction of each background transfer's transport latency that
+#: escapes latency hiding and stalls the consumer. Background traffic
+#: (DMA prefetches, cache writebacks) is mostly overlapped, but a
+#: channel dominated by it — e.g. a DMA's backing link, where the
+#: lookahead window is finite — throttles the closed loop roughly in
+#: proportion to the per-transfer latency the connectivity adds.
+#: Without this term, channels whose traffic is almost entirely
+#: background (dma->dram) are priced only through contention waits on
+#: their handful of demand transfers, and the estimator inverts the
+#: ranking of designs that differ in which off-chip channel got the
+#: wide bus.
+BACKGROUND_CRITICALITY = 0.5
 
 #: Set to ``1`` to make :func:`estimate_plan` fall back to materializing
 #: each candidate and calling :func:`estimate_design` — the scalar
@@ -157,6 +171,16 @@ def estimate_design(
             latency = component.timing(max(1, round(mean_size))).latency
             added_latency += (latency + wait) * transfers / accesses
             channel_waits[channel.name] = wait
+        # Background transfers stall the consumer for the fraction of
+        # their transport latency the lookahead cannot hide.
+        if background_transfers:
+            latency = component.timing(mean_bytes).latency
+            added_latency += (
+                BACKGROUND_CRITICALITY
+                * (latency + wait)
+                * background_transfers
+                / accesses
+            )
 
     cost = profile.memory_cost_gates + connectivity.cost_gates(memory)
     return ConnectivityEstimate(
@@ -234,7 +258,7 @@ def _estimate_plan(
         presets = plan.presets[position]
         components = [preset.build() for preset in presets]
         column = choices[:, position]
-        ports = len(cluster.endpoints)
+        ports = cluster_ports(cluster.endpoints, memory)
         area = attached_area_gates(cluster.endpoints, memory)
 
         cost_terms = np.array(
@@ -310,6 +334,21 @@ def _estimate_plan(
             wait_entries.append(
                 (channel.name, np.array(waits, dtype=np.float64)[column])
             )
+        # Same background-criticality fold as the scalar path, added
+        # after the cluster's critical channels to keep the float adds
+        # in the scalar accumulation order.
+        if background_transfers:
+            background_terms = np.array(
+                [
+                    BACKGROUND_CRITICALITY
+                    * (component.timing(mean_bytes).latency + wait)
+                    * background_transfers
+                    / accesses
+                    for component, wait in zip(components, waits)
+                ],
+                dtype=np.float64,
+            )
+            latency_acc = latency_acc + background_terms[column]
 
     cost = profile.memory_cost_gates + cost_acc
     avg_latency = profile.avg_latency + latency_acc

@@ -237,6 +237,7 @@ def connectivity_exploration(
             library,
             name_prefix=f"{memory.name}",
             max_assignments=config.max_assignments_per_level,
+            memory=memory,
         )
         indices = []
         for index in range(len(plan)):

@@ -14,10 +14,15 @@ from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
 from repro.connectivity.component import ConnectivityComponent, TransferTiming
 from repro.connectivity.dedicated import DedicatedConnection
 from repro.connectivity.library import (
+    ComponentFamily,
     ConnectivityLibrary,
     ConnectivityPreset,
+    component_families,
+    component_family,
     default_connectivity_library,
+    register_component_family,
 )
+from repro.connectivity.mesh import MeshConnection
 from repro.connectivity.mux import MuxConnection
 from repro.connectivity.offchip import OffChipBus
 from repro.connectivity.wire import (
@@ -30,15 +35,20 @@ __all__ = [
     "AhbBus",
     "ApbBus",
     "AsbBus",
+    "ComponentFamily",
     "ConnectivityComponent",
     "ConnectivityLibrary",
     "ConnectivityPreset",
     "DedicatedConnection",
+    "MeshConnection",
     "MuxConnection",
     "OffChipBus",
     "TransferTiming",
     "WireModel",
+    "component_families",
+    "component_family",
     "default_connectivity_library",
+    "register_component_family",
     "wire_energy_nj_per_byte",
     "wire_length_mm",
 ]

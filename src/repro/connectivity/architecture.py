@@ -31,6 +31,27 @@ CPU_BLOCK_GATES = 120_000.0
 DRAM_IO_BLOCK_GATES = 30_000.0
 
 
+def cluster_ports(
+    endpoints: Iterable[str], memory: MemoryArchitecture | None
+) -> int:
+    """Component ports needed to attach ``endpoints``.
+
+    Single-ported modules, the CPU, and the DRAM each take one port; a
+    multi-port module (``ports`` attribute > 1, e.g.
+    :class:`~repro.memory.multiport.MultiPortSram`) needs one component
+    port per access port, so its presence can make a small preset
+    (dedicated, mux) infeasible. With no ``memory`` to consult, every
+    endpoint counts one port — the pre-multi-port behaviour.
+    """
+    total = 0
+    for endpoint in endpoints:
+        if memory is None or endpoint == CPU or endpoint == DRAM:
+            total += 1
+        else:
+            total += int(getattr(memory.module(endpoint), "ports", 1))
+    return total
+
+
 def attached_area_gates(
     endpoints: Iterable[str], memory: MemoryArchitecture
 ) -> float:
@@ -147,7 +168,7 @@ class ConnectivityArchitecture:
         total = 0.0
         for cluster in self.clusters:
             total += cluster.component.cost_gates(
-                ports=len(cluster.endpoints),
+                ports=cluster_ports(cluster.endpoints, memory),
                 attached_area_gates=self._attached_area(cluster, memory),
             )
         return total
@@ -158,7 +179,7 @@ class ConnectivityArchitecture:
         """Per-byte transfer energy on ``channel``'s component."""
         cluster = self.cluster_for(channel)
         return cluster.component.energy_nj_per_byte(
-            ports=len(cluster.endpoints),
+            ports=cluster_ports(cluster.endpoints, memory),
             attached_area_gates=self._attached_area(cluster, memory),
         )
 

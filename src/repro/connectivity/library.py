@@ -9,9 +9,70 @@ from typing import Callable, Iterable
 from repro.connectivity.amba import AhbBus, ApbBus, AsbBus
 from repro.connectivity.component import ConnectivityComponent
 from repro.connectivity.dedicated import DedicatedConnection
+from repro.connectivity.mesh import MeshConnection
 from repro.connectivity.mux import MuxConnection
 from repro.connectivity.offchip import OffChipBus
-from repro.errors import LibraryError
+from repro.errors import LibraryError, UnknownPresetError
+
+
+@dataclass(frozen=True)
+class ComponentFamily:
+    """One registered connectivity-component family.
+
+    The mirror of :class:`repro.memory.library.ModuleType` for the
+    connectivity side: a stable string name, the component class, and
+    an ``example`` factory feeding the contract tests.
+    """
+
+    name: str
+    cls: type[ConnectivityComponent]
+    off_chip_capable: bool
+    example: Callable[[], ConnectivityComponent] = field(compare=False)
+
+
+_COMPONENT_FAMILIES: dict[str, ComponentFamily] = {}
+
+
+def register_component_family(
+    name: str,
+    cls: type[ConnectivityComponent],
+    example: Callable[[], ConnectivityComponent],
+    off_chip_capable: bool = False,
+) -> ComponentFamily:
+    """Register a connectivity family under a stable string name."""
+    if not (isinstance(cls, type) and issubclass(cls, ConnectivityComponent)):
+        raise LibraryError(
+            f"component family '{name}' is not a ConnectivityComponent: {cls!r}"
+        )
+    existing = _COMPONENT_FAMILIES.get(name)
+    if existing is not None:
+        if existing.cls is cls:
+            return existing
+        raise LibraryError(
+            f"component family '{name}' already registered for "
+            f"{existing.cls.__name__}"
+        )
+    entry = ComponentFamily(
+        name=name, cls=cls, off_chip_capable=off_chip_capable, example=example
+    )
+    _COMPONENT_FAMILIES[name] = entry
+    return entry
+
+
+def component_families() -> tuple[ComponentFamily, ...]:
+    """All registered connectivity families, sorted by name."""
+    return tuple(_COMPONENT_FAMILIES[name] for name in sorted(_COMPONENT_FAMILIES))
+
+
+def component_family(name: str) -> ComponentFamily:
+    """Look up one registered connectivity family by name."""
+    try:
+        return _COMPONENT_FAMILIES[name]
+    except KeyError:
+        raise UnknownPresetError(
+            f"no component family '{name}'; "
+            f"known: {', '.join(sorted(_COMPONENT_FAMILIES))}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -66,7 +127,7 @@ class ConnectivityLibrary:
         try:
             return self._presets[name]
         except KeyError:
-            raise LibraryError(
+            raise UnknownPresetError(
                 f"no connectivity preset '{name}'; "
                 f"known: {', '.join(sorted(self._presets))}"
             ) from None
@@ -104,6 +165,13 @@ def default_connectivity_library() -> ConnectivityLibrary:
         ("asb", "asb", False, lambda: AsbBus("asb")),
         ("ahb", "ahb", False, lambda: AhbBus("ahb", width_bytes=4)),
         ("ahb_wide", "ahb", False, lambda: AhbBus("ahb_wide", width_bytes=8)),
+        ("mesh_2x2", "mesh", False, lambda: MeshConnection("mesh_2x2", 2, 2)),
+        (
+            "mesh_4x4",
+            "mesh",
+            False,
+            lambda: MeshConnection("mesh_4x4", 4, 4, width_bytes=8),
+        ),
         ("offchip_16", "offchip", True, lambda: OffChipBus("offchip_16", 2)),
         ("offchip_32", "offchip", True, lambda: OffChipBus("offchip_32", 4)),
     ]
@@ -114,3 +182,23 @@ def default_connectivity_library() -> ConnectivityLibrary:
             )
         )
     return library
+
+
+# The built-in connectivity families, mirroring the memory-side
+# register_module_type() calls.
+register_component_family(
+    "dedicated", DedicatedConnection, lambda: DedicatedConnection("dedicated")
+)
+register_component_family("mux", MuxConnection, lambda: MuxConnection("mux"))
+register_component_family("apb", ApbBus, lambda: ApbBus("apb"))
+register_component_family("asb", AsbBus, lambda: AsbBus("asb"))
+register_component_family("ahb", AhbBus, lambda: AhbBus("ahb", width_bytes=4))
+register_component_family(
+    "mesh", MeshConnection, lambda: MeshConnection("mesh", 2, 2)
+)
+register_component_family(
+    "offchip",
+    OffChipBus,
+    lambda: OffChipBus("offchip", 4),
+    off_chip_capable=True,
+)

@@ -1,0 +1,100 @@
+"""2D mesh (NoC) connectivity: XY-routed packet links.
+
+A :class:`MeshConnection` models a ``rows`` x ``cols`` grid of
+wormhole routers with dimension-ordered (XY) routing, folded into the
+library's closed-form transfer model:
+
+* **per-hop latency** — the head flit crosses one router plus one
+  link per hop; ``base_latency`` is ``per_hop_latency`` times the
+  expected XY route length between two uniformly placed endpoints
+  (mean Manhattan distance, plus the ejection hop).
+* **link contention** — wormhole switching streams body flits behind
+  the head, so the component is ``pipelined``: its occupancy is the
+  data cycles only, and concurrent transactions serialize on the
+  shared fabric through the cluster occupancy timeline exactly like a
+  pipelined bus. Packets release the fabric while a slave (e.g. the
+  DRAM core) is busy, hence ``split_transactions``.
+* **per-hop energy** — each hop charges its link and router crossbar;
+  ``energy_scale`` grows with the expected hop count.
+* **cost** — every router carries an arbiter + crossbar, so protocol
+  complexity scales with the router count; ``max_ports`` is the
+  router count (one attachment per tile).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.connectivity.component import ConnectivityComponent
+from repro.errors import ConfigurationError
+
+__all__ = ["MeshConnection", "mean_xy_hops"]
+
+#: Fractional energy added per expected hop beyond the first (link +
+#: router crossbar traversal relative to a single shared-bus hop).
+HOP_ENERGY_OVERHEAD = 0.2
+
+#: Protocol-complexity contribution of one router's arbiter/crossbar,
+#: relative to a simple arbitrated bus controller.
+ROUTER_COMPLEXITY = 0.35
+
+
+def mean_xy_hops(rows: int, cols: int) -> int:
+    """Expected XY route length on a ``rows`` x ``cols`` mesh.
+
+    Mean Manhattan distance between two independently uniform tiles —
+    ``(n^2 - 1) / 3n`` per dimension — plus one ejection hop, rounded
+    up to a whole number of cycles-worth of hops.
+    """
+    if rows < 1 or cols < 1:
+        raise ConfigurationError(f"mesh must be at least 1x1: {rows}x{cols}")
+    mean_distance = (rows * rows - 1) / (3 * rows) + (cols * cols - 1) / (
+        3 * cols
+    )
+    return math.ceil(mean_distance) + 1
+
+
+class MeshConnection(ConnectivityComponent):
+    """Wormhole-routed 2D mesh fabric, XY dimension-ordered."""
+
+    kind = "mesh"
+
+    def __init__(
+        self,
+        name: str = "mesh",
+        rows: int = 2,
+        cols: int = 2,
+        width_bytes: int = 4,
+        per_hop_latency: int = 1,
+        cycles_per_beat: int = 1,
+    ) -> None:
+        if per_hop_latency < 1:
+            raise ConfigurationError(
+                f"per-hop latency must be >= 1: {per_hop_latency}"
+            )
+        hops = mean_xy_hops(rows, cols)
+        routers = rows * cols
+        super().__init__(
+            name=name,
+            width_bytes=width_bytes,
+            base_latency=per_hop_latency * hops,
+            cycles_per_beat=cycles_per_beat,
+            pipelined=True,  # wormhole: body flits stream behind the head
+            split_transactions=True,
+            max_ports=routers,
+            protocol_complexity=ROUTER_COMPLEXITY
+            * routers
+            * (width_bytes / 4),
+            on_chip=True,
+            point_to_point=False,
+            energy_scale=1.0 + HOP_ENERGY_OVERHEAD * (hops - 1),
+        )
+        self.rows = rows
+        self.cols = cols
+        self.per_hop_latency = per_hop_latency
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: {self.width_bytes * 8}-bit {self.rows}x{self.cols} "
+            f"XY mesh ({self.per_hop_latency}cyc/hop, wormhole)"
+        )

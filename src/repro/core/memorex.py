@@ -2,18 +2,17 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
-from repro import obs
+from repro import obs, registry
 from repro.apex.explorer import ApexConfig, ApexResult, explore_memory_architectures
 from repro.conex.explorer import ConExConfig, ConExResult, explore_connectivity
-from repro.connectivity.library import (
-    ConnectivityLibrary,
-    default_connectivity_library,
-)
+from repro.connectivity.library import ConnectivityLibrary
+from repro.errors import ConfigurationError
 from repro.exec.cache import SimulationCache
 from repro.exec.runtime import ExecutionRuntime
-from repro.memory.library import MemoryLibrary, default_memory_library
+from repro.memory.library import MemoryLibrary
 from repro.trace.events import Trace
 from repro.workloads.base import Workload
 
@@ -43,13 +42,14 @@ class MemorExResult:
 
 def run_memorex(
     workload: Workload,
-    memory_library: MemoryLibrary | None = None,
-    connectivity_library: ConnectivityLibrary | None = None,
+    memory_library: MemoryLibrary | str | None = None,
+    connectivity_library: ConnectivityLibrary | str | None = None,
     config: MemorExConfig | None = None,
     workers: int | None = None,
     cache: SimulationCache | None = None,
     runtime: ExecutionRuntime | None = None,
     backend: "ExecutionBackend | str | None" = None,
+    library: str | None = None,
 ) -> MemorExResult:
     """Run the full exploration on one workload.
 
@@ -58,10 +58,48 @@ def run_memorex(
     returns all intermediate and final results. ``workers`` and
     ``cache`` feed the :mod:`repro.exec` engine in both stages (serial
     and uncached-by-request are the ``1`` / ``NULL_CACHE`` values).
+
+    Libraries resolve through :mod:`repro.registry`: ``library`` names
+    a registered pair, or ``memory_library`` / ``connectivity_library``
+    name each side individually (strings). Passing library *objects*
+    still works but is deprecated — register the pair under a name
+    instead (see ``docs/api.md``).
     """
     config = config or MemorExConfig()
-    memory_library = memory_library or default_memory_library()
-    connectivity_library = connectivity_library or default_connectivity_library()
+    if library is not None and (
+        memory_library is not None or connectivity_library is not None
+    ):
+        raise ConfigurationError(
+            "pass either a registered library name or per-side "
+            "libraries, not both"
+        )
+    if isinstance(memory_library, str):
+        memory_library = registry.memory_library(memory_library)
+    elif memory_library is not None:
+        warnings.warn(
+            "passing a MemoryLibrary object to run_memorex is deprecated; "
+            "register it with repro.registry.register_memory_library() and "
+            "pass its name (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    if isinstance(connectivity_library, str):
+        connectivity_library = registry.connectivity_library(
+            connectivity_library
+        )
+    elif connectivity_library is not None:
+        warnings.warn(
+            "passing a ConnectivityLibrary object to run_memorex is "
+            "deprecated; register it with "
+            "repro.registry.register_connectivity_library() and pass its "
+            "name (see docs/api.md)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+    memory_library = memory_library or registry.memory_library(library)
+    connectivity_library = connectivity_library or registry.connectivity_library(
+        library
+    )
 
     with obs.span("memorex.run"):
         trace = workload.trace()

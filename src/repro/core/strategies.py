@@ -213,7 +213,7 @@ def _run_neighborhood(
     for point in conex.simulated:
         memory = point.memory_eval.architecture
         for neighbor in assignment_neighbors(
-            point.connectivity, connectivity_library
+            point.connectivity, connectivity_library, memory
         ):
             key = (memory.name, neighbor.preset_signature())
             if key in seen:

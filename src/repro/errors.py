@@ -24,6 +24,20 @@ class LibraryError(ReproError):
     """A component lookup failed or a library was built incorrectly."""
 
 
+class UnknownPresetError(LibraryError, KeyError):
+    """A library lookup named a preset that is not registered.
+
+    Also a :class:`KeyError` so callers treating libraries as mappings
+    can use the dict idiom; the message names the missing preset and
+    lists the registered alternatives.
+    """
+
+    def __str__(self) -> str:
+        # KeyError.__str__ reprs args[0] (it expects a bare key); this
+        # error carries a full sentence, so show it verbatim.
+        return self.args[0] if self.args else ""
+
+
 class SimulationError(ReproError):
     """The simulator reached an inconsistent internal state."""
 

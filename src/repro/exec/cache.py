@@ -85,7 +85,7 @@ _SUFFIX = ".simres.pkl"
 #: stale or foreign file is evicted when encountered rather than
 #: deserialized into a result produced by different kernel code).
 #: Bump on any change that could alter simulation results.
-KERNEL_PLAN_VERSION = 7
+KERNEL_PLAN_VERSION = 8
 
 #: Consecutive network faults before a cache peer is written off.
 _NET_FAULT_LIMIT = 3

@@ -24,8 +24,17 @@ from repro.memory.energy import (
     dram_access_energy_nj,
     sram_access_energy_nj,
 )
-from repro.memory.library import MemoryLibrary, default_memory_library
+from repro.memory.library import (
+    MemoryLibrary,
+    ModuleType,
+    default_memory_library,
+    module_type,
+    module_types,
+    register_module_type,
+)
 from repro.memory.module import MemoryModule, ModuleResponse
+from repro.memory.multichannel import MultiChannelDram
+from repro.memory.multiport import MultiPortSram
 from repro.memory.sram import Sram
 from repro.memory.stream_buffer import StreamBuffer
 
@@ -36,6 +45,9 @@ __all__ = [
     "MemoryLibrary",
     "MemoryModule",
     "ModuleResponse",
+    "ModuleType",
+    "MultiChannelDram",
+    "MultiPortSram",
     "SelfIndirectDma",
     "Sram",
     "StreamBuffer",
@@ -44,5 +56,8 @@ __all__ = [
     "controller_area_gates",
     "default_memory_library",
     "dram_access_energy_nj",
+    "module_type",
+    "module_types",
+    "register_module_type",
     "sram_access_energy_nj",
 ]

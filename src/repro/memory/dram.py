@@ -20,6 +20,15 @@ class Dram(MemoryModule):
     (so streams and scattered structures disturb each other's open
     rows less on multi-bank parts).
 
+    The open-row bookkeeping is organised around *slots*: the base
+    part has one slot per bank, and channelled subclasses (see
+    :class:`repro.memory.multichannel.MultiChannelDram`) expose one
+    slot per (channel, bank) pair by overriding :meth:`_locate` /
+    :meth:`_slot_rows` and :attr:`bank_slots`. ``channels`` /
+    :meth:`channel_of` / :meth:`channel_column` tell the simulator how
+    many independent core timelines the part offers; the base part is
+    single-channel.
+
     The DRAM contributes no on-chip gates; its cost to the system is
     the I/O + off-chip bus cost, which the connectivity model carries.
     """
@@ -27,6 +36,11 @@ class Dram(MemoryModule):
     kind = "dram"
     on_chip = False
     supports_batch = True
+
+    #: Independent request timelines the part offers. A class attribute
+    #: so single-channel parts keep their cache signatures (class
+    #: attributes never enter ``config_signature``).
+    channels = 1
 
     def __init__(
         self,
@@ -51,7 +65,7 @@ class Dram(MemoryModule):
         self.page_hit_latency = page_hit_latency
         self.row_bytes = row_bytes
         self.banks = banks
-        self._open_rows: list[int | None] = [None] * banks
+        self._open_rows: list[int | None] = [None] * self.bank_slots
         self.accesses = 0
         self.page_hits = 0
 
@@ -63,14 +77,40 @@ class Dram(MemoryModule):
     def access_energy_nj(self) -> float:
         return dram_access_energy_nj(self.row_bytes // 32)
 
+    @property
+    def bank_slots(self) -> int:
+        """Number of independent open-row slots."""
+        return self.banks
+
+    def channel_of(self, address: int) -> int:
+        """The request channel serving ``address`` (base part: 0)."""
+        return 0
+
+    def channel_column(self, addresses: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`channel_of` over a column of addresses."""
+        return np.zeros(len(addresses), dtype=np.int64)
+
     def reset(self) -> None:
-        self._open_rows = [None] * self.banks
+        self._open_rows = [None] * self.bank_slots
         self.accesses = 0
         self.page_hits = 0
 
     def _locate(self, address: int) -> tuple[int, int]:
         row = address // self.row_bytes
         return row % self.banks, row
+
+    def _slot_rows(
+        self, addresses: np.ndarray
+    ) -> tuple[np.ndarray | None, np.ndarray]:
+        """Vectorized :meth:`_locate`: per-address (slot, row) columns.
+
+        Returns ``(None, rows)`` when every address maps to slot 0, so
+        the single-slot fast path can skip the per-slot partitioning.
+        """
+        rows = addresses // self.row_bytes
+        if self.banks == 1:
+            return None, rows
+        return rows % self.banks, rows
 
     def access(
         self, address: int, size: int, kind: AccessKind, tick: int
@@ -90,38 +130,37 @@ class Dram(MemoryModule):
 
         Equivalent to calling :meth:`access` once per address in order:
         a transaction pays the page-hit latency exactly when its row is
-        the one the previous transaction in the same bank left open (or
-        the row open at entry for each bank's first transaction). Row
+        the one the previous transaction in the same slot left open (or
+        the row open at entry for each slot's first transaction). Row
         state and the access/page-hit counters are updated as the
         scalar path would.
         """
         n = len(addresses)
-        rows = addresses // self.row_bytes
+        slots, rows = self._slot_rows(addresses)
         latencies = np.full(n, self.core_latency, dtype=np.int64)
         page_hits = 0
-        if self.banks == 1:
-            bank_slices = ((0, None, rows),)
+        if slots is None:
+            slot_slices = ((0, None, rows),)
         else:
-            banks = rows % self.banks
-            bank_slices = tuple(
-                (bank, indices, rows[indices])
-                for bank in range(self.banks)
-                for indices in (np.flatnonzero(banks == bank),)
+            slot_slices = tuple(
+                (slot, indices, rows[indices])
+                for slot in range(self.bank_slots)
+                for indices in (np.flatnonzero(slots == slot),)
             )
-        for bank, indices, bank_rows in bank_slices:
-            if not len(bank_rows):
+        for slot, indices, slot_rows in slot_slices:
+            if not len(slot_rows):
                 continue
-            previous = np.empty_like(bank_rows)
-            previous[1:] = bank_rows[:-1]
-            open_row = self._open_rows[bank]
+            previous = np.empty_like(slot_rows)
+            previous[1:] = slot_rows[:-1]
+            open_row = self._open_rows[slot]
             previous[0] = -1 if open_row is None else open_row
-            hit = bank_rows == previous
+            hit = slot_rows == previous
             if indices is None:
                 latencies[hit] = self.page_hit_latency
             else:
                 latencies[indices[hit]] = self.page_hit_latency
             page_hits += int(np.count_nonzero(hit))
-            self._open_rows[bank] = int(bank_rows[-1])
+            self._open_rows[slot] = int(slot_rows[-1])
         self.accesses += n
         self.page_hits += page_hits
         return latencies

@@ -12,14 +12,74 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
-from repro.errors import LibraryError
+from repro.errors import LibraryError, UnknownPresetError
 from repro.memory.cache import Cache, WritePolicy
 from repro.memory.dma import SelfIndirectDma
 from repro.memory.linked_list_dma import LinkedListDma
 from repro.memory.dram import Dram
 from repro.memory.module import MemoryModule
+from repro.memory.multichannel import MultiChannelDram
+from repro.memory.multiport import MultiPortSram
 from repro.memory.sram import Sram
 from repro.memory.stream_buffer import StreamBuffer
+
+
+@dataclass(frozen=True)
+class ModuleType:
+    """One registered memory-module family.
+
+    ``example`` builds a representative instance; the contract tests
+    iterate every registered family through it, so any new module type
+    registered here is automatically held to the
+    ``supports_batch``/``access_many`` and signature contracts.
+    """
+
+    name: str
+    cls: type[MemoryModule]
+    example: Callable[[], MemoryModule] = field(compare=False)
+
+
+_MODULE_TYPES: dict[str, ModuleType] = {}
+
+
+def register_module_type(
+    name: str,
+    cls: type[MemoryModule],
+    example: Callable[[], MemoryModule],
+) -> ModuleType:
+    """Register a memory-module family under a stable string name.
+
+    The name keys CLI selectors, service job specs, and the contract
+    test matrix. Registration is idempotent only for identical
+    entries; re-registering a name with a different class is an error.
+    """
+    if not (isinstance(cls, type) and issubclass(cls, MemoryModule)):
+        raise LibraryError(f"module type '{name}' is not a MemoryModule: {cls!r}")
+    existing = _MODULE_TYPES.get(name)
+    if existing is not None:
+        if existing.cls is cls:
+            return existing
+        raise LibraryError(
+            f"module type '{name}' already registered for {existing.cls.__name__}"
+        )
+    entry = ModuleType(name=name, cls=cls, example=example)
+    _MODULE_TYPES[name] = entry
+    return entry
+
+
+def module_types() -> tuple[ModuleType, ...]:
+    """All registered module families, sorted by name."""
+    return tuple(_MODULE_TYPES[name] for name in sorted(_MODULE_TYPES))
+
+
+def module_type(name: str) -> ModuleType:
+    """Look up one registered module family by name."""
+    try:
+        return _MODULE_TYPES[name]
+    except KeyError:
+        raise UnknownPresetError(
+            f"no module type '{name}'; known: {', '.join(sorted(_MODULE_TYPES))}"
+        ) from None
 
 
 @dataclass(frozen=True)
@@ -57,7 +117,7 @@ class MemoryLibrary:
         try:
             return self._presets[name]
         except KeyError:
-            raise LibraryError(
+            raise UnknownPresetError(
                 f"no memory preset '{name}'; known: {', '.join(sorted(self._presets))}"
             ) from None
 
@@ -179,6 +239,17 @@ def default_memory_library() -> MemoryLibrary:
             )
         )
 
+    for ports in (2, 4):
+        library.add(
+            ModulePreset(
+                name=f"mp_sram_8k_{ports}p",
+                kind="multiport_sram",
+                build=lambda p=ports: MultiPortSram(
+                    name=f"mp_sram_8k_{p}p", capacity=8192, ports=p
+                ),
+            )
+        )
+
     library.add(
         ModulePreset(
             name="dram",
@@ -193,12 +264,62 @@ def default_memory_library() -> MemoryLibrary:
             build=lambda: Dram(name="dram", banks=4),
         )
     )
+    for channels in (2, 4):
+        library.add(
+            ModulePreset(
+                name=f"mcdram_{channels}ch",
+                kind="dram",
+                build=lambda ch=channels: MultiChannelDram(
+                    name="dram", channels=ch, interleave="low"
+                ),
+            )
+        )
+    library.add(
+        ModulePreset(
+            name="mcdram_2ch_block",
+            kind="dram",
+            build=lambda: MultiChannelDram(
+                name="dram", channels=2, interleave="block"
+            ),
+        )
+    )
     return library
+
+
+# The built-in module families. Extensions call register_module_type()
+# with their own name/class/example to join the CLI selectors, the
+# service registry, and the contract-test matrix.
+register_module_type("cache", Cache, lambda: Cache("cache", 8192, 32, 2))
+register_module_type("sram", Sram, lambda: Sram("sram", 8192))
+register_module_type(
+    "multiport_sram", MultiPortSram, lambda: MultiPortSram("mp_sram", 8192)
+)
+register_module_type(
+    "stream_buffer", StreamBuffer, lambda: StreamBuffer("stream", 4, 32)
+)
+register_module_type(
+    "self_indirect_dma",
+    SelfIndirectDma,
+    lambda: SelfIndirectDma("si_dma", entries=32, node_size=16, lookahead=4),
+)
+register_module_type(
+    "linked_list_dma",
+    LinkedListDma,
+    lambda: LinkedListDma(
+        "ll_dma", entries=32, node_size=16, lookahead=4, max_chain=64
+    ),
+)
+register_module_type("dram", Dram, lambda: Dram("dram", banks=4))
+register_module_type(
+    "multichannel_dram",
+    MultiChannelDram,
+    lambda: MultiChannelDram("mcdram", channels=2, banks=2),
+)
 
 
 def mixed_architecture(
     trace,
-    library: MemoryLibrary | None = None,
+    library: MemoryLibrary | str | None = None,
     name: str = "mixed",
     cache_preset: str = "cache_8k_32b_2w",
     stream_preset: str = "stream_buffer_4",
@@ -221,6 +342,12 @@ def mixed_architecture(
     from repro.apex.architectures import MemoryArchitecture
     from repro.channels import DRAM
 
+    if isinstance(library, str):
+        # A registered library name (repro.registry), the same selector
+        # the CLI and service accept.
+        from repro import registry
+
+        library = registry.memory_library(library)
     library = library or default_memory_library()
     cache = library.get(cache_preset).instantiate("cache")
     stream = library.get(stream_preset).instantiate("stream")

@@ -1,0 +1,145 @@
+"""Unified component registry: named IP-library builders.
+
+The exploration stack consumes two libraries — memory-module presets
+(:class:`repro.memory.library.MemoryLibrary`) and connectivity presets
+(:class:`repro.connectivity.library.ConnectivityLibrary`). This module
+keys *pairs of builders* by a stable string name so every entry point
+resolves libraries the same way:
+
+* the CLI's ``--memory-lib`` / ``--conn-lib`` selectors,
+* the service's :class:`~repro.service.schemas.JobSpec` ``library``
+  field (validated at submit time, resolved in the worker),
+* :func:`repro.core.memorex.run_memorex`'s ``library`` parameter and
+  :func:`repro.memory.library.mixed_architecture`'s string form.
+
+The ``"default"`` name maps to the paper-reproduction libraries.
+Downstream users register their own spaces once::
+
+    from repro import registry
+
+    registry.register_memory_library("tiny", build_tiny_memory_lib)
+    registry.register_connectivity_library("tiny", build_tiny_conn_lib)
+
+and every entry point above accepts ``"tiny"`` from then on. Builders
+are callables, invoked per lookup, so each resolution returns a fresh
+library (presets are factories; libraries are cheap).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from repro.errors import LibraryError, UnknownPresetError
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only imports
+    from repro.connectivity.library import ConnectivityLibrary
+    from repro.memory.library import MemoryLibrary
+
+__all__ = [
+    "DEFAULT_LIBRARY",
+    "connectivity_library",
+    "connectivity_library_names",
+    "library_names",
+    "memory_library",
+    "memory_library_names",
+    "register_connectivity_library",
+    "register_memory_library",
+]
+
+#: Name of the built-in paper-reproduction library pair.
+DEFAULT_LIBRARY = "default"
+
+_MEMORY_BUILDERS: dict[str, Callable[[], "MemoryLibrary"]] = {}
+_CONNECTIVITY_BUILDERS: dict[str, Callable[[], "ConnectivityLibrary"]] = {}
+
+
+def _register(
+    table: dict, side: str, name: str, builder: Callable
+) -> None:
+    if not name or not isinstance(name, str):
+        raise LibraryError(f"{side} library name must be a non-empty string")
+    existing = table.get(name)
+    if existing is not None and existing is not builder:
+        raise LibraryError(f"{side} library '{name}' already registered")
+    table[name] = builder
+
+
+def register_memory_library(
+    name: str, builder: Callable[[], "MemoryLibrary"]
+) -> None:
+    """Register a named memory-library builder."""
+    _register(_MEMORY_BUILDERS, "memory", name, builder)
+
+
+def register_connectivity_library(
+    name: str, builder: Callable[[], "ConnectivityLibrary"]
+) -> None:
+    """Register a named connectivity-library builder."""
+    _register(_CONNECTIVITY_BUILDERS, "connectivity", name, builder)
+
+
+def _ensure_defaults() -> None:
+    # Lazy: repro.memory.library imports are deferred so importing
+    # repro.registry (e.g. from the service schemas) stays light.
+    if DEFAULT_LIBRARY not in _MEMORY_BUILDERS:
+        from repro.memory.library import default_memory_library
+
+        _MEMORY_BUILDERS[DEFAULT_LIBRARY] = default_memory_library
+    if DEFAULT_LIBRARY not in _CONNECTIVITY_BUILDERS:
+        from repro.connectivity.library import default_connectivity_library
+
+        _CONNECTIVITY_BUILDERS[DEFAULT_LIBRARY] = default_connectivity_library
+
+
+def memory_library(name: str | None = None) -> "MemoryLibrary":
+    """Build the memory library registered under ``name``.
+
+    ``None`` resolves to :data:`DEFAULT_LIBRARY`.
+    """
+    _ensure_defaults()
+    key = DEFAULT_LIBRARY if name is None else name
+    try:
+        builder = _MEMORY_BUILDERS[key]
+    except KeyError:
+        raise UnknownPresetError(
+            f"no memory library '{key}'; "
+            f"known: {', '.join(sorted(_MEMORY_BUILDERS))}"
+        ) from None
+    return builder()
+
+
+def connectivity_library(name: str | None = None) -> "ConnectivityLibrary":
+    """Build the connectivity library registered under ``name``.
+
+    ``None`` resolves to :data:`DEFAULT_LIBRARY`.
+    """
+    _ensure_defaults()
+    key = DEFAULT_LIBRARY if name is None else name
+    try:
+        builder = _CONNECTIVITY_BUILDERS[key]
+    except KeyError:
+        raise UnknownPresetError(
+            f"no connectivity library '{key}'; "
+            f"known: {', '.join(sorted(_CONNECTIVITY_BUILDERS))}"
+        ) from None
+    return builder()
+
+
+def memory_library_names() -> tuple[str, ...]:
+    """Registered memory-library names, sorted."""
+    _ensure_defaults()
+    return tuple(sorted(_MEMORY_BUILDERS))
+
+
+def connectivity_library_names() -> tuple[str, ...]:
+    """Registered connectivity-library names, sorted."""
+    _ensure_defaults()
+    return tuple(sorted(_CONNECTIVITY_BUILDERS))
+
+
+def library_names() -> tuple[str, ...]:
+    """Names registered on *both* sides — usable as a JobSpec library."""
+    _ensure_defaults()
+    return tuple(
+        sorted(set(_MEMORY_BUILDERS) & set(_CONNECTIVITY_BUILDERS))
+    )

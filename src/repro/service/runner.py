@@ -26,16 +26,14 @@ from __future__ import annotations
 import pathlib
 import threading
 
-from repro import obs
+from repro import obs, registry
 from repro.apex.explorer import ApexConfig, explore_memory_architectures
 from repro.conex.explorer import ConExConfig, explore_connectivity
-from repro.connectivity.library import default_connectivity_library
 from repro.core.design_point import summarize
 from repro.errors import ReproError
 from repro.exec.backend import ExecutionBackend, resolve_backend
 from repro.exec.cache import SimulationCache
 from repro.exec.runtime import ExecutionRuntime
-from repro.memory.library import default_memory_library
 from repro.service import jobs as jobstates
 from repro.service.jobs import Job, JobStore
 from repro.workloads import get_workload
@@ -186,7 +184,7 @@ def _run_spec(
     baseline = obs.snapshot() if collect else None
     apex = explore_memory_architectures(
         trace,
-        default_memory_library(),
+        registry.memory_library(spec.library),
         ApexConfig(select_count=spec.select),
         hints=workload.pattern_hints,
         workers=spec.workers,
@@ -222,7 +220,7 @@ def _run_spec(
     conex = explore_connectivity(
         trace,
         apex.selected,
-        default_connectivity_library(),
+        registry.connectivity_library(spec.library),
         ConExConfig(phase1_keep=spec.keep),
         workers=spec.workers,
         cache=cache,

@@ -23,6 +23,7 @@ from __future__ import annotations
 import re
 from dataclasses import asdict, dataclass
 
+from repro import registry
 from repro.errors import ServiceError
 from repro.workloads import workload_names
 
@@ -62,6 +63,8 @@ class JobSpec:
     workers: int | None = None
     priority: int = 0
     tenant: str = DEFAULT_TENANT
+    #: Registered IP-library pair (repro.registry); None = default.
+    library: str | None = None
 
 
 def job_kind_names() -> tuple[str, ...]:
@@ -108,6 +111,12 @@ def parse_job_spec(payload: object, tenant: str | None = None) -> JobSpec:
         raise ServiceError(
             f"unknown backend {backend!r} (expected serial, pool, or remote)"
         )
+    library = payload.get("library")
+    if library is not None and library not in registry.library_names():
+        raise ServiceError(
+            f"unknown library {library!r} "
+            f"(expected one of {registry.library_names()})"
+        )
     tenant = tenant if tenant is not None else payload.get("tenant")
     tenant = tenant if tenant not in (None, "") else DEFAULT_TENANT
     if not isinstance(tenant, str) or not _TENANT_RE.match(tenant):
@@ -125,6 +134,7 @@ def parse_job_spec(payload: object, tenant: str | None = None) -> JobSpec:
         workers=_field(payload, "workers", int, None),
         priority=_field(payload, "priority", int, 0),
         tenant=tenant,
+        library=library,
     )
     if spec.scale <= 0:
         raise ServiceError(f"scale must be positive, got {spec.scale}")

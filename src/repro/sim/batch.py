@@ -328,6 +328,13 @@ class GroupPlan:
         self.refill_l = (cols.refill > 0).tolist()
         self.bg_l = (cols.offpath > 0).tolist()
         self.core_l = core.tolist()
+        # Per-access DRAM channel column (memory-determined, so shared
+        # across the group's members like the other outcome columns).
+        dram = memory.dram
+        if dram.channels == 1:
+            self.dch_l = [0] * n
+        else:
+            self.dch_l = dram.channel_column(trace.addresses).tolist()
         self.rsrc_l = stall_src.tolist()
         self.ralpha_l = stall_alpha.tolist()
         self.rbeta_l = stall_beta.tolist()
@@ -643,6 +650,7 @@ def _replay_pass(
     refill_l = gplan.refill_l
     bg_l = gplan.bg_l
     core_l = gplan.core_l
+    dch_l = gplan.dch_l
     rsrc_l = gplan.rsrc_l
     ralpha_l = gplan.ralpha_l
     rbeta_l = gplan.rbeta_l
@@ -691,14 +699,16 @@ def _replay_pass(
                     start = issue if issue >= free else free
                     wait_acc += start - issue
                     command_done = start + cbase
+                    dch = dch_l[k]
+                    chfree = dram_free[dch]
                     dram_start = (
                         command_done
-                        if command_done >= dram_free
-                        else dram_free
+                        if command_done >= chfree
+                        else chfree
                     )
                     core_k = core_l[k]
                     completion = dram_start + core_k + dbeats_l[k]
-                    dram_free = dram_start + core_k
+                    dram_free[dch] = dram_start + core_k
                     busy_until = (
                         start + occ_l[k] if csplit else completion
                     )
@@ -736,14 +746,16 @@ def _replay_pass(
                         back_start = served if served >= free else free
                         waits[bch] += back_start - served
                         command_done = back_start + bbase
+                        dch = dch_l[k]
+                        chfree = dram_free[dch]
                         dram_start = (
                             command_done
-                            if command_done >= dram_free
-                            else dram_free
+                            if command_done >= chfree
+                            else chfree
                         )
                         core_k = core_l[k]
                         completion = dram_start + core_k + dbeats_l[k]
-                        dram_free = dram_start + core_k
+                        dram_free[dch] = dram_start + core_k
                         busy_until = (
                             back_start + docc_l[k]
                             if bsplit
@@ -763,10 +775,12 @@ def _replay_pass(
                     occupancy = bgocc_l[k]
                     busys[bch] += occupancy
                     cluster_free[bci] = bg_start + occupancy
+                    dch = dch_l[k]
+                    chfree = dram_free[dch]
                     dram_start = bg_start + bbase
-                    if dram_start < dram_free:
-                        dram_start = dram_free
-                    dram_free = dram_start + page_hit_latency
+                    if dram_start < chfree:
+                        dram_start = chfree
+                    dram_free[dch] = dram_start + page_hit_latency
                 if has_comp:
                     # Reference busy rule: the bus is released after its
                     # occupancy on a split bus or a refill-free access,
@@ -819,17 +833,19 @@ def _replay_pass(
                     wait_acc += start - issue
                     command_done = start + cbase
                     if on:
+                        dch = dch_l[k]
+                        chfree = dram_free[dch]
                         dram_start = (
                             command_done
-                            if command_done >= dram_free
-                            else dram_free
+                            if command_done >= chfree
+                            else chfree
                         )
                     else:
                         dram_start = command_done
                     core_k = core_l[k]
                     completion = dram_start + core_k + dbeats_l[k]
                     if on:
-                        dram_free = dram_start + core_k
+                        dram_free[dch] = dram_start + core_k
                         busy_until = (
                             start + occ_l[k] if csplit else completion
                         )
@@ -876,17 +892,19 @@ def _replay_pass(
                         waits[bch] += back_start - served
                         command_done = back_start + bbase
                         if on:
+                            dch = dch_l[k]
+                            chfree = dram_free[dch]
                             dram_start = (
                                 command_done
-                                if command_done >= dram_free
-                                else dram_free
+                                if command_done >= chfree
+                                else chfree
                             )
                         else:
                             dram_start = command_done
                         core_k = core_l[k]
                         completion = dram_start + core_k + dbeats_l[k]
                         if on:
-                            dram_free = dram_start + core_k
+                            dram_free[dch] = dram_start + core_k
                             busy_until = (
                                 back_start + docc_l[k]
                                 if bsplit
@@ -906,10 +924,12 @@ def _replay_pass(
                     occupancy = bgocc_l[k]
                     busys[bch] += occupancy
                     cluster_free[bci] = bg_start + occupancy
+                    dch = dch_l[k]
+                    chfree = dram_free[dch]
                     dram_start = bg_start + bbase
-                    if dram_start < dram_free:
-                        dram_start = dram_free
-                    dram_free = dram_start + page_hit_latency
+                    if dram_start < chfree:
+                        dram_start = chfree
+                    dram_free[dch] = dram_start + page_hit_latency
                 if has_comp and on:
                     # Reference busy rule: the bus is released after its
                     # occupancy on a split bus or a refill-free access,
@@ -938,7 +958,6 @@ def _replay_pass(
     if busy_acc:
         busys[cch] += busy_acc
     state.lag = lag
-    state.dram_free = dram_free
     for index, wait in enumerate(waits):
         if wait:
             channels[index].wait_cycles += wait

@@ -637,6 +637,7 @@ def _contended_pass(
         refill_l = shared.refill_l
         core_l = shared.core_l
         bg_l = shared.bg_l
+        dch_l = shared.dch_l
         write_l = shared.write_l if posted else None
     else:
         ticks_l = trace.ticks[sel].tolist()
@@ -644,6 +645,11 @@ def _contended_pass(
         refill_l = (cols.refill[sel] > 0).tolist()
         core_l = core[sel].tolist()
         bg_l = (cols.offpath[sel] > 0).tolist()
+        dram = sim.memory.dram
+        if dram.channels == 1:
+            dch_l = [0] * len(ticks_l)
+        else:
+            dch_l = dram.channel_column(trace.addresses)[sel].tolist()
         write_l = write_mask[sel].tolist() if posted else None
     lat_out = [0] * len(ticks_l)
 
@@ -707,12 +713,14 @@ def _contended_pass(
                 start = issue if issue >= free else free
                 wait_acc += start - issue
                 command_done = start + cbase
+                dch = dch_l[k]
+                chfree = dram_free[dch]
                 dram_start = (
-                    command_done if command_done >= dram_free else dram_free
+                    command_done if command_done >= chfree else chfree
                 )
                 core_k = core_l[k]
                 completion = dram_start + core_k + dbeats_l[k]
-                dram_free = dram_start + core_k
+                dram_free[dch] = dram_start + core_k
                 busy_until = start + occ_l[k] if csplit else completion
                 busy_acc += busy_until - start
                 if busy_until > cluster_free[ci]:
@@ -729,14 +737,16 @@ def _contended_pass(
                     back_start = served if served >= free else free
                     waits[bch] += back_start - served
                     command_done = back_start + bbase
+                    dch = dch_l[k]
+                    chfree = dram_free[dch]
                     dram_start = (
                         command_done
-                        if command_done >= dram_free
-                        else dram_free
+                        if command_done >= chfree
+                        else chfree
                     )
                     core_k = core_l[k]
                     completion = dram_start + core_k + dbeats_l[k]
-                    dram_free = dram_start + core_k
+                    dram_free[dch] = dram_start + core_k
                     busy_until = (
                         back_start + docc_l[k] if bsplit else completion
                     )
@@ -752,9 +762,11 @@ def _contended_pass(
                     busys[bch] += occupancy
                     cluster_free[bci] = bg_start + occupancy
                     dram_start = bg_start + bbase
-                    if dram_start < dram_free:
-                        dram_start = dram_free
-                    dram_free = dram_start + page_hit_latency
+                    dch = dch_l[k]
+                    chfree = dram_free[dch]
+                    if dram_start < chfree:
+                        dram_start = chfree
+                    dram_free[dch] = dram_start + page_hit_latency
                 # Non-split bus held for the whole miss (the reference
                 # busy rule: completion == served exactly when there
                 # was no refill).
@@ -784,7 +796,6 @@ def _contended_pass(
     if busy_acc:
         busys[cch] += busy_acc
     state.lag = lag
-    state.dram_free = dram_free
     for i, wait in enumerate(waits):
         if wait:
             channels[i].wait_cycles += wait
@@ -1118,7 +1129,7 @@ def _scalar_span(
         if is_uncached:
             # Uncached: straight to DRAM over the off-chip connection
             # (counts and traffic totals already folded in columnar).
-            completion, wait, dram_free, page_hit = dram_transaction(
+            completion, wait, page_hit = dram_transaction(
                 cpu_state, issue, addresses[i], size, cluster_free,
                 dram_free, on_window,
             )
@@ -1144,7 +1155,7 @@ def _scalar_span(
             completion = served
             refill = refill_l[i]
             if refill:
-                completion, back_wait, dram_free, page_hit = (
+                completion, back_wait, page_hit = (
                     dram_transaction(
                         back_state, served, addresses[i], refill,
                         cluster_free, dram_free, on_window,
@@ -1159,9 +1170,9 @@ def _scalar_span(
                     energy_wires += wire_nj
             off_path = offpath_l[i]
             if off_path:
-                dram_free = background_contention(
-                    back_state, served, off_path, cluster_free,
-                    dram_free, on_window,
+                background_contention(
+                    back_state, served, addresses[i], off_path,
+                    cluster_free, dram_free, on_window,
                 )
                 if counted:
                     # Background prefetch/writeback bursts run in
@@ -1222,7 +1233,7 @@ def _scalar_span(
             completion = served
             if back_state is not None:
                 if refill:
-                    completion, back_wait, dram_free, page_hit = (
+                    completion, back_wait, page_hit = (
                         dram_transaction(
                             back_state, served, addresses[i], refill,
                             cluster_free, dram_free, on_window,
@@ -1239,9 +1250,9 @@ def _scalar_span(
                         energy_wires += wire_nj
                 off_path = writeback + prefetch
                 if off_path:
-                    dram_free = background_traffic(
-                        back_state, served, off_path, cluster_free,
-                        dram_free, on_window,
+                    background_traffic(
+                        back_state, served, addresses[i], off_path,
+                        cluster_free, dram_free, on_window,
                     )
                     if counted:
                         # Background prefetch/writeback bursts run in
@@ -1288,7 +1299,6 @@ def _scalar_span(
             struct_counts[struct_id] += 1
             struct_latency[struct_id] += latency
 
-    state.dram_free = dram_free
     state.lag = lag
     state.measured = measured
     state.latency_sum = latency_sum

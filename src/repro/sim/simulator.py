@@ -121,7 +121,10 @@ class _RunState:
     def __init__(self, simulator: "Simulator") -> None:
         channels = simulator._channels
         self.cluster_free = [0] * (1 + max(c.cluster_index for c in channels))
-        self.dram_free = 0
+        #: One core-occupancy timeline per DRAM channel: transactions
+        #: serialize only against other transactions on their own
+        #: channel (single-channel parts keep the single shared slot).
+        self.dram_free = [0] * simulator.memory.dram.channels
         self.lag = 0
         self.measured = 0
         self.latency_sum = 0
@@ -362,7 +365,7 @@ class Simulator:
 
             if route.module is None:
                 # Uncached: straight to DRAM over the off-chip connection.
-                completion, wait, dram_free, page_hit = self._dram_transaction(
+                completion, wait, page_hit = self._dram_transaction(
                     cpu_state, issue, address, size, cluster_free, dram_free,
                     on_window,
                 )
@@ -412,7 +415,7 @@ class Simulator:
                 if backing >= 0:
                     back_state = channels[backing]
                     if response.refill_bytes:
-                        completion, back_wait, dram_free, page_hit = (
+                        completion, back_wait, page_hit = (
                             self._dram_transaction(
                                 back_state, served, address,
                                 response.refill_bytes, cluster_free,
@@ -434,9 +437,9 @@ class Simulator:
                             energy_wires += wire_nj
                     off_path = response.writeback_bytes + response.prefetch_bytes
                     if off_path:
-                        dram_free = self._background_traffic(
-                            back_state, served, off_path, cluster_free,
-                            dram_free, on_window,
+                        self._background_traffic(
+                            back_state, served, address, off_path,
+                            cluster_free, dram_free, on_window,
                         )
                         if counted:
                             # Background prefetch/writeback bursts run in
@@ -486,7 +489,6 @@ class Simulator:
                 struct_latency[struct_id] += latency
 
         state.cluster_free = cluster_free
-        state.dram_free = dram_free
         state.lag = lag
         state.measured = measured
         state.latency_sum = latency_sum
@@ -582,28 +584,29 @@ class Simulator:
         address: int,
         size: int,
         cluster_free: list[int],
-        dram_free: int,
+        dram_free: list[int],
         on_window: bool,
-    ) -> tuple[int, int, int, bool]:
+    ) -> tuple[int, int, bool]:
         """A critical-path DRAM read/refill over ``state``'s connection.
 
-        Returns (completion, connection wait, new dram_free, page_hit).
+        ``dram_free`` is the per-channel core timeline, updated in
+        place (the channel is the one serving ``address``). Returns
+        (completion, connection wait, page_hit).
         """
         dram = self.memory.dram
         component = state.component
         if component is None:
             latency = dram.access(address, size, AccessKind.READ, ready).latency
-            return (
-                ready + latency, 0, dram_free,
-                latency == dram.page_hit_latency,
-            )
+            return ready + latency, 0, latency == dram.page_hit_latency
         free = cluster_free[state.cluster_index]
         start = ready if ready >= free else free
         if not on_window:
             start = ready
         wait = start - ready
         command_done = start + component.base_latency
-        dram_start = command_done if command_done >= dram_free else dram_free
+        channel = dram.channel_of(address)
+        channel_free = dram_free[channel]
+        dram_start = command_done if command_done >= channel_free else channel_free
         if not on_window:
             dram_start = command_done
         core = dram.access(address, size, AccessKind.READ, dram_start).latency
@@ -611,7 +614,7 @@ class Simulator:
         completion = dram_start + core + beats_cycles
         page_hit = core == dram.page_hit_latency
         if on_window:
-            dram_free = dram_start + core
+            dram_free[channel] = dram_start + core
             if component.split_transactions:
                 busy_until = start + component.timing(size).occupancy
             else:
@@ -619,51 +622,56 @@ class Simulator:
             state.busy_cycles += max(0, busy_until - start)
             if busy_until > cluster_free[state.cluster_index]:
                 cluster_free[state.cluster_index] = busy_until
-        return completion, wait, dram_free, page_hit
+        return completion, wait, page_hit
 
     def _background_traffic(
         self,
         state: _ChannelState,
         ready: int,
+        address: int,
         size: int,
         cluster_free: list[int],
-        dram_free: int,
+        dram_free: list[int],
         on_window: bool,
-    ) -> int:
+    ) -> None:
         """Off-critical-path traffic: occupies connection + DRAM only."""
         state.bytes_moved += size
         state.background_transactions += 1
-        return self._background_contention(
-            state, ready, size, cluster_free, dram_free, on_window
+        self._background_contention(
+            state, ready, address, size, cluster_free, dram_free, on_window
         )
 
     def _background_contention(
         self,
         state: _ChannelState,
         ready: int,
+        address: int,
         size: int,
         cluster_free: list[int],
-        dram_free: int,
+        dram_free: list[int],
         on_window: bool,
-    ) -> int:
+    ) -> None:
         """The contention half of :meth:`_background_traffic`.
 
         The kernel counts background bytes/transactions columnar once
         per run, so its loops need the occupancy/timeline updates
-        without re-touching the traffic counters.
+        without re-touching the traffic counters. ``dram_free`` is the
+        per-channel core timeline, updated in place.
         """
         component = state.component
         if component is None or not on_window:
-            return dram_free
+            return
         free = cluster_free[state.cluster_index]
         start = ready if ready >= free else free
         occupancy = component.timing(size).occupancy
         state.busy_cycles += occupancy
         cluster_free[state.cluster_index] = start + occupancy
+        dram = self.memory.dram
+        channel = dram.channel_of(address)
         dram_start = start + component.base_latency
-        if dram_start < dram_free:
-            dram_start = dram_free
-        return dram_start + self.memory.dram.page_hit_latency
+        if dram_start < dram_free[channel]:
+            dram_start = dram_free[channel]
+        dram_free[channel] = dram_start + dram.page_hit_latency
 
     def __repr__(self) -> str:
         connectivity = (

@@ -6,9 +6,10 @@ algorithmic kernel whose data structures are instrumented, so the trace
 carries the same access-pattern mix the paper's exploration exploits
 (see DESIGN.md section 2 for the substitution rationale). Two extra
 workloads extend the evaluation beyond the paper's set: *dct*
-(multimedia, blockwise 2-D DCT) and *matmul* (scientific, blocked
-matrix multiply), plus a parametric *synthetic* mix for controlled
-experiments.
+(multimedia, blockwise 2-D DCT), *matmul* (scientific, blocked
+matrix multiply) and *spmv* (scientific, CSR sparse matrix-vector
+multiply over a power-law graph), plus a parametric *synthetic* mix
+for controlled experiments.
 """
 
 from repro.workloads.base import AddressMap, Workload, get_workload, workload_names
@@ -16,6 +17,7 @@ from repro.workloads.compress import CompressWorkload
 from repro.workloads.dct import DctWorkload
 from repro.workloads.li import LiWorkload
 from repro.workloads.matmul import MatmulWorkload
+from repro.workloads.spmv import SpmvWorkload
 from repro.workloads.synthetic import SyntheticWorkload
 from repro.workloads.vocoder import VocoderWorkload
 
@@ -25,6 +27,7 @@ __all__ = [
     "DctWorkload",
     "LiWorkload",
     "MatmulWorkload",
+    "SpmvWorkload",
     "SyntheticWorkload",
     "VocoderWorkload",
     "Workload",

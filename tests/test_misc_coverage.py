@@ -159,7 +159,7 @@ class TestArchitectureEdges:
 
 
 class TestWorkloadRegistryCompleteness:
-    def test_all_six_registered(self):
+    def test_all_seven_registered(self):
         from repro.workloads import workload_names
 
         assert set(workload_names()) == {
@@ -167,12 +167,14 @@ class TestWorkloadRegistryCompleteness:
             "dct",
             "li",
             "matmul",
+            "spmv",
             "synthetic",
             "vocoder",
         }
 
     @pytest.mark.parametrize(
-        "name", ["compress", "dct", "li", "matmul", "synthetic", "vocoder"]
+        "name",
+        ["compress", "dct", "li", "matmul", "spmv", "synthetic", "vocoder"],
     )
     def test_hints_cover_trace_structs(self, name):
         from repro.workloads import get_workload

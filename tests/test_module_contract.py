@@ -1,0 +1,154 @@
+"""Contract tests over every registered memory-module family.
+
+:func:`repro.memory.library.register_module_type` is the extension
+point for new module families; these tests hold *every* registered
+family — built-in or added later — to the contracts the rest of the
+system assumes:
+
+* ``config_signature()`` identifies the configuration, not the
+  simulation state: equal for fresh twins, hashable, and unchanged by
+  accesses or :meth:`reset`.
+* ``access_many`` (where provided) is bit-identical to the scalar
+  ``access`` stream, including state carried across batch boundaries.
+* DRAM families keep ``open_row_latencies`` in lockstep with the
+  scalar row-state walk.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.dram import Dram
+from repro.memory.library import module_type, module_types
+from repro.memory.module import MemoryModule
+from repro.trace.events import AccessKind
+
+FAMILIES = {entry.name: entry for entry in module_types()}
+
+
+def _mixed_columns(seed: int, n: int = 400, span: int = 1 << 14):
+    rng = np.random.default_rng(seed)
+    addresses = np.where(
+        rng.random(n) < 0.6,
+        np.cumsum(rng.integers(1, 9, n)) % span,
+        rng.integers(0, span, n),
+    ).astype(np.int64)
+    sizes = rng.choice([1, 2, 4, 8], n).astype(np.int32)
+    kinds = rng.integers(0, 2, n).astype(np.int8)
+    return addresses, sizes, kinds
+
+
+def _scalar_columns(module, addresses, sizes, kinds):
+    columns = ([], [], [], [], [])
+    for i in range(len(addresses)):
+        response = module.access(
+            int(addresses[i]), int(sizes[i]), AccessKind(int(kinds[i])), tick=0
+        )
+        for column, value in zip(
+            columns,
+            (
+                response.hit,
+                response.latency,
+                response.refill_bytes,
+                response.writeback_bytes,
+                response.prefetch_bytes,
+            ),
+        ):
+            column.append(value)
+    return columns
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_registered_family_is_consistent(name):
+    entry = FAMILIES[name]
+    assert module_type(name) is entry
+    assert issubclass(entry.cls, MemoryModule)
+    example = entry.example()
+    assert isinstance(example, entry.cls)
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+def test_signature_ignores_simulation_state(name):
+    entry = FAMILIES[name]
+    module, twin = entry.example(), entry.example()
+    signature = module.config_signature()
+    assert signature == twin.config_signature()
+    assert signature[0] == type(module).__name__
+    hash(signature)  # must stay usable as a cache key
+
+    addresses, sizes, kinds = _mixed_columns(seed=11)
+    if hasattr(module, "prime"):
+        module.prime([int(a) for a in addresses])
+    _scalar_columns(module, addresses, sizes, kinds)
+    assert module.config_signature() == signature
+    module.reset()
+    assert module.config_signature() == signature
+
+
+@pytest.mark.parametrize("name", sorted(FAMILIES))
+@pytest.mark.parametrize("seed", [0, 3])
+def test_access_many_matches_scalar_stream(name, seed):
+    entry = FAMILIES[name]
+    addresses, sizes, kinds = _mixed_columns(seed)
+    batch_module = entry.example()
+    mid = len(addresses) // 3
+    halves = [
+        batch_module.access_many(addresses[:mid], sizes[:mid], kinds[:mid]),
+        batch_module.access_many(addresses[mid:], sizes[mid:], kinds[mid:]),
+    ]
+    if halves[0] is None:
+        # No batched path: the default access_many must consistently
+        # decline so the kernel falls back to the scalar walk.
+        assert halves[1] is None
+        return
+    assert entry.example().supports_batch
+
+    scalar_module = entry.example()
+    hits, latencies, refills, writebacks, prefetches = _scalar_columns(
+        scalar_module, addresses, sizes, kinds
+    )
+
+    def merged(field):
+        parts = []
+        for half, count in zip(halves, (mid, len(addresses) - mid)):
+            column = getattr(half, field)
+            parts.append(
+                np.zeros(count, dtype=np.int64) if column is None else column
+            )
+        return np.concatenate(parts)
+
+    assert merged("hit").astype(bool).tolist() == hits
+    assert merged("latency").tolist() == latencies
+    assert merged("refill_bytes").tolist() == refills
+    assert merged("writeback_bytes").tolist() == writebacks
+    assert merged("prefetch_bytes").tolist() == prefetches
+    for stat in ("hits", "misses", "accesses", "conflicts"):
+        assert getattr(scalar_module, stat, None) == getattr(
+            batch_module, stat, None
+        )
+
+
+@pytest.mark.parametrize(
+    "name",
+    sorted(n for n, e in FAMILIES.items() if issubclass(e.cls, Dram)),
+)
+@pytest.mark.parametrize("seed", [1, 4])
+def test_dram_batched_row_walk_matches_scalar(name, seed):
+    entry = FAMILIES[name]
+    addresses, _, _ = _mixed_columns(seed)
+    scalar, batched = entry.example(), entry.example()
+    scalar_latencies = [
+        scalar.access(int(a), 8, AccessKind.READ, tick=0).latency
+        for a in addresses
+    ]
+    mid = len(addresses) // 3
+    batched_latencies = np.concatenate(
+        [
+            batched.open_row_latencies(addresses[:mid]),
+            batched.open_row_latencies(addresses[mid:]),
+        ]
+    )
+    assert batched_latencies.tolist() == scalar_latencies
+    assert scalar.page_hits == batched.page_hits
+    assert scalar.accesses == batched.accesses
